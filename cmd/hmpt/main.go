@@ -1,0 +1,186 @@
+// Command hmpt is the driver tool of the reproduction: it analyses a
+// benchmark's allocation placement space on the simulated Xeon Max
+// platform and reports the paper's detailed view, summary view, and
+// placement recommendations.
+//
+// Usage:
+//
+//	hmpt list
+//	hmpt analyze <workload> [-runs N] [-threads N] [-seed N] [-full] [-csv]
+//	hmpt plan <workload> -budget <bytes, e.g. 16GB> [-full]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hmpt/internal/core"
+	"hmpt/internal/experiments"
+	"hmpt/internal/memsim"
+	"hmpt/internal/report"
+	"hmpt/internal/units"
+	"hmpt/internal/workloads"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hmpt:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: hmpt <list|analyze|plan> [args]")
+	}
+	switch args[0] {
+	case "list":
+		for _, name := range workloads.Names() {
+			fmt.Printf("%-10s %s\n", name, workloads.Describe(name))
+		}
+		return nil
+	case "analyze":
+		return analyze(args[1:])
+	case "plan":
+		return plan(args[1:])
+	default:
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+// analyzeWorkload runs the tuner for a named workload with flags applied.
+func analyzeWorkload(fs *flag.FlagSet, args []string) (*core.Analysis, error) {
+	runs := fs.Int("runs", 3, "measured runs per configuration")
+	threads := fs.Int("threads", 0, "simulated threads (0 = all cores)")
+	seed := fs.Uint64("seed", 1, "determinism seed")
+	full := fs.Bool("full", false, "full-size workload instance (slower)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() < 1 {
+		return nil, fmt.Errorf("missing workload name (try `hmpt list`)")
+	}
+	name := fs.Arg(0)
+	spec, err := experiments.SpecFor(name)
+	if err != nil {
+		// Not an evaluated benchmark: run with default options.
+		w, werr := workloads.New(name)
+		if werr != nil {
+			return nil, werr
+		}
+		return core.New(w, core.Options{Runs: *runs, Threads: *threads, Seed: *seed}).Analyze()
+	}
+	opts := spec.Options
+	opts.Runs = *runs
+	opts.Threads = *threads
+	if *seed != 1 {
+		opts.Seed = *seed
+	}
+	opts.Platform = memsim.XeonMax9468()
+	f := spec.Fast
+	if *full {
+		f = spec.Full
+	}
+	return core.New(f(), opts).Analyze()
+}
+
+func analyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
+	csv := fs.Bool("csv", false, "emit CSV instead of tables")
+	an, err := analyzeWorkload(fs, args)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("workload    %s\n", an.Workload)
+	fmt.Printf("platform    %s\n", an.Platform)
+	fmt.Printf("footprint   %v (%d sites, %d significant)\n", an.TotalBytes, an.TotalAllocs, an.FilteredAllocs)
+	fmt.Printf("baseline    %v (all DDR, %d runs)\n", an.BaselineTime, an.Runs)
+	fmt.Printf("ibs samples %d\n\n", an.SampleCount)
+
+	gt := report.NewTable("group", "label", "size", "footprint", "density", "solo-speedup")
+	for _, g := range an.Groups {
+		gt.AddRow(g.Index, g.Label, g.SimBytes.String(), g.Frac, g.Density, g.SoloSpeedup)
+	}
+	dt := report.NewTable("config", "speedup", "ci95", "estimate", "hbm-usage", "samples", "feasible")
+	for _, r := range an.Detailed(true) {
+		ci := 0.0
+		for i := range an.Configs {
+			if an.Configs[i].Label == r.Label {
+				ci = an.Configs[i].SpeedupCI
+			}
+		}
+		dt.AddRow(r.Label, r.Speedup, ci, r.EstSpeedup, r.HBMUsage, r.Samples, fmt.Sprint(r.Feasible))
+	}
+	if *csv {
+		if err := gt.WriteCSV(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+		return dt.WriteCSV(os.Stdout)
+	}
+	if err := gt.Write(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := dt.Write(os.Stdout); err != nil {
+		return err
+	}
+
+	// Summary view as a terminal scatter plot.
+	sv := an.Summary()
+	plot := report.NewPlot(fmt.Sprintf("summary view: speedup vs HBM footprint (max %.2fx)", sv.MaxSpeedup))
+	plot.XLabel, plot.YLabel = "HBM fraction", "speedup"
+	for _, pt := range sv.Singles {
+		plot.Add(pt.HBMFrac, pt.Speedup, 'o')
+	}
+	for _, pt := range sv.Combos {
+		plot.Add(pt.HBMFrac, pt.Speedup, '*')
+	}
+	plot.HLine(sv.MaxSpeedup, '=')
+	plot.HLine(sv.Ninety, '-')
+	fmt.Println()
+	if err := plot.Write(os.Stdout); err != nil {
+		return err
+	}
+
+	max, cfg := an.MaxSpeedup()
+	ninety, ncfg := an.NinetyPercentUsage()
+	fmt.Printf("\nmax speedup      %.2fx with %s in HBM (%.1f%% of data)\n", max, cfg.Label, cfg.HBMFrac*100)
+	fmt.Printf("HBM-only speedup %.2fx\n", an.HBMOnly().Speedup)
+	if ncfg != nil {
+		fmt.Printf("90%% of max       %.2fx with %s (%.1f%% of data in HBM)\n", ncfg.Speedup, ncfg.Label, ninety*100)
+	}
+	return nil
+}
+
+func plan(args []string) error {
+	fs := flag.NewFlagSet("plan", flag.ContinueOnError)
+	budgetStr := fs.String("budget", "16GB", "HBM capacity budget (e.g. 16GB)")
+	an, err := analyzeWorkload(fs, args)
+	if err != nil {
+		return err
+	}
+	budget, err := units.ParseBytes(*budgetStr)
+	if err != nil {
+		return err
+	}
+	exact, err := an.BestUnderBudget(budget)
+	if err != nil {
+		return err
+	}
+	greedy, err := an.GreedyPlan(budget)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("budget %v for %s (%v total)\n\n", budget, an.Workload, an.TotalBytes)
+	fmt.Printf("exact   %s: %.2fx using %v HBM\n", exact.Label, exact.Speedup, exact.HBMBytes)
+	fmt.Printf("greedy  %s: %.2fx measured (%.2fx predicted) using %v HBM\n",
+		greedy.Label, greedy.Speedup, greedy.PredictedSpeedup, greedy.HBMBytes)
+	fmt.Println("\nPareto frontier (footprint -> best speedup):")
+	for _, c := range an.ParetoFront() {
+		fmt.Printf("  %-12s %8v  %.3fx\n", c.Label, c.HBMBytes, c.Speedup)
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+// Command membench regenerates the platform-characterisation figures of
+// the paper's §I: STREAM thread scaling (Fig. 2), pointer-chase latency
+// (Fig. 3), random-access speedup (Fig. 4) and the mixed-placement
+// STREAM experiments (Fig. 5).
+//
+// Usage:
+//
+//	membench [-fig 2|3|4|5a|5b|all] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hmpt/internal/experiments"
+	"hmpt/internal/memsim"
+	"hmpt/internal/report"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 2, 3, 4, 5a, 5b, all")
+	csv := flag.Bool("csv", false, "emit CSV")
+	flag.Parse()
+	if err := run(*fig, *csv); err != nil {
+		fmt.Fprintln(os.Stderr, "membench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(which string, csv bool) error {
+	p := memsim.XeonMax9468()
+	gens := map[string]func(*memsim.Platform) (*experiments.Figure, error){
+		"2": experiments.Fig2, "3": experiments.Fig3, "4": experiments.Fig4,
+		"5a": experiments.Fig5a, "5b": experiments.Fig5b,
+	}
+	order := []string{"2", "3", "4", "5a", "5b"}
+	if which != "all" {
+		if _, ok := gens[which]; !ok {
+			return fmt.Errorf("unknown figure %q", which)
+		}
+		order = []string{which}
+	}
+	for _, id := range order {
+		fig, err := gens[id](p)
+		if err != nil {
+			return err
+		}
+		if err := render(fig, csv); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func render(fig *experiments.Figure, csv bool) error {
+	fmt.Printf("== %s: %s ==\n", fig.ID, fig.Title)
+	t := report.NewTable(append([]string{fig.XLabel}, seriesNames(fig)...)...)
+	if len(fig.Series) > 0 {
+		for i := range fig.Series[0].X {
+			row := make([]any, 0, len(fig.Series)+1)
+			row = append(row, fig.Series[0].X[i])
+			for _, s := range fig.Series {
+				row = append(row, s.Y[i])
+			}
+			t.AddRow(row...)
+		}
+	}
+	if csv {
+		return t.WriteCSV(os.Stdout)
+	}
+	return t.Write(os.Stdout)
+}
+
+func seriesNames(fig *experiments.Figure) []string {
+	names := make([]string, len(fig.Series))
+	for i, s := range fig.Series {
+		names[i] = s.Name
+	}
+	return names
+}

@@ -1,0 +1,207 @@
+// Command paperrepro regenerates every table and figure of the paper's
+// evaluation in one run, writing a CSV per artefact into -out (default
+// ./out) and printing a compact summary with the paper's reference
+// numbers next to the measured ones.
+//
+// Usage:
+//
+//	paperrepro [-out DIR] [-full]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"hmpt/internal/core"
+	"hmpt/internal/experiments"
+	"hmpt/internal/memsim"
+	"hmpt/internal/report"
+)
+
+// paperTable2 holds the paper's Table II reference values.
+var paperTable2 = map[string][3]float64{
+	"npb.mg": {2.27, 2.26, 69.6},
+	"npb.bt": {1.15, 1.14, 55.0},
+	"npb.lu": {1.27, 1.27, 58.8},
+	"npb.sp": {1.79, 1.70, 68.8},
+	"npb.ua": {1.49, 1.49, 68.8},
+	"npb.is": {2.21, 2.18, 60.0},
+	"kwave":  {1.32, 1.32, 76.8},
+}
+
+func main() {
+	out := flag.String("out", "out", "output directory for CSV artefacts")
+	full := flag.Bool("full", false, "use full-size workload instances (slower)")
+	flag.Parse()
+	if err := run(*out, !*full); err != nil {
+		fmt.Fprintln(os.Stderr, "paperrepro:", err)
+		os.Exit(1)
+	}
+}
+
+func writeCSV(dir, name string, t *report.Table) error {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.WriteCSV(f)
+}
+
+func figureTable(fig *experiments.Figure) *report.Table {
+	header := []string{fig.XLabel}
+	for _, s := range fig.Series {
+		header = append(header, s.Name)
+	}
+	t := report.NewTable(header...)
+	if len(fig.Series) == 0 {
+		return t
+	}
+	for i := range fig.Series[0].X {
+		row := []any{fig.Series[0].X[i]}
+		for _, s := range fig.Series {
+			if i < len(s.Y) {
+				row = append(row, s.Y[i])
+			} else {
+				row = append(row, "")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// summaryTable renders a per-config summary figure where series have
+// different lengths (points, not a shared x axis).
+func summaryTable(fig *experiments.Figure) *report.Table {
+	t := report.NewTable("series", "hbm_fraction", "speedup")
+	for _, s := range fig.Series {
+		for i := range s.X {
+			t.AddRow(s.Name, s.X[i], s.Y[i])
+		}
+	}
+	return t
+}
+
+func run(outDir string, fast bool) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	p := memsim.XeonMax9468()
+
+	// Figures 2-5: platform characterisation.
+	platFigs := []struct {
+		name string
+		gen  func(*memsim.Platform) (*experiments.Figure, error)
+	}{
+		{"fig2_stream_scaling.csv", experiments.Fig2},
+		{"fig3_latency_window.csv", experiments.Fig3},
+		{"fig4_random_access.csv", experiments.Fig4},
+		{"fig5a_copy_placement.csv", experiments.Fig5a},
+		{"fig5b_add_placement.csv", experiments.Fig5b},
+	}
+	for _, pf := range platFigs {
+		fig, err := pf.gen(p)
+		if err != nil {
+			return fmt.Errorf("%s: %w", pf.name, err)
+		}
+		if err := writeCSV(outDir, pf.name, figureTable(fig)); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", pf.name)
+	}
+
+	// Figure 7a: MG detailed view.
+	_, rows, err := experiments.Fig7a(p, fast)
+	if err != nil {
+		return err
+	}
+	dt := report.NewTable("config", "speedup", "estimate", "hbm_usage", "samples")
+	for _, r := range rows {
+		dt.AddRow(r.Label, r.Speedup, r.EstSpeedup, r.HBMUsage, r.Samples)
+	}
+	if err := writeCSV(outDir, "fig7a_mg_detailed.csv", dt); err != nil {
+		return err
+	}
+	fmt.Println("wrote fig7a_mg_detailed.csv")
+
+	// Summary views: Figs 7b/9-15.
+	sums := []struct {
+		file string
+		gen  func(*memsim.Platform, bool) (*experiments.Figure, *core.Analysis, error)
+	}{
+		{"fig7b_mg_summary.csv", experiments.Fig7b},
+		{"fig9_mg_summary.csv", experiments.Fig9},
+		{"fig10_ua_summary.csv", experiments.Fig10},
+		{"fig11_sp_summary.csv", experiments.Fig11},
+		{"fig12_bt_summary.csv", experiments.Fig12},
+		{"fig13_lu_summary.csv", experiments.Fig13},
+		{"fig14_is_summary.csv", experiments.Fig14},
+		{"fig15_kwave_summary.csv", experiments.Fig15},
+	}
+	for _, sf := range sums {
+		fig, _, err := sf.gen(p, fast)
+		if err != nil {
+			return fmt.Errorf("%s: %w", sf.file, err)
+		}
+		if err := writeCSV(outDir, sf.file, summaryTable(fig)); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", sf.file)
+	}
+
+	// Figure 8: roofline.
+	model, err := experiments.Fig8(p, fast)
+	if err != nil {
+		return err
+	}
+	rt := report.NewTable("kind", "name", "ai_flop_per_byte", "value")
+	for _, c := range model.Ceilings {
+		if c.GBps > 0 {
+			rt.AddRow("ceiling", c.Name, "", fmt.Sprintf("%.1f GB/s", c.GBps))
+		} else {
+			rt.AddRow("ceiling", c.Name, "", fmt.Sprintf("%.1f GFLOP/s", c.GFlops))
+		}
+	}
+	for _, pt := range model.Points {
+		rt.AddRow("point", pt.Name, pt.AI, fmt.Sprintf("%.1f GFLOP/s", pt.GFlops))
+	}
+	if err := writeCSV(outDir, "fig8_roofline.csv", rt); err != nil {
+		return err
+	}
+	fmt.Println("wrote fig8_roofline.csv")
+
+	// Tables I and II.
+	t1rows, err := experiments.Table1(p, fast)
+	if err != nil {
+		return err
+	}
+	t1 := report.NewTable("workload", "memory_gb", "filtered_allocations", "total_allocations")
+	for _, r := range t1rows {
+		t1.AddRow(r.Workload, r.MemoryUsage.GBs(), r.FilteredAllocs, r.TotalAllocs)
+	}
+	if err := writeCSV(outDir, "table1_configs.csv", t1); err != nil {
+		return err
+	}
+	fmt.Println("wrote table1_configs.csv")
+
+	t2rows, err := experiments.Table2(p, fast)
+	if err != nil {
+		return err
+	}
+	t2 := report.NewTable("workload", "max_speedup", "paper_max", "hbm_only", "paper_hbm_only", "ninety_usage_pct", "paper_ninety_pct")
+	fmt.Println("\nTable II — measured vs paper:")
+	for _, r := range t2rows {
+		ref := paperTable2[r.Workload]
+		t2.AddRow(r.Workload, r.MaxSpeedup, ref[0], r.HBMOnlySpeedup, ref[1], r.NinetyUsage*100, ref[2])
+		fmt.Printf("  %-8s max %.2fx (paper %.2f)  hbm-only %.2fx (paper %.2f)  90%% @ %.1f%% (paper %.1f%%)\n",
+			r.Workload, r.MaxSpeedup, ref[0], r.HBMOnlySpeedup, ref[1], r.NinetyUsage*100, ref[2])
+	}
+	if err := writeCSV(outDir, "table2_summary.csv", t2); err != nil {
+		return err
+	}
+	fmt.Println("\nwrote table2_summary.csv")
+	return nil
+}

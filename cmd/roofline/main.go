@@ -1,0 +1,69 @@
+// Command roofline prints the roofline model of Fig. 8: the platform's
+// compute and bandwidth ceilings plus the measured arithmetic-intensity
+// points of the evaluated NPB benchmarks.
+//
+// Usage:
+//
+//	roofline [-full]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hmpt/internal/experiments"
+	"hmpt/internal/memsim"
+	"hmpt/internal/report"
+)
+
+func main() {
+	full := flag.Bool("full", false, "use full-size workload instances")
+	flag.Parse()
+	if err := run(*full); err != nil {
+		fmt.Fprintln(os.Stderr, "roofline:", err)
+		os.Exit(1)
+	}
+}
+
+func run(full bool) error {
+	p := memsim.XeonMax9468()
+	model, err := experiments.Fig8(p, !full)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Roofline model: %s\n\n", model.Platform)
+	ct := report.NewTable("ceiling", "value")
+	for _, c := range model.Ceilings {
+		if c.GBps > 0 {
+			ct.AddRow(c.Name, fmt.Sprintf("%.1f GB/s", c.GBps))
+		} else {
+			ct.AddRow(c.Name, fmt.Sprintf("%.1f GFLOP/s", c.GFlops))
+		}
+	}
+	if err := ct.Write(os.Stdout); err != nil {
+		return err
+	}
+
+	fmt.Println()
+	pt := report.NewTable("application", "AI [FLOP/B]", "perf [GFLOP/s]", "DDR-bound [GFLOP/s]", "HBM-bound [GFLOP/s]")
+	for _, point := range model.Points {
+		ddr, err := model.Attainable(point.AI, "DDR BW")
+		if err != nil {
+			return err
+		}
+		hbm, err := model.Attainable(point.AI, "HBM BW")
+		if err != nil {
+			return err
+		}
+		pt.AddRow(point.Name, fmt.Sprintf("%.4f", point.AI),
+			fmt.Sprintf("%.1f", point.GFlops), fmt.Sprintf("%.1f", ddr), fmt.Sprintf("%.1f", hbm))
+	}
+	if err := pt.Write(os.Stdout); err != nil {
+		return err
+	}
+	ridgeD, _ := model.Ridge("DDR BW")
+	ridgeH, _ := model.Ridge("HBM BW")
+	fmt.Printf("\nridge points: DDR %.2f FLOP/B, HBM %.2f FLOP/B\n", ridgeD, ridgeH)
+	return nil
+}

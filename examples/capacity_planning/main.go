@@ -1,0 +1,43 @@
+// Capacity planning: sweep shrinking HBM budgets for one benchmark and
+// compare the exact planner (full measured space) with the greedy
+// gain-per-byte heuristic a production tuner would use.
+//
+//	go run ./examples/capacity_planning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hmpt"
+	"hmpt/internal/units"
+	"hmpt/internal/workloads/npbsp"
+)
+
+func main() {
+	w := &npbsp.SP{Cfg: npbsp.Config{RealN: 20, PaperN: 408, Iters: 4}}
+	an, err := hmpt.Analyze(w, hmpt.Options{Seed: 104})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("NPB SP: %v total, max speedup %.2fx\n\n", an.TotalBytes, an.HBMOnly().Speedup)
+	fmt.Println("budget     exact-best           greedy")
+	for _, gb := range []float64{12, 10, 8, 6, 4, 2, 1} {
+		budget := units.GB(gb)
+		exact, err := an.BestUnderBudget(budget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		greedy, err := an.GreedyPlan(budget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%5.0f GB   %-10s %.3fx    %-10s %.3fx\n",
+			gb, exact.Label, exact.Speedup, greedy.Label, greedy.Speedup)
+	}
+
+	fmt.Println("\nPareto frontier (bytes of HBM -> best measured speedup):")
+	for _, c := range an.ParetoFront() {
+		fmt.Printf("  %9v  %.3fx  %s\n", c.HBMBytes, c.Speedup, c.Label)
+	}
+}

@@ -1,0 +1,95 @@
+// Custom workload: how to make the tuner analyse your own kernel. The
+// workload implements hmpt.Workload, allocates through the shim so every
+// array is intercepted, runs its real computation, and describes its
+// memory behaviour as phases.
+//
+//	go run ./examples/custom_workload
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hmpt"
+	"hmpt/internal/shim"
+	"hmpt/internal/trace"
+	"hmpt/internal/units"
+)
+
+// histogramJoin is a toy analytics kernel: stream a fact table, look up
+// a dimension table at random, and accumulate into a histogram.
+type histogramJoin struct {
+	facts *shim.TrackedSlice[int64]
+	dims  *shim.TrackedSlice[float64]
+	hist  *shim.TrackedSlice[float64]
+	sum   float64
+}
+
+func (h *histogramJoin) Name() string { return "histogram-join" }
+
+func (h *histogramJoin) Setup(env *hmpt.Env) error {
+	const n = 1 << 16
+	// Real arrays are small; the scale factors declare the represented
+	// sizes: a 24 GB fact table, a 4 GB dimension table, 2 GB histogram.
+	h.facts = shim.Alloc[int64](env.Alloc, "join.facts", n, 24e9/(n*8))
+	h.dims = shim.Alloc[float64](env.Alloc, "join.dims", n, 4e9/(n*8))
+	h.hist = shim.Alloc[float64](env.Alloc, "join.hist", n, 2e9/(n*8))
+	for i := range h.facts.Data {
+		h.facts.Data[i] = int64(env.RNG.Intn(n))
+		h.dims.Data[i] = env.RNG.Float64()
+	}
+	return nil
+}
+
+func (h *histogramJoin) Run(env *hmpt.Env) error {
+	n := len(h.facts.Data)
+	for pass := 0; pass < 4; pass++ {
+		for i := 0; i < n; i++ {
+			key := h.facts.Data[i]
+			v := h.dims.Data[key]
+			h.hist.Data[key%int64(n)] += v
+			h.sum += v
+		}
+		// Describe what this pass did to memory, at represented scale:
+		// facts streamed once, dims hit at random, histogram updated at
+		// random.
+		factBytes := h.facts.Rec.SimSize
+		env.Rec.Emit(trace.Phase{
+			Name:    "join-pass",
+			Threads: env.Threads,
+			Flops:   units.Flops(float64(factBytes) / 8),
+			Streams: []trace.Stream{
+				{Alloc: h.facts.ID(), Bytes: factBytes, Kind: trace.Read, Pattern: trace.Sequential},
+				{Alloc: h.dims.ID(), Bytes: units.Bytes(factBytes/8) * units.CacheLine,
+					Kind: trace.Read, Pattern: trace.Random, WorkingSet: h.dims.Rec.SimSize},
+				{Alloc: h.hist.ID(), Bytes: units.Bytes(factBytes/8) * 16,
+					Kind: trace.Update, Pattern: trace.Random, WorkingSet: h.hist.Rec.SimSize},
+			},
+		})
+	}
+	return nil
+}
+
+func (h *histogramJoin) Verify() error {
+	if h.sum <= 0 {
+		return fmt.Errorf("join accumulated nothing")
+	}
+	return nil
+}
+
+func main() {
+	an, err := hmpt.Analyze(&histogramJoin{}, hmpt.Options{Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %v total\n\n", an.Workload, an.TotalBytes)
+	for _, g := range an.Groups {
+		fmt.Printf("  %-12s %9v  density %4.1f%%  solo %.2fx\n",
+			g.Label, g.SimBytes, g.Density*100, g.SoloSpeedup)
+	}
+	max, cfg := an.MaxSpeedup()
+	fmt.Printf("\nbest placement: %s in HBM -> %.2fx\n", cfg.Label, max)
+	fmt.Println("\nnote how the small random-access tables beat the big")
+	fmt.Println("streamed fact table in gain per byte — that is the paper's")
+	fmt.Println("core observation about placement priority.")
+}

@@ -1,0 +1,47 @@
+// Quickstart: analyse a small synthetic workload end to end and print
+// where its data should live.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hmpt"
+)
+
+func main() {
+	// The "synth" workload has four 8 GB arrays with skewed traffic:
+	// hot, warm, cool, cold.
+	w, err := hmpt.NewWorkload("synth")
+	if err != nil {
+		log.Fatal(err)
+	}
+	an, err := hmpt.Analyze(w, hmpt.Options{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload %s: %v across %d allocation groups\n\n",
+		an.Workload, an.TotalBytes, len(an.Groups))
+	for _, g := range an.Groups {
+		fmt.Printf("  group %d %-12s %8v  %4.1f%% of samples  solo %.2fx\n",
+			g.Index, g.Label, g.SimBytes, g.Density*100, g.SoloSpeedup)
+	}
+
+	max, cfg := an.MaxSpeedup()
+	ninety, ncfg := an.NinetyPercentUsage()
+	fmt.Printf("\nmax speedup %.2fx with groups %s in HBM (%.0f%% of data)\n",
+		max, cfg.Label, cfg.HBMFrac*100)
+	fmt.Printf("90%% of that is already reached with %s (%.0f%% of data)\n",
+		ncfg.Label, ninety*100)
+
+	// What if only 16 GB of HBM were available?
+	plan, err := an.GreedyPlan(16e9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("under a 16 GB budget the greedy plan places %s for %.2fx\n",
+		plan.Label, plan.Speedup)
+}

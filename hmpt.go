@@ -1,0 +1,95 @@
+// Package hmpt is the public API of the Heterogeneous Memory Pool Tuning
+// library — a Go reproduction of Vaverka, Vysocky and Riha,
+// "Heterogeneous Memory Pool Tuning" (IPPS 2025, arXiv:2505.14294).
+//
+// The library analyses and tunes the placement of an application's
+// individual allocations across heterogeneous memory pools (HBM + DDR on
+// an Intel Xeon Max model). Hardware is simulated: a calibrated analytic
+// machine model (bandwidths, latencies, per-thread memory-level
+// parallelism, cache hierarchy) stands in for the paper's dual Xeon Max
+// 9468 node, and a SHIM-style allocator plus an IBS-style sampler stand
+// in for the LD_PRELOAD interceptor and Linux perf.
+//
+// Quick start:
+//
+//	w, _ := hmpt.NewWorkload("npb.mg")
+//	an, err := hmpt.Analyze(w, hmpt.Options{Seed: 1})
+//	if err != nil { ... }
+//	max, cfg := an.MaxSpeedup()
+//	fmt.Printf("max %.2fx with %s in HBM\n", max, cfg.Label)
+//
+// See examples/ for runnable programs and DESIGN.md for the system
+// inventory and the experiment index.
+package hmpt
+
+import (
+	"hmpt/internal/core"
+	"hmpt/internal/memsim"
+	"hmpt/internal/workloads"
+
+	// Register the benchmark suite with the workload registry.
+	_ "hmpt/internal/workloads/chase"
+	_ "hmpt/internal/workloads/kwave"
+	_ "hmpt/internal/workloads/npbbt"
+	_ "hmpt/internal/workloads/npbis"
+	_ "hmpt/internal/workloads/npblu"
+	_ "hmpt/internal/workloads/npbmg"
+	_ "hmpt/internal/workloads/npbsp"
+	_ "hmpt/internal/workloads/npbua"
+	_ "hmpt/internal/workloads/stream"
+	_ "hmpt/internal/workloads/synth"
+)
+
+// Re-exported core types: the tuner, its results, and workload contract.
+type (
+	// Options configures an analysis; see core.Options.
+	Options = core.Options
+	// Analysis is a complete tuning result with the paper's detailed
+	// view, summary view, Table II metrics and placement planners.
+	Analysis = core.Analysis
+	// Config is one measured placement configuration.
+	Config = core.Config
+	// Group is one allocation group of the configuration space.
+	Group = core.Group
+	// Plan is a recommended placement under a capacity budget.
+	Plan = core.Plan
+	// Workload is the contract benchmarks implement; see
+	// internal/workloads for the environment handed to Setup/Run.
+	Workload = workloads.Workload
+	// Env is the execution environment of a workload run.
+	Env = workloads.Env
+	// Platform describes the simulated machine.
+	Platform = memsim.Platform
+)
+
+// XeonMax9468 returns the single-socket Intel Xeon Max 9468 platform
+// model used by all paper experiments.
+func XeonMax9468() *Platform { return memsim.XeonMax9468() }
+
+// DualXeonMax9468 returns the dual-socket server of the paper's Fig. 1.
+func DualXeonMax9468() *Platform { return memsim.DualXeonMax9468() }
+
+// Analyze runs the full tuning pipeline (reference run, allocation
+// capture, IBS sampling, grouping, exhaustive 2^|AG| placement sweep)
+// for the workload and returns the analysis.
+func Analyze(w Workload, opts Options) (*Analysis, error) {
+	return core.New(w, opts).Analyze()
+}
+
+// NewWorkload instantiates a registered benchmark by name; see
+// WorkloadNames for the registry contents.
+func NewWorkload(name string) (Workload, error) { return workloads.New(name) }
+
+// WorkloadNames lists the registered benchmarks.
+func WorkloadNames() []string { return workloads.Names() }
+
+// DescribeWorkload returns the one-line description of a registered
+// benchmark.
+func DescribeWorkload(name string) string { return workloads.Describe(name) }
+
+// NewEnv builds a workload environment for direct (non-tuner) use:
+// threads is the simulated thread count (0 = all cores), scale the
+// simulated-size multiplier, seed the determinism root.
+func NewEnv(threads int, scale float64, seed uint64) *Env {
+	return workloads.NewEnv(threads, scale, seed)
+}

@@ -1,0 +1,63 @@
+package hmpt
+
+import (
+	"testing"
+
+	"hmpt/internal/units"
+)
+
+// TestPublicAPIEndToEnd exercises the facade exactly as the README
+// quickstart does.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	names := WorkloadNames()
+	if len(names) < 10 {
+		t.Fatalf("registry has only %d workloads: %v", len(names), names)
+	}
+	for _, want := range []string{"npb.mg", "npb.bt", "npb.lu", "npb.sp", "npb.ua", "npb.is", "kwave", "stream", "synth"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("workload %q not registered", want)
+		}
+		if DescribeWorkload(want) == "" {
+			t.Errorf("workload %q has no description", want)
+		}
+	}
+
+	w, err := NewWorkload("synth")
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := Analyze(w, Options{Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	max, cfg := an.MaxSpeedup()
+	if max <= 1.5 || cfg == nil {
+		t.Errorf("synth max speedup %.2f too low", max)
+	}
+	if _, err := an.BestUnderBudget(units.GB(16)); err != nil {
+		t.Errorf("planner: %v", err)
+	}
+}
+
+func TestPlatformPresets(t *testing.T) {
+	p := XeonMax9468()
+	if p.Cores() != 48 {
+		t.Errorf("single socket cores = %d", p.Cores())
+	}
+	d := DualXeonMax9468()
+	if d.Cores() != 96 {
+		t.Errorf("dual socket cores = %d", d.Cores())
+	}
+}
+
+func TestUnknownWorkload(t *testing.T) {
+	if _, err := NewWorkload("nope"); err == nil {
+		t.Error("unknown workload should fail")
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"hmpt/internal/units"
+	"hmpt/internal/workloads/npbmg"
+	"hmpt/internal/workloads/synth"
+)
+
+func TestTuneOnlineConvergesOnSynth(t *testing.T) {
+	res, err := TuneOnline(synth.Default(), OnlineOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Settled() {
+		t.Errorf("online loop did not settle in %d epochs", len(res.Epochs))
+	}
+	if res.FinalSpeedup < 2.0 {
+		t.Errorf("final speedup %.2f below 2.0 for the skewed profile", res.FinalSpeedup)
+	}
+	// The hot array must be promoted first.
+	if len(res.Epochs) == 0 || res.Epochs[0].Moved != "synth.hot" {
+		t.Errorf("first migration = %q, want synth.hot", res.Epochs[0].Moved)
+	}
+	// Speedups are non-decreasing across epochs (greedy promotions of
+	// positive predicted gain).
+	for i := 1; i < len(res.Epochs); i++ {
+		if res.Epochs[i].Speedup < res.Epochs[i-1].Speedup-1e-9 {
+			t.Errorf("epoch %d speedup %.3f regressed from %.3f",
+				i, res.Epochs[i].Speedup, res.Epochs[i-1].Speedup)
+		}
+	}
+	if res.TotalMigrated <= 0 {
+		t.Error("no pages migrated")
+	}
+	if res.AmortisationEpochs <= 0 || res.AmortisationEpochs > 3 {
+		t.Errorf("amortisation %.2f epochs outside (0,3]", res.AmortisationEpochs)
+	}
+}
+
+func TestTuneOnlineBudgetRespected(t *testing.T) {
+	budget := units.GB(9) // fits exactly one of the 8 GB arrays
+	res, err := TuneOnline(synth.Default(), OnlineOptions{Seed: 5, HBMBudget: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for _, e := range res.Epochs {
+		if e.Moved != "" {
+			moved++
+		}
+		if e.HBMUsed > budget {
+			t.Errorf("epoch %d HBM %v exceeds budget %v", e.Epoch, e.HBMUsed, budget)
+		}
+	}
+	if moved != 1 {
+		t.Errorf("migrations = %d, want 1 under a one-array budget", moved)
+	}
+}
+
+func TestTuneOnlineMatchesOfflineOnMG(t *testing.T) {
+	w := &npbmg.MG{Cfg: npbmg.Config{RealN: 32, PaperN: 1024, Iters: 4}}
+	online, err := TuneOnline(w, OnlineOptions{Seed: 101})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := &npbmg.MG{Cfg: npbmg.Config{RealN: 32, PaperN: 1024, Iters: 4}}
+	offline, err := New(w2, Options{Seed: 101}).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	max, _ := offline.MaxSpeedup()
+	t.Logf("online %.3fx vs offline max %.3fx over %d epochs (%v migrated)",
+		online.FinalSpeedup, max, len(online.Epochs), online.TotalMigrated)
+	// The online loop measures 2 configs per promotion instead of 2^k
+	// and must still land within 5% of the exhaustive optimum for MG.
+	if online.FinalSpeedup < 0.95*max {
+		t.Errorf("online %.3f far below offline max %.3f", online.FinalSpeedup, max)
+	}
+}
+
+func TestTuneOnlineNoGainSettlesImmediately(t *testing.T) {
+	// A uniform profile with a high gain threshold settles without
+	// moving anything.
+	w := synth.New(synth.Config{
+		Arrays: []synth.ArraySpec{
+			{Name: "a", SimBytes: units.GB(1), ReadBytes: units.GB(1)},
+		},
+		Iters: 2,
+	})
+	res, err := TuneOnline(w, OnlineOptions{Seed: 5, MinGainFrac: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalMigrated != 0 {
+		t.Errorf("migrated %v despite prohibitive threshold", res.TotalMigrated)
+	}
+	if !res.Settled() {
+		t.Error("should settle on first epoch")
+	}
+}

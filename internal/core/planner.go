@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"hmpt/internal/units"
+)
+
+// Plan is a recommended placement: the set of groups to put in HBM.
+type Plan struct {
+	Groups   []int
+	Label    string
+	HBMBytes units.Bytes
+	HBMFrac  float64
+	// Speedup is the measured speedup of the planned configuration;
+	// PredictedSpeedup is what the linear model expected.
+	Speedup          float64
+	PredictedSpeedup float64
+}
+
+// BestUnderBudget returns the measured configuration with the highest
+// speedup whose HBM footprint fits the budget (0 = the platform's HBM
+// capacity constraint only, i.e. feasible configs). This is the exact
+// answer to "what should live in fast memory of limited size" (§V),
+// available here because the tuner measured the whole space.
+func (an *Analysis) BestUnderBudget(budget units.Bytes) (*Config, error) {
+	var best *Config
+	for i := range an.Configs {
+		c := &an.Configs[i]
+		if budget > 0 && c.HBMBytes > budget {
+			continue
+		}
+		if budget <= 0 && !c.Feasible {
+			continue
+		}
+		if best == nil || c.Speedup > best.Speedup {
+			best = c
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("core: no configuration fits budget %v", budget)
+	}
+	return best, nil
+}
+
+// GreedyPlan builds a placement without using the measured combination
+// space: it adds groups in decreasing order of individual gain per byte
+// until the budget is exhausted — what a planner must do when the
+// configuration space is too large to measure exhaustively. The returned
+// plan carries both the linear prediction and, for evaluation, the
+// measured speedup of the chosen configuration.
+func (an *Analysis) GreedyPlan(budget units.Bytes) (*Plan, error) {
+	if budget <= 0 {
+		return nil, fmt.Errorf("core: greedy plan needs a positive budget")
+	}
+	type cand struct {
+		idx     int
+		gain    float64
+		perByte float64
+	}
+	var cands []cand
+	for i, g := range an.Groups {
+		gain := g.SoloSpeedup - 1
+		if gain <= 0 || g.SimBytes <= 0 {
+			continue
+		}
+		cands = append(cands, cand{idx: i, gain: gain, perByte: gain / float64(g.SimBytes)})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].perByte != cands[j].perByte {
+			return cands[i].perByte > cands[j].perByte
+		}
+		return cands[i].idx < cands[j].idx
+	})
+	var mask uint32
+	var bytes units.Bytes
+	pred := 1.0
+	var groups []int
+	for _, c := range cands {
+		g := an.Groups[c.idx]
+		if bytes+g.SimBytes > budget {
+			continue
+		}
+		mask |= 1 << uint(c.idx)
+		bytes += g.SimBytes
+		pred += c.gain
+		groups = append(groups, c.idx)
+	}
+	sort.Ints(groups)
+	cfg := &an.Configs[mask]
+	frac := 0.0
+	if an.TotalBytes > 0 {
+		frac = float64(bytes) / float64(an.TotalBytes)
+	}
+	return &Plan{
+		Groups:           groups,
+		Label:            maskLabel(groups),
+		HBMBytes:         bytes,
+		HBMFrac:          frac,
+		Speedup:          cfg.Speedup,
+		PredictedSpeedup: pred,
+	}, nil
+}
+
+// ParetoFront returns the configurations on the (HBM bytes, speedup)
+// Pareto frontier in increasing footprint order: each point is the best
+// measured speedup achievable at or below its footprint.
+func (an *Analysis) ParetoFront() []*Config {
+	idx := make([]int, len(an.Configs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ca, cb := &an.Configs[idx[a]], &an.Configs[idx[b]]
+		if ca.HBMBytes != cb.HBMBytes {
+			return ca.HBMBytes < cb.HBMBytes
+		}
+		return ca.Speedup > cb.Speedup
+	})
+	var front []*Config
+	best := -1.0
+	for _, i := range idx {
+		c := &an.Configs[i]
+		if c.Speedup > best {
+			front = append(front, c)
+			best = c.Speedup
+		}
+	}
+	return front
+}

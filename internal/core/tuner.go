@@ -1,0 +1,476 @@
+// Package core implements the paper's contribution: the analysis and
+// tuning tool for application data placement on heterogeneous memory
+// pools (§III).
+//
+// Given a workload, the Tuner performs the full pipeline of Fig. 6:
+// it runs the workload once with all data in DDR (the reference),
+// captures every allocation through the shim, samples memory accesses
+// with the IBS model, filters and groups allocations (top-7 by
+// individual performance impact plus a "rest" group, §III-A), and then
+// measures every one of the 2^|AG| placement configurations, n runs
+// each. The result is an Analysis exposing the paper's detailed view
+// (Fig. 7a), summary view (Fig. 7b), and the Table II metrics.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"hmpt/internal/ibs"
+	"hmpt/internal/memsim"
+	"hmpt/internal/shim"
+	"hmpt/internal/stats"
+	"hmpt/internal/trace"
+	"hmpt/internal/units"
+	"hmpt/internal/workloads"
+	"hmpt/internal/xrand"
+)
+
+// Options configures a tuning analysis.
+type Options struct {
+	// Platform under test; nil selects the single-socket Xeon Max 9468.
+	Platform *memsim.Platform
+	// Threads used to cost phases that do not pin their own count
+	// (0 = all cores).
+	Threads int
+	// Runs is the number of measured runs per configuration (paper's n;
+	// default 3).
+	Runs int
+	// MaxGroups caps the number of allocation groups including the
+	// "rest" group (paper aims for 8; default 8).
+	MaxGroups int
+	// FilterBelow folds allocations smaller than this size into the
+	// rest group. The default is the platform's per-core L2 (§III-A:
+	// "allocations smaller than L2 or L3 cache size can be assumed to
+	// be insignificant").
+	FilterBelow units.Bytes
+	// GroupBy optionally merges allocation sites into named pre-groups
+	// before impact ranking (used for k-Wave's vector fields, §IV-B).
+	// It receives the allocation label and returns a group key; an
+	// empty key leaves the site ungrouped.
+	GroupBy func(label string) string
+	// Scale multiplies workload-internal simulated sizes (passed
+	// through to the environment; most workloads manage their own).
+	Scale float64
+	// Seed makes the whole analysis reproducible.
+	Seed uint64
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Platform == nil {
+		out.Platform = memsim.XeonMax9468()
+	}
+	if out.Runs <= 0 {
+		out.Runs = 3
+	}
+	if out.MaxGroups <= 1 {
+		out.MaxGroups = 8
+	}
+	if out.FilterBelow <= 0 {
+		out.FilterBelow = defaultFilter(out.Platform)
+	}
+	if out.Scale <= 0 {
+		out.Scale = 1
+	}
+	if out.Seed == 0 {
+		out.Seed = 1
+	}
+	return out
+}
+
+func defaultFilter(p *memsim.Platform) units.Bytes {
+	for _, c := range p.Caches {
+		if c.Name == "L2" {
+			return c.Size
+		}
+	}
+	return 2 * units.MiB
+}
+
+// Group is one allocation group of the configuration space.
+type Group struct {
+	Index int
+	Label string
+	Rest  bool // the fold-in group of filtered/insignificant allocations
+	// Allocs are the member allocation IDs (aliased sites expanded).
+	Allocs []shim.AllocID
+	// SimBytes is the group's simulated footprint; Frac its share of
+	// the application total.
+	SimBytes units.Bytes
+	Frac     float64
+	// Density is the group's share of IBS access samples.
+	Density float64
+	// SoloSpeedup is the measured speedup with only this group in HBM —
+	// the individual performance impact used for ranking.
+	SoloSpeedup float64
+}
+
+// Config is one measured placement configuration: the groups in Mask are
+// in HBM, everything else in DDR.
+type Config struct {
+	Mask   uint32
+	Groups []int // indices of groups in HBM
+	Label  string
+	// HBMBytes/HBMFrac: simulated data volume and fraction placed in HBM.
+	HBMBytes units.Bytes
+	HBMFrac  float64
+	// SampleFrac is the fraction of access samples landing in HBM under
+	// this configuration (blue crosses of Fig. 7a).
+	SampleFrac float64
+	// Times are the per-run measured (simulated) times.
+	Times    []units.Duration
+	MeanTime units.Duration
+	// Speedup is the measured speedup vs the all-DDR reference;
+	// SpeedupCI its 95 % half-width; EstSpeedup the linear estimate.
+	Speedup    float64
+	SpeedupCI  float64
+	EstSpeedup float64
+	// Feasible is false when the configuration exceeds HBM capacity.
+	Feasible bool
+}
+
+// Analysis is the complete result of tuning one workload.
+type Analysis struct {
+	Workload   string
+	Platform   string
+	TotalBytes units.Bytes
+	Threads    int
+	Runs       int
+	// BaselineTime is the all-DDR reference (mean over runs).
+	BaselineTime units.Duration
+	Groups       []Group
+	// Configs holds all 2^|Groups| configurations, indexed by mask.
+	Configs []Config
+	// FilteredAllocs is the number of distinct allocation sites that
+	// survived filtering (Table I's "Filtered Allocations").
+	FilteredAllocs int
+	// TotalAllocs is the number of distinct allocation sites captured.
+	TotalAllocs int
+	// SampleCount is the number of IBS samples attributed.
+	SampleCount int
+}
+
+// Tuner drives the analysis of one workload.
+type Tuner struct {
+	opts Options
+	w    workloads.Workload
+}
+
+// New returns a tuner for the workload with the given options.
+func New(w workloads.Workload, opts Options) *Tuner {
+	return &Tuner{opts: opts.withDefaults(), w: w}
+}
+
+// Analyze runs the full pipeline and returns the analysis.
+func (t *Tuner) Analyze() (*Analysis, error) {
+	o := t.opts
+	p := o.Platform
+	machine := memsim.NewMachine(p)
+	rng := xrand.New(o.Seed)
+
+	// 1. Reference run: execute the real kernel once, capturing
+	// allocations and the phase trace.
+	env := workloads.NewEnv(o.Threads, o.Scale, rng.Split(1).Uint64())
+	if err := t.w.Setup(env); err != nil {
+		return nil, fmt.Errorf("core: setup %s: %w", t.w.Name(), err)
+	}
+	if err := t.w.Run(env); err != nil {
+		return nil, fmt.Errorf("core: run %s: %w", t.w.Name(), err)
+	}
+	if err := t.w.Verify(); err != nil {
+		return nil, fmt.Errorf("core: verify %s: %w", t.w.Name(), err)
+	}
+	tr := env.Rec.Trace()
+	if len(tr.Phases) == 0 {
+		return nil, fmt.Errorf("core: workload %s emitted no phases", t.w.Name())
+	}
+
+	ddr := p.MustPool(memsim.DDR)
+	hbm := p.MustPool(memsim.HBM)
+	allDDR := memsim.NewSimplePlacement(len(p.Pools), ddr)
+
+	// 2. Baseline measurement (n runs).
+	runRNG := rng.Split(2)
+	baseline, err := t.measure(machine, tr, allDDR, runRNG)
+	if err != nil {
+		return nil, err
+	}
+
+	// 3. IBS sampling of the baseline run.
+	sampler := ibs.NewSampler()
+	rep, err := sampler.Sample(tr, env.Alloc, machine, allDDR, rng.Split(3))
+	if err != nil {
+		return nil, fmt.Errorf("core: sampling: %w", err)
+	}
+
+	// 4. Build allocation groups.
+	groups, filtered, totalSites, err := t.buildGroups(machine, tr, env.Alloc, rep, baseline.Mean(), ddr, hbm, rng.Split(4))
+	if err != nil {
+		return nil, err
+	}
+
+	total := env.Alloc.TotalSimBytes()
+	an := &Analysis{
+		Workload:       t.w.Name(),
+		Platform:       p.Name,
+		TotalBytes:     total,
+		Threads:        o.Threads,
+		Runs:           o.Runs,
+		BaselineTime:   units.Duration(baseline.Mean()),
+		Groups:         groups,
+		FilteredAllocs: filtered,
+		TotalAllocs:    totalSites,
+		SampleCount:    rep.Total,
+	}
+
+	// 5. Exhaustive configuration sweep: 2^|AG| masks.
+	k := len(groups)
+	if k > 16 {
+		return nil, fmt.Errorf("core: %d groups would enumerate 2^%d configurations", k, k)
+	}
+	hbmCap := p.Pools[hbm].Capacity
+	an.Configs = make([]Config, 1<<k)
+	cfgRNG := rng.Split(5)
+	for mask := uint32(0); mask < 1<<uint(k); mask++ {
+		cfg, err := t.measureConfig(machine, tr, env.Alloc, rep, groups, mask, total,
+			float64(baseline.Mean()), hbmCap, ddr, hbm, cfgRNG.Split(uint64(mask)))
+		if err != nil {
+			return nil, err
+		}
+		an.Configs[mask] = cfg
+	}
+	return an, nil
+}
+
+// measure runs the trace Runs times under the placement, returning the
+// sample of measured times in seconds.
+func (t *Tuner) measure(m *memsim.Machine, tr *trace.Trace, pl memsim.Placement, rng *xrand.Rand) (*stats.Sample, error) {
+	s := &stats.Sample{}
+	for i := 0; i < t.opts.Runs; i++ {
+		res, err := m.Cost(tr, pl, t.opts.Threads, rng)
+		if err != nil {
+			return nil, fmt.Errorf("core: costing run: %w", err)
+		}
+		s.Add(res.Time.Seconds())
+	}
+	return s, nil
+}
+
+// placementFor places the allocations of the selected groups in HBM and
+// everything else in DDR.
+func placementFor(pools int, ddr, hbm memsim.PoolID, groups []Group, mask uint32) *memsim.SimplePlacement {
+	pl := memsim.NewSimplePlacement(pools, ddr)
+	for gi := range groups {
+		if mask&(1<<uint(gi)) == 0 {
+			continue
+		}
+		for _, id := range groups[gi].Allocs {
+			pl.Set(id, hbm)
+		}
+	}
+	return pl
+}
+
+func (t *Tuner) measureConfig(m *memsim.Machine, tr *trace.Trace, al *shim.Allocator,
+	rep *ibs.Report, groups []Group, mask uint32, total units.Bytes, baseMean float64,
+	hbmCap units.Bytes, ddr, hbm memsim.PoolID, rng *xrand.Rand) (Config, error) {
+
+	cfg := Config{Mask: mask, Feasible: true}
+	for gi := range groups {
+		if mask&(1<<uint(gi)) != 0 {
+			cfg.Groups = append(cfg.Groups, gi)
+			cfg.HBMBytes += groups[gi].SimBytes
+			cfg.SampleFrac += groups[gi].Density
+		}
+	}
+	cfg.Label = maskLabel(cfg.Groups)
+	if total > 0 {
+		cfg.HBMFrac = float64(cfg.HBMBytes) / float64(total)
+	}
+	if hbmCap > 0 && cfg.HBMBytes > hbmCap {
+		cfg.Feasible = false
+	}
+
+	pl := placementFor(len(m.P.Pools), ddr, hbm, groups, mask)
+	sample, err := t.measure(m, tr, pl, rng)
+	if err != nil {
+		return Config{}, err
+	}
+	cfg.Times = make([]units.Duration, 0, sample.N())
+	for _, v := range sample.Values() {
+		cfg.Times = append(cfg.Times, units.Duration(v))
+	}
+	cfg.MeanTime = units.Duration(sample.Mean())
+	cfg.Speedup = baseMean / sample.Mean()
+	// Propagate the run CI into a speedup CI (first-order).
+	if sample.Mean() > 0 {
+		cfg.SpeedupCI = cfg.Speedup * sample.CI95() / sample.Mean()
+	}
+	// Linear estimate (§III-A): combination speedup as the sum of the
+	// individual gains, groups assumed independent.
+	cfg.EstSpeedup = 1
+	for _, gi := range cfg.Groups {
+		cfg.EstSpeedup += groups[gi].SoloSpeedup - 1
+	}
+	return cfg, nil
+}
+
+// maskLabel renders "[0 1 2]" like the paper's detailed view.
+func maskLabel(groups []int) string {
+	if len(groups) == 0 {
+		return "[]"
+	}
+	parts := make([]string, len(groups))
+	for i, g := range groups {
+		parts[i] = fmt.Sprint(g)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// buildGroups performs filtering, optional pre-grouping, impact probing
+// and top-k selection (§III-A).
+func (t *Tuner) buildGroups(m *memsim.Machine, tr *trace.Trace, al *shim.Allocator,
+	rep *ibs.Report, baseMean float64, ddr, hbm memsim.PoolID, rng *xrand.Rand) ([]Group, int, int, error) {
+
+	o := t.opts
+	sites := al.Sites()
+	totalSites := len(sites)
+
+	// Pre-group sites: by GroupBy key when provided, else one pre-group
+	// per site.
+	type pre struct {
+		label  string
+		allocs []shim.AllocID
+		bytes  units.Bytes
+	}
+	var pres []*pre
+	byKey := make(map[string]*pre)
+	for _, sg := range sites {
+		key := ""
+		if o.GroupBy != nil {
+			key = o.GroupBy(sg.Label)
+		}
+		if key == "" {
+			pres = append(pres, &pre{label: sg.Label, allocs: sg.Allocs, bytes: sg.SimSize})
+			continue
+		}
+		g, ok := byKey[key]
+		if !ok {
+			g = &pre{label: key}
+			byKey[key] = g
+			pres = append(pres, g)
+		}
+		g.allocs = append(g.allocs, sg.Allocs...)
+		g.bytes += sg.SimSize
+	}
+
+	// Filter: small pre-groups fold into rest.
+	var significant []*pre
+	var rest pre
+	rest.label = "rest"
+	for _, g := range pres {
+		if g.bytes < o.FilterBelow {
+			rest.allocs = append(rest.allocs, g.allocs...)
+			rest.bytes += g.bytes
+			continue
+		}
+		significant = append(significant, g)
+	}
+	filtered := len(significant)
+
+	// Probe individual impact: each significant pre-group alone in HBM.
+	type probed struct {
+		*pre
+		solo float64
+	}
+	probes := make([]probed, 0, len(significant))
+	for i, g := range significant {
+		pl := memsim.NewSimplePlacement(len(m.P.Pools), ddr)
+		for _, id := range g.allocs {
+			pl.Set(id, hbm)
+		}
+		sample, err := t.measure(m, tr, pl, rng.Split(uint64(i)))
+		if err != nil {
+			return nil, 0, 0, fmt.Errorf("core: probing group %q: %w", g.label, err)
+		}
+		probes = append(probes, probed{pre: g, solo: baseMean / sample.Mean()})
+	}
+	// Rank by individual impact, ties by bytes then label for determinism.
+	sort.SliceStable(probes, func(i, j int) bool {
+		if probes[i].solo != probes[j].solo {
+			return probes[i].solo > probes[j].solo
+		}
+		if probes[i].bytes != probes[j].bytes {
+			return probes[i].bytes > probes[j].bytes
+		}
+		return probes[i].label < probes[j].label
+	})
+
+	// Keep the top (MaxGroups-1); fold the remainder into rest.
+	keep := o.MaxGroups - 1
+	if keep > len(probes) {
+		keep = len(probes)
+	}
+	for _, pr := range probes[keep:] {
+		rest.allocs = append(rest.allocs, pr.allocs...)
+		rest.bytes += pr.bytes
+	}
+	probes = probes[:keep]
+
+	total := al.TotalSimBytes()
+	var groups []Group
+	for i, pr := range probes {
+		g := Group{
+			Index:       i,
+			Label:       pr.label,
+			Allocs:      pr.allocs,
+			SimBytes:    pr.bytes,
+			SoloSpeedup: pr.solo,
+		}
+		if total > 0 {
+			g.Frac = float64(pr.bytes) / float64(total)
+		}
+		for _, id := range pr.allocs {
+			if st, ok := rep.ByAlloc[id]; ok {
+				g.Density += st.Density
+			}
+		}
+		groups = append(groups, g)
+	}
+	// Rest group last, if it has any members.
+	if len(rest.allocs) > 0 {
+		g := Group{
+			Index:    len(groups),
+			Label:    rest.label,
+			Rest:     true,
+			Allocs:   rest.allocs,
+			SimBytes: rest.bytes,
+		}
+		if total > 0 {
+			g.Frac = float64(rest.bytes) / float64(total)
+		}
+		for _, id := range rest.allocs {
+			if st, ok := rep.ByAlloc[id]; ok {
+				g.Density += st.Density
+			}
+		}
+		// Probe the rest group too, so estimates cover it.
+		pl := memsim.NewSimplePlacement(len(m.P.Pools), ddr)
+		for _, id := range rest.allocs {
+			pl.Set(id, hbm)
+		}
+		sample, err := t.measure(m, tr, pl, rng.Split(math.MaxUint32))
+		if err != nil {
+			return nil, 0, 0, fmt.Errorf("core: probing rest group: %w", err)
+		}
+		g.SoloSpeedup = baseMean / sample.Mean()
+		groups = append(groups, g)
+	}
+	if len(groups) == 0 {
+		return nil, 0, 0, fmt.Errorf("core: workload %s produced no allocation groups", t.w.Name())
+	}
+	return groups, filtered, totalSites, nil
+}

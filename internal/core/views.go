@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"hmpt/internal/units"
+)
+
+// MaxSpeedup returns the best measured speedup over all configurations
+// and the configuration achieving it (the solid red line of Fig. 7b).
+func (an *Analysis) MaxSpeedup() (float64, *Config) {
+	best := -1.0
+	var bestCfg *Config
+	for i := range an.Configs {
+		if an.Configs[i].Speedup > best {
+			best = an.Configs[i].Speedup
+			bestCfg = &an.Configs[i]
+		}
+	}
+	return best, bestCfg
+}
+
+// HBMOnly returns the configuration with every group in HBM — the
+// "HBM-only speedup" column of Table II.
+func (an *Analysis) HBMOnly() *Config {
+	full := uint32(1)<<uint(len(an.Groups)) - 1
+	return &an.Configs[full]
+}
+
+// Baseline returns the all-DDR configuration (mask 0).
+func (an *Analysis) Baseline() *Config { return &an.Configs[0] }
+
+// NinetyPercentUsage returns the smallest HBM footprint fraction among
+// configurations achieving at least 90 % of the maximum speedup — the
+// "90 % Speedup HBM Usage" column of Table II. The 90 % threshold is on
+// the speedup gain axis used by the paper's dash-dotted line: a
+// configuration qualifies when speedup ≥ 0.9 × max.
+func (an *Analysis) NinetyPercentUsage() (frac float64, cfg *Config) {
+	max, _ := an.MaxSpeedup()
+	thresh := 0.9 * max
+	frac = 1
+	for i := range an.Configs {
+		c := &an.Configs[i]
+		if c.Speedup >= thresh && c.HBMFrac <= frac {
+			frac = c.HBMFrac
+			cfg = c
+		}
+	}
+	return frac, cfg
+}
+
+// SummaryPoint is one marker of the Fig. 7b scatter.
+type SummaryPoint struct {
+	HBMFrac float64
+	Speedup float64
+	Label   string
+}
+
+// SummaryView is the data behind the paper's summary view: speedup vs
+// fraction of application data in HBM.
+type SummaryView struct {
+	Workload string
+	// Singles are single-group placements plus the DDR-only reference
+	// (yellow squares); Combos are multi-group placements (blue dots);
+	// Estimates are the linear predictions for all configurations
+	// (gray crosses).
+	Singles   []SummaryPoint
+	Combos    []SummaryPoint
+	Estimates []SummaryPoint
+	// MaxSpeedup and Ninety are the horizontal reference lines.
+	MaxSpeedup float64
+	Ninety     float64
+}
+
+// Summary builds the summary view.
+func (an *Analysis) Summary() *SummaryView {
+	sv := &SummaryView{Workload: an.Workload}
+	for i := range an.Configs {
+		c := &an.Configs[i]
+		pt := SummaryPoint{HBMFrac: c.HBMFrac, Speedup: c.Speedup, Label: c.Label}
+		switch len(c.Groups) {
+		case 0, 1:
+			sv.Singles = append(sv.Singles, pt)
+		default:
+			sv.Combos = append(sv.Combos, pt)
+		}
+		sv.Estimates = append(sv.Estimates, SummaryPoint{
+			HBMFrac: c.HBMFrac, Speedup: c.EstSpeedup, Label: c.Label,
+		})
+	}
+	sv.MaxSpeedup, _ = an.MaxSpeedup()
+	sv.Ninety = 0.9 * sv.MaxSpeedup
+	return sv
+}
+
+// DetailRow is one bar group of the detailed view (Fig. 7a).
+type DetailRow struct {
+	Label      string
+	Speedup    float64
+	EstSpeedup float64
+	HBMUsage   float64 // fraction of data in HBM (red dots)
+	Samples    float64 // fraction of access samples in HBM (blue crosses)
+	Feasible   bool
+}
+
+// Detailed returns the non-empty configurations ordered like Fig. 7a:
+// singles first, then pairs, then triples, each block in ascending mask
+// order. The rest group is excluded from the view unless includeRest.
+func (an *Analysis) Detailed(includeRest bool) []DetailRow {
+	restIdx := -1
+	for _, g := range an.Groups {
+		if g.Rest {
+			restIdx = g.Index
+		}
+	}
+	var rows []DetailRow
+	type keyed struct {
+		size int
+		mask uint32
+		row  DetailRow
+	}
+	var ks []keyed
+	for i := range an.Configs {
+		c := &an.Configs[i]
+		if len(c.Groups) == 0 {
+			continue
+		}
+		if !includeRest && restIdx >= 0 && c.Mask&(1<<uint(restIdx)) != 0 {
+			continue
+		}
+		ks = append(ks, keyed{
+			size: len(c.Groups),
+			mask: c.Mask,
+			row: DetailRow{
+				Label:      c.Label,
+				Speedup:    c.Speedup,
+				EstSpeedup: c.EstSpeedup,
+				HBMUsage:   c.HBMFrac,
+				Samples:    c.SampleFrac,
+				Feasible:   c.Feasible,
+			},
+		})
+	}
+	sort.Slice(ks, func(i, j int) bool {
+		if ks[i].size != ks[j].size {
+			return ks[i].size < ks[j].size
+		}
+		return ks[i].mask < ks[j].mask
+	})
+	for _, k := range ks {
+		rows = append(rows, k.row)
+	}
+	return rows
+}
+
+// TableRow is one line of the paper's Table II.
+type TableRow struct {
+	Workload       string
+	MaxSpeedup     float64
+	HBMOnlySpeedup float64
+	NinetyUsage    float64 // HBM usage fraction for ≥90 % of max speedup
+	MemoryUsage    units.Bytes
+	FilteredAllocs int
+}
+
+// TableIIRow extracts the Table II metrics from the analysis.
+func (an *Analysis) TableIIRow() TableRow {
+	max, _ := an.MaxSpeedup()
+	ninety, _ := an.NinetyPercentUsage()
+	return TableRow{
+		Workload:       an.Workload,
+		MaxSpeedup:     max,
+		HBMOnlySpeedup: an.HBMOnly().Speedup,
+		NinetyUsage:    ninety,
+		MemoryUsage:    an.TotalBytes,
+		FilteredAllocs: an.FilteredAllocs,
+	}
+}
+
+// String renders a one-line digest of the analysis.
+func (an *Analysis) String() string {
+	max, cfg := an.MaxSpeedup()
+	ninety, _ := an.NinetyPercentUsage()
+	return fmt.Sprintf("%s: %d groups, %d configs, max speedup %.2fx at %s, 90%% at %.1f%% HBM",
+		an.Workload, len(an.Groups), len(an.Configs), max, cfg.Label, ninety*100)
+}

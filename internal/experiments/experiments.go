@@ -1,0 +1,49 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation as structured series data. Each FigN/TableN function is the
+// programmatic form of one artefact; cmd/paperrepro renders them all, and
+// bench_test.go wraps each in a benchmark that prints the same rows.
+package experiments
+
+import (
+	"fmt"
+
+	"hmpt/internal/trace"
+	"hmpt/internal/workloads"
+)
+
+// Series is one labelled curve of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is the regenerated data behind one paper figure.
+type Figure struct {
+	ID     string // e.g. "Fig2"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Row returns the i-th (x, y) of series s, for rendering.
+func (f *Figure) Row(s, i int) (float64, float64) {
+	return f.Series[s].X[i], f.Series[s].Y[i]
+}
+
+// runOnce sets up, runs, and verifies a workload in a fresh environment,
+// returning the environment and the recorded trace.
+func runOnce(w workloads.Workload, threads int, scale float64, seed uint64) (*workloads.Env, *trace.Trace, error) {
+	env := workloads.NewEnv(threads, scale, seed)
+	if err := w.Setup(env); err != nil {
+		return nil, nil, fmt.Errorf("experiments: setup %s: %w", w.Name(), err)
+	}
+	if err := w.Run(env); err != nil {
+		return nil, nil, fmt.Errorf("experiments: run %s: %w", w.Name(), err)
+	}
+	if err := w.Verify(); err != nil {
+		return nil, nil, fmt.Errorf("experiments: verify %s: %w", w.Name(), err)
+	}
+	return env, env.Rec.Trace(), nil
+}

@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hmpt/internal/core"
+	"hmpt/internal/memsim"
+	"hmpt/internal/roofline"
+	"hmpt/internal/units"
+	"hmpt/internal/workloads"
+	"hmpt/internal/workloads/stream"
+)
+
+// Fig7a regenerates the detailed view of the MG analysis: one row per
+// non-empty placement of the significant allocation groups with measured
+// speedup, linear estimate, HBM usage and access-sample fractions.
+func Fig7a(p *memsim.Platform, fast bool) (*core.Analysis, []core.DetailRow, error) {
+	spec, err := SpecFor("npb.mg")
+	if err != nil {
+		return nil, nil, err
+	}
+	an, err := Analyze(spec, p, fast)
+	if err != nil {
+		return nil, nil, err
+	}
+	return an, an.Detailed(false), nil
+}
+
+// summaryFor runs a workload spec and renders its summary-view figure.
+func summaryFor(id, name string, p *memsim.Platform, fast bool) (*Figure, *core.Analysis, error) {
+	spec, err := SpecFor(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	an, err := Analyze(spec, p, fast)
+	if err != nil {
+		return nil, nil, err
+	}
+	return SummaryFigure(id, name+" summary view", an), an, nil
+}
+
+// Fig7b regenerates the MG summary view (identical data to Fig. 9).
+func Fig7b(p *memsim.Platform, fast bool) (*Figure, *core.Analysis, error) {
+	return summaryFor("Fig7b", "npb.mg", p, fast)
+}
+
+// Fig9 through Fig15 regenerate the per-benchmark summary views.
+func Fig9(p *memsim.Platform, fast bool) (*Figure, *core.Analysis, error) {
+	return summaryFor("Fig9", "npb.mg", p, fast)
+}
+
+// Fig10 is the UA summary view.
+func Fig10(p *memsim.Platform, fast bool) (*Figure, *core.Analysis, error) {
+	return summaryFor("Fig10", "npb.ua", p, fast)
+}
+
+// Fig11 is the SP summary view.
+func Fig11(p *memsim.Platform, fast bool) (*Figure, *core.Analysis, error) {
+	return summaryFor("Fig11", "npb.sp", p, fast)
+}
+
+// Fig12 is the BT summary view.
+func Fig12(p *memsim.Platform, fast bool) (*Figure, *core.Analysis, error) {
+	return summaryFor("Fig12", "npb.bt", p, fast)
+}
+
+// Fig13 is the LU summary view.
+func Fig13(p *memsim.Platform, fast bool) (*Figure, *core.Analysis, error) {
+	return summaryFor("Fig13", "npb.lu", p, fast)
+}
+
+// Fig14 is the IS summary view.
+func Fig14(p *memsim.Platform, fast bool) (*Figure, *core.Analysis, error) {
+	return summaryFor("Fig14", "npb.is", p, fast)
+}
+
+// Fig15 is the k-Wave summary view.
+func Fig15(p *memsim.Platform, fast bool) (*Figure, *core.Analysis, error) {
+	return summaryFor("Fig15", "kwave", p, fast)
+}
+
+// Fig8 regenerates the roofline model: platform ceilings plus the
+// DDR-placed AI/performance point of every NPB benchmark and the STREAM
+// Add/Triad kernels for context.
+func Fig8(p *memsim.Platform, fast bool) (*roofline.Model, error) {
+	model, err := roofline.New(p)
+	if err != nil {
+		return nil, err
+	}
+	ddr := p.MustPool(memsim.DDR)
+	m := memsim.NewMachine(p)
+
+	// STREAM context points.
+	sw := stream.New()
+	sw.Cfg.Kernels = []stream.Kernel{stream.Add, stream.Triad}
+	_, tr, err := runOnce(sw, 0, 1, 8)
+	if err != nil {
+		return nil, err
+	}
+	pl := memsim.NewSimplePlacement(len(p.Pools), ddr)
+	res, err := m.Cost(tr, pl, 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := model.AddPoint("STREAM: Add+Triad", res.Counters); err != nil {
+		return nil, err
+	}
+
+	for _, name := range []string{"npb.mg", "npb.bt", "npb.lu", "npb.sp", "npb.ua"} {
+		spec, err := SpecFor(name)
+		if err != nil {
+			return nil, err
+		}
+		f := spec.Full
+		if fast {
+			f = spec.Fast
+		}
+		w := f()
+		_, tr, err := runOnce(w, 0, 1, spec.Options.Seed)
+		if err != nil {
+			return nil, err
+		}
+		res, err := m.Cost(tr, pl, 0, nil)
+		if err != nil {
+			return nil, err
+		}
+		if err := model.AddPoint(name, res.Counters); err != nil {
+			return nil, err
+		}
+	}
+	return model, nil
+}
+
+// Table1Row is one row of Table I: benchmark configuration.
+type Table1Row struct {
+	Workload       string
+	MemoryUsage    units.Bytes
+	FilteredAllocs int
+	TotalAllocs    int
+}
+
+// Table1 regenerates Table I from fresh workload setups.
+func Table1(p *memsim.Platform, fast bool) ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, spec := range Specs() {
+		f := spec.Full
+		if fast {
+			f = spec.Fast
+		}
+		w := f()
+		env := workloads.NewEnv(0, 1, spec.Options.Seed)
+		if err := w.Setup(env); err != nil {
+			return nil, fmt.Errorf("experiments: table 1 setup %s: %w", spec.Name, err)
+		}
+		sites := env.Alloc.Sites()
+		filter := 2 * units.MiB
+		filtered := 0
+		for _, sg := range sites {
+			if sg.SimSize >= filter {
+				filtered++
+			}
+		}
+		rows = append(rows, Table1Row{
+			Workload:       spec.Name,
+			MemoryUsage:    env.Alloc.TotalSimBytes(),
+			FilteredAllocs: filtered,
+			TotalAllocs:    len(sites),
+		})
+	}
+	return rows, nil
+}
+
+// Table2 regenerates Table II by running the full analysis for every
+// benchmark in the evaluation set.
+func Table2(p *memsim.Platform, fast bool) ([]core.TableRow, error) {
+	var rows []core.TableRow
+	for _, spec := range Specs() {
+		an, err := Analyze(spec, p, fast)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table 2 %s: %w", spec.Name, err)
+		}
+		rows = append(rows, an.TableIIRow())
+	}
+	return rows, nil
+}

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"hmpt/internal/core"
+	"hmpt/internal/memsim"
+	"hmpt/internal/units"
+	"hmpt/internal/workloads"
+	"hmpt/internal/workloads/kwave"
+	"hmpt/internal/workloads/npbbt"
+	"hmpt/internal/workloads/npbis"
+	"hmpt/internal/workloads/npblu"
+	"hmpt/internal/workloads/npbmg"
+	"hmpt/internal/workloads/npbsp"
+	"hmpt/internal/workloads/npbua"
+)
+
+// WorkloadSpec binds a registered workload to the tuner options the paper
+// uses for it (custom grouping for k-Wave, §IV-B).
+type WorkloadSpec struct {
+	Name    string
+	Options core.Options
+	// Fast builds a reduced-size instance for tests and quick runs;
+	// Full builds the benchmark-scale instance. Both represent the same
+	// paper-scale footprint through simulated scaling.
+	Fast workloads.Factory
+	Full workloads.Factory
+}
+
+// kwaveGroupBy folds the three components of each vector field into one
+// allocation group, as §IV-B chooses for k-Wave.
+func kwaveGroupBy(label string) string {
+	for _, prefix := range []string{"kwave.u.", "kwave.rho.", "kwave.dux.", "kwave.sg."} {
+		if strings.HasPrefix(label, prefix) {
+			return prefix[:len(prefix)-1]
+		}
+	}
+	return ""
+}
+
+// Specs returns the evaluated benchmark set of Table I in paper order.
+// Entries are appended here as their workload packages are implemented.
+func Specs() []WorkloadSpec {
+	return specs
+}
+
+var specs []WorkloadSpec
+
+// SpecFor returns the spec of the named workload.
+func SpecFor(name string) (WorkloadSpec, error) {
+	for _, s := range specs {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return WorkloadSpec{}, fmt.Errorf("experiments: no spec for workload %q", name)
+}
+
+func init() {
+	specs = append(specs, WorkloadSpec{
+		Name:    "npb.mg",
+		Options: core.Options{Seed: 101},
+		Fast: func() workloads.Workload {
+			return &npbmg.MG{Cfg: npbmg.Config{RealN: 32, PaperN: 1024, Iters: 4}}
+		},
+		Full: func() workloads.Workload { return npbmg.New() },
+	})
+	specs = append(specs, WorkloadSpec{
+		Name:    "npb.bt",
+		Options: core.Options{Seed: 102},
+		Fast: func() workloads.Workload {
+			return &npbbt.BT{Cfg: npbbt.Config{RealN: 16, PaperN: 408, Iters: 3}}
+		},
+		Full: func() workloads.Workload { return npbbt.New() },
+	})
+	specs = append(specs, WorkloadSpec{
+		Name:    "npb.lu",
+		Options: core.Options{Seed: 103},
+		Fast: func() workloads.Workload {
+			return &npblu.LU{Cfg: npblu.Config{RealN: 16, PaperN: 408, Iters: 5}}
+		},
+		Full: func() workloads.Workload { return npblu.New() },
+	})
+	specs = append(specs, WorkloadSpec{
+		Name:    "npb.sp",
+		Options: core.Options{Seed: 104},
+		Fast: func() workloads.Workload {
+			return &npbsp.SP{Cfg: npbsp.Config{RealN: 20, PaperN: 408, Iters: 4}}
+		},
+		Full: func() workloads.Workload { return npbsp.New() },
+	})
+	specs = append(specs, WorkloadSpec{
+		Name:    "npb.ua",
+		Options: core.Options{Seed: 105},
+		Fast: func() workloads.Workload {
+			return &npbua.UA{Cfg: npbua.Config{RealElems: 1 << 12, SimBytesTotal: units.GB(7.25), Iters: 4, Degree: 6}}
+		},
+		Full: func() workloads.Workload { return npbua.New() },
+	})
+	specs = append(specs, WorkloadSpec{
+		Name:    "npb.is",
+		Options: core.Options{Seed: 106},
+		Fast: func() workloads.Workload {
+			return &npbis.IS{Cfg: npbis.Config{
+				RealKeys: 1 << 16, RealMaxKey: 1 << 12,
+				SimKeys: 1 << 31, SimMaxKey: 1 << 30, Iters: 2,
+			}}
+		},
+		Full: func() workloads.Workload { return npbis.New() },
+	})
+}
+
+// Analyze runs the tuner for a spec on the given platform. fast selects
+// the reduced-size instance.
+func Analyze(spec WorkloadSpec, p *memsim.Platform, fast bool) (*core.Analysis, error) {
+	opts := spec.Options
+	opts.Platform = p
+	f := spec.Full
+	if fast {
+		f = spec.Fast
+	}
+	return core.New(f(), opts).Analyze()
+}
+
+// SummaryFigure renders a workload analysis as the paper's summary-view
+// figure (speedup vs HBM footprint fraction): series "Groups" (singles),
+// "Combinations", and "Comb. Est." plus the max/90 % reference values
+// stashed as single-point series.
+func SummaryFigure(id, title string, an *core.Analysis) *Figure {
+	sv := an.Summary()
+	fig := &Figure{
+		ID: id, Title: title,
+		XLabel: "HBM Memory Footprint [-]", YLabel: "Speedup [-]",
+	}
+	var groups, combos, est Series
+	groups.Name = "Groups"
+	combos.Name = "Combinations"
+	est.Name = "Comb. Est."
+	for _, pt := range sv.Singles {
+		groups.X = append(groups.X, pt.HBMFrac)
+		groups.Y = append(groups.Y, pt.Speedup)
+	}
+	for _, pt := range sv.Combos {
+		combos.X = append(combos.X, pt.HBMFrac)
+		combos.Y = append(combos.Y, pt.Speedup)
+	}
+	for _, pt := range sv.Estimates {
+		est.X = append(est.X, pt.HBMFrac)
+		est.Y = append(est.Y, pt.Speedup)
+	}
+	fig.Series = []Series{groups, combos, est,
+		{Name: "Max", X: []float64{0}, Y: []float64{sv.MaxSpeedup}},
+		{Name: "90%", X: []float64{0}, Y: []float64{sv.Ninety}},
+	}
+	return fig
+}
+
+func init() {
+	specs = append(specs, WorkloadSpec{
+		Name:    "kwave",
+		Options: core.Options{Seed: 107, GroupBy: kwaveGroupBy},
+		Fast: func() workloads.Workload {
+			return &kwave.KWave{Cfg: kwave.Config{RealN: 16, PaperN: 512, Steps: 3}}
+		},
+		Full: func() workloads.Workload { return kwave.New() },
+	})
+}

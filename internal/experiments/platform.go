@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hmpt/internal/memsim"
+	"hmpt/internal/shim"
+	"hmpt/internal/units"
+	"hmpt/internal/workloads/chase"
+	"hmpt/internal/workloads/stream"
+)
+
+// placeAll returns a whole-application placement putting every listed
+// allocation on the given pool kind.
+func placeAll(p *memsim.Platform, kind memsim.PoolKind, ids ...shim.AllocID) *memsim.SimplePlacement {
+	pl := memsim.NewSimplePlacement(len(p.Pools), p.MustPool(memsim.DDR))
+	for _, id := range ids {
+		pl.Set(id, p.MustPool(kind))
+	}
+	return pl
+}
+
+// kernelBandwidth extracts the STREAM-reported bandwidth (logical bytes /
+// phase time) averaged over iterations of the named kernel.
+func kernelBandwidth(res *memsim.RunResult, k stream.Kernel, arrayBytes units.Bytes) (float64, error) {
+	var total, n float64
+	for _, pc := range res.Phases {
+		if pc.Name != k.String() {
+			continue
+		}
+		bw := float64(k.LogicalBytes(arrayBytes)) / pc.Time.Seconds()
+		total += bw * float64(pc.Repeat)
+		n += float64(pc.Repeat)
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("experiments: no %s phases in run", k)
+	}
+	return total / n / 1e9, nil
+}
+
+// Fig2 regenerates Fig. 2: STREAM bandwidth (average over the four
+// sub-tests) against threads per tile, with all arrays in DDR or in HBM.
+func Fig2(p *memsim.Platform) (*Figure, error) {
+	w := stream.New()
+	_, tr, err := runOnce(w, 0, 1, 2)
+	if err != nil {
+		return nil, err
+	}
+	a, b, c := w.Arrays()
+	m := memsim.NewMachine(p)
+	fig := &Figure{
+		ID: "Fig2", Title: "STREAM bandwidth, all data in DDR or HBM",
+		XLabel: "Threads/Tile [-]", YLabel: "Bandwidth [GB/s]",
+	}
+	for _, kind := range []memsim.PoolKind{memsim.DDR, memsim.HBM} {
+		s := Series{Name: kind.String() + " Average"}
+		pl := placeAll(p, kind, a, b, c)
+		for tpt := 1; tpt <= p.CoresPerTile; tpt++ {
+			threads := tpt * p.Tiles()
+			res, err := m.Cost(tr, pl, threads, nil)
+			if err != nil {
+				return nil, err
+			}
+			var avg float64
+			for _, k := range []stream.Kernel{stream.Copy, stream.Scale, stream.Add, stream.Triad} {
+				bw, err := kernelBandwidth(res, k, w.Cfg.SimArray)
+				if err != nil {
+					return nil, err
+				}
+				avg += bw
+			}
+			s.X = append(s.X, float64(tpt))
+			s.Y = append(s.Y, avg/4)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig3 regenerates Fig. 3: single-core pointer-chase latency against the
+// working-set window, for the chased ring in DDR and in HBM.
+func Fig3(p *memsim.Platform) (*Figure, error) {
+	m := memsim.NewMachine(p)
+	fig := &Figure{
+		ID: "Fig3", Title: "Pointer-chase latency vs window size",
+		XLabel: "Window size [kB]", YLabel: "Latency [ns]",
+	}
+	var windows []units.Bytes
+	for kb := units.Bytes(8); kb <= 1<<19; kb *= 2 {
+		windows = append(windows, kb*1024)
+	}
+	for _, kind := range []memsim.PoolKind{memsim.DDR, memsim.HBM} {
+		s := Series{Name: kind.String()}
+		for _, win := range windows {
+			w := chase.NewPointerChase(win)
+			_, tr, err := runOnce(w, 1, 1, 3)
+			if err != nil {
+				return nil, err
+			}
+			pl := placeAll(p, kind, w.Ring())
+			res, err := m.Cost(tr, pl, 1, nil)
+			if err != nil {
+				return nil, err
+			}
+			accesses := float64(w.Accesses)
+			latNS := res.Time.Seconds() / accesses * 1e9
+			s.X = append(s.X, float64(win)/1024)
+			s.Y = append(s.Y, latNS)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig4 regenerates Fig. 4: HBM speedup over DDR for the random indirect
+// sum and the random pointer chase in a 32 GB array, against threads per
+// tile. Speedup below one means DDR is faster.
+func Fig4(p *memsim.Platform) (*Figure, error) {
+	m := memsim.NewMachine(p)
+	fig := &Figure{
+		ID: "Fig4", Title: "Random access HBM speedup (32 GB array)",
+		XLabel: "Threads/Tile [-]", YLabel: "HBM Speedup [-]",
+	}
+
+	// Random indirect sum.
+	sumW := chase.NewIndirectSum()
+	_, sumTr, err := runOnce(sumW, 0, 1, 4)
+	if err != nil {
+		return nil, err
+	}
+	// Random pointer chase over the same footprint.
+	chW := chase.NewPointerChase(units.GB(32))
+	_, chTr, err := runOnce(chW, 0, 1, 5)
+	if err != nil {
+		return nil, err
+	}
+
+	sers := []Series{
+		{Name: "Random Indirect Sum"},
+		{Name: "Random Pointer Chase"},
+	}
+	for tpt := 1; tpt <= p.CoresPerTile; tpt++ {
+		threads := tpt * p.Tiles()
+		// Indirect sum: data array placed per-kind; the index stream
+		// follows the data array placement in the paper's uniform spread.
+		dRes, err := m.Cost(sumTr, placeAll(p, memsim.DDR, sumW.Data()), threads, nil)
+		if err != nil {
+			return nil, err
+		}
+		hRes, err := m.Cost(sumTr, placeAll(p, memsim.HBM, sumW.Data()), threads, nil)
+		if err != nil {
+			return nil, err
+		}
+		sers[0].X = append(sers[0].X, float64(tpt))
+		sers[0].Y = append(sers[0].Y, dRes.Time.Seconds()/hRes.Time.Seconds())
+
+		dRes, err = m.Cost(chTr, placeAll(p, memsim.DDR, chW.Ring()), threads, nil)
+		if err != nil {
+			return nil, err
+		}
+		hRes, err = m.Cost(chTr, placeAll(p, memsim.HBM, chW.Ring()), threads, nil)
+		if err != nil {
+			return nil, err
+		}
+		sers[1].X = append(sers[1].X, float64(tpt))
+		sers[1].Y = append(sers[1].Y, dRes.Time.Seconds()/hRes.Time.Seconds())
+	}
+	fig.Series = sers
+	return fig, nil
+}
+
+// Fig5a regenerates Fig. 5a: STREAM Copy bandwidth against threads per
+// tile for each (source, destination) pool combination.
+func Fig5a(p *memsim.Platform) (*Figure, error) {
+	w := stream.New()
+	w.Cfg.Kernels = []stream.Kernel{stream.Copy}
+	_, tr, err := runOnce(w, 0, 1, 6)
+	if err != nil {
+		return nil, err
+	}
+	a, _, c := w.Arrays() // Copy reads a, writes c
+	m := memsim.NewMachine(p)
+	fig := &Figure{
+		ID: "Fig5a", Title: "STREAM Copy bandwidth vs placement",
+		XLabel: "Threads/Tile [-]", YLabel: "Bandwidth [GB/s]",
+	}
+	kinds := []memsim.PoolKind{memsim.DDR, memsim.HBM}
+	for _, src := range kinds {
+		for _, dst := range kinds {
+			s := Series{Name: fmt.Sprintf("%v→%v", src, dst)}
+			pl := memsim.NewSimplePlacement(len(p.Pools), p.MustPool(memsim.DDR))
+			pl.Set(a, p.MustPool(src))
+			pl.Set(c, p.MustPool(dst))
+			for tpt := 1; tpt <= p.CoresPerTile; tpt++ {
+				res, err := m.Cost(tr, pl, tpt*p.Tiles(), nil)
+				if err != nil {
+					return nil, err
+				}
+				bw, err := kernelBandwidth(res, stream.Copy, w.Cfg.SimArray)
+				if err != nil {
+					return nil, err
+				}
+				s.X = append(s.X, float64(tpt))
+				s.Y = append(s.Y, bw)
+			}
+			fig.Series = append(fig.Series, s)
+		}
+	}
+	return fig, nil
+}
+
+// Fig5b regenerates Fig. 5b: STREAM Add bandwidth against threads per
+// tile for each (input pair, output) pool combination.
+func Fig5b(p *memsim.Platform) (*Figure, error) {
+	w := stream.New()
+	w.Cfg.Kernels = []stream.Kernel{stream.Add}
+	_, tr, err := runOnce(w, 0, 1, 7)
+	if err != nil {
+		return nil, err
+	}
+	a, b, c := w.Arrays() // Add reads a+b, writes c
+	m := memsim.NewMachine(p)
+	fig := &Figure{
+		ID: "Fig5b", Title: "STREAM Add bandwidth vs placement",
+		XLabel: "Threads/Tile [-]", YLabel: "Bandwidth [GB/s]",
+	}
+	type combo struct {
+		in1, in2, out memsim.PoolKind
+	}
+	combos := []combo{
+		{memsim.DDR, memsim.DDR, memsim.DDR},
+		{memsim.DDR, memsim.DDR, memsim.HBM},
+		{memsim.DDR, memsim.HBM, memsim.DDR},
+		{memsim.DDR, memsim.HBM, memsim.HBM},
+		{memsim.HBM, memsim.HBM, memsim.DDR},
+		{memsim.HBM, memsim.HBM, memsim.HBM},
+	}
+	for _, cb := range combos {
+		s := Series{Name: fmt.Sprintf("%v+%v→%v", cb.in1, cb.in2, cb.out)}
+		pl := memsim.NewSimplePlacement(len(p.Pools), p.MustPool(memsim.DDR))
+		pl.Set(a, p.MustPool(cb.in1))
+		pl.Set(b, p.MustPool(cb.in2))
+		pl.Set(c, p.MustPool(cb.out))
+		for tpt := 1; tpt <= p.CoresPerTile; tpt++ {
+			res, err := m.Cost(tr, pl, tpt*p.Tiles(), nil)
+			if err != nil {
+				return nil, err
+			}
+			bw, err := kernelBandwidth(res, stream.Add, w.Cfg.SimArray)
+			if err != nil {
+				return nil, err
+			}
+			s.X = append(s.X, float64(tpt))
+			s.Y = append(s.Y, bw)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"testing"
+
+	"hmpt/internal/memsim"
+)
+
+// TestFig2Shape checks the STREAM scaling curve: DDR saturates near
+// 200 GB/s well before full thread count, HBM climbs toward ~700 GB/s,
+// and the two tiers are comparable at one thread per tile (§I, Fig. 2).
+func TestFig2Shape(t *testing.T) {
+	p := memsim.XeonMax9468()
+	fig, err := Fig2(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("want 2 series, got %d", len(fig.Series))
+	}
+	ddr, hbm := fig.Series[0], fig.Series[1]
+	t.Logf("DDR: %v", ddr.Y)
+	t.Logf("HBM: %v", hbm.Y)
+	ddrMax := ddr.Y[len(ddr.Y)-1]
+	hbmMax := hbm.Y[len(hbm.Y)-1]
+	if ddrMax < 120 || ddrMax > 220 {
+		t.Errorf("DDR saturated bandwidth %.0f GB/s outside [120,220]", ddrMax)
+	}
+	if hbmMax < 550 || hbmMax > 720 {
+		t.Errorf("HBM saturated bandwidth %.0f GB/s outside [550,720]", hbmMax)
+	}
+	if hbmMax/ddrMax < 3.0 || hbmMax/ddrMax > 4.2 {
+		t.Errorf("HBM/DDR saturated ratio %.2f outside [3.0,4.2] (paper ~3.5)", hbmMax/ddrMax)
+	}
+	// At 1 thread/tile the tiers are within 30% of each other.
+	if r := hbm.Y[0] / ddr.Y[0]; r < 0.7 || r > 1.3 {
+		t.Errorf("1 thread/tile HBM/DDR ratio %.2f outside [0.7,1.3]", r)
+	}
+	// DDR must saturate early: by 4 threads/tile it is within 5% of max.
+	if ddr.Y[3] < 0.95*ddrMax {
+		t.Errorf("DDR not saturated at 4 threads/tile: %.0f vs max %.0f", ddr.Y[3], ddrMax)
+	}
+	// HBM must still be climbing at 6 threads/tile.
+	if hbm.Y[5] > 0.97*hbmMax {
+		t.Errorf("HBM already saturated at 6 threads/tile: %.0f vs %.0f", hbm.Y[5], hbmMax)
+	}
+}
+
+// TestFig3Shape checks the latency ladder: small windows at L1 latency,
+// large DDR windows near 105 ns, and the HBM penalty about 20 %.
+func TestFig3Shape(t *testing.T) {
+	p := memsim.XeonMax9468()
+	fig, err := Fig3(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ddr, hbm := fig.Series[0], fig.Series[1]
+	t.Logf("windows(kB): %v", ddr.X)
+	t.Logf("DDR ns: %v", ddr.Y)
+	t.Logf("HBM ns: %v", hbm.Y)
+	last := len(ddr.Y) - 1
+	if ddr.Y[0] > 5 {
+		t.Errorf("8 kB window latency %.1f ns should be L1-like (<5 ns)", ddr.Y[0])
+	}
+	if ddr.Y[last] < 90 || ddr.Y[last] > 115 {
+		t.Errorf("large-window DDR latency %.1f ns outside [90,115]", ddr.Y[last])
+	}
+	ratio := hbm.Y[last] / ddr.Y[last]
+	if ratio < 1.15 || ratio > 1.25 {
+		t.Errorf("HBM/DDR latency ratio %.3f outside [1.15,1.25] (paper ~1.20)", ratio)
+	}
+	for i := 1; i <= last; i++ {
+		if ddr.Y[i] < ddr.Y[i-1]-1e-9 {
+			t.Errorf("DDR latency not monotone at window %f kB", ddr.X[i])
+		}
+	}
+}
+
+// TestFig4Shape checks random-access speedups: pointer chase flat below
+// one (latency ratio), indirect sum below one at low threads and
+// crossing to ≥1 near full thread count.
+func TestFig4Shape(t *testing.T) {
+	p := memsim.XeonMax9468()
+	fig, err := Fig4(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, ch := fig.Series[0], fig.Series[1]
+	t.Logf("indirect sum speedup: %v", sum.Y)
+	t.Logf("pointer chase speedup: %v", ch.Y)
+	last := len(sum.Y) - 1
+	if sum.Y[0] > 0.95 {
+		t.Errorf("indirect sum at 1 thread/tile %.3f should favour DDR (<0.95)", sum.Y[0])
+	}
+	if sum.Y[last] < 0.98 || sum.Y[last] > 1.15 {
+		t.Errorf("indirect sum at 12 threads/tile %.3f outside [0.98,1.15] (paper ~1.02)", sum.Y[last])
+	}
+	for i, y := range ch.Y {
+		if y > 0.95 || y < 0.75 {
+			t.Errorf("pointer chase speedup[%d]=%.3f outside [0.75,0.95] (paper ~0.86 flat)", i, y)
+		}
+	}
+}
+
+// TestFig5Shape checks the mixed-placement STREAM results: HBM→DDR copy
+// is substantially below DDR→HBM (paper: ~65 %), and Add with one input
+// in DDR stays within ~15 % of HBM-only.
+func TestFig5Shape(t *testing.T) {
+	p := memsim.XeonMax9468()
+	fa, err := Fig5a(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at12 := map[string]float64{}
+	for _, s := range fa.Series {
+		at12[s.Name] = s.Y[len(s.Y)-1]
+		t.Logf("Copy %-10s %6.0f GB/s", s.Name, s.Y[len(s.Y)-1])
+	}
+	dh, hd := at12["DDR→HBM"], at12["HBM→DDR"]
+	if r := hd / dh; r < 0.5 || r > 0.8 {
+		t.Errorf("HBM→DDR / DDR→HBM = %.2f outside [0.5,0.8] (paper ~0.65)", r)
+	}
+	if hh := at12["HBM→HBM"]; hh <= dh {
+		t.Errorf("HBM→HBM (%.0f) should beat DDR→HBM (%.0f)", hh, dh)
+	}
+
+	fb, err := Fig5b(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	add := map[string]float64{}
+	for _, s := range fb.Series {
+		add[s.Name] = s.Y[len(s.Y)-1]
+		t.Logf("Add %-14s %6.0f GB/s", s.Name, s.Y[len(s.Y)-1])
+	}
+	hbmOnly := add["HBM+HBM→HBM"]
+	mixed := add["DDR+HBM→HBM"]
+	if mixed < 0.8*hbmOnly {
+		t.Errorf("DDR+HBM→HBM (%.0f) should be within 20%% of HBM-only (%.0f)", mixed, hbmOnly)
+	}
+	// The two "complementary" mid configurations perform similarly (§I).
+	x, y := add["HBM+HBM→DDR"], add["DDR+DDR→HBM"]
+	if r := x / y; r < 0.7 || r > 1.4 {
+		t.Errorf("HBM+HBM→DDR vs DDR+DDR→HBM ratio %.2f outside [0.7,1.4]", r)
+	}
+	if ddrOnly := add["DDR+DDR→DDR"]; ddrOnly >= mixed {
+		t.Errorf("DDR-only Add (%.0f) should be slowest of the →HBM group (%.0f)", ddrOnly, mixed)
+	}
+}

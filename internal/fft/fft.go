@@ -1,0 +1,147 @@
+// Package fft implements the radix-2 complex FFT used by the k-Wave
+// pseudospectral solver: in-place 1-D transforms and 3-D transforms
+// applied axis by axis. Only power-of-two lengths are supported, which
+// is all k-Wave grids require.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// FFT performs an in-place forward transform of x. The length must be a
+// power of two.
+func FFT(x []complex128) error { return transform(x, false) }
+
+// IFFT performs an in-place inverse transform of x (normalised by 1/N).
+func IFFT(x []complex128) error {
+	if err := transform(x, true); err != nil {
+		return err
+	}
+	inv := complex(1/float64(len(x)), 0)
+	for i := range x {
+		x[i] *= inv
+	}
+	return nil
+}
+
+// transform is the iterative decimation-in-time radix-2 kernel.
+func transform(x []complex128, inverse bool) error {
+	n := len(x)
+	if n == 0 {
+		return fmt.Errorf("fft: empty input")
+	}
+	if n&(n-1) != 0 {
+		return fmt.Errorf("fft: length %d is not a power of two", n)
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := sign * 2 * math.Pi / float64(size)
+		wBase := cmplx.Exp(complex(0, step))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wBase
+			}
+		}
+	}
+	return nil
+}
+
+// Grid3 is an N³ complex field with helpers for axis-wise transforms.
+type Grid3 struct {
+	N    int
+	Data []complex128
+}
+
+// NewGrid3 allocates an N³ complex grid (N a power of two).
+func NewGrid3(n int) (*Grid3, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("fft: grid edge %d is not a power of two >= 2", n)
+	}
+	return &Grid3{N: n, Data: make([]complex128, n*n*n)}, nil
+}
+
+// Idx returns the linear index of (i, j, k).
+func (g *Grid3) Idx(i, j, k int) int { return (k*g.N+j)*g.N + i }
+
+// FFT3 transforms the grid along all three axes; inverse selects the
+// inverse transform (normalised).
+func (g *Grid3) FFT3(inverse bool) error {
+	n := g.N
+	line := make([]complex128, n)
+	tf := FFT
+	if inverse {
+		tf = IFFT
+	}
+	// Axis 0 (contiguous).
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			base := g.Idx(0, j, k)
+			if err := tf(g.Data[base : base+n]); err != nil {
+				return err
+			}
+		}
+	}
+	// Axis 1 (stride n).
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				line[j] = g.Data[g.Idx(i, j, k)]
+			}
+			if err := tf(line); err != nil {
+				return err
+			}
+			for j := 0; j < n; j++ {
+				g.Data[g.Idx(i, j, k)] = line[j]
+			}
+		}
+	}
+	// Axis 2 (stride n²).
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			for k := 0; k < n; k++ {
+				line[k] = g.Data[g.Idx(i, j, k)]
+			}
+			if err := tf(line); err != nil {
+				return err
+			}
+			for k := 0; k < n; k++ {
+				g.Data[g.Idx(i, j, k)] = line[k]
+			}
+		}
+	}
+	return nil
+}
+
+// WaveNumbers returns the angular wavenumbers of an N-point DFT with unit
+// spacing, in DFT order: 0, 1, ..., N/2, -(N/2-1), ..., -1 (times 2π/N).
+func WaveNumbers(n int) []float64 {
+	k := make([]float64, n)
+	for i := 0; i < n; i++ {
+		m := i
+		if i > n/2 {
+			m = i - n
+		}
+		k[i] = 2 * math.Pi * float64(m) / float64(n)
+	}
+	return k
+}

@@ -1,0 +1,194 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"hmpt/internal/xrand"
+)
+
+func TestFFTKnownValues(t *testing.T) {
+	// DFT of a unit impulse is all ones.
+	x := make([]complex128, 8)
+	x[0] = 1
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("impulse DFT bin %d = %v, want 1", i, v)
+		}
+	}
+	// DFT of a constant is an impulse of height N.
+	for i := range x {
+		x[i] = 2
+	}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(x[0]-16) > 1e-12 {
+		t.Fatalf("DC bin = %v, want 16", x[0])
+	}
+	for i := 1; i < len(x); i++ {
+		if cmplx.Abs(x[i]) > 1e-12 {
+			t.Fatalf("bin %d = %v, want 0", i, x[i])
+		}
+	}
+}
+
+func TestFFTSingleTone(t *testing.T) {
+	n := 32
+	freq := 5
+	x := make([]complex128, n)
+	for i := range x {
+		ph := 2 * math.Pi * float64(freq*i) / float64(n)
+		x[i] = complex(math.Cos(ph), math.Sin(ph))
+	}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		want := 0.0
+		if i == freq {
+			want = float64(n)
+		}
+		if cmplx.Abs(x[i]-complex(want, 0)) > 1e-9 {
+			t.Fatalf("bin %d = %v, want %g", i, x[i], want)
+		}
+	}
+}
+
+func TestFFTRoundTripProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40}
+	err := quick.Check(func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 1 << (3 + rng.Intn(5)) // 8..128
+		x := make([]complex128, n)
+		orig := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			orig[i] = x[i]
+		}
+		if FFT(x) != nil || IFFT(x) != nil {
+			return false
+		}
+		for i := range x {
+			if cmplx.Abs(x[i]-orig[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	rng := xrand.New(9)
+	n := 64
+	x := make([]complex128, n)
+	timeE := 0.0
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		timeE += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+	}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	freqE := 0.0
+	for _, v := range x {
+		freqE += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if math.Abs(freqE/float64(n)-timeE) > 1e-9*timeE {
+		t.Fatalf("Parseval violated: time %g vs freq/N %g", timeE, freqE/float64(n))
+	}
+}
+
+func TestFFTErrors(t *testing.T) {
+	if err := FFT(nil); err == nil {
+		t.Error("empty input should fail")
+	}
+	if err := FFT(make([]complex128, 12)); err == nil {
+		t.Error("non-power-of-two should fail")
+	}
+	if _, err := NewGrid3(12); err == nil {
+		t.Error("non-power-of-two grid should fail")
+	}
+}
+
+func TestFFT3RoundTrip(t *testing.T) {
+	g, err := NewGrid3(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(4)
+	orig := make([]complex128, len(g.Data))
+	for i := range g.Data {
+		g.Data[i] = complex(rng.NormFloat64(), 0)
+		orig[i] = g.Data[i]
+	}
+	if err := g.FFT3(false); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.FFT3(true); err != nil {
+		t.Fatal(err)
+	}
+	for i := range g.Data {
+		if cmplx.Abs(g.Data[i]-orig[i]) > 1e-9 {
+			t.Fatalf("3-D round trip deviates at %d: %v vs %v", i, g.Data[i], orig[i])
+		}
+	}
+}
+
+// TestFFT3SpectralDerivative checks that multiplying by i·k in k-space
+// differentiates a plane wave exactly — the core operation of the
+// k-Wave solver.
+func TestFFT3SpectralDerivative(t *testing.T) {
+	n := 16
+	g, err := NewGrid3(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// f(x) = sin(2π·2·x/n) along axis 0; df/dx = (4π/n)cos(...).
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				g.Data[g.Idx(i, j, k)] = complex(math.Sin(4*math.Pi*float64(i)/float64(n)), 0)
+			}
+		}
+	}
+	if err := g.FFT3(false); err != nil {
+		t.Fatal(err)
+	}
+	ks := WaveNumbers(n)
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				g.Data[g.Idx(i, j, k)] *= complex(0, ks[i])
+			}
+		}
+	}
+	if err := g.FFT3(true); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		want := 4 * math.Pi / float64(n) * math.Cos(4*math.Pi*float64(i)/float64(n))
+		got := real(g.Data[g.Idx(i, 3, 5)])
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("derivative at %d: got %g want %g", i, got, want)
+		}
+	}
+}
+
+func TestWaveNumbers(t *testing.T) {
+	ks := WaveNumbers(8)
+	want := []float64{0, 1, 2, 3, 4, -3, -2, -1}
+	for i, w := range want {
+		if math.Abs(ks[i]-2*math.Pi*w/8) > 1e-12 {
+			t.Fatalf("k[%d] = %g, want %g", i, ks[i], 2*math.Pi*w/8)
+		}
+	}
+}

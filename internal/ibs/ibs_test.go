@@ -1,0 +1,128 @@
+package ibs
+
+import (
+	"math"
+	"testing"
+
+	"hmpt/internal/memsim"
+	"hmpt/internal/shim"
+	"hmpt/internal/trace"
+	"hmpt/internal/units"
+	"hmpt/internal/xrand"
+)
+
+func sampleSetup(t *testing.T) (*shim.Allocator, *memsim.Machine, *memsim.SimplePlacement) {
+	t.Helper()
+	al := shim.NewAllocator()
+	m := memsim.NewMachine(memsim.XeonMax9468())
+	pl := memsim.NewSimplePlacement(len(m.P.Pools), m.P.MustPool(memsim.DDR))
+	return al, m, pl
+}
+
+func TestDensityProportionalToTraffic(t *testing.T) {
+	al, m, pl := sampleSetup(t)
+	hot := al.Register("hot", units.GB(1), 1)
+	cold := al.Register("cold", units.GB(1), 1)
+	tr := &trace.Trace{Phases: []trace.Phase{{
+		Name: "p",
+		Streams: []trace.Stream{
+			{Alloc: hot.ID, Bytes: units.GB(9), Kind: trace.Read, Pattern: trace.Sequential},
+			{Alloc: cold.ID, Bytes: units.GB(1), Kind: trace.Read, Pattern: trace.Sequential},
+		},
+	}}}
+	rep, err := NewSampler().Sample(tr, al, m, pl, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total == 0 {
+		t.Fatal("no samples")
+	}
+	dh := rep.ByAlloc[hot.ID].Density
+	dc := rep.ByAlloc[cold.ID].Density
+	if math.Abs(dh-0.9) > 0.03 || math.Abs(dc-0.1) > 0.03 {
+		t.Errorf("densities (%.3f, %.3f), want (0.9, 0.1)", dh, dc)
+	}
+	if got := rep.Density(hot.ID, cold.ID); math.Abs(got-1) > 1e-9 {
+		t.Errorf("combined density %.3f", got)
+	}
+}
+
+func TestRankedOrder(t *testing.T) {
+	al, m, pl := sampleSetup(t)
+	a := al.Register("a", units.GB(1), 1)
+	b := al.Register("b", units.GB(1), 1)
+	tr := &trace.Trace{Phases: []trace.Phase{{
+		Name: "p",
+		Streams: []trace.Stream{
+			{Alloc: a.ID, Bytes: units.GB(2), Kind: trace.Read, Pattern: trace.Sequential},
+			{Alloc: b.ID, Bytes: units.GB(8), Kind: trace.Read, Pattern: trace.Sequential},
+		},
+	}}}
+	rep, err := NewSampler().Sample(tr, al, m, pl, xrand.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked := rep.Ranked()
+	if len(ranked) != 2 || ranked[0] != b.ID {
+		t.Errorf("ranked = %v, want b first", ranked)
+	}
+}
+
+func TestSampleBudgetRaisesPeriod(t *testing.T) {
+	al, m, pl := sampleSetup(t)
+	a := al.Register("a", units.GB(64), 1)
+	tr := &trace.Trace{Phases: []trace.Phase{{
+		Name:    "p",
+		Streams: []trace.Stream{{Alloc: a.ID, Bytes: units.GB(64), Kind: trace.Read, Pattern: trace.Sequential}},
+		Repeat:  100,
+	}}}
+	s := NewSampler()
+	rep, err := s.Sample(tr, al, m, pl, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total > s.MaxSamples+1 {
+		t.Errorf("samples %d exceed budget %d", rep.Total, s.MaxSamples)
+	}
+	if rep.Period <= s.Period {
+		t.Errorf("period %d should have been raised above %d", rep.Period, s.Period)
+	}
+}
+
+func TestLatencyReflectsPool(t *testing.T) {
+	al, m, _ := sampleSetup(t)
+	a := al.Register("a", units.GB(8), 1)
+	tr := &trace.Trace{Phases: []trace.Phase{{
+		Name: "p",
+		Streams: []trace.Stream{{
+			Alloc: a.ID, Bytes: units.GB(8), Kind: trace.Read,
+			Pattern: trace.Random, WorkingSet: units.GB(8),
+		}},
+	}}}
+	ddr := memsim.NewSimplePlacement(len(m.P.Pools), m.P.MustPool(memsim.DDR))
+	hbm := memsim.NewSimplePlacement(len(m.P.Pools), m.P.MustPool(memsim.DDR))
+	hbm.Set(a.ID, m.P.MustPool(memsim.HBM))
+	repD, err := NewSampler().Sample(tr, al, m, ddr, xrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	repH, err := NewSampler().Sample(tr, al, m, hbm, xrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := repD.ByAlloc[a.ID].AvgLatency
+	lh := repH.ByAlloc[a.ID].AvgLatency
+	if ratio := float64(lh) / float64(ld); ratio < 1.1 || ratio > 1.3 {
+		t.Errorf("HBM/DDR sampled latency ratio %.3f, want ~1.2", ratio)
+	}
+}
+
+func TestSampleErrors(t *testing.T) {
+	al, m, pl := sampleSetup(t)
+	if _, err := NewSampler().Sample(nil, al, m, pl, xrand.New(1)); err == nil {
+		t.Error("nil trace should fail")
+	}
+	if _, err := NewSampler().Sample(&trace.Trace{}, al, m, pl, nil); err == nil {
+		t.Error("nil rng should fail")
+	}
+}

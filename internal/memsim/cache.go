@@ -1,0 +1,52 @@
+package memsim
+
+import "hmpt/internal/units"
+
+// AccessProfile describes how accesses over a working set of a given size
+// are served by the cache hierarchy and, for the remainder, by a memory
+// pool: the average load-to-use latency and the fraction of accesses that
+// reach the pool.
+type AccessProfile struct {
+	AvgLatency units.Duration
+	MemFrac    float64
+}
+
+// AccessProfileFor computes the profile for uniformly distributed
+// accesses (random or pointer chase) over a working set of ws simulated
+// bytes placed in pool. A level of capacity C covers min(1, C/ws) of a
+// uniform working set; levels are considered inclusive, smallest first,
+// so each level serves the coverage beyond the previous one. ws <= 0
+// means "no cache reuse" (streaming, or a working set far beyond L3):
+// every access is served by the pool at its unloaded latency.
+//
+// Shared levels (L3) are modelled at full capacity regardless of thread
+// count because all the paper's windowed benchmarks walk one shared
+// array; per-core levels use their per-core capacity.
+func (p *Platform) AccessProfileFor(pool PoolID, ws units.Bytes) AccessProfile {
+	spec := p.Pools[pool]
+	if ws <= 0 {
+		return AccessProfile{AvgLatency: spec.Latency, MemFrac: 1}
+	}
+	var avg units.Duration
+	covered := 0.0
+	for _, lvl := range p.Caches {
+		cov := float64(lvl.Size) / float64(ws)
+		if cov > 1 {
+			cov = 1
+		}
+		if cov > covered {
+			avg += units.Duration(cov-covered) * lvl.Latency
+			covered = cov
+		}
+	}
+	memFrac := 1 - covered
+	avg += units.Duration(memFrac) * spec.Latency
+	return AccessProfile{AvgLatency: avg, MemFrac: memFrac}
+}
+
+// ChaseLatencyNS returns the average dependent-load latency in
+// nanoseconds for a pointer chase over a window of ws bytes backed by
+// pool — the quantity plotted in Fig. 3.
+func (p *Platform) ChaseLatencyNS(pool PoolID, ws units.Bytes) float64 {
+	return p.AccessProfileFor(pool, ws).AvgLatency.Nanoseconds()
+}

@@ -1,0 +1,261 @@
+package memsim
+
+import (
+	"fmt"
+	"math"
+
+	"hmpt/internal/perfctr"
+	"hmpt/internal/trace"
+	"hmpt/internal/units"
+	"hmpt/internal/xrand"
+)
+
+// writeMLPFactor boosts the effective concurrency of pure write streams:
+// stores retire through the store buffer and are not latency-bound the
+// way demand loads are.
+const writeMLPFactor = 3.0
+
+// Machine evaluates phase traces against a platform. It is stateless and
+// safe for concurrent use; run-to-run measurement noise is injected by
+// passing a per-run RNG to Cost.
+type Machine struct {
+	P *Platform
+	// Noise is the relative stddev of multiplicative run-to-run noise
+	// applied when Cost is given a non-nil RNG (default from NewMachine:
+	// 0.8 %, typical of quiesced HPC node runs).
+	Noise float64
+}
+
+// NewMachine returns a Machine over the given platform with default
+// measurement noise. It panics if the platform fails validation —
+// a malformed platform is a programming error in experiment setup.
+func NewMachine(p *Platform) *Machine {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return &Machine{P: p, Noise: 0.008}
+}
+
+// PhaseCost is the detailed cost breakdown of one phase (single repeat).
+type PhaseCost struct {
+	Name     string
+	Repeat   int64
+	Time     units.Duration // max of the three components
+	MemTime  units.Duration // pool bus constraint
+	ConcTime units.Duration // per-thread memory concurrency constraint
+	CPUTime  units.Duration // compute ceiling constraint
+	Threads  int
+}
+
+// Bound names the binding constraint of the phase.
+func (pc *PhaseCost) Bound() string {
+	switch pc.Time {
+	case pc.MemTime:
+		return "bandwidth"
+	case pc.ConcTime:
+		return "concurrency"
+	case pc.CPUTime:
+		return "compute"
+	default:
+		return "unknown"
+	}
+}
+
+// RunResult is the outcome of costing one trace under one placement.
+type RunResult struct {
+	Time     units.Duration
+	Phases   []PhaseCost
+	Counters *perfctr.Counters
+}
+
+// Cost computes the simulated run time of the trace under the placement.
+// defThreads is used for phases that do not set a thread count (0 means
+// all cores). If rng is non-nil, multiplicative measurement noise with
+// relative stddev m.Noise is applied to the total, modelling the paper's
+// run-to-run variation (§III-A averages over n runs per configuration).
+func (m *Machine) Cost(tr *trace.Trace, pl Placement, defThreads int, rng *xrand.Rand) (*RunResult, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("memsim: nil trace")
+	}
+	if pl == nil {
+		return nil, fmt.Errorf("memsim: nil placement")
+	}
+	if got, want := pl.NumPools(), len(m.P.Pools); got != want {
+		return nil, fmt.Errorf("memsim: placement spans %d pools, platform %q has %d", got, m.P.Name, want)
+	}
+	res := &RunResult{Counters: perfctr.NewCounters()}
+	for i := range tr.Phases {
+		ph := &tr.Phases[i]
+		pc, err := m.costPhase(ph, pl, defThreads, res.Counters)
+		if err != nil {
+			return nil, fmt.Errorf("memsim: phase %d (%s): %w", i, ph.Name, err)
+		}
+		res.Phases = append(res.Phases, pc)
+		res.Time += pc.Time * units.Duration(pc.Repeat)
+	}
+	if rng != nil && m.Noise > 0 {
+		n := rng.NormFloat64()
+		if n > 3 {
+			n = 3
+		} else if n < -3 {
+			n = -3
+		}
+		res.Time *= units.Duration(1 + m.Noise*n)
+	}
+	res.Counters.Elapsed = res.Time
+	return res, nil
+}
+
+// mlpFor returns the per-thread outstanding-line budget for a stream.
+func (m *Machine) mlpFor(s *trace.Stream) float64 {
+	if s.MLP > 0 {
+		return s.MLP
+	}
+	switch s.Pattern {
+	case trace.Sequential:
+		return m.P.SeqMLP
+	case trace.Stencil:
+		return m.P.StencilMLP
+	case trace.Random:
+		return m.P.RandomMLP
+	case trace.Chase:
+		return 1
+	default:
+		return m.P.SeqMLP
+	}
+}
+
+func (m *Machine) costPhase(ph *trace.Phase, pl Placement, defThreads int, ctr *perfctr.Counters) (PhaseCost, error) {
+	threads := ph.Threads
+	if threads <= 0 {
+		threads = defThreads
+	}
+	if threads <= 0 || threads > m.P.Cores() {
+		threads = m.P.Cores()
+	}
+	reps := ph.Times()
+
+	nPools := len(m.P.Pools)
+	effBus := make([]float64, nPools)      // bus-seconds numerator: effective bytes
+	readByPool := make([]float64, nPools)  // counter bytes
+	writeByPool := make([]float64, nPools) // counter bytes
+	var concSec float64                    // per-thread concurrency time
+	var cacheServed float64                // bytes served by caches
+
+	for si := range ph.Streams {
+		s := &ph.Streams[si]
+		if s.Bytes < 0 {
+			return PhaseCost{}, fmt.Errorf("stream %d has negative bytes", si)
+		}
+		if s.Bytes == 0 {
+			continue
+		}
+		split := pl.Split(s.Alloc)
+		if len(split) != nPools {
+			return PhaseCost{}, fmt.Errorf("placement split for alloc %d has %d pools, want %d", s.Alloc, len(split), nPools)
+		}
+		var readB, writeB float64
+		switch s.Kind {
+		case trace.Read:
+			readB = float64(s.Bytes)
+		case trace.Write:
+			writeB = float64(s.Bytes)
+		case trace.Update:
+			readB = float64(s.Bytes)
+			writeB = float64(s.Bytes)
+		default:
+			return PhaseCost{}, fmt.Errorf("stream %d has unknown kind %v", si, s.Kind)
+		}
+		mlp := m.mlpFor(s)
+		cached := s.Pattern == trace.Random || s.Pattern == trace.Chase
+		for pid := 0; pid < nPools; pid++ {
+			f := split[pid]
+			if f <= 0 {
+				continue
+			}
+			if f > 1+1e-9 {
+				return PhaseCost{}, fmt.Errorf("placement split for alloc %d has fraction %f > 1", s.Alloc, f)
+			}
+			prof := AccessProfile{AvgLatency: m.P.Pools[pid].Latency, MemFrac: 1}
+			if cached {
+				ws := s.WorkingSet
+				prof = m.P.AccessProfileFor(PoolID(pid), ws)
+			}
+			// Per-thread concurrency: each access costs avg latency,
+			// amortised over mlp outstanding lines per thread. Write
+			// streams drain through store buffers at higher concurrency.
+			lineSec := prof.AvgLatency.Seconds() / (float64(threads) * 64)
+			concSec += f * readB * lineSec / mlp
+			concSec += f * writeB * lineSec / (mlp * writeMLPFactor)
+			// Pool bus occupancy: only the cache-missing fraction
+			// reaches the pool; writes are amplified by write-allocate.
+			memR := f * readB * prof.MemFrac
+			memW := f * writeB * prof.MemFrac
+			effBus[pid] += memR + m.P.Pools[pid].WriteCost*memW
+			readByPool[pid] += memR
+			writeByPool[pid] += memW
+			cacheServed += f * (readB + writeB) * (1 - prof.MemFrac)
+		}
+	}
+
+	var memTime units.Duration
+	busTimes := make([]units.Duration, nPools)
+	for pid := 0; pid < nPools; pid++ {
+		t := m.P.Pools[pid].BusBW.Time(units.Bytes(effBus[pid]))
+		busTimes[pid] = t
+		if t > memTime {
+			memTime = t
+		}
+	}
+
+	var cpuTime units.Duration
+	if ph.Flops > 0 {
+		vf := ph.VectorFrac
+		if vf < 0 {
+			vf = 0
+		} else if vf > 1 {
+			vf = 1
+		}
+		eff := ph.FlopEff
+		if eff <= 0 {
+			eff = m.P.FlopEff
+		}
+		peakG := float64(threads) * m.P.ClockGHz * (vf*m.P.VecFlopsPerCycle + (1-vf)*m.P.ScalarFlopsPerCycle)
+		cpuTime = units.FlopRate(peakG * 1e9 * eff).Time(ph.Flops)
+	}
+
+	concTime := units.Duration(concSec)
+	total := memTime
+	if concTime > total {
+		total = concTime
+	}
+	if cpuTime > total {
+		total = cpuTime
+	}
+	if math.IsInf(float64(total), 1) || math.IsNaN(float64(total)) {
+		return PhaseCost{}, fmt.Errorf("phase cost is not finite (mem=%v conc=%v cpu=%v)", memTime, concTime, cpuTime)
+	}
+
+	// Account counters, scaled by repeats. Bus time is attributed to the
+	// pool proportionally to its own occupancy.
+	r := float64(reps)
+	ctr.Flops += ph.Flops * units.Flops(r)
+	ctr.CacheServedBytes += units.Bytes(cacheServed * r)
+	ctr.Phases += reps
+	for pid := 0; pid < nPools; pid++ {
+		ctr.AddPool(m.P.Pools[pid].Name,
+			units.Bytes(readByPool[pid]*r),
+			units.Bytes(writeByPool[pid]*r),
+			busTimes[pid]*units.Duration(r))
+	}
+
+	return PhaseCost{
+		Name:     ph.Name,
+		Repeat:   reps,
+		Time:     total,
+		MemTime:  memTime,
+		ConcTime: concTime,
+		CPUTime:  cpuTime,
+		Threads:  threads,
+	}, nil
+}

@@ -1,0 +1,289 @@
+package memsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hmpt/internal/shim"
+	"hmpt/internal/trace"
+	"hmpt/internal/units"
+	"hmpt/internal/xrand"
+)
+
+func machine(t *testing.T) *Machine {
+	t.Helper()
+	return NewMachine(XeonMax9468())
+}
+
+func onePool(t *testing.T, kind PoolKind) (*Machine, *SimplePlacement) {
+	t.Helper()
+	m := machine(t)
+	pl := NewSimplePlacement(len(m.P.Pools), m.P.MustPool(DDR))
+	if kind == HBM {
+		pl.Set(1, m.P.MustPool(HBM))
+	}
+	return m, pl
+}
+
+func streamTrace(bytes units.Bytes, kind trace.Kind, pattern trace.Pattern) *trace.Trace {
+	return &trace.Trace{Phases: []trace.Phase{{
+		Name:    "t",
+		Streams: []trace.Stream{{Alloc: 1, Bytes: bytes, Kind: kind, Pattern: pattern}},
+	}}}
+}
+
+func TestPlatformValidate(t *testing.T) {
+	p := XeonMax9468()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := *p
+	bad.Pools = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("no pools should fail validation")
+	}
+	bad2 := *p
+	bad2.ClockGHz = 0
+	if err := bad2.Validate(); err == nil {
+		t.Error("zero clock should fail validation")
+	}
+}
+
+func TestPeakFlops(t *testing.T) {
+	p := XeonMax9468()
+	// Fig. 8 headline numbers.
+	if got := p.PeakVectorGFlops(0); math.Abs(got-3225.6) > 0.1 {
+		t.Errorf("vector peak %.1f, want 3225.6", got)
+	}
+	if got := p.PeakScalarGFlops(0); math.Abs(got-403.2) > 0.1 {
+		t.Errorf("scalar peak %.1f, want 403.2", got)
+	}
+	l1, err := p.CacheBandwidth("L1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l1.GBs()-12902.4) > 0.1 {
+		t.Errorf("L1 BW %.1f, want 12902.4", l1.GBs())
+	}
+	l2, err := p.CacheBandwidth("L2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l2.GBs()-6451.2) > 0.1 {
+		t.Errorf("L2 BW %.1f, want 6451.2", l2.GBs())
+	}
+}
+
+func TestSequentialReadBandwidth(t *testing.T) {
+	// 200 GB read from DDR at full threads should take ~1 s.
+	m, pl := onePool(t, DDR)
+	res, err := m.Cost(streamTrace(units.GB(200), trace.Read, trace.Sequential), pl, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Time.Seconds()-1) > 0.05 {
+		t.Errorf("200 GB DDR read took %v, want ~1 s", res.Time)
+	}
+	// Same volume from HBM is ~3.5x faster.
+	m2, pl2 := onePool(t, HBM)
+	res2, err := m2.Cost(streamTrace(units.GB(200), trace.Read, trace.Sequential), pl2, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := res.Time / res2.Time; r < 3.3 || r > 3.7 {
+		t.Errorf("HBM/DDR read ratio %.2f, want ~3.5", r)
+	}
+}
+
+func TestWriteCostAsymmetry(t *testing.T) {
+	m, pl := onePool(t, DDR)
+	r, err := m.Cost(streamTrace(units.GB(100), trace.Read, trace.Sequential), pl, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := m.Cost(streamTrace(units.GB(100), trace.Write, trace.Sequential), pl, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := w.Time.Seconds() / r.Time.Seconds()
+	if math.Abs(ratio-1.45) > 0.05 {
+		t.Errorf("DDR write/read time ratio %.3f, want ~1.45 (write-allocate)", ratio)
+	}
+}
+
+func TestChaseLatencyLadder(t *testing.T) {
+	p := XeonMax9468()
+	ddr := p.MustPool(DDR)
+	l1 := p.ChaseLatencyNS(ddr, 16*units.KiB)
+	l2 := p.ChaseLatencyNS(ddr, 1*units.MiB)
+	l3 := p.ChaseLatencyNS(ddr, 64*units.MiB)
+	mem := p.ChaseLatencyNS(ddr, 8*units.GiB)
+	if !(l1 < l2 && l2 < l3 && l3 < mem) {
+		t.Errorf("latency ladder broken: %g %g %g %g", l1, l2, l3, mem)
+	}
+	if mem < 95 || mem > 110 {
+		t.Errorf("DDR latency %g ns outside [95,110]", mem)
+	}
+	hbm := p.MustPool(HBM)
+	ratio := p.ChaseLatencyNS(hbm, 8*units.GiB) / mem
+	if ratio < 1.15 || ratio > 1.25 {
+		t.Errorf("HBM/DDR latency ratio %.3f, want ~1.2", ratio)
+	}
+}
+
+func TestCostErrors(t *testing.T) {
+	m := machine(t)
+	pl := NewSimplePlacement(len(m.P.Pools), 0)
+	if _, err := m.Cost(nil, pl, 0, nil); err == nil {
+		t.Error("nil trace should fail")
+	}
+	if _, err := m.Cost(&trace.Trace{}, nil, 0, nil); err == nil {
+		t.Error("nil placement should fail")
+	}
+	wrong := NewSimplePlacement(5, 0)
+	if _, err := m.Cost(&trace.Trace{}, wrong, 0, nil); err == nil {
+		t.Error("pool-count mismatch should fail")
+	}
+	neg := streamTrace(-5, trace.Read, trace.Sequential)
+	if _, err := m.Cost(neg, pl, 0, nil); err == nil {
+		t.Error("negative bytes should fail")
+	}
+}
+
+func TestNoiseBoundedAndSeeded(t *testing.T) {
+	m, pl := onePool(t, DDR)
+	tr := streamTrace(units.GB(10), trace.Read, trace.Sequential)
+	base, err := m.Cost(tr, pl, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := m.Cost(tr, pl, 0, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := m.Cost(tr, pl, 0, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Time != r2.Time {
+		t.Error("same seed should give same noise")
+	}
+	rel := math.Abs(r1.Time.Seconds()-base.Time.Seconds()) / base.Time.Seconds()
+	if rel > 3.5*m.Noise {
+		t.Errorf("noise %.4f exceeds 3 sigma bound", rel)
+	}
+}
+
+func TestCountersAccumulate(t *testing.T) {
+	m, pl := onePool(t, DDR)
+	tr := &trace.Trace{Phases: []trace.Phase{{
+		Name:  "x",
+		Flops: units.GFlops(10),
+		Streams: []trace.Stream{
+			{Alloc: 1, Bytes: units.GB(4), Kind: trace.Read, Pattern: trace.Sequential},
+			{Alloc: 1, Bytes: units.GB(2), Kind: trace.Write, Pattern: trace.Sequential},
+		},
+		Repeat: 3,
+	}}}
+	res, err := m.Cost(tr, pl, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Counters
+	if got := c.Flops; got != units.GFlops(30) {
+		t.Errorf("flops = %g", float64(got))
+	}
+	ddr := c.Pools["DDR"]
+	if ddr.ReadBytes != units.GB(12) {
+		t.Errorf("reads = %v", ddr.ReadBytes)
+	}
+	if ddr.WriteBytes != units.GB(6) {
+		t.Errorf("writes = %v", ddr.WriteBytes)
+	}
+	if c.Phases != 3 {
+		t.Errorf("phases = %d", c.Phases)
+	}
+}
+
+func TestSplitPlacementSplitsTraffic(t *testing.T) {
+	m := machine(t)
+	// Half the allocation in each pool: both pools see half the bytes.
+	ip := &InterleavedPlacement{Pools: len(m.P.Pools), Across: []PoolID{0, 1}}
+	res, err := m.Cost(streamTrace(units.GB(100), trace.Read, trace.Sequential), ip, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Pools["DDR"].ReadBytes != units.GB(50) {
+		t.Errorf("DDR reads = %v", res.Counters.Pools["DDR"].ReadBytes)
+	}
+	if res.Counters.Pools["HBM"].ReadBytes != units.GB(50) {
+		t.Errorf("HBM reads = %v", res.Counters.Pools["HBM"].ReadBytes)
+	}
+}
+
+func TestComputeBoundPhase(t *testing.T) {
+	m, pl := onePool(t, DDR)
+	tr := &trace.Trace{Phases: []trace.Phase{{
+		Name: "flops", Flops: units.Flops(3.2256e12), VectorFrac: 1, FlopEff: 1,
+		Streams: []trace.Stream{{Alloc: 1, Bytes: units.MiB, Kind: trace.Read, Pattern: trace.Sequential}},
+	}}}
+	res, err := m.Cost(tr, pl, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3225.6 GFLOP at full peak = 1 s.
+	if math.Abs(res.Time.Seconds()-1) > 0.01 {
+		t.Errorf("compute-bound phase %v, want ~1 s", res.Time)
+	}
+	if res.Phases[0].Bound() != "compute" {
+		t.Errorf("bound = %s", res.Phases[0].Bound())
+	}
+}
+
+// Property: doubling traffic never reduces the simulated time.
+func TestCostMonotoneInTraffic(t *testing.T) {
+	m, pl := onePool(t, DDR)
+	err := quick.Check(func(gb8 uint8, pat uint8) bool {
+		gb := float64(gb8%64) + 1
+		pattern := trace.Pattern(pat % 4)
+		t1, err := m.Cost(streamTrace(units.GB(gb), trace.Read, pattern), pl, 0, nil)
+		if err != nil {
+			return false
+		}
+		t2, err := m.Cost(streamTrace(units.GB(2*gb), trace.Read, pattern), pl, 0, nil)
+		if err != nil {
+			return false
+		}
+		return t2.Time >= t1.Time
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimplePlacementValidate(t *testing.T) {
+	pl := NewSimplePlacement(2, 0)
+	pl.Set(shim.AllocID(1), 1)
+	if err := pl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	pl.Set(shim.AllocID(2), 9)
+	if err := pl.Validate(); err == nil {
+		t.Error("out-of-range pool should fail validation")
+	}
+}
+
+func TestDualSocketScales(t *testing.T) {
+	single := XeonMax9468()
+	dual := DualXeonMax9468()
+	if dual.Cores() != 2*single.Cores() {
+		t.Errorf("dual cores = %d", dual.Cores())
+	}
+	if dual.Pools[0].BusBW != 2*single.Pools[0].BusBW {
+		t.Errorf("dual DDR BW = %v", dual.Pools[0].BusBW)
+	}
+	if err := dual.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,90 @@
+package memsim
+
+import (
+	"fmt"
+
+	"hmpt/internal/shim"
+)
+
+// Placement answers, for each allocation, how its simulated bytes are
+// distributed over the platform's pools. The vm package's AddressSpace
+// implements it at page granularity; SimplePlacement implements it as a
+// whole-allocation map (what the SHIM pool override achieves).
+type Placement interface {
+	// Split returns the fraction of the allocation's bytes in each pool,
+	// indexed by PoolID. The fractions sum to 1 for known allocations.
+	// Unknown allocations are reported as fully in the default pool.
+	Split(a shim.AllocID) []float64
+	// NumPools returns the number of pools the placement spans.
+	NumPools() int
+}
+
+// SimplePlacement maps whole allocations to pools, with a default pool
+// for unmapped allocations. It is the in-memory form of a tuning plan.
+type SimplePlacement struct {
+	Default PoolID
+	Pools   int
+	Assign  map[shim.AllocID]PoolID
+}
+
+// NewSimplePlacement returns an empty plan over pools pools defaulting to def.
+func NewSimplePlacement(pools int, def PoolID) *SimplePlacement {
+	return &SimplePlacement{Default: def, Pools: pools, Assign: make(map[shim.AllocID]PoolID)}
+}
+
+// Set assigns allocation a to pool p.
+func (sp *SimplePlacement) Set(a shim.AllocID, p PoolID) { sp.Assign[a] = p }
+
+// PoolOf returns the pool allocation a is assigned to.
+func (sp *SimplePlacement) PoolOf(a shim.AllocID) PoolID {
+	if p, ok := sp.Assign[a]; ok {
+		return p
+	}
+	return sp.Default
+}
+
+// Split implements Placement.
+func (sp *SimplePlacement) Split(a shim.AllocID) []float64 {
+	out := make([]float64, sp.Pools)
+	out[sp.PoolOf(a)] = 1
+	return out
+}
+
+// NumPools implements Placement.
+func (sp *SimplePlacement) NumPools() int { return sp.Pools }
+
+// Validate checks that all assignments reference valid pools.
+func (sp *SimplePlacement) Validate() error {
+	if int(sp.Default) < 0 || int(sp.Default) >= sp.Pools {
+		return fmt.Errorf("memsim: default pool %d out of range [0,%d)", sp.Default, sp.Pools)
+	}
+	for a, p := range sp.Assign {
+		if int(p) < 0 || int(p) >= sp.Pools {
+			return fmt.Errorf("memsim: allocation %d assigned to pool %d out of range [0,%d)", a, p, sp.Pools)
+		}
+	}
+	return nil
+}
+
+// InterleavedPlacement spreads every allocation uniformly over a set of
+// pools — the "uniformly spread over all nodes" configuration of Fig. 4.
+type InterleavedPlacement struct {
+	Pools  int
+	Across []PoolID
+}
+
+// Split implements Placement.
+func (ip *InterleavedPlacement) Split(shim.AllocID) []float64 {
+	out := make([]float64, ip.Pools)
+	if len(ip.Across) == 0 {
+		return out
+	}
+	f := 1 / float64(len(ip.Across))
+	for _, p := range ip.Across {
+		out[p] += f
+	}
+	return out
+}
+
+// NumPools implements Placement.
+func (ip *InterleavedPlacement) NumPools() int { return ip.Pools }

@@ -1,0 +1,100 @@
+// Package parallel provides the goroutine-based work sharing used by the
+// workload kernels — the reproduction's stand-in for the paper's OpenMP
+// runtime. Kernels ask for "OMP-style" static loop partitioning so that
+// thread counts feed both the real execution and the cost model.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultThreads returns the default worker count: GOMAXPROCS.
+func DefaultThreads() int { return runtime.GOMAXPROCS(0) }
+
+// Range describes a contiguous chunk [Lo, Hi) of a partitioned loop.
+type Range struct {
+	Lo, Hi int
+}
+
+// Len returns the number of iterations in the range.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// Partition splits [0, n) into p near-equal contiguous chunks, mirroring
+// OpenMP's static schedule. Chunks may be empty when p > n.
+func Partition(n, p int) []Range {
+	if p < 1 {
+		p = 1
+	}
+	out := make([]Range, p)
+	base, rem := n/p, n%p
+	lo := 0
+	for i := 0; i < p; i++ {
+		sz := base
+		if i < rem {
+			sz++
+		}
+		out[i] = Range{Lo: lo, Hi: lo + sz}
+		lo += sz
+	}
+	return out
+}
+
+// For runs body(tid, lo, hi) on threads workers over the static partition
+// of [0, n). It blocks until all workers finish. threads < 1 means
+// DefaultThreads. body is called exactly once per worker, including for
+// empty ranges, so per-thread reductions can size their slots by tid.
+func For(threads, n int, body func(tid, lo, hi int)) {
+	if threads < 1 {
+		threads = DefaultThreads()
+	}
+	if threads == 1 {
+		body(0, 0, n)
+		return
+	}
+	ranges := Partition(n, threads)
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for tid := 0; tid < threads; tid++ {
+		go func(tid int) {
+			defer wg.Done()
+			r := ranges[tid]
+			body(tid, r.Lo, r.Hi)
+		}(tid)
+	}
+	wg.Wait()
+}
+
+// ReduceFloat64 runs body over the static partition of [0, n); each
+// worker returns a partial value that is combined with combine
+// (deterministically, in tid order) into the final result starting from
+// init. Deterministic combination keeps runs bit-reproducible regardless
+// of goroutine scheduling.
+func ReduceFloat64(threads, n int, init float64, body func(tid, lo, hi int) float64, combine func(a, b float64) float64) float64 {
+	if threads < 1 {
+		threads = DefaultThreads()
+	}
+	partials := make([]float64, threads)
+	For(threads, n, func(tid, lo, hi int) {
+		partials[tid] = body(tid, lo, hi)
+	})
+	acc := init
+	for _, p := range partials {
+		acc = combine(acc, p)
+	}
+	return acc
+}
+
+// Do runs the given funcs concurrently and waits for all of them —
+// OpenMP "sections".
+func Do(fns ...func()) {
+	var wg sync.WaitGroup
+	wg.Add(len(fns))
+	for _, fn := range fns {
+		go func(fn func()) {
+			defer wg.Done()
+			fn()
+		}(fn)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,107 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestPartitionCoversRange(t *testing.T) {
+	err := quick.Check(func(n8, p8 uint8) bool {
+		n, p := int(n8), int(p8%16)+1
+		ranges := Partition(n, p)
+		if len(ranges) != p {
+			return false
+		}
+		covered := 0
+		prev := 0
+		for _, r := range ranges {
+			if r.Lo != prev || r.Hi < r.Lo {
+				return false
+			}
+			covered += r.Len()
+			prev = r.Hi
+		}
+		return covered == n && prev == n
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionBalance(t *testing.T) {
+	ranges := Partition(10, 3)
+	sizes := []int{ranges[0].Len(), ranges[1].Len(), ranges[2].Len()}
+	want := []int{4, 3, 3}
+	for i := range sizes {
+		if sizes[i] != want[i] {
+			t.Errorf("chunk %d size %d, want %d", i, sizes[i], want[i])
+		}
+	}
+}
+
+func TestForVisitsEachIndexOnce(t *testing.T) {
+	const n = 1000
+	var counts [n]int32
+	For(7, n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&counts[i], 1)
+		}
+	})
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+}
+
+func TestForSingleThreadInline(t *testing.T) {
+	calls := 0
+	For(1, 5, func(tid, lo, hi int) {
+		calls++
+		if tid != 0 || lo != 0 || hi != 5 {
+			t.Errorf("single-thread args (%d,%d,%d)", tid, lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Errorf("body called %d times", calls)
+	}
+}
+
+func TestReduceFloat64Deterministic(t *testing.T) {
+	body := func(_, lo, hi int) float64 {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += float64(i)
+		}
+		return s
+	}
+	add := func(a, b float64) float64 { return a + b }
+	want := ReduceFloat64(1, 1000, 0, body, add)
+	for trial := 0; trial < 10; trial++ {
+		if got := ReduceFloat64(8, 1000, 0, body, add); got != want {
+			t.Fatalf("reduction not deterministic: %g vs %g", got, want)
+		}
+	}
+	if want != 499500 {
+		t.Errorf("sum = %g", want)
+	}
+}
+
+func TestDo(t *testing.T) {
+	var a, b atomic.Int32
+	Do(func() { a.Store(1) }, func() { b.Store(2) })
+	if a.Load() != 1 || b.Load() != 2 {
+		t.Errorf("sections did not run: %d %d", a.Load(), b.Load())
+	}
+}
+
+func TestForMoreThreadsThanWork(t *testing.T) {
+	var visited atomic.Int32
+	For(16, 3, func(_, lo, hi int) {
+		visited.Add(int32(hi - lo))
+	})
+	if visited.Load() != 3 {
+		t.Errorf("visited %d of 3", visited.Load())
+	}
+}

@@ -1,0 +1,128 @@
+// Package perfctr models the hardware performance counters the paper
+// reads through the Linux perf API: DRAM read/write traffic per memory
+// pool, floating-point operation counts, and elapsed cycles. The cost
+// engine fills a Counters set on every simulated run; the roofline module
+// (Fig. 8) derives arithmetic intensity from it exactly as the paper
+// estimates AI "from the number of memory read requests fulfilled by
+// DRAM".
+package perfctr
+
+import (
+	"fmt"
+	"sort"
+
+	"hmpt/internal/units"
+)
+
+// PoolTraffic is the DRAM-controller view of one memory pool during a run.
+type PoolTraffic struct {
+	// ReadBytes is demand+prefetch read traffic served by the pool.
+	ReadBytes units.Bytes
+	// WriteBytes is writeback traffic received by the pool, excluding
+	// the write-allocate amplification (which the bus-time model applies
+	// separately, as a real controller would account it as reads).
+	WriteBytes units.Bytes
+	// BusTime is the time the pool's bus was the active constraint.
+	BusTime units.Duration
+}
+
+// Total returns read + write bytes.
+func (p PoolTraffic) Total() units.Bytes { return p.ReadBytes + p.WriteBytes }
+
+// Counters is a snapshot of all modelled counters for one run.
+type Counters struct {
+	Elapsed units.Duration
+	Flops   units.Flops
+	// Pools maps pool name (e.g. "DDR", "HBM") to its traffic.
+	Pools map[string]PoolTraffic
+	// CacheServedBytes is traffic that hit in the cache hierarchy and
+	// never reached a pool (window-limited Random/Chase streams).
+	CacheServedBytes units.Bytes
+	// Phases counts costed phases (after repeat expansion).
+	Phases int64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{Pools: make(map[string]PoolTraffic)}
+}
+
+// AddPool accumulates traffic into the named pool.
+func (c *Counters) AddPool(name string, read, write units.Bytes, bus units.Duration) {
+	t := c.Pools[name]
+	t.ReadBytes += read
+	t.WriteBytes += write
+	t.BusTime += bus
+	c.Pools[name] = t
+}
+
+// Merge adds other into c.
+func (c *Counters) Merge(other *Counters) {
+	if other == nil {
+		return
+	}
+	c.Elapsed += other.Elapsed
+	c.Flops += other.Flops
+	c.CacheServedBytes += other.CacheServedBytes
+	c.Phases += other.Phases
+	for name, t := range other.Pools {
+		c.AddPool(name, t.ReadBytes, t.WriteBytes, t.BusTime)
+	}
+}
+
+// DRAMReadBytes returns total read traffic across all pools — the
+// quantity the paper's AI estimate divides flops by.
+func (c *Counters) DRAMReadBytes() units.Bytes {
+	var b units.Bytes
+	for _, t := range c.Pools {
+		b += t.ReadBytes
+	}
+	return b
+}
+
+// DRAMTotalBytes returns total read+write traffic across all pools.
+func (c *Counters) DRAMTotalBytes() units.Bytes {
+	var b units.Bytes
+	for _, t := range c.Pools {
+		b += t.Total()
+	}
+	return b
+}
+
+// ArithmeticIntensity returns flops per DRAM-read byte (the paper's
+// Fig. 8 estimate). It returns 0 when no DRAM reads occurred.
+func (c *Counters) ArithmeticIntensity() float64 {
+	rb := c.DRAMReadBytes()
+	if rb <= 0 {
+		return 0
+	}
+	return float64(c.Flops) / float64(rb)
+}
+
+// AchievedGFlops returns the run's achieved GFLOP/s.
+func (c *Counters) AchievedGFlops() float64 {
+	if c.Elapsed <= 0 {
+		return 0
+	}
+	return float64(c.Flops) / 1e9 / c.Elapsed.Seconds()
+}
+
+// PoolNames returns pool names in deterministic (sorted) order.
+func (c *Counters) PoolNames() []string {
+	names := make([]string, 0, len(c.Pools))
+	for n := range c.Pools {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders a compact one-line summary.
+func (c *Counters) String() string {
+	s := fmt.Sprintf("elapsed=%v flops=%.3g", c.Elapsed, float64(c.Flops))
+	for _, n := range c.PoolNames() {
+		t := c.Pools[n]
+		s += fmt.Sprintf(" %s[R=%v W=%v]", n, t.ReadBytes, t.WriteBytes)
+	}
+	return s
+}

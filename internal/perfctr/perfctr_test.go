@@ -1,0 +1,82 @@
+package perfctr
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"hmpt/internal/units"
+)
+
+func TestAddAndMerge(t *testing.T) {
+	a := NewCounters()
+	a.AddPool("DDR", units.GB(4), units.GB(2), 1)
+	a.Flops = units.GFlops(10)
+	a.Elapsed = 2
+
+	b := NewCounters()
+	b.AddPool("DDR", units.GB(1), 0, 0.5)
+	b.AddPool("HBM", units.GB(8), units.GB(8), 0.25)
+	b.Flops = units.GFlops(5)
+	b.Phases = 3
+
+	a.Merge(b)
+	if a.Pools["DDR"].ReadBytes != units.GB(5) {
+		t.Errorf("DDR reads = %v", a.Pools["DDR"].ReadBytes)
+	}
+	if a.Pools["HBM"].Total() != units.GB(16) {
+		t.Errorf("HBM total = %v", a.Pools["HBM"].Total())
+	}
+	if a.Flops != units.GFlops(15) {
+		t.Errorf("flops = %g", float64(a.Flops))
+	}
+	if a.DRAMReadBytes() != units.GB(13) {
+		t.Errorf("DRAM reads = %v", a.DRAMReadBytes())
+	}
+	if a.DRAMTotalBytes() != units.GB(23) {
+		t.Errorf("DRAM total = %v", a.DRAMTotalBytes())
+	}
+	a.Merge(nil) // no-op
+	if a.Phases != 3 {
+		t.Errorf("phases = %d", a.Phases)
+	}
+}
+
+func TestArithmeticIntensity(t *testing.T) {
+	c := NewCounters()
+	if c.ArithmeticIntensity() != 0 {
+		t.Error("AI with no reads should be 0")
+	}
+	c.AddPool("DDR", units.GB(10), units.GB(10), 0)
+	c.Flops = units.GFlops(5)
+	// AI uses read bytes only (the paper's estimate).
+	if got := c.ArithmeticIntensity(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("AI = %g, want 0.5", got)
+	}
+}
+
+func TestAchievedGFlops(t *testing.T) {
+	c := NewCounters()
+	c.Flops = units.GFlops(100)
+	c.Elapsed = 2
+	if got := c.AchievedGFlops(); math.Abs(got-50) > 1e-12 {
+		t.Errorf("achieved = %g", got)
+	}
+	c.Elapsed = 0
+	if c.AchievedGFlops() != 0 {
+		t.Error("zero elapsed should yield 0")
+	}
+}
+
+func TestPoolNamesSorted(t *testing.T) {
+	c := NewCounters()
+	c.AddPool("HBM", 1, 0, 0)
+	c.AddPool("DDR", 1, 0, 0)
+	names := c.PoolNames()
+	if len(names) != 2 || names[0] != "DDR" || names[1] != "HBM" {
+		t.Errorf("names = %v", names)
+	}
+	if !strings.Contains(c.String(), "DDR[") {
+		t.Errorf("String() = %q", c.String())
+	}
+}

@@ -1,0 +1,225 @@
+// Package report renders experiment results for terminals and files:
+// aligned ASCII tables, simple scatter/line plots, and CSV export. It is
+// the output layer of the driver tool (cmd/hmpt) and of cmd/paperrepro.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple aligned-column text table.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable returns a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{Header: header} }
+
+// AddRow appends one row; values are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Write renders the table to w.
+func (t *Table) Write(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", w, c)
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.Header)); err != nil {
+		return err
+	}
+	total := len(widths) - 1
+	for _, wd := range widths {
+		total += wd + 1
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	_ = t.Write(&sb)
+	return sb.String()
+}
+
+// WriteCSV renders the table as CSV (minimal quoting: commas and quotes
+// in cells are quoted per RFC 4180).
+func (t *Table) WriteCSV(w io.Writer) error {
+	writeRow := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			parts[i] = c
+		}
+		_, err := fmt.Fprintln(w, strings.Join(parts, ","))
+		return err
+	}
+	if err := writeRow(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScatterPoint is one marked point of a Plot.
+type ScatterPoint struct {
+	X, Y float64
+	Mark rune
+}
+
+// Plot is a rudimentary character-cell scatter/line plot for terminals —
+// enough to eyeball the paper's summary views without leaving the shell.
+type Plot struct {
+	Title          string
+	XLabel, YLabel string
+	Width, Height  int
+	Points         []ScatterPoint
+	HLines         map[float64]rune // horizontal reference lines
+}
+
+// NewPlot returns an empty plot with a default 64×20 canvas.
+func NewPlot(title string) *Plot {
+	return &Plot{Title: title, Width: 64, Height: 20, HLines: make(map[float64]rune)}
+}
+
+// Add places a point.
+func (p *Plot) Add(x, y float64, mark rune) {
+	p.Points = append(p.Points, ScatterPoint{X: x, Y: y, Mark: mark})
+}
+
+// AddSeries places many points with one mark.
+func (p *Plot) AddSeries(xs, ys []float64, mark rune) {
+	for i := range xs {
+		p.Add(xs[i], ys[i], mark)
+	}
+}
+
+// HLine adds a horizontal reference line at y.
+func (p *Plot) HLine(y float64, mark rune) { p.HLines[y] = mark }
+
+// Write renders the plot.
+func (p *Plot) Write(w io.Writer) error {
+	if len(p.Points) == 0 {
+		_, err := fmt.Fprintf(w, "%s\n(no data)\n", p.Title)
+		return err
+	}
+	minX, maxX := p.Points[0].X, p.Points[0].X
+	minY, maxY := p.Points[0].Y, p.Points[0].Y
+	for _, pt := range p.Points {
+		minX, maxX = minf(minX, pt.X), maxf(maxX, pt.X)
+		minY, maxY = minf(minY, pt.Y), maxf(maxY, pt.Y)
+	}
+	for y := range p.HLines {
+		minY, maxY = minf(minY, y), maxf(maxY, y)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]rune, p.Height)
+	for r := range grid {
+		grid[r] = make([]rune, p.Width)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	toCell := func(x, y float64) (int, int) {
+		c := int((x - minX) / (maxX - minX) * float64(p.Width-1))
+		r := p.Height - 1 - int((y-minY)/(maxY-minY)*float64(p.Height-1))
+		return r, c
+	}
+	for y, mark := range p.HLines {
+		r, _ := toCell(minX, y)
+		for c := 0; c < p.Width; c++ {
+			grid[r][c] = mark
+		}
+	}
+	for _, pt := range p.Points {
+		r, c := toCell(pt.X, pt.Y)
+		grid[r][c] = pt.Mark
+	}
+	if _, err := fmt.Fprintf(w, "%s\n", p.Title); err != nil {
+		return err
+	}
+	for r, row := range grid {
+		yVal := maxY - (maxY-minY)*float64(r)/float64(p.Height-1)
+		if _, err := fmt.Fprintf(w, "%8.3f |%s\n", yVal, string(row)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%9s +%s\n", "", strings.Repeat("-", p.Width)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%10s%-*.3f%*.3f   (%s vs %s)\n", "", p.Width/2, minX, p.Width/2-3, maxX, p.YLabel, p.XLabel)
+	return err
+}
+
+// String renders the plot to a string.
+func (p *Plot) String() string {
+	var sb strings.Builder
+	_ = p.Write(&sb)
+	return sb.String()
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

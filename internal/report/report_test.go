@@ -1,0 +1,75 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("b", 22)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Errorf("header missing: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "1.500") {
+		t.Errorf("float not formatted: %q", lines[2])
+	}
+	// Columns align: "value" column starts at the same offset everywhere.
+	col := strings.Index(lines[0], "value")
+	if !strings.HasPrefix(lines[2][col:], "1.500") {
+		t.Errorf("column misaligned:\n%s", out)
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow("plain", `has "quotes", and comma`)
+	var sb strings.Builder
+	if err := tb.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `plain,"has ""quotes"", and comma"`
+	if !strings.Contains(sb.String(), want) {
+		t.Errorf("CSV = %q, want to contain %q", sb.String(), want)
+	}
+}
+
+func TestPlotRenders(t *testing.T) {
+	p := NewPlot("test plot")
+	p.AddSeries([]float64{0, 0.5, 1}, []float64{1, 1.5, 2}, '*')
+	p.HLine(1.8, '-')
+	out := p.String()
+	if !strings.Contains(out, "test plot") {
+		t.Error("title missing")
+	}
+	if strings.Count(out, "*") != 3 {
+		t.Errorf("expected 3 markers:\n%s", out)
+	}
+	if !strings.Contains(out, "-") {
+		t.Error("reference line missing")
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	p := NewPlot("empty")
+	out := p.String()
+	if !strings.Contains(out, "no data") {
+		t.Errorf("empty plot output: %q", out)
+	}
+}
+
+func TestPlotDegenerateRange(t *testing.T) {
+	p := NewPlot("flat")
+	p.Add(1, 1, 'x')
+	p.Add(1, 1, 'y')
+	out := p.String() // must not panic or divide by zero
+	if out == "" {
+		t.Error("no output")
+	}
+}

@@ -1,0 +1,110 @@
+// Package roofline builds the roofline model of Fig. 8: compute and
+// bandwidth ceilings of the Xeon Max platform plus the measured
+// (arithmetic intensity, performance) points of the evaluated
+// benchmarks, with AI estimated from DRAM read traffic exactly as the
+// paper does.
+package roofline
+
+import (
+	"fmt"
+	"math"
+
+	"hmpt/internal/memsim"
+	"hmpt/internal/perfctr"
+)
+
+// Ceiling is one roof of the model.
+type Ceiling struct {
+	Name string
+	// GBps for bandwidth roofs (0 for compute roofs).
+	GBps float64
+	// GFlops for compute roofs (0 for bandwidth roofs).
+	GFlops float64
+}
+
+// Point is one application on the roofline.
+type Point struct {
+	Name string
+	// AI is flops per DRAM-read byte.
+	AI float64
+	// GFlops is achieved performance.
+	GFlops float64
+}
+
+// Model is the assembled roofline.
+type Model struct {
+	Platform string
+	Ceilings []Ceiling
+	Points   []Point
+}
+
+// New builds the platform's ceilings: L1/L2 cache bandwidth, DDR and HBM
+// bandwidth, and the scalar/vector FMA peaks (the six roofs of Fig. 8).
+func New(p *memsim.Platform) (*Model, error) {
+	m := &Model{Platform: p.Name}
+	for _, lvl := range []string{"L1", "L2"} {
+		bw, err := p.CacheBandwidth(lvl)
+		if err != nil {
+			return nil, err
+		}
+		m.Ceilings = append(m.Ceilings, Ceiling{Name: lvl + " BW", GBps: bw.GBs()})
+	}
+	for _, spec := range p.Pools {
+		m.Ceilings = append(m.Ceilings, Ceiling{Name: spec.Name + " BW", GBps: spec.BusBW.GBs()})
+	}
+	m.Ceilings = append(m.Ceilings,
+		Ceiling{Name: "DP Vector FMA Peak", GFlops: p.PeakVectorGFlops(0)},
+		Ceiling{Name: "DP Scalar FMA Peak", GFlops: p.PeakScalarGFlops(0)},
+	)
+	return m, nil
+}
+
+// AddPoint places a measured run on the model using the paper's AI
+// estimate (flops / DRAM read bytes).
+func (m *Model) AddPoint(name string, c *perfctr.Counters) error {
+	if c == nil {
+		return fmt.Errorf("roofline: nil counters for %s", name)
+	}
+	ai := c.ArithmeticIntensity()
+	if ai <= 0 || math.IsNaN(ai) {
+		return fmt.Errorf("roofline: %s has no DRAM reads or flops (AI %g)", name, ai)
+	}
+	m.Points = append(m.Points, Point{Name: name, AI: ai, GFlops: c.AchievedGFlops()})
+	return nil
+}
+
+// Attainable returns the attainable GFLOP/s at arithmetic intensity ai
+// under the given bandwidth roof and the vector compute roof.
+func (m *Model) Attainable(ai float64, bwRoof string) (float64, error) {
+	var bw, peak float64
+	for _, c := range m.Ceilings {
+		if c.Name == bwRoof {
+			bw = c.GBps
+		}
+		if c.GFlops > peak {
+			peak = c.GFlops
+		}
+	}
+	if bw == 0 {
+		return 0, fmt.Errorf("roofline: unknown bandwidth roof %q", bwRoof)
+	}
+	return math.Min(ai*bw, peak), nil
+}
+
+// Ridge returns the arithmetic intensity at which the given bandwidth
+// roof meets the vector peak — the machine-balance point.
+func (m *Model) Ridge(bwRoof string) (float64, error) {
+	var bw, peak float64
+	for _, c := range m.Ceilings {
+		if c.Name == bwRoof {
+			bw = c.GBps
+		}
+		if c.GFlops > peak {
+			peak = c.GFlops
+		}
+	}
+	if bw == 0 {
+		return 0, fmt.Errorf("roofline: unknown bandwidth roof %q", bwRoof)
+	}
+	return peak / bw, nil
+}

@@ -1,0 +1,97 @@
+package roofline
+
+import (
+	"math"
+	"testing"
+
+	"hmpt/internal/memsim"
+	"hmpt/internal/perfctr"
+	"hmpt/internal/units"
+)
+
+func TestCeilingsMatchFig8(t *testing.T) {
+	m, err := New(memsim.XeonMax9468())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"L1 BW":              12902.4,
+		"L2 BW":              6451.2,
+		"DDR BW":             200,
+		"HBM BW":             700,
+		"DP Vector FMA Peak": 3225.6,
+		"DP Scalar FMA Peak": 403.2,
+	}
+	for _, c := range m.Ceilings {
+		v := c.GBps
+		if v == 0 {
+			v = c.GFlops
+		}
+		if w, ok := want[c.Name]; !ok {
+			t.Errorf("unexpected ceiling %q", c.Name)
+		} else if math.Abs(v-w) > 0.1 {
+			t.Errorf("%s = %.1f, want %.1f", c.Name, v, w)
+		}
+		delete(want, c.Name)
+	}
+	for name := range want {
+		t.Errorf("missing ceiling %q", name)
+	}
+}
+
+func TestAttainableAndRidge(t *testing.T) {
+	m, err := New(memsim.XeonMax9468())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Low AI: bandwidth bound.
+	v, err := m.Attainable(0.1, "DDR BW")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-20) > 0.1 {
+		t.Errorf("attainable at AI 0.1 on DDR = %.1f, want 20", v)
+	}
+	// High AI: compute bound.
+	v, err = m.Attainable(1000, "HBM BW")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-3225.6) > 0.1 {
+		t.Errorf("attainable at AI 1000 = %.1f, want peak", v)
+	}
+	ridge, err := m.Ridge("HBM BW")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ridge-3225.6/700) > 0.01 {
+		t.Errorf("HBM ridge = %.3f", ridge)
+	}
+	if _, err := m.Attainable(1, "NOPE"); err == nil {
+		t.Error("unknown roof should fail")
+	}
+}
+
+func TestAddPoint(t *testing.T) {
+	m, err := New(memsim.XeonMax9468())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := perfctr.NewCounters()
+	c.AddPool("DDR", units.GB(100), 0, 0)
+	c.Flops = units.GFlops(50)
+	c.Elapsed = 1
+	if err := m.AddPoint("app", c); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Points) != 1 || math.Abs(m.Points[0].AI-0.5) > 1e-12 {
+		t.Errorf("point = %+v", m.Points)
+	}
+	empty := perfctr.NewCounters()
+	if err := m.AddPoint("empty", empty); err == nil {
+		t.Error("empty counters should fail")
+	}
+	if err := m.AddPoint("nil", nil); err == nil {
+		t.Error("nil counters should fail")
+	}
+}

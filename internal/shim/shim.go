@@ -1,0 +1,350 @@
+// Package shim reproduces the paper's SHIM library: the component that
+// intercepts every allocation of the evaluated application, identifies it
+// by the call site (stack trace), tracks its lifetime, and exposes a hook
+// through which a tuning plan can override the memory pool an allocation
+// is served from.
+//
+// In the paper the SHIM overrides glibc malloc via LD_PRELOAD. In this
+// reproduction workloads allocate ordinary Go slices and register them
+// with an Allocator, which assigns each allocation a range in a simulated
+// virtual address space. A simulated size (real size × scale) lets a
+// laptop-scale kernel stand in for the paper's Class C/D footprints; all
+// placement and traffic accounting happens at simulated scale.
+package shim
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"hmpt/internal/units"
+)
+
+// AllocID uniquely identifies one tracked allocation within an Allocator.
+type AllocID uint64
+
+// SiteID identifies an allocation call site. Allocations made from the
+// same site alias to one another and are always placed together, exactly
+// like the stack-trace aliasing described in §III of the paper.
+type SiteID uint64
+
+// PoolHint is an opaque pool identifier carried by the placement hook.
+// The shim itself does not interpret it; the memory simulator does.
+type PoolHint int
+
+// NoHint means the allocation has no pool override and falls back to the
+// environment default (DDR in all paper experiments).
+const NoHint PoolHint = -1
+
+// PageSize is the granularity at which simulated addresses are assigned
+// and at which the vm package binds memory to pools (4 KiB, matching the
+// paper's platform without huge pages).
+const PageSize units.Bytes = 4 * units.KiB
+
+// Allocation records one intercepted allocation.
+type Allocation struct {
+	ID       AllocID
+	Site     SiteID
+	Label    string      // human-readable identity (call-site symbol or explicit label)
+	Addr     uint64      // simulated virtual base address (page aligned)
+	SimSize  units.Bytes // size at simulated scale; drives placement and traffic
+	RealSize units.Bytes // size of the real Go backing array
+	Scale    float64     // SimSize / RealSize
+	Birth    uint64      // allocation ordinal at creation
+	Death    uint64      // allocation ordinal at Free, 0 while live
+	Hint     PoolHint    // pool override applied at allocation time
+}
+
+// Live reports whether the allocation has not been freed.
+func (a *Allocation) Live() bool { return a.Death == 0 }
+
+// End returns one past the last simulated address of the allocation.
+func (a *Allocation) End() uint64 { return a.Addr + uint64(pageAlign(a.SimSize)) }
+
+// Contains reports whether the simulated address falls inside the
+// allocation's range.
+func (a *Allocation) Contains(addr uint64) bool {
+	return addr >= a.Addr && addr < a.End()
+}
+
+func (a *Allocation) String() string {
+	return fmt.Sprintf("alloc %d %q sim=%v addr=%#x", a.ID, a.Label, a.SimSize, a.Addr)
+}
+
+// PlacementHook is consulted on every allocation. Returning a hint other
+// than NoHint overrides the pool the allocation is served from — the
+// mechanism the driver script uses to apply a tuning plan on the next run.
+type PlacementHook func(site SiteID, label string, size units.Bytes) PoolHint
+
+// Allocator is the allocation interceptor and registry. It is safe for
+// concurrent use.
+type Allocator struct {
+	mu      sync.Mutex
+	next    AllocID
+	ordinal uint64
+	brk     uint64 // simulated address-space break (bump pointer)
+	allocs  map[AllocID]*Allocation
+	bySite  map[SiteID][]AllocID
+	order   []AllocID // creation order
+	hook    PlacementHook
+}
+
+// NewAllocator returns an empty allocator whose simulated address space
+// starts at a non-zero base (so address 0 is never valid).
+func NewAllocator() *Allocator {
+	return &Allocator{
+		brk:    uint64(PageSize), // keep page 0 unmapped
+		allocs: make(map[AllocID]*Allocation),
+		bySite: make(map[SiteID][]AllocID),
+	}
+}
+
+// SetPlacementHook installs the pool-override hook; nil removes it.
+func (al *Allocator) SetPlacementHook(h PlacementHook) {
+	al.mu.Lock()
+	defer al.mu.Unlock()
+	al.hook = h
+}
+
+// callSite hashes the calling stack (skipping shim frames) into a SiteID
+// and a symbolic label like "pkg.fn:42". Two allocations from the same
+// source location get the same SiteID — including successive loop
+// iterations, which is precisely the aliasing limitation §III discusses.
+func callSite(skip int) (SiteID, string) {
+	var pcs [16]uintptr
+	n := runtime.Callers(skip+2, pcs[:])
+	var h uint64 = 1469598103934665603 // FNV-64 offset basis
+	for _, pc := range pcs[:n] {
+		h ^= uint64(pc)
+		h *= 1099511628211
+	}
+	label := "unknown"
+	if n > 0 {
+		frames := runtime.CallersFrames(pcs[:n])
+		if f, _ := frames.Next(); f.Function != "" {
+			label = fmt.Sprintf("%s:%d", f.Function, f.Line)
+		}
+	}
+	return SiteID(h), label
+}
+
+// Register intercepts an allocation backed by realSize bytes of actual
+// memory, representing simScale× that many simulated bytes. label may be
+// empty, in which case the call site symbol is used. It returns the
+// allocation record.
+func (al *Allocator) Register(label string, realSize units.Bytes, simScale float64) *Allocation {
+	if simScale <= 0 {
+		simScale = 1
+	}
+	site, siteLabel := callSite(1)
+	if label == "" {
+		label = siteLabel
+	} else {
+		// Explicit labels define their own aliasing identity so that a
+		// helper function allocating many named arrays does not fold them
+		// into one site.
+		site = labelSite(label)
+	}
+	simSize := units.Bytes(float64(realSize) * simScale)
+	return al.register(site, label, realSize, simSize)
+}
+
+// labelSite derives a SiteID from an explicit label.
+func labelSite(label string) SiteID {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	return SiteID(h | 1)
+}
+
+func pageAlign(b units.Bytes) units.Bytes {
+	if b <= 0 {
+		return PageSize
+	}
+	return (b + PageSize - 1) / PageSize * PageSize
+}
+
+func (al *Allocator) register(site SiteID, label string, realSize, simSize units.Bytes) *Allocation {
+	al.mu.Lock()
+	defer al.mu.Unlock()
+	al.next++
+	al.ordinal++
+	hint := NoHint
+	if al.hook != nil {
+		hint = al.hook(site, label, simSize)
+	}
+	a := &Allocation{
+		ID:       al.next,
+		Site:     site,
+		Label:    label,
+		Addr:     al.brk,
+		SimSize:  simSize,
+		RealSize: realSize,
+		Scale:    float64(simSize) / float64(max64(1, int64(realSize))),
+		Birth:    al.ordinal,
+		Hint:     hint,
+	}
+	al.brk += uint64(pageAlign(simSize))
+	al.allocs[a.ID] = a
+	al.bySite[site] = append(al.bySite[site], a.ID)
+	al.order = append(al.order, a.ID)
+	return a
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Free marks the allocation dead. Freeing an unknown or already-freed
+// allocation is an error (it would indicate a workload bookkeeping bug).
+func (al *Allocator) Free(id AllocID) error {
+	al.mu.Lock()
+	defer al.mu.Unlock()
+	a, ok := al.allocs[id]
+	if !ok {
+		return fmt.Errorf("shim: free of unknown allocation %d", id)
+	}
+	if a.Death != 0 {
+		return fmt.Errorf("shim: double free of allocation %d (%s)", id, a.Label)
+	}
+	al.ordinal++
+	a.Death = al.ordinal
+	return nil
+}
+
+// Lookup returns the allocation with the given ID, or nil.
+func (al *Allocator) Lookup(id AllocID) *Allocation {
+	al.mu.Lock()
+	defer al.mu.Unlock()
+	return al.allocs[id]
+}
+
+// Resolve maps a simulated address to the live allocation containing it,
+// or nil. It is how IBS samples are attributed to allocations.
+func (al *Allocator) Resolve(addr uint64) *Allocation {
+	al.mu.Lock()
+	defer al.mu.Unlock()
+	// Linear scan over creation order; allocation counts are small
+	// (tens) in every workload, per Table I.
+	for _, id := range al.order {
+		a := al.allocs[id]
+		if a.Live() && a.Contains(addr) {
+			return a
+		}
+	}
+	return nil
+}
+
+// All returns every tracked allocation in creation order.
+func (al *Allocator) All() []*Allocation {
+	al.mu.Lock()
+	defer al.mu.Unlock()
+	out := make([]*Allocation, 0, len(al.order))
+	for _, id := range al.order {
+		out = append(out, al.allocs[id])
+	}
+	return out
+}
+
+// Live returns all live allocations in creation order.
+func (al *Allocator) Live() []*Allocation {
+	all := al.All()
+	out := all[:0]
+	for _, a := range all {
+		if a.Live() {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Sites returns, for each distinct call site, the IDs of its allocations,
+// sorted by first appearance. Aliased allocations share one entry.
+func (al *Allocator) Sites() []SiteGroup {
+	al.mu.Lock()
+	defer al.mu.Unlock()
+	seen := make(map[SiteID]bool)
+	var groups []SiteGroup
+	for _, id := range al.order {
+		a := al.allocs[id]
+		if seen[a.Site] {
+			continue
+		}
+		seen[a.Site] = true
+		ids := append([]AllocID(nil), al.bySite[a.Site]...)
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		var sim units.Bytes
+		for _, id := range ids {
+			sim += al.allocs[id].SimSize
+		}
+		groups = append(groups, SiteGroup{Site: a.Site, Label: a.Label, Allocs: ids, SimSize: sim})
+	}
+	return groups
+}
+
+// TotalSimBytes returns the summed simulated size of all live allocations
+// — the application's simulated memory footprint.
+func (al *Allocator) TotalSimBytes() units.Bytes {
+	al.mu.Lock()
+	defer al.mu.Unlock()
+	var total units.Bytes
+	for _, a := range al.allocs {
+		if a.Live() {
+			total += a.SimSize
+		}
+	}
+	return total
+}
+
+// SiteGroup is the set of allocations aliased to one call site.
+type SiteGroup struct {
+	Site    SiteID
+	Label   string
+	Allocs  []AllocID
+	SimSize units.Bytes
+}
+
+// TrackedSlice couples a real Go backing slice with its allocation record.
+type TrackedSlice[T any] struct {
+	Data []T
+	Rec  *Allocation
+}
+
+// ID returns the allocation ID of the tracked slice.
+func (t *TrackedSlice[T]) ID() AllocID { return t.Rec.ID }
+
+// Alloc allocates a real []T of length n, registers it under label with
+// the given simulated-scale factor, and returns both.
+func Alloc[T any](al *Allocator, label string, n int, simScale float64) *TrackedSlice[T] {
+	data := make([]T, n)
+	var elem T
+	realSize := units.Bytes(n) * units.Bytes(sizeOf(elem))
+	rec := al.Register(label, realSize, simScale)
+	return &TrackedSlice[T]{Data: data, Rec: rec}
+}
+
+// sizeOf reports the size of a value of type T in bytes without unsafe.
+func sizeOf(v any) int {
+	switch v.(type) {
+	case float64, int64, uint64, complex64:
+		return 8
+	case float32, int32, uint32:
+		return 4
+	case int16, uint16:
+		return 2
+	case int8, uint8, bool:
+		return 1
+	case complex128:
+		return 16
+	case int, uint, uintptr:
+		return 8 // 64-bit platforms only; fine for a simulator
+	default:
+		return 8
+	}
+}

@@ -1,0 +1,178 @@
+package shim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hmpt/internal/units"
+)
+
+func TestRegisterAssignsDisjointRanges(t *testing.T) {
+	al := NewAllocator()
+	a := al.Register("a", 1000, 2)
+	b := al.Register("b", 4096, 1)
+	if a.SimSize != 2000 {
+		t.Errorf("a sim size %d", a.SimSize)
+	}
+	if a.Addr == 0 {
+		t.Error("address 0 must stay unmapped")
+	}
+	if a.End() > b.Addr {
+		t.Errorf("ranges overlap: a ends %#x, b starts %#x", a.End(), b.Addr)
+	}
+	if a.Addr%uint64(PageSize) != 0 || b.Addr%uint64(PageSize) != 0 {
+		t.Error("allocations must be page aligned")
+	}
+}
+
+func TestResolve(t *testing.T) {
+	al := NewAllocator()
+	a := al.Register("x", 8192, 1)
+	if got := al.Resolve(a.Addr + 100); got == nil || got.ID != a.ID {
+		t.Errorf("Resolve inside = %v", got)
+	}
+	if got := al.Resolve(a.End() + uint64(PageSize)*100); got != nil {
+		t.Errorf("Resolve far outside = %v", got)
+	}
+	if err := al.Free(a.ID); err != nil {
+		t.Fatal(err)
+	}
+	if got := al.Resolve(a.Addr + 100); got != nil {
+		t.Error("freed allocation still resolves")
+	}
+}
+
+func TestFreeErrors(t *testing.T) {
+	al := NewAllocator()
+	a := al.Register("x", 64, 1)
+	if err := al.Free(999); err == nil {
+		t.Error("freeing unknown ID should fail")
+	}
+	if err := al.Free(a.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := al.Free(a.ID); err == nil {
+		t.Error("double free should fail")
+	}
+}
+
+func TestSiteAliasing(t *testing.T) {
+	al := NewAllocator()
+	// Same explicit label in a loop aliases to one site — the paper's
+	// loop-iteration limitation.
+	for i := 0; i < 5; i++ {
+		al.Register("loop.buf", 1024, 1)
+	}
+	al.Register("other", 1024, 1)
+	sites := al.Sites()
+	if len(sites) != 2 {
+		t.Fatalf("sites = %d, want 2", len(sites))
+	}
+	var loop *SiteGroup
+	for i := range sites {
+		if sites[i].Label == "loop.buf" {
+			loop = &sites[i]
+		}
+	}
+	if loop == nil || len(loop.Allocs) != 5 {
+		t.Fatalf("loop site should alias 5 allocations, got %+v", loop)
+	}
+}
+
+func TestCallSiteCapture(t *testing.T) {
+	al := NewAllocator()
+	// Sites hash the whole stack, so allocations from the same loop
+	// iteration site alias while a different call line does not.
+	var loop []*Allocation
+	for i := 0; i < 2; i++ {
+		loop = append(loop, al.Register("", 128, 1))
+	}
+	if loop[0].Site != loop[1].Site {
+		t.Error("same call site should alias")
+	}
+	c := al.Register("", 128, 1)
+	if c.Site == loop[0].Site {
+		t.Error("different call sites should not alias")
+	}
+	a := loop[0]
+	if a.Label == "" || a.Label == "unknown" {
+		t.Errorf("call-site label missing: %q", a.Label)
+	}
+}
+
+func TestPlacementHook(t *testing.T) {
+	al := NewAllocator()
+	var gotLabel string
+	al.SetPlacementHook(func(site SiteID, label string, size units.Bytes) PoolHint {
+		gotLabel = label
+		return PoolHint(1)
+	})
+	a := al.Register("hooked", 64, 1)
+	if a.Hint != 1 {
+		t.Errorf("hint = %d", a.Hint)
+	}
+	if gotLabel != "hooked" {
+		t.Errorf("hook saw label %q", gotLabel)
+	}
+	al.SetPlacementHook(nil)
+	b := al.Register("unhooked", 64, 1)
+	if b.Hint != NoHint {
+		t.Errorf("hint without hook = %d", b.Hint)
+	}
+}
+
+func TestTotalsAndLiveness(t *testing.T) {
+	al := NewAllocator()
+	a := al.Register("a", int64GB(1), 1)
+	al.Register("b", int64GB(2), 1)
+	if got := al.TotalSimBytes(); got != int64GB(3) {
+		t.Errorf("total = %v", got)
+	}
+	if err := al.Free(a.ID); err != nil {
+		t.Fatal(err)
+	}
+	if got := al.TotalSimBytes(); got != int64GB(2) {
+		t.Errorf("total after free = %v", got)
+	}
+	if got := len(al.Live()); got != 1 {
+		t.Errorf("live = %d", got)
+	}
+	if got := len(al.All()); got != 2 {
+		t.Errorf("all = %d", got)
+	}
+}
+
+func int64GB(n int64) units.Bytes { return units.Bytes(n) * units.GiB }
+
+func TestAllocGeneric(t *testing.T) {
+	al := NewAllocator()
+	ts := Alloc[float64](al, "vec", 1000, 4)
+	if len(ts.Data) != 1000 {
+		t.Errorf("backing len %d", len(ts.Data))
+	}
+	if ts.Rec.RealSize != 8000 {
+		t.Errorf("real size %d", ts.Rec.RealSize)
+	}
+	if ts.Rec.SimSize != 32000 {
+		t.Errorf("sim size %d", ts.Rec.SimSize)
+	}
+}
+
+// Property: any address inside any live allocation resolves to exactly
+// that allocation.
+func TestResolveProperty(t *testing.T) {
+	err := quick.Check(func(sizes [6]uint16, pick uint8, off uint16) bool {
+		al := NewAllocator()
+		var allocs []*Allocation
+		for i, s := range sizes {
+			allocs = append(allocs, al.Register("", units.Bytes(s)+1, float64(i+1)))
+		}
+		a := allocs[int(pick)%len(allocs)]
+		addr := a.Addr + uint64(off)%uint64(a.SimSize)
+		got := al.Resolve(addr)
+		return got != nil && got.ID == a.ID
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hmpt/internal/xrand"
+)
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	if !math.IsNaN(s.Mean()) {
+		t.Error("empty mean should be NaN")
+	}
+	s.AddAll(1, 2, 3, 4, 5)
+	if s.N() != 5 {
+		t.Errorf("N = %d", s.N())
+	}
+	if s.Mean() != 3 {
+		t.Errorf("mean = %g", s.Mean())
+	}
+	if math.Abs(s.Stddev()-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("stddev = %g", s.Stddev())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Errorf("min/max = %g/%g", s.Min(), s.Max())
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	var s Sample
+	s.AddAll(10, 20, 30, 40)
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {1, 40}, {0.5, 25}, {1.0 / 3, 20},
+	}
+	for _, c := range cases {
+		if got := s.Percentile(c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("P%.2f = %g, want %g", c.p, got, c.want)
+		}
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	rng := xrand.New(1)
+	var small, large Sample
+	for i := 0; i < 10; i++ {
+		small.Add(rng.NormFloat64())
+	}
+	for i := 0; i < 1000; i++ {
+		large.Add(rng.NormFloat64())
+	}
+	if large.CI95() >= small.CI95() {
+		t.Errorf("CI should shrink with n: %g vs %g", large.CI95(), small.CI95())
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4, 16}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("GeoMean = %g, want 4", got)
+	}
+	if !math.IsNaN(GeoMean([]float64{1, -2})) {
+		t.Error("GeoMean with negatives should be NaN")
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 1 + 2x
+	a, b, r2, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-1) > 1e-12 || math.Abs(b-2) > 1e-12 || math.Abs(r2-1) > 1e-12 {
+		t.Errorf("fit = (%g, %g, r2=%g)", a, b, r2)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, _, _, err := LinearFit([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, _, _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point should fail")
+	}
+	if _, _, _, err := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("degenerate x should fail")
+	}
+}
+
+// Property: mean is within [min, max] and shifting data shifts the mean.
+func TestMeanProperties(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 2 + rng.Intn(50)
+		var s, shifted Sample
+		for i := 0; i < n; i++ {
+			v := rng.NormFloat64() * 10
+			s.Add(v)
+			shifted.Add(v + 5)
+		}
+		m := s.Mean()
+		if m < s.Min()-1e-9 || m > s.Max()+1e-9 {
+			return false
+		}
+		return math.Abs(shifted.Mean()-(m+5)) < 1e-9
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if got := RelErr(110, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("RelErr = %g", got)
+	}
+	if got := RelErr(3, 0); got != 3 {
+		t.Errorf("RelErr with zero want = %g", got)
+	}
+}

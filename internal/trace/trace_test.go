@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"testing"
+
+	"hmpt/internal/units"
+)
+
+func TestRecorderCoalescesIdenticalPhases(t *testing.T) {
+	r := NewRecorder()
+	p := Phase{Name: "iter", Flops: 10, Streams: []Stream{{Alloc: 1, Bytes: 100, Kind: Read}}}
+	for i := 0; i < 5; i++ {
+		r.Emit(p)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("coalesced phases = %d, want 1", r.Len())
+	}
+	tr := r.Trace()
+	if tr.Phases[0].Times() != 5 {
+		t.Errorf("repeat = %d, want 5", tr.Phases[0].Times())
+	}
+}
+
+func TestRecorderKeepsDistinctPhases(t *testing.T) {
+	r := NewRecorder()
+	r.Emit(Phase{Name: "a", Streams: []Stream{{Alloc: 1, Bytes: 100, Kind: Read}}})
+	r.Emit(Phase{Name: "b", Streams: []Stream{{Alloc: 1, Bytes: 100, Kind: Read}}})
+	r.Emit(Phase{Name: "a", Streams: []Stream{{Alloc: 1, Bytes: 100, Kind: Read}}})
+	if r.Len() != 3 {
+		t.Errorf("phases = %d, want 3 (non-adjacent identical phases stay separate)", r.Len())
+	}
+}
+
+func TestTraceTotals(t *testing.T) {
+	tr := &Trace{Phases: []Phase{
+		{
+			Name: "a", Flops: 5,
+			Streams: []Stream{
+				{Alloc: 1, Bytes: 100, Kind: Read},
+				{Alloc: 2, Bytes: 50, Kind: Update}, // counts twice
+			},
+			Repeat: 2,
+		},
+		{Name: "b", Flops: 3, Streams: []Stream{{Alloc: 1, Bytes: 10, Kind: Write}}},
+	}}
+	if got := tr.TotalBytes(); got != units.Bytes(2*(100+100)+10) {
+		t.Errorf("total bytes = %d", got)
+	}
+	if got := tr.TotalFlops(); got != 13 {
+		t.Errorf("total flops = %g", float64(got))
+	}
+	by := tr.BytesByAlloc()
+	if by[1] != 210 {
+		t.Errorf("alloc 1 bytes = %d", by[1])
+	}
+	if by[2] != 200 {
+		t.Errorf("alloc 2 bytes = %d", by[2])
+	}
+}
+
+func TestRecorderSnapshotIsolation(t *testing.T) {
+	r := NewRecorder()
+	r.Emit(Phase{Name: "a", Streams: []Stream{{Alloc: 1, Bytes: 1, Kind: Read}}})
+	tr := r.Trace()
+	r.Emit(Phase{Name: "b", Streams: []Stream{{Alloc: 1, Bytes: 1, Kind: Read}}})
+	if len(tr.Phases) != 1 {
+		t.Error("snapshot should not see later emissions")
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Error("reset should clear phases")
+	}
+	if len(tr.Phases) != 1 {
+		t.Error("snapshot must survive reset")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Sequential.String() != "seq" || Chase.String() != "chase" {
+		t.Error("pattern names wrong")
+	}
+	if Read.String() != "R" || Update.String() != "RW" {
+		t.Error("kind names wrong")
+	}
+	if Pattern(99).String() == "" || Kind(99).String() == "" {
+		t.Error("unknown values should still print")
+	}
+}
+
+func TestPhaseTimes(t *testing.T) {
+	p := Phase{}
+	if p.Times() != 1 {
+		t.Errorf("zero repeat = %d, want 1", p.Times())
+	}
+	p.Repeat = 7
+	if p.Times() != 7 {
+		t.Errorf("repeat = %d", p.Times())
+	}
+}

@@ -1,0 +1,207 @@
+// Package units provides byte, time, and bandwidth quantities used across
+// the simulator, together with parsing and human-readable formatting.
+//
+// The simulator works in simulated time; to keep unit errors out of the
+// cost model every quantity is a distinct type with explicit conversions.
+package units
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Bytes is a memory size or traffic volume in bytes. Simulated sizes can
+// exceed physical memory, so the underlying type is int64.
+type Bytes int64
+
+// Common byte sizes.
+const (
+	KiB Bytes = 1 << 10
+	MiB Bytes = 1 << 20
+	GiB Bytes = 1 << 30
+	TiB Bytes = 1 << 40
+)
+
+// CacheLine is the transfer granularity of the memory system model.
+const CacheLine Bytes = 64
+
+// GB returns n decimal gigabytes (1e9 bytes), matching how the paper
+// reports capacities and bandwidths.
+func GB(n float64) Bytes { return Bytes(n * 1e9) }
+
+// GiBf returns n binary gigabytes as Bytes.
+func GiBf(n float64) Bytes { return Bytes(n * float64(GiB)) }
+
+// Float returns the size as a float64 number of bytes.
+func (b Bytes) Float() float64 { return float64(b) }
+
+// GBs returns the size in decimal gigabytes.
+func (b Bytes) GBs() float64 { return float64(b) / 1e9 }
+
+// Lines returns the number of cache lines covering b, rounding up.
+func (b Bytes) Lines() int64 {
+	if b <= 0 {
+		return 0
+	}
+	return (int64(b) + int64(CacheLine) - 1) / int64(CacheLine)
+}
+
+// String formats the size with a binary suffix, e.g. "26.46 GiB".
+func (b Bytes) String() string {
+	abs := b
+	if abs < 0 {
+		abs = -abs
+	}
+	switch {
+	case abs >= TiB:
+		return fmt.Sprintf("%.2f TiB", float64(b)/float64(TiB))
+	case abs >= GiB:
+		return fmt.Sprintf("%.2f GiB", float64(b)/float64(GiB))
+	case abs >= MiB:
+		return fmt.Sprintf("%.2f MiB", float64(b)/float64(MiB))
+	case abs >= KiB:
+		return fmt.Sprintf("%.2f KiB", float64(b)/float64(KiB))
+	default:
+		return fmt.Sprintf("%d B", int64(b))
+	}
+}
+
+// ParseBytes parses strings like "16GB", "26.46 GiB", "512 kB", "64".
+// Decimal suffixes (kB, MB, GB, TB) use powers of 1000; binary suffixes
+// (KiB, MiB, GiB, TiB) use powers of 1024. A bare number is bytes.
+func ParseBytes(s string) (Bytes, error) {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return 0, fmt.Errorf("units: empty byte quantity")
+	}
+	i := len(t)
+	for i > 0 {
+		c := t[i-1]
+		if c >= '0' && c <= '9' || c == '.' {
+			break
+		}
+		i--
+	}
+	num, suffix := strings.TrimSpace(t[:i]), strings.TrimSpace(t[i:])
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return 0, fmt.Errorf("units: bad byte quantity %q: %v", s, err)
+	}
+	var mult float64
+	switch strings.ToLower(suffix) {
+	case "", "b":
+		mult = 1
+	case "kb":
+		mult = 1e3
+	case "mb":
+		mult = 1e6
+	case "gb":
+		mult = 1e9
+	case "tb":
+		mult = 1e12
+	case "kib":
+		mult = float64(KiB)
+	case "mib":
+		mult = float64(MiB)
+	case "gib":
+		mult = float64(GiB)
+	case "tib":
+		mult = float64(TiB)
+	default:
+		return 0, fmt.Errorf("units: unknown byte suffix %q in %q", suffix, s)
+	}
+	f := v * mult
+	if math.IsNaN(f) || f > math.MaxInt64 || f < math.MinInt64 {
+		return 0, fmt.Errorf("units: byte quantity %q out of range", s)
+	}
+	return Bytes(f), nil
+}
+
+// Duration is simulated time in seconds. It is deliberately not
+// time.Duration: simulated runs span nanoseconds to hours and the cost
+// engine does floating-point arithmetic on them throughout.
+type Duration float64
+
+// Duration constructors.
+const (
+	Nanosecond  Duration = 1e-9
+	Microsecond Duration = 1e-6
+	Millisecond Duration = 1e-3
+	Second      Duration = 1
+)
+
+// Seconds returns the duration as float seconds.
+func (d Duration) Seconds() float64 { return float64(d) }
+
+// Nanoseconds returns the duration in nanoseconds.
+func (d Duration) Nanoseconds() float64 { return float64(d) / 1e-9 }
+
+// String formats the duration with an adaptive unit.
+func (d Duration) String() string {
+	abs := math.Abs(float64(d))
+	switch {
+	case abs == 0:
+		return "0 s"
+	case abs < 1e-6:
+		return fmt.Sprintf("%.2f ns", float64(d)/1e-9)
+	case abs < 1e-3:
+		return fmt.Sprintf("%.2f µs", float64(d)/1e-6)
+	case abs < 1:
+		return fmt.Sprintf("%.2f ms", float64(d)/1e-3)
+	default:
+		return fmt.Sprintf("%.3f s", float64(d))
+	}
+}
+
+// Bandwidth is a transfer rate in bytes per second.
+type Bandwidth float64
+
+// GBps returns a bandwidth of n decimal gigabytes per second, the unit
+// used throughout the paper.
+func GBps(n float64) Bandwidth { return Bandwidth(n * 1e9) }
+
+// GBs returns the bandwidth in decimal GB/s.
+func (bw Bandwidth) GBs() float64 { return float64(bw) / 1e9 }
+
+// Time returns how long transferring b takes at this bandwidth.
+// A non-positive bandwidth yields +Inf for positive b (stalled pool).
+func (bw Bandwidth) Time(b Bytes) Duration {
+	if b <= 0 {
+		return 0
+	}
+	if bw <= 0 {
+		return Duration(math.Inf(1))
+	}
+	return Duration(float64(b) / float64(bw))
+}
+
+// String formats the bandwidth in GB/s.
+func (bw Bandwidth) String() string { return fmt.Sprintf("%.1f GB/s", bw.GBs()) }
+
+// Flops counts floating-point operations.
+type Flops float64
+
+// GFlops returns n * 1e9 flops.
+func GFlops(n float64) Flops { return Flops(n * 1e9) }
+
+// FlopRate is floating-point throughput in FLOP/s.
+type FlopRate float64
+
+// GFlopsRate returns a rate of n GFLOP/s.
+func GFlopsRate(n float64) FlopRate { return FlopRate(n * 1e9) }
+
+// Time returns how long f flops take at this rate.
+func (r FlopRate) Time(f Flops) Duration {
+	if f <= 0 {
+		return 0
+	}
+	if r <= 0 {
+		return Duration(math.Inf(1))
+	}
+	return Duration(float64(f) / float64(r))
+}
+
+// GFs returns the rate in GFLOP/s.
+func (r FlopRate) GFs() float64 { return float64(r) / 1e9 }

@@ -1,0 +1,124 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseBytes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Bytes
+	}{
+		{"16GB", 16e9},
+		{"26.46 GiB", GiBf(26.46)},
+		{"512 kB", 512e3},
+		{"64", 64},
+		{"1.5 MiB", MiB + MiB/2},
+		{"2TB", 2e12},
+		{"3 TiB", 3 * TiB},
+		{"0.5b", 0},
+	}
+	for _, c := range cases {
+		got, err := ParseBytes(c.in)
+		if err != nil {
+			t.Errorf("ParseBytes(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseBytes(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "GB", "12XB", "1.2.3GB"} {
+		if _, err := ParseBytes(bad); err == nil {
+			t.Errorf("ParseBytes(%q) should fail", bad)
+		}
+	}
+}
+
+func TestBytesString(t *testing.T) {
+	cases := []struct {
+		in   Bytes
+		want string
+	}{
+		{512, "512 B"},
+		{2 * KiB, "2.00 KiB"},
+		{3 * MiB, "3.00 MiB"},
+		{GiB + GiB/2, "1.50 GiB"},
+		{2 * TiB, "2.00 TiB"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestLines(t *testing.T) {
+	if got := Bytes(0).Lines(); got != 0 {
+		t.Errorf("0 bytes = %d lines", got)
+	}
+	if got := Bytes(1).Lines(); got != 1 {
+		t.Errorf("1 byte = %d lines, want 1", got)
+	}
+	if got := Bytes(64).Lines(); got != 1 {
+		t.Errorf("64 bytes = %d lines, want 1", got)
+	}
+	if got := Bytes(65).Lines(); got != 2 {
+		t.Errorf("65 bytes = %d lines, want 2", got)
+	}
+}
+
+func TestBandwidthTime(t *testing.T) {
+	bw := GBps(200)
+	if got := bw.Time(GB(100)); math.Abs(got.Seconds()-0.5) > 1e-12 {
+		t.Errorf("100 GB at 200 GB/s = %v, want 0.5 s", got)
+	}
+	if got := bw.Time(0); got != 0 {
+		t.Errorf("0 bytes should take 0 time, got %v", got)
+	}
+	if got := Bandwidth(0).Time(GB(1)); !math.IsInf(got.Seconds(), 1) {
+		t.Errorf("zero bandwidth should be +Inf, got %v", got)
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		in   Duration
+		want string
+	}{
+		{0, "0 s"},
+		{5 * Nanosecond, "5.00 ns"},
+		{3 * Microsecond, "3.00 µs"},
+		{7 * Millisecond, "7.00 ms"},
+		{2.5, "2.500 s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("%v.String() = %q, want %q", float64(c.in), got, c.want)
+		}
+	}
+}
+
+// Property: Lines is monotone and covers the bytes.
+func TestLinesProperty(t *testing.T) {
+	err := quick.Check(func(n uint32) bool {
+		b := Bytes(n)
+		l := b.Lines()
+		return l*64 >= int64(b) && (l-1)*64 < int64(b) || b == 0 && l == 0
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlopRate(t *testing.T) {
+	r := GFlopsRate(100)
+	if got := r.Time(GFlops(50)); math.Abs(got.Seconds()-0.5) > 1e-12 {
+		t.Errorf("50 GF at 100 GF/s = %v", got)
+	}
+	if got := r.GFs(); got != 100 {
+		t.Errorf("GFs = %g", got)
+	}
+}

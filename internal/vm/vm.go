@@ -1,0 +1,263 @@
+// Package vm provides the simulated virtual-memory layer: a page table
+// over the shim's simulated address space in which every page is bound to
+// one memory pool. It is the reproduction's stand-in for memkind/libnuma
+// — the mechanism the paper's SHIM library uses to serve an allocation
+// from a chosen pool — including per-pool capacity accounting, policy
+// binding (default pool, explicit bind, interleave) and page migration.
+//
+// AddressSpace implements memsim.Placement, so a page table can be handed
+// directly to the cost engine.
+package vm
+
+import (
+	"fmt"
+	"sync"
+
+	"hmpt/internal/memsim"
+	"hmpt/internal/shim"
+	"hmpt/internal/units"
+)
+
+// AddressSpace is a page table mapping simulated pages to pools. It is
+// safe for concurrent use.
+type AddressSpace struct {
+	mu       sync.RWMutex
+	alloc    *shim.Allocator
+	pools    int
+	def      memsim.PoolID
+	pages    map[uint64]memsim.PoolID // page index → pool; default pool omitted
+	caps     []units.Bytes            // 0 = unlimited
+	used     []units.Bytes            // bytes bound per pool (incl. default pages only when bound explicitly)
+	migrated units.Bytes              // total bytes moved by Migrate calls
+
+	// Split results are cached per allocation and invalidated by a
+	// generation counter bumped on any page-table mutation: the cost
+	// engine calls Split per stream per phase, and large simulated
+	// allocations span millions of pages.
+	gen        uint64
+	splitCache map[shim.AllocID]cachedSplit
+}
+
+type cachedSplit struct {
+	gen  uint64
+	frac []float64
+}
+
+// New returns an address space over the allocator's simulated addresses
+// with the given number of pools and default pool. Pages not explicitly
+// bound belong to the default pool (first-touch into the default tier,
+// which on the paper's platform is DDR).
+func New(alloc *shim.Allocator, pools int, def memsim.PoolID) (*AddressSpace, error) {
+	if alloc == nil {
+		return nil, fmt.Errorf("vm: nil allocator")
+	}
+	if pools < 1 {
+		return nil, fmt.Errorf("vm: need at least one pool, got %d", pools)
+	}
+	if int(def) < 0 || int(def) >= pools {
+		return nil, fmt.Errorf("vm: default pool %d out of range [0,%d)", def, pools)
+	}
+	return &AddressSpace{
+		alloc:      alloc,
+		pools:      pools,
+		def:        def,
+		pages:      make(map[uint64]memsim.PoolID),
+		caps:       make([]units.Bytes, pools),
+		used:       make([]units.Bytes, pools),
+		splitCache: make(map[shim.AllocID]cachedSplit),
+	}, nil
+}
+
+// FromPlatform returns an address space whose pool count, default pool
+// (DDR) and capacity limits come from the platform description.
+func FromPlatform(alloc *shim.Allocator, p *memsim.Platform) (*AddressSpace, error) {
+	ddr, err := p.PoolByKind(memsim.DDR)
+	if err != nil {
+		return nil, err
+	}
+	as, err := New(alloc, len(p.Pools), ddr)
+	if err != nil {
+		return nil, err
+	}
+	for i := range p.Pools {
+		as.SetCapacity(memsim.PoolID(i), p.Pools[i].Capacity)
+	}
+	return as, nil
+}
+
+// SetCapacity sets a pool's capacity limit; 0 disables enforcement.
+func (as *AddressSpace) SetCapacity(p memsim.PoolID, c units.Bytes) {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	as.caps[p] = c
+}
+
+// DefaultPool returns the pool unbound pages belong to.
+func (as *AddressSpace) DefaultPool() memsim.PoolID { return as.def }
+
+// pageRange returns the page index range [first, last) of an allocation.
+func pageRange(a *shim.Allocation) (uint64, uint64) {
+	ps := uint64(shim.PageSize)
+	return a.Addr / ps, a.End() / ps
+}
+
+// BindAlloc binds every page of the allocation to pool p, enforcing the
+// pool's capacity limit. On failure the address space is unchanged.
+func (as *AddressSpace) BindAlloc(a *shim.Allocation, p memsim.PoolID) error {
+	if a == nil {
+		return fmt.Errorf("vm: bind of nil allocation")
+	}
+	if int(p) < 0 || int(p) >= as.pools {
+		return fmt.Errorf("vm: pool %d out of range [0,%d)", p, as.pools)
+	}
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	first, last := pageRange(a)
+	add := units.Bytes(last-first) * shim.PageSize
+	// Compute the capacity delta accounting for pages already on p.
+	var already units.Bytes
+	for pg := first; pg < last; pg++ {
+		if as.poolOfPageLocked(pg) == p {
+			already += shim.PageSize
+		}
+	}
+	if as.caps[p] > 0 && as.used[p]+add-already > as.caps[p] {
+		return fmt.Errorf("vm: binding %v of %q to pool %d exceeds capacity %v (used %v)",
+			a.SimSize, a.Label, p, as.caps[p], as.used[p])
+	}
+	for pg := first; pg < last; pg++ {
+		as.setPageLocked(pg, p)
+	}
+	as.gen++
+	return nil
+}
+
+// InterleaveAlloc spreads the allocation's pages round-robin over the
+// given pools (the "uniformly spread over all memory nodes" placement of
+// Fig. 4), enforcing capacity on each.
+func (as *AddressSpace) InterleaveAlloc(a *shim.Allocation, pools []memsim.PoolID) error {
+	if a == nil {
+		return fmt.Errorf("vm: interleave of nil allocation")
+	}
+	if len(pools) == 0 {
+		return fmt.Errorf("vm: interleave over empty pool set")
+	}
+	for _, p := range pools {
+		if int(p) < 0 || int(p) >= as.pools {
+			return fmt.Errorf("vm: pool %d out of range [0,%d)", p, as.pools)
+		}
+	}
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	first, last := pageRange(a)
+	for pg := first; pg < last; pg++ {
+		p := pools[int((pg-first)%uint64(len(pools)))]
+		if as.caps[p] > 0 && as.poolOfPageLocked(pg) != p && as.used[p]+shim.PageSize > as.caps[p] {
+			return fmt.Errorf("vm: interleaving %q exceeds capacity of pool %d", a.Label, p)
+		}
+		as.setPageLocked(pg, p)
+	}
+	as.gen++
+	return nil
+}
+
+// MigrateAlloc rebinds the allocation to pool p and records the volume of
+// pages that actually moved, which a migration-cost model can charge.
+func (as *AddressSpace) MigrateAlloc(a *shim.Allocation, p memsim.PoolID) (moved units.Bytes, err error) {
+	if a == nil {
+		return 0, fmt.Errorf("vm: migrate of nil allocation")
+	}
+	as.mu.Lock()
+	first, last := pageRange(a)
+	for pg := first; pg < last; pg++ {
+		if as.poolOfPageLocked(pg) != p {
+			moved += shim.PageSize
+		}
+	}
+	as.mu.Unlock()
+	if err := as.BindAlloc(a, p); err != nil {
+		return 0, err
+	}
+	as.mu.Lock()
+	as.migrated += moved
+	as.mu.Unlock()
+	return moved, nil
+}
+
+// MigratedBytes returns the cumulative volume moved by MigrateAlloc.
+func (as *AddressSpace) MigratedBytes() units.Bytes {
+	as.mu.RLock()
+	defer as.mu.RUnlock()
+	return as.migrated
+}
+
+// poolOfPageLocked returns the pool of a page: its explicit binding, or
+// the default pool when the page has never been bound.
+func (as *AddressSpace) poolOfPageLocked(pg uint64) memsim.PoolID {
+	if p, ok := as.pages[pg]; ok {
+		return p
+	}
+	return as.def
+}
+
+// setPageLocked binds one page. used[] counts pages that have an entry in
+// the page map; never-bound pages live implicitly on the default pool and
+// are not charged against any capacity (the paper's DDR tier is the
+// effectively unconstrained capacity tier).
+func (as *AddressSpace) setPageLocked(pg uint64, p memsim.PoolID) {
+	if old, ok := as.pages[pg]; ok {
+		as.used[old] -= shim.PageSize
+	}
+	as.pages[pg] = p
+	as.used[p] += shim.PageSize
+}
+
+// PoolOfAddr returns the pool serving the page containing addr.
+func (as *AddressSpace) PoolOfAddr(addr uint64) memsim.PoolID {
+	as.mu.RLock()
+	defer as.mu.RUnlock()
+	return as.poolOfPageLocked(addr / uint64(shim.PageSize))
+}
+
+// UsedBytes returns the bytes explicitly bound to pool p.
+func (as *AddressSpace) UsedBytes(p memsim.PoolID) units.Bytes {
+	as.mu.RLock()
+	defer as.mu.RUnlock()
+	return as.used[p]
+}
+
+// Split implements memsim.Placement: the fraction of the allocation's
+// pages on each pool.
+func (as *AddressSpace) Split(id shim.AllocID) []float64 {
+	out := make([]float64, as.pools)
+	a := as.alloc.Lookup(id)
+	if a == nil {
+		out[as.def] = 1
+		return out
+	}
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	if c, ok := as.splitCache[id]; ok && c.gen == as.gen {
+		copy(out, c.frac)
+		return out
+	}
+	first, last := pageRange(a)
+	n := last - first
+	if n == 0 {
+		out[as.def] = 1
+		return out
+	}
+	for pg := first; pg < last; pg++ {
+		out[as.poolOfPageLocked(pg)]++
+	}
+	for i := range out {
+		out[i] /= float64(n)
+	}
+	cached := make([]float64, len(out))
+	copy(cached, out)
+	as.splitCache[id] = cachedSplit{gen: as.gen, frac: cached}
+	return out
+}
+
+// NumPools implements memsim.Placement.
+func (as *AddressSpace) NumPools() int { return as.pools }

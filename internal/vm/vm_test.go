@@ -1,0 +1,173 @@
+package vm
+
+import (
+	"testing"
+
+	"hmpt/internal/memsim"
+	"hmpt/internal/shim"
+	"hmpt/internal/units"
+)
+
+func setup(t *testing.T) (*shim.Allocator, *AddressSpace) {
+	t.Helper()
+	al := shim.NewAllocator()
+	as, err := New(al, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return al, as
+}
+
+func TestDefaultPlacement(t *testing.T) {
+	al, as := setup(t)
+	a := al.Register("a", 64*units.KiB, 1)
+	split := as.Split(a.ID)
+	if split[0] != 1 || split[1] != 0 {
+		t.Errorf("default split = %v", split)
+	}
+}
+
+func TestBindAlloc(t *testing.T) {
+	al, as := setup(t)
+	a := al.Register("a", 64*units.KiB, 1)
+	if err := as.BindAlloc(a, 1); err != nil {
+		t.Fatal(err)
+	}
+	split := as.Split(a.ID)
+	if split[1] != 1 {
+		t.Errorf("split after bind = %v", split)
+	}
+	if got := as.UsedBytes(1); got != 64*units.KiB {
+		t.Errorf("used = %v", got)
+	}
+	if as.PoolOfAddr(a.Addr) != 1 {
+		t.Error("PoolOfAddr disagrees")
+	}
+}
+
+func TestCapacityEnforced(t *testing.T) {
+	al, as := setup(t)
+	as.SetCapacity(1, 32*units.KiB)
+	a := al.Register("a", 64*units.KiB, 1)
+	if err := as.BindAlloc(a, 1); err == nil {
+		t.Fatal("binding beyond capacity should fail")
+	}
+	// Address space unchanged on failure.
+	if got := as.UsedBytes(1); got != 0 {
+		t.Errorf("used after failed bind = %v", got)
+	}
+	b := al.Register("b", 16*units.KiB, 1)
+	if err := as.BindAlloc(b, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Rebinding the same allocation must not double-charge.
+	if err := as.BindAlloc(b, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := as.UsedBytes(1); got != 16*units.KiB {
+		t.Errorf("used after rebind = %v", got)
+	}
+}
+
+func TestInterleave(t *testing.T) {
+	al, as := setup(t)
+	a := al.Register("a", 64*units.KiB, 1) // 16 pages
+	if err := as.InterleaveAlloc(a, []memsim.PoolID{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	split := as.Split(a.ID)
+	if split[0] != 0.5 || split[1] != 0.5 {
+		t.Errorf("interleaved split = %v", split)
+	}
+}
+
+func TestMigrate(t *testing.T) {
+	al, as := setup(t)
+	a := al.Register("a", 64*units.KiB, 1)
+	moved, err := as.MigrateAlloc(a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 64*units.KiB {
+		t.Errorf("moved %v, want 64 KiB", moved)
+	}
+	// Migrating to the same pool moves nothing.
+	moved, err = as.MigrateAlloc(a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 0 {
+		t.Errorf("second migrate moved %v", moved)
+	}
+	if got := as.MigratedBytes(); got != 64*units.KiB {
+		t.Errorf("cumulative migrated = %v", got)
+	}
+}
+
+func TestFromPlatform(t *testing.T) {
+	al := shim.NewAllocator()
+	p := memsim.XeonMax9468()
+	as, err := FromPlatform(al, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if as.DefaultPool() != p.MustPool(memsim.DDR) {
+		t.Error("default pool should be DDR")
+	}
+	// Capacity enforcement from the platform (shrunk so the page-table
+	// walk stays fast in tests).
+	as.SetCapacity(p.MustPool(memsim.HBM), 1*units.MiB)
+	big := al.Register("big", 2*units.MiB, 1)
+	if err := as.BindAlloc(big, p.MustPool(memsim.HBM)); err == nil {
+		t.Error("binding 2 MiB to a 1 MiB pool should fail")
+	}
+	if err := as.BindAlloc(big, p.MustPool(memsim.DDR)); err != nil {
+		t.Errorf("DDR bind failed: %v", err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	al, as := setup(t)
+	if _, err := New(nil, 2, 0); err == nil {
+		t.Error("nil allocator should fail")
+	}
+	if _, err := New(al, 0, 0); err == nil {
+		t.Error("zero pools should fail")
+	}
+	if _, err := New(al, 2, 5); err == nil {
+		t.Error("default pool out of range should fail")
+	}
+	a := al.Register("a", 4096, 1)
+	if err := as.BindAlloc(nil, 0); err == nil {
+		t.Error("nil allocation should fail")
+	}
+	if err := as.BindAlloc(a, 7); err == nil {
+		t.Error("pool out of range should fail")
+	}
+	if err := as.InterleaveAlloc(a, nil); err == nil {
+		t.Error("empty interleave should fail")
+	}
+}
+
+func TestSplitUnknownAlloc(t *testing.T) {
+	_, as := setup(t)
+	split := as.Split(shim.AllocID(999))
+	if split[0] != 1 {
+		t.Errorf("unknown allocation should report default pool: %v", split)
+	}
+}
+
+// TestAddressSpaceAsPlacement runs the cost engine against a page table,
+// closing the loop between vm and memsim.
+func TestAddressSpaceAsPlacement(t *testing.T) {
+	al := shim.NewAllocator()
+	p := memsim.XeonMax9468()
+	as, err := FromPlatform(al, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pl memsim.Placement = as
+	if pl.NumPools() != len(p.Pools) {
+		t.Errorf("NumPools = %d", pl.NumPools())
+	}
+}

@@ -1,0 +1,234 @@
+// Package chase implements the latency-oriented micro-benchmarks of the
+// platform investigation: the single-dependency pointer chase behind
+// Fig. 3's latency-vs-window curve and the random indirect sum / random
+// pointer chase pair of Fig. 4.
+package chase
+
+import (
+	"fmt"
+
+	"hmpt/internal/parallel"
+	"hmpt/internal/shim"
+	"hmpt/internal/trace"
+	"hmpt/internal/units"
+	"hmpt/internal/workloads"
+)
+
+// PointerChase walks a random cycle through an index array. The window
+// (simulated working-set size) controls which cache level serves the
+// dependent loads.
+type PointerChase struct {
+	// RealN is the number of 8-byte slots in the real backing array.
+	RealN int
+	// SimWindow is the simulated working-set size.
+	SimWindow units.Bytes
+	// Accesses is the simulated number of dependent loads performed.
+	Accesses int64
+	ring     *shim.TrackedSlice[int64]
+	visited  int64
+	last     int64
+}
+
+// NewPointerChase returns a chase over a simulated window of the given
+// size. The real ring is capped at 1 Mi slots; the simulated window is
+// what the cost model sees.
+func NewPointerChase(simWindow units.Bytes) *PointerChase {
+	n := int(simWindow / 8)
+	if n > 1<<20 {
+		n = 1 << 20
+	}
+	if n < 16 {
+		n = 16
+	}
+	return &PointerChase{RealN: n, SimWindow: simWindow, Accesses: 1 << 20}
+}
+
+func init() {
+	workloads.Register("chase", "single-core pointer chase over a window (Fig. 3)",
+		func() workloads.Workload { return NewPointerChase(32 * units.MiB) })
+	workloads.Register("randsum", "random indirect sum over a 32 GB array (Fig. 4)",
+		func() workloads.Workload { return NewIndirectSum() })
+}
+
+// Name implements workloads.Workload.
+func (p *PointerChase) Name() string { return "chase" }
+
+// Ring returns the allocation ID of the chased ring after Setup.
+func (p *PointerChase) Ring() shim.AllocID { return p.ring.ID() }
+
+// Setup builds a random single-cycle permutation (Sattolo's algorithm),
+// so the chase visits every slot exactly once per lap.
+func (p *PointerChase) Setup(env *workloads.Env) error {
+	if p.RealN < 2 {
+		return fmt.Errorf("chase: ring too small (%d)", p.RealN)
+	}
+	scale := float64(p.SimWindow) / float64(p.RealN*8)
+	p.ring = shim.Alloc[int64](env.Alloc, "chase.ring", p.RealN, scale)
+	idx := make([]int64, p.RealN)
+	for i := range idx {
+		idx[i] = int64(i)
+	}
+	// Sattolo: single cycle.
+	for i := p.RealN - 1; i > 0; i-- {
+		j := env.RNG.Intn(i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	for i := 0; i < p.RealN; i++ {
+		p.ring.Data[idx[i]] = idx[(i+1)%p.RealN]
+	}
+	p.visited = 0
+	return nil
+}
+
+// Run chases the ring for Accesses simulated loads (real loads capped at
+// the ring length × a few laps) and emits a Chase-pattern phase.
+func (p *PointerChase) Run(env *workloads.Env) error {
+	if p.ring == nil {
+		return fmt.Errorf("chase: Run before Setup")
+	}
+	realAccesses := int64(p.RealN) * 2
+	cur := int64(0)
+	for i := int64(0); i < realAccesses; i++ {
+		cur = p.ring.Data[cur]
+	}
+	p.last = cur
+	p.visited = realAccesses
+	env.Rec.Emit(trace.Phase{
+		Name:    "chase",
+		Threads: maxInt(1, env.Threads),
+		Streams: []trace.Stream{{
+			Alloc:      p.ring.ID(),
+			Bytes:      units.Bytes(p.Accesses) * units.CacheLine,
+			Kind:       trace.Read,
+			Pattern:    trace.Chase,
+			WorkingSet: p.SimWindow,
+		}},
+	})
+	return nil
+}
+
+// Verify checks the walk stayed on the single cycle: after exactly RealN
+// steps from slot 0 the walk must return to slot 0, and every value must
+// be a valid slot index.
+func (p *PointerChase) Verify() error {
+	if p.visited == 0 {
+		return fmt.Errorf("chase: Verify before Run")
+	}
+	cur := int64(0)
+	for i := 0; i < p.RealN; i++ {
+		next := p.ring.Data[cur]
+		if next < 0 || next >= int64(p.RealN) {
+			return fmt.Errorf("chase: ring escaped at slot %d -> %d", cur, next)
+		}
+		cur = next
+	}
+	if cur != 0 {
+		return fmt.Errorf("chase: ring is not a single cycle (returned to %d)", cur)
+	}
+	return nil
+}
+
+// IndirectSum sums array elements at precomputed random indices — reads
+// that can be issued independently of one another ("reads from known
+// random addresses", Fig. 4).
+type IndirectSum struct {
+	// RealN is the real element count of the data array.
+	RealN int
+	// SimData is the simulated data-array size (paper: 32 GB).
+	SimData units.Bytes
+	data    *shim.TrackedSlice[float64]
+	idx     *shim.TrackedSlice[int64]
+	sum     float64
+	wantSum float64
+}
+
+// NewIndirectSum returns the Fig. 4 configuration: a 32 GB simulated
+// array of doubles summed at uniformly random positions.
+func NewIndirectSum() *IndirectSum {
+	return &IndirectSum{RealN: 1 << 19, SimData: units.GB(32)}
+}
+
+// Name implements workloads.Workload.
+func (w *IndirectSum) Name() string { return "randsum" }
+
+// Data returns the allocation ID of the data array after Setup.
+func (w *IndirectSum) Data() shim.AllocID { return w.data.ID() }
+
+// Setup allocates the data array and one lap of random indices.
+func (w *IndirectSum) Setup(env *workloads.Env) error {
+	if w.RealN < 1 {
+		return fmt.Errorf("randsum: empty array")
+	}
+	scale := float64(w.SimData) / float64(w.RealN*8)
+	w.data = shim.Alloc[float64](env.Alloc, "randsum.data", w.RealN, scale)
+	w.idx = shim.Alloc[int64](env.Alloc, "randsum.idx", w.RealN, scale)
+	w.wantSum = 0
+	for i := range w.data.Data {
+		w.data.Data[i] = 1
+	}
+	for i := range w.idx.Data {
+		w.idx.Data[i] = int64(env.RNG.Intn(w.RealN))
+	}
+	w.wantSum = float64(w.RealN)
+	return nil
+}
+
+// Run performs the indirect sum in parallel and emits a Random-pattern
+// read stream over the data plus a sequential stream over the indices.
+func (w *IndirectSum) Run(env *workloads.Env) error {
+	if w.data == nil {
+		return fmt.Errorf("randsum: Run before Setup")
+	}
+	data, idx := w.data.Data, w.idx.Data
+	w.sum = parallel.ReduceFloat64(env.ExecThreads(), w.RealN, 0,
+		func(_, lo, hi int) float64 {
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				s += data[idx[i]]
+			}
+			return s
+		},
+		func(a, b float64) float64 { return a + b })
+
+	simAccesses := int64(w.SimData / 8) // one access per simulated element
+	env.Rec.Emit(trace.Phase{
+		Name:    "randsum",
+		Threads: env.Threads,
+		Flops:   units.Flops(simAccesses),
+		Streams: []trace.Stream{
+			{
+				Alloc:      w.data.ID(),
+				Bytes:      units.Bytes(simAccesses) * units.CacheLine,
+				Kind:       trace.Read,
+				Pattern:    trace.Random,
+				WorkingSet: w.SimData,
+			},
+			{
+				Alloc:   w.idx.ID(),
+				Bytes:   units.Bytes(simAccesses) * 8,
+				Kind:    trace.Read,
+				Pattern: trace.Sequential,
+			},
+		},
+	})
+	return nil
+}
+
+// Verify checks the sum: every element is 1, so the sum must equal the
+// number of accesses exactly (integer-valued doubles).
+func (w *IndirectSum) Verify() error {
+	if w.data == nil {
+		return fmt.Errorf("randsum: Verify before Run")
+	}
+	if w.sum != w.wantSum {
+		return fmt.Errorf("randsum: sum %g, want %g", w.sum, w.wantSum)
+	}
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

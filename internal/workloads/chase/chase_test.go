@@ -1,0 +1,77 @@
+package chase
+
+import (
+	"testing"
+
+	"hmpt/internal/units"
+	"hmpt/internal/workloads"
+)
+
+func TestPointerChaseCycle(t *testing.T) {
+	w := NewPointerChase(4 * units.MiB)
+	env := workloads.NewEnv(1, 1, 3)
+	if err := w.Setup(env); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(env); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	tr := env.Rec.Trace()
+	if len(tr.Phases) != 1 {
+		t.Fatalf("phases = %d", len(tr.Phases))
+	}
+	st := tr.Phases[0].Streams[0]
+	if st.WorkingSet != 4*units.MiB {
+		t.Errorf("working set = %v", st.WorkingSet)
+	}
+}
+
+func TestPointerChaseRingCap(t *testing.T) {
+	w := NewPointerChase(units.GB(32))
+	if w.RealN > 1<<20 {
+		t.Errorf("real ring too large: %d", w.RealN)
+	}
+	if w.RealN < 16 {
+		t.Errorf("real ring too small: %d", w.RealN)
+	}
+	tiny := NewPointerChase(1)
+	if tiny.RealN < 16 {
+		t.Errorf("tiny window ring = %d", tiny.RealN)
+	}
+}
+
+func TestIndirectSumExact(t *testing.T) {
+	w := NewIndirectSum()
+	w.RealN = 1 << 14
+	env := workloads.NewEnv(0, 1, 5)
+	if err := w.Setup(env); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(env); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLifecycleErrors(t *testing.T) {
+	env := workloads.NewEnv(0, 1, 1)
+	c := NewPointerChase(units.MiB)
+	if err := c.Run(env); err == nil {
+		t.Error("chase Run before Setup should fail")
+	}
+	if err := c.Verify(); err == nil {
+		t.Error("chase Verify before Run should fail")
+	}
+	s := NewIndirectSum()
+	if err := s.Run(env); err == nil {
+		t.Error("randsum Run before Setup should fail")
+	}
+	if err := s.Verify(); err == nil {
+		t.Error("randsum Verify before Run should fail")
+	}
+}

@@ -1,0 +1,74 @@
+package kwave
+
+import (
+	"testing"
+
+	"hmpt/internal/workloads"
+)
+
+func runKW(t *testing.T, steps int) (*KWave, *workloads.Env) {
+	t.Helper()
+	w := &KWave{Cfg: Config{RealN: 16, PaperN: 512, Steps: steps}}
+	env := workloads.NewEnv(0, 1, 9)
+	if err := w.Setup(env); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(env); err != nil {
+		t.Fatal(err)
+	}
+	return w, env
+}
+
+func TestKWavePropagates(t *testing.T) {
+	w, _ := runKW(t, 4)
+	if err := w.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// The pulse must actually move: velocity fields become non-zero.
+	nonzero := false
+	for _, v := range w.ux.Data {
+		if v != 0 {
+			nonzero = true
+			break
+		}
+	}
+	if !nonzero {
+		t.Error("velocity field untouched — no propagation")
+	}
+}
+
+func TestKWaveAllocationProfile(t *testing.T) {
+	_, env := runKW(t, 1)
+	gb := env.Alloc.TotalSimBytes().GBs()
+	if gb < 8.5 || gb > 11.5 {
+		t.Errorf("footprint %.2f GB outside [8.5,11.5] (paper: 9.79)", gb)
+	}
+	if got := len(env.Alloc.All()); got < 30 {
+		t.Errorf("allocations = %d, want ~34 (paper: 34)", got)
+	}
+}
+
+func TestKWaveComplexArraysHottest(t *testing.T) {
+	w, env := runKW(t, 3)
+	by := env.Rec.Trace().BytesByAlloc()
+	// §IV-B: the complex FFT work arrays have the highest per-byte
+	// impact; in traffic terms each must beat every single real field.
+	work := by[w.workC1.ID()] + by[w.workC2.ID()]
+	if work <= by[w.p.ID()] || work <= by[w.ux.ID()] {
+		t.Errorf("FFT work traffic %v not dominant (p=%v ux=%v)", work, by[w.p.ID()], by[w.ux.ID()])
+	}
+}
+
+func TestKWaveSetupErrors(t *testing.T) {
+	env := workloads.NewEnv(0, 1, 1)
+	for _, cfg := range []Config{
+		{RealN: 12, PaperN: 512, Steps: 1}, // not a power of two
+		{RealN: 16, PaperN: 8, Steps: 1},
+		{RealN: 16, PaperN: 512, Steps: 0},
+	} {
+		w := &KWave{Cfg: cfg}
+		if err := w.Setup(env); err == nil {
+			t.Errorf("Setup(%+v) should fail", cfg)
+		}
+	}
+}

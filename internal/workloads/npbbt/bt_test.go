@@ -1,0 +1,51 @@
+package npbbt
+
+import (
+	"testing"
+
+	"hmpt/internal/workloads"
+)
+
+func TestBTConverges(t *testing.T) {
+	b := &BT{Cfg: Config{RealN: 16, PaperN: 408, Iters: 5}}
+	env := workloads.NewEnv(0, 1, 5)
+	if err := b.Setup(env); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Run(env); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("error norms: %v", b.ErrNorms())
+	if err := b.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBTFootprintAndAllocs(t *testing.T) {
+	b := &BT{Cfg: Config{RealN: 16, PaperN: 408, Iters: 1}}
+	env := workloads.NewEnv(0, 1, 5)
+	if err := b.Setup(env); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(env.Alloc.All()); got != 9 {
+		t.Errorf("allocations = %d, want 9", got)
+	}
+	gb := env.Alloc.TotalSimBytes().GBs()
+	if gb < 9.0 || gb > 13.0 {
+		t.Errorf("simulated footprint %.2f GB outside [9,13] (paper: 10.68)", gb)
+	}
+}
+
+func TestBTSetupErrors(t *testing.T) {
+	env := workloads.NewEnv(0, 1, 1)
+	for _, cfg := range []Config{
+		{RealN: 4, PaperN: 408, Iters: 1},
+		{RealN: 16, PaperN: 8, Iters: 1},
+		{RealN: 16, PaperN: 408, Iters: 0},
+	} {
+		b := &BT{Cfg: cfg}
+		if err := b.Setup(env); err == nil {
+			t.Errorf("Setup(%+v) should fail", cfg)
+		}
+	}
+}

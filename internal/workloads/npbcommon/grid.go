@@ -1,0 +1,116 @@
+package npbcommon
+
+import "math"
+
+// Grid is a cubic N³ grid with unit spacing and array-of-structures
+// layout for 5-component fields: field[idx(i,j,k)*5 + c].
+type Grid struct {
+	N int
+}
+
+// Idx returns the linear cell index of (i, j, k).
+func (g Grid) Idx(i, j, k int) int { return (k*g.N+j)*g.N + i }
+
+// Cells returns the total cell count.
+func (g Grid) Cells() int { return g.N * g.N * g.N }
+
+// Interior reports whether (i, j, k) is an interior point (Dirichlet
+// boundaries hold the exact solution and are never updated).
+func (g Grid) Interior(i, j, k int) bool {
+	return i > 0 && i < g.N-1 && j > 0 && j < g.N-1 && k > 0 && k < g.N-1
+}
+
+// Exact is the manufactured smooth solution used by the CFD
+// pseudo-solvers (positive everywhere so 1/u₀ is safe), component c at
+// normalised coordinates x, y, z ∈ [0, 1].
+func Exact(c int, x, y, z float64) float64 {
+	fc := float64(c + 1)
+	return 2.0 + 0.3*math.Sin(math.Pi*(x+0.1*fc))*math.Cos(math.Pi*(y-0.07*fc))*math.Sin(math.Pi*(z+0.13*fc)) +
+		0.1*fc*x*y*z
+}
+
+// FillExact writes the exact solution into the 5-component field u.
+func FillExact(g Grid, u []float64) {
+	n := float64(g.N - 1)
+	for k := 0; k < g.N; k++ {
+		for j := 0; j < g.N; j++ {
+			for i := 0; i < g.N; i++ {
+				idx := g.Idx(i, j, k) * 5
+				for c := 0; c < 5; c++ {
+					u[idx+c] = Exact(c, float64(i)/n, float64(j)/n, float64(k)/n)
+				}
+			}
+		}
+	}
+}
+
+// ErrNorm returns the RMS difference between u and the exact solution
+// over interior cells.
+func ErrNorm(g Grid, u []float64) float64 {
+	n := float64(g.N - 1)
+	sum := 0.0
+	cnt := 0
+	for k := 1; k < g.N-1; k++ {
+		for j := 1; j < g.N-1; j++ {
+			for i := 1; i < g.N-1; i++ {
+				idx := g.Idx(i, j, k) * 5
+				for c := 0; c < 5; c++ {
+					d := u[idx+c] - Exact(c, float64(i)/n, float64(j)/n, float64(k)/n)
+					sum += d * d
+					cnt++
+				}
+			}
+		}
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return math.Sqrt(sum / float64(cnt))
+}
+
+// Diff4 evaluates the fourth-difference operator (δ²)² of component c of
+// field u along dimension dim at (i,j,k), clamping indices at the
+// boundary (one-sided closure).
+func Diff4(g Grid, u []float64, c, i, j, k, dim int) float64 {
+	at := func(o int) float64 {
+		ii, jj, kk := i, j, k
+		switch dim {
+		case 0:
+			ii = clamp(i+o, 0, g.N-1)
+		case 1:
+			jj = clamp(j+o, 0, g.N-1)
+		default:
+			kk = clamp(k+o, 0, g.N-1)
+		}
+		return u[g.Idx(ii, jj, kk)*5+c]
+	}
+	return at(-2) - 4*at(-1) + 6*at(0) - 4*at(1) + at(2)
+}
+
+// Diff2 evaluates the second-difference operator of component c along
+// dimension dim (clamped at boundaries).
+func Diff2(g Grid, u []float64, c, i, j, k, dim int) float64 {
+	at := func(o int) float64 {
+		ii, jj, kk := i, j, k
+		switch dim {
+		case 0:
+			ii = clamp(i+o, 0, g.N-1)
+		case 1:
+			jj = clamp(j+o, 0, g.N-1)
+		default:
+			kk = clamp(k+o, 0, g.N-1)
+		}
+		return u[g.Idx(ii, jj, kk)*5+c]
+	}
+	return at(-1) - 2*at(0) + at(1)
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,72 @@
+package npbis
+
+import (
+	"testing"
+
+	"hmpt/internal/trace"
+	"hmpt/internal/workloads"
+)
+
+func runIS(t *testing.T) (*IS, *workloads.Env) {
+	t.Helper()
+	s := &IS{Cfg: Config{RealKeys: 1 << 14, RealMaxKey: 1 << 10, SimKeys: 1 << 31, SimMaxKey: 1 << 30, Iters: 2}}
+	env := workloads.NewEnv(0, 1, 9)
+	if err := s.Setup(env); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(env); err != nil {
+		t.Fatal(err)
+	}
+	return s, env
+}
+
+func TestISSortsCorrectly(t *testing.T) {
+	s, _ := runIS(t)
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestISFootprint(t *testing.T) {
+	_, env := runIS(t)
+	gb := env.Alloc.TotalSimBytes().GBs()
+	if gb < 18 || gb > 24 {
+		t.Errorf("footprint %.2f GB outside [18,24] (paper: 20)", gb)
+	}
+	if got := len(env.Alloc.All()); got != 4 {
+		t.Errorf("allocations = %d, want 4", got)
+	}
+}
+
+func TestISEmitsRandomPhases(t *testing.T) {
+	s, env := runIS(t)
+	tr := env.Rec.Trace()
+	randHist := false
+	for _, ph := range tr.Phases {
+		for _, st := range ph.Streams {
+			if st.Alloc == s.hist.ID() && st.Pattern == trace.Random {
+				randHist = true
+				if st.WorkingSet == 0 {
+					t.Error("random histogram stream must declare its working set")
+				}
+			}
+		}
+	}
+	if !randHist {
+		t.Error("no random histogram updates in the trace")
+	}
+}
+
+func TestISSetupErrors(t *testing.T) {
+	env := workloads.NewEnv(0, 1, 1)
+	for _, cfg := range []Config{
+		{RealKeys: 10, RealMaxKey: 1 << 10, SimKeys: 1 << 31, SimMaxKey: 1 << 30, Iters: 1},
+		{RealKeys: 1 << 14, RealMaxKey: 1 << 10, SimKeys: 1, SimMaxKey: 1 << 30, Iters: 1},
+		{RealKeys: 1 << 14, RealMaxKey: 1 << 10, SimKeys: 1 << 31, SimMaxKey: 1 << 30, Iters: 0},
+	} {
+		s := &IS{Cfg: cfg}
+		if err := s.Setup(env); err == nil {
+			t.Errorf("Setup(%+v) should fail", cfg)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package npbmg
+
+import (
+	"testing"
+
+	"hmpt/internal/workloads"
+)
+
+func runMG(t *testing.T, cfg Config) (*MG, *workloads.Env) {
+	t.Helper()
+	m := &MG{Cfg: cfg}
+	env := workloads.NewEnv(0, 1, 7)
+	if err := m.Setup(env); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(env); err != nil {
+		t.Fatal(err)
+	}
+	return m, env
+}
+
+func TestMGConverges(t *testing.T) {
+	m, _ := runMG(t, Config{RealN: 32, PaperN: 1024, Iters: 4})
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	norms := m.ResidualNorms()
+	t.Logf("residual norms: %v", norms)
+	if norms[len(norms)-1] > 0.2*norms[0] {
+		t.Errorf("weak convergence: %g -> %g", norms[0], norms[len(norms)-1])
+	}
+}
+
+func TestMGFootprint(t *testing.T) {
+	m, env := runMG(t, Config{RealN: 32, PaperN: 1024, Iters: 1})
+	_ = m
+	total := env.Alloc.TotalSimBytes()
+	// u + r hierarchies (8/7 each) + v: about 3.3 × 8.6 GB ≈ 28 GB.
+	gb := total.GBs()
+	if gb < 24 || gb > 31 {
+		t.Errorf("simulated footprint %.2f GB outside [24,31] (paper: 26.46)", gb)
+	}
+	if got := len(env.Alloc.All()); got != 3 {
+		t.Errorf("allocations = %d, want 3 (u, v, r)", got)
+	}
+}
+
+func TestMGTrafficSkew(t *testing.T) {
+	m, env := runMG(t, Config{RealN: 32, PaperN: 1024, Iters: 4})
+	tr := env.Rec.Trace()
+	by := tr.BytesByAlloc()
+	u, v, r := m.Allocations()
+	if by[u] <= by[v] || by[r] <= by[v] {
+		t.Errorf("u (%v) and r (%v) must dominate v (%v)", by[u], by[r], by[v])
+	}
+	// v is read once per resid at the finest level only: under 15 % of
+	// total traffic (paper: groups 0 and 1 hold >90 % of samples).
+	tot := float64(by[u] + by[v] + by[r])
+	if frac := float64(by[v]) / tot; frac > 0.15 {
+		t.Errorf("v traffic fraction %.3f too high", frac)
+	}
+}
+
+func TestMGSetupErrors(t *testing.T) {
+	env := workloads.NewEnv(0, 1, 1)
+	for _, cfg := range []Config{
+		{RealN: 48, PaperN: 1024, Iters: 1}, // not a power of two
+		{RealN: 8, PaperN: 1024, Iters: 1},  // too small
+		{RealN: 32, PaperN: 16, Iters: 1},   // paper grid below real
+		{RealN: 32, PaperN: 1024, Iters: 0}, // no iterations
+	} {
+		m := &MG{Cfg: cfg}
+		if err := m.Setup(env); err == nil {
+			t.Errorf("Setup(%+v) should fail", cfg)
+		}
+	}
+}
+
+func TestMGLifecycleErrors(t *testing.T) {
+	m := New()
+	env := workloads.NewEnv(0, 1, 1)
+	if err := m.Run(env); err == nil {
+		t.Error("Run before Setup should fail")
+	}
+	if err := m.Verify(); err == nil {
+		t.Error("Verify before Run should fail")
+	}
+}

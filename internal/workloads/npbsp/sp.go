@@ -1,0 +1,407 @@
+// Package npbsp implements the NPB Scalar Penta-diagonal (SP) benchmark
+// analysed in Fig. 11: an ADI pseudo-solver whose implicit step solves
+// scalar penta-diagonal systems along each grid dimension.
+//
+// The solver advances a 5-component field toward a manufactured steady
+// state: the explicit right-hand side combines a fourth-order diffusion
+// operator with a convective coupling through the auxiliary velocity
+// arrays, and the implicit step applies the factored operator
+// (I+dtDx)(I+dtDy)(I+dtDz) in delta form via npbcommon.PentaDiagSolve.
+// The ten tracked allocations (u, rhs, forcing, us, vs, ws, qs, rho_i,
+// speed, square) mirror Table I's sp.D entry at 11 GB simulated scale.
+package npbsp
+
+import (
+	"fmt"
+	"math"
+
+	"hmpt/internal/parallel"
+	"hmpt/internal/shim"
+	"hmpt/internal/trace"
+	"hmpt/internal/units"
+	"hmpt/internal/workloads"
+	"hmpt/internal/workloads/npbcommon"
+)
+
+// Solver constants: diffusion and convection coefficients and the ADI
+// time step. They are chosen for a smooth contraction toward the
+// manufactured solution at the executed grid sizes.
+const (
+	kappa = 2.5
+	eps   = 0.01
+	dt    = 0.8
+)
+
+// Compute-ceiling calibration (Fig. 11 / Table II: max 1.79×). The
+// penta-diagonal solves are the compute-limited phases; the streaming
+// phases are memory-bound.
+const (
+	vectorFrac   = 0.55
+	solveFlopEff = 0.095
+	memFlopEff   = 0.90
+)
+
+// Per-point flop estimates for the phase costs.
+const (
+	auxFlopsPerPt   = 22
+	rhsFlopsPerPt   = 150
+	solveFlopsPerPt = 125 // per direction: band build + penta solve, 5 comps
+	addFlopsPerPt   = 10
+)
+
+// Config parameterises the SP workload.
+type Config struct {
+	RealN  int // executed grid edge
+	PaperN int // represented grid edge (sp.D: 408)
+	Iters  int
+}
+
+// DefaultConfig is sp.D at 36³ executed scale.
+func DefaultConfig() Config { return Config{RealN: 36, PaperN: 408, Iters: 4} }
+
+// SP is the Scalar Penta-diagonal workload.
+type SP struct {
+	Cfg   Config
+	g     npbcommon.Grid
+	scale float64
+
+	u, rhs, forcing                   *shim.TrackedSlice[float64]
+	us, vs, ws, qs, rhoI, speed, sqre *shim.TrackedSlice[float64]
+
+	env      *workloads.Env
+	errNorms []float64
+}
+
+// New returns an SP workload with the default configuration.
+func New() *SP { return &SP{Cfg: DefaultConfig()} }
+
+func init() {
+	workloads.Register("npb.sp", "NPB Scalar Penta-diagonal (sp.D, 11.19 GB simulated, 10 allocations)",
+		func() workloads.Workload { return New() })
+}
+
+// Name implements workloads.Workload.
+func (s *SP) Name() string { return "npb.sp" }
+
+// ErrNorms returns the error-norm history (initial first).
+func (s *SP) ErrNorms() []float64 { return append([]float64(nil), s.errNorms...) }
+
+// Setup implements workloads.Workload.
+func (s *SP) Setup(env *workloads.Env) error {
+	c := s.Cfg
+	if c.RealN < 12 {
+		return fmt.Errorf("npbsp: RealN %d too small", c.RealN)
+	}
+	if c.PaperN < c.RealN {
+		return fmt.Errorf("npbsp: PaperN %d below RealN %d", c.PaperN, c.RealN)
+	}
+	if c.Iters < 1 {
+		return fmt.Errorf("npbsp: need at least one iteration")
+	}
+	s.g = npbcommon.Grid{N: c.RealN}
+	r := float64(c.PaperN) / float64(c.RealN)
+	s.scale = r * r * r
+	cells := s.g.Cells()
+
+	s.u = shim.Alloc[float64](env.Alloc, "sp.u", cells*5, s.scale)
+	s.rhs = shim.Alloc[float64](env.Alloc, "sp.rhs", cells*5, s.scale)
+	s.forcing = shim.Alloc[float64](env.Alloc, "sp.forcing", cells*5, s.scale)
+	s.us = shim.Alloc[float64](env.Alloc, "sp.us", cells, s.scale)
+	s.vs = shim.Alloc[float64](env.Alloc, "sp.vs", cells, s.scale)
+	s.ws = shim.Alloc[float64](env.Alloc, "sp.ws", cells, s.scale)
+	s.qs = shim.Alloc[float64](env.Alloc, "sp.qs", cells, s.scale)
+	s.rhoI = shim.Alloc[float64](env.Alloc, "sp.rho_i", cells, s.scale)
+	s.speed = shim.Alloc[float64](env.Alloc, "sp.speed", cells, s.scale)
+	s.sqre = shim.Alloc[float64](env.Alloc, "sp.square", cells, s.scale)
+
+	// u = exact + interior perturbation; forcing makes exact stationary.
+	npbcommon.FillExact(s.g, s.u.Data)
+	s.computeAuxInto(s.u.Data, false)
+	s.computeForcing()
+	n := float64(c.RealN - 1)
+	for k := 1; k < c.RealN-1; k++ {
+		for j := 1; j < c.RealN-1; j++ {
+			for i := 1; i < c.RealN-1; i++ {
+				idx := s.g.Idx(i, j, k) * 5
+				for comp := 0; comp < 5; comp++ {
+					x, y, z := float64(i)/n, float64(j)/n, float64(k)/n
+					s.u.Data[idx+comp] += 0.15 * math.Sin(3*math.Pi*x) * math.Sin(2*math.Pi*y) * math.Sin(math.Pi*z)
+				}
+			}
+		}
+	}
+	s.errNorms = s.errNorms[:0]
+	s.env = env
+	return nil
+}
+
+// computeAuxInto fills the auxiliary arrays from field u. When emit is
+// true the phase is recorded in the trace.
+func (s *SP) computeAuxInto(u []float64, emit bool) {
+	g := s.g
+	et := 1
+	if s.env != nil {
+		et = s.env.ExecThreads()
+	}
+	us, vs, ws, qs, rhoI, speed, sqre := s.us.Data, s.vs.Data, s.ws.Data, s.qs.Data, s.rhoI.Data, s.speed.Data, s.sqre.Data
+	parallel.For(et, g.Cells(), func(_, lo, hi int) {
+		for idx := lo; idx < hi; idx++ {
+			b := idx * 5
+			inv := 1 / u[b]
+			rhoI[idx] = inv
+			us[idx] = u[b+1] * inv
+			vs[idx] = u[b+2] * inv
+			ws[idx] = u[b+3] * inv
+			sq := 0.5 * (u[b+1]*u[b+1] + u[b+2]*u[b+2] + u[b+3]*u[b+3]) * inv
+			sqre[idx] = sq
+			qs[idx] = sq * inv
+			speed[idx] = math.Sqrt(math.Abs(u[b+4]*inv)) + 1
+		}
+	})
+	if emit {
+		cells := units.Bytes(g.Cells() * 8)
+		s.emit("compute_aux", auxFlopsPerPt, memFlopEff, g.Cells(), []trace.Stream{
+			s.st(s.u, 5*cells, trace.Read),
+			s.st(s.us, cells, trace.Write), s.st(s.vs, cells, trace.Write),
+			s.st(s.ws, cells, trace.Write), s.st(s.qs, cells, trace.Write),
+			s.st(s.rhoI, cells, trace.Write), s.st(s.speed, cells, trace.Write),
+			s.st(s.sqre, cells, trace.Write),
+		})
+	}
+}
+
+// st builds one stencil-pattern stream at simulated scale.
+func (s *SP) st(a *shim.TrackedSlice[float64], realBytes units.Bytes, kind trace.Kind) trace.Stream {
+	return trace.Stream{
+		Alloc:   a.ID(),
+		Bytes:   units.Bytes(float64(realBytes) * s.scale),
+		Kind:    kind,
+		Pattern: trace.Stencil,
+	}
+}
+
+func (s *SP) emit(name string, flopsPerPt, eff float64, pts int, streams []trace.Stream) {
+	if s.env == nil {
+		return
+	}
+	s.env.Rec.Emit(trace.Phase{
+		Name:       name,
+		Threads:    s.env.Threads,
+		Flops:      units.Flops(flopsPerPt * float64(pts) * s.scale),
+		VectorFrac: vectorFrac,
+		FlopEff:    eff,
+		Streams:    streams,
+	})
+}
+
+// rhsAt evaluates the explicit operator at one interior point: forcing −
+// diffusion − convection. The aux arrays must be current for u.
+func (s *SP) rhsAt(u []float64, i, j, k, comp int) float64 {
+	g := s.g
+	idx := g.Idx(i, j, k)
+	diff := 0.0
+	for dim := 0; dim < 3; dim++ {
+		diff += npbcommon.Diff4(g, u, comp, i, j, k, dim)
+	}
+	divU := (s.us.Data[g.Idx(i+1, j, k)] - s.us.Data[g.Idx(i-1, j, k)] +
+		s.vs.Data[g.Idx(i, j+1, k)] - s.vs.Data[g.Idx(i, j-1, k)] +
+		s.ws.Data[g.Idx(i, j, k+1)] - s.ws.Data[g.Idx(i, j, k-1)]) * 0.5
+	conv := (divU + 0.05*(s.qs.Data[idx]-s.rhoI.Data[idx])) * u[idx*5+comp]
+	return s.forcing.Data[idx*5+comp] - kappa*diff - eps*conv
+}
+
+// computeForcing makes the exact field a fixed point: forcing = L(exact)
+// evaluated with the same discrete operator (aux arrays from exact).
+func (s *SP) computeForcing() {
+	g := s.g
+	exact := make([]float64, g.Cells()*5)
+	npbcommon.FillExact(g, exact)
+	s.computeAuxInto(exact, false)
+	for i := range s.forcing.Data {
+		s.forcing.Data[i] = 0
+	}
+	for k := 1; k < g.N-1; k++ {
+		for j := 1; j < g.N-1; j++ {
+			for i := 1; i < g.N-1; i++ {
+				for comp := 0; comp < 5; comp++ {
+					// forcing such that rhsAt(exact) == 0.
+					idx := g.Idx(i, j, k)
+					diff := 0.0
+					for dim := 0; dim < 3; dim++ {
+						diff += npbcommon.Diff4(g, exact, comp, i, j, k, dim)
+					}
+					divU := (s.us.Data[g.Idx(i+1, j, k)] - s.us.Data[g.Idx(i-1, j, k)] +
+						s.vs.Data[g.Idx(i, j+1, k)] - s.vs.Data[g.Idx(i, j-1, k)] +
+						s.ws.Data[g.Idx(i, j, k+1)] - s.ws.Data[g.Idx(i, j, k-1)]) * 0.5
+					conv := (divU + 0.05*(s.qs.Data[idx]-s.rhoI.Data[idx])) * exact[idx*5+comp]
+					s.forcing.Data[idx*5+comp] = kappa*diff + eps*conv
+				}
+			}
+		}
+	}
+}
+
+// computeRHS fills rhs = dt · L(u) on the interior and emits the phase.
+func (s *SP) computeRHS() {
+	g := s.g
+	u := s.u.Data
+	rhs := s.rhs.Data
+	parallel.For(s.env.ExecThreads(), g.N, func(_, lo, hi int) {
+		for k := lo; k < hi; k++ {
+			for j := 0; j < g.N; j++ {
+				for i := 0; i < g.N; i++ {
+					b := g.Idx(i, j, k) * 5
+					if !g.Interior(i, j, k) {
+						for comp := 0; comp < 5; comp++ {
+							rhs[b+comp] = 0
+						}
+						continue
+					}
+					for comp := 0; comp < 5; comp++ {
+						rhs[b+comp] = dt * s.rhsAt(u, i, j, k, comp)
+					}
+				}
+			}
+		}
+	})
+	cells := units.Bytes(g.Cells() * 8)
+	s.emit("compute_rhs", rhsFlopsPerPt, memFlopEff, g.Cells(), []trace.Stream{
+		s.st(s.u, 4*5*cells, trace.Read), // per-direction sweeps + base sweep each read u
+		s.st(s.forcing, 5*cells, trace.Read),
+		s.st(s.us, cells, trace.Read), s.st(s.vs, cells, trace.Read),
+		s.st(s.ws, cells, trace.Read), s.st(s.qs, cells, trace.Read),
+		s.st(s.rhoI, cells, trace.Read),
+		s.st(s.rhs, 5*cells, trace.Write),
+	})
+}
+
+// solveDim applies the implicit factor along the given dimension: for
+// every grid line and component, build the penta bands of
+// I + dt·κ_loc·(δ²)² and solve in place in rhs.
+func (s *SP) solveDim(dim int) {
+	g := s.g
+	n := g.N
+	rhs := s.rhs.Data
+	speed := s.speed.Data
+	lineAt := func(dim, a, b, t int) int {
+		switch dim {
+		case 0:
+			return g.Idx(t, a, b)
+		case 1:
+			return g.Idx(a, t, b)
+		default:
+			return g.Idx(a, b, t)
+		}
+	}
+	parallel.For(s.env.ExecThreads(), n, func(_, lo, hi int) {
+		e := make([]float64, n)
+		as := make([]float64, n)
+		d := make([]float64, n)
+		c := make([]float64, n)
+		f := make([]float64, n)
+		line := make([]float64, n)
+		for b := lo; b < hi; b++ {
+			for a := 0; a < n; a++ {
+				for comp := 0; comp < 5; comp++ {
+					for t := 0; t < n; t++ {
+						idx := lineAt(dim, a, b, t)
+						if t == 0 || t == n-1 {
+							// Dirichlet boundary rows: identity.
+							e[t], as[t], d[t], c[t], f[t] = 0, 0, 1, 0, 0
+						} else {
+							kl := dt * kappa * (1 + 0.1*speed[idx])
+							e[t] = kl
+							as[t] = -4 * kl
+							d[t] = 1 + 6*kl
+							c[t] = -4 * kl
+							f[t] = kl
+							if t == 1 || t == n-2 {
+								// One-sided closure folds the clamped
+								// outer band into the diagonal.
+								d[t] += kl
+							}
+						}
+						line[t] = rhs[idx*5+comp]
+					}
+					if err := npbcommon.PentaDiagSolve(e, as, d, c, f, line); err != nil {
+						panic(fmt.Sprintf("npbsp: %v", err)) // singular only on programming error
+					}
+					for t := 0; t < n; t++ {
+						rhs[lineAt(dim, a, b, t)*5+comp] = line[t]
+					}
+				}
+			}
+		}
+	})
+	cells := units.Bytes(g.Cells() * 8)
+	// NPB's lhsinit also reads the direction velocity and rho_i to build
+	// the bands; those reads are part of every solve's traffic.
+	vel := [3]*shim.TrackedSlice[float64]{s.us, s.vs, s.ws}[dim]
+	s.emit([3]string{"x_solve", "y_solve", "z_solve"}[dim], solveFlopsPerPt, solveFlopEff, g.Cells(), []trace.Stream{
+		s.st(s.rhs, 5*cells, trace.Update),
+		s.st(s.speed, cells, trace.Read),
+		s.st(vel, cells, trace.Read),
+		s.st(s.rhoI, cells, trace.Read),
+	})
+}
+
+// add applies the increment: u += rhs on the interior.
+func (s *SP) add() {
+	g := s.g
+	u, rhs := s.u.Data, s.rhs.Data
+	parallel.For(s.env.ExecThreads(), g.N, func(_, lo, hi int) {
+		for k := lo; k < hi; k++ {
+			for j := 0; j < g.N; j++ {
+				for i := 0; i < g.N; i++ {
+					if !g.Interior(i, j, k) {
+						continue
+					}
+					b := g.Idx(i, j, k) * 5
+					for comp := 0; comp < 5; comp++ {
+						u[b+comp] += rhs[b+comp]
+					}
+				}
+			}
+		}
+	})
+	cells := units.Bytes(g.Cells() * 8)
+	s.emit("add", addFlopsPerPt, memFlopEff, g.Cells(), []trace.Stream{
+		s.st(s.rhs, 5*cells, trace.Read),
+		s.st(s.u, 5*cells, trace.Update),
+	})
+}
+
+// Run implements workloads.Workload.
+func (s *SP) Run(env *workloads.Env) error {
+	if s.u == nil {
+		return fmt.Errorf("npbsp: Run before Setup")
+	}
+	s.env = env
+	s.errNorms = append(s.errNorms, npbcommon.ErrNorm(s.g, s.u.Data))
+	for it := 0; it < s.Cfg.Iters; it++ {
+		s.computeAuxInto(s.u.Data, true)
+		s.computeRHS()
+		s.solveDim(0)
+		s.solveDim(1)
+		s.solveDim(2)
+		s.add()
+		s.errNorms = append(s.errNorms, npbcommon.ErrNorm(s.g, s.u.Data))
+	}
+	return nil
+}
+
+// Verify implements workloads.Workload: the ADI iteration must contract
+// toward the manufactured solution.
+func (s *SP) Verify() error {
+	if len(s.errNorms) < 2 {
+		return fmt.Errorf("npbsp: Verify before Run")
+	}
+	first, last := s.errNorms[0], s.errNorms[len(s.errNorms)-1]
+	if math.IsNaN(last) || math.IsInf(last, 0) {
+		return fmt.Errorf("npbsp: diverged (error %g)", last)
+	}
+	if last > 0.7*first {
+		return fmt.Errorf("npbsp: weak contraction %g -> %g over %d iters", first, last, s.Cfg.Iters)
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package npbsp
+
+import (
+	"testing"
+
+	"hmpt/internal/workloads"
+)
+
+func TestSPConverges(t *testing.T) {
+	s := &SP{Cfg: Config{RealN: 20, PaperN: 408, Iters: 5}}
+	env := workloads.NewEnv(0, 1, 5)
+	if err := s.Setup(env); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(env); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("error norms: %v", s.ErrNorms())
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSPFootprintAndAllocs(t *testing.T) {
+	s := &SP{Cfg: Config{RealN: 20, PaperN: 408, Iters: 1}}
+	env := workloads.NewEnv(0, 1, 5)
+	if err := s.Setup(env); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(env.Alloc.All()); got != 10 {
+		t.Errorf("allocations = %d, want 10", got)
+	}
+	gb := env.Alloc.TotalSimBytes().GBs()
+	if gb < 9.5 || gb > 13.5 {
+		t.Errorf("simulated footprint %.2f GB outside [9.5,13.5] (paper: 11.19)", gb)
+	}
+}
+
+func TestSPTrafficDominatedByRHS(t *testing.T) {
+	s := &SP{Cfg: Config{RealN: 20, PaperN: 408, Iters: 3}}
+	env := workloads.NewEnv(0, 1, 5)
+	if err := s.Setup(env); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(env); err != nil {
+		t.Fatal(err)
+	}
+	by := env.Rec.Trace().BytesByAlloc()
+	if by[s.rhs.ID()] <= by[s.forcing.ID()] {
+		t.Errorf("rhs traffic (%v) must dominate forcing (%v)", by[s.rhs.ID()], by[s.forcing.ID()])
+	}
+	if by[s.u.ID()] <= by[s.speed.ID()] {
+		t.Errorf("u traffic (%v) must dominate speed (%v)", by[s.u.ID()], by[s.speed.ID()])
+	}
+}
+
+func TestSPSetupErrors(t *testing.T) {
+	env := workloads.NewEnv(0, 1, 1)
+	for _, cfg := range []Config{
+		{RealN: 4, PaperN: 408, Iters: 1},
+		{RealN: 20, PaperN: 10, Iters: 1},
+		{RealN: 20, PaperN: 408, Iters: 0},
+	} {
+		s := &SP{Cfg: cfg}
+		if err := s.Setup(env); err == nil {
+			t.Errorf("Setup(%+v) should fail", cfg)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package npbua
+
+import (
+	"testing"
+
+	"hmpt/internal/units"
+	"hmpt/internal/workloads"
+)
+
+func runUA(t *testing.T) (*UA, *workloads.Env) {
+	t.Helper()
+	w := &UA{Cfg: Config{RealElems: 1 << 11, SimBytesTotal: units.GB(7.25), Iters: 5, Degree: 6}}
+	env := workloads.NewEnv(0, 1, 9)
+	if err := w.Setup(env); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(env); err != nil {
+		t.Fatal(err)
+	}
+	return w, env
+}
+
+func TestUAConverges(t *testing.T) {
+	w, _ := runUA(t)
+	t.Logf("res norms: %v", w.ResNorms())
+	if err := w.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUAAllocationProfile(t *testing.T) {
+	_, env := runUA(t)
+	if got := len(env.Alloc.All()); got != Regions*ArraysPerRegion {
+		t.Errorf("allocations = %d, want %d", got, Regions*ArraysPerRegion)
+	}
+	gb := env.Alloc.TotalSimBytes().GBs()
+	if gb < 6.5 || gb > 8.0 {
+		t.Errorf("footprint %.2f GB outside [6.5,8.0] (paper: 7.25)", gb)
+	}
+}
+
+func TestUATrafficSpread(t *testing.T) {
+	_, env := runUA(t)
+	by := env.Rec.Trace().BytesByAlloc()
+	// UA's signature: no single allocation dominates — the largest share
+	// stays well under a third of the total.
+	var total, max int64
+	for _, b := range by {
+		total += int64(b)
+		if int64(b) > max {
+			max = int64(b)
+		}
+	}
+	if frac := float64(max) / float64(total); frac > 0.34 {
+		t.Errorf("max single-allocation traffic share %.2f too concentrated for UA", frac)
+	}
+}
+
+func TestUASetupErrors(t *testing.T) {
+	env := workloads.NewEnv(0, 1, 1)
+	for _, cfg := range []Config{
+		{RealElems: 10, SimBytesTotal: units.GB(7), Iters: 1, Degree: 6},
+		{RealElems: 1 << 11, SimBytesTotal: units.GB(7), Iters: 0, Degree: 6},
+		{RealElems: 1 << 11, SimBytesTotal: units.GB(7), Iters: 1, Degree: 99},
+	} {
+		w := &UA{Cfg: cfg}
+		if err := w.Setup(env); err == nil {
+			t.Errorf("Setup(%+v) should fail", cfg)
+		}
+	}
+}

@@ -1,0 +1,253 @@
+// Package stream implements the STREAM benchmark (Copy, Scale, Add,
+// Triad) used for the platform characterisation of Figs. 2 and 5. Each
+// work array is a separate tracked allocation so that the mixed-placement
+// experiments can bind arrays to different pools individually — the
+// paper's departure from binding the whole application to one pool.
+package stream
+
+import (
+	"fmt"
+	"math"
+
+	"hmpt/internal/parallel"
+	"hmpt/internal/shim"
+	"hmpt/internal/trace"
+	"hmpt/internal/units"
+	"hmpt/internal/workloads"
+)
+
+// Kernel selects a STREAM sub-test.
+type Kernel int
+
+// The four canonical STREAM kernels.
+const (
+	Copy Kernel = iota
+	Scale
+	Add
+	Triad
+)
+
+// String returns the kernel name as STREAM prints it.
+func (k Kernel) String() string {
+	switch k {
+	case Copy:
+		return "Copy"
+	case Scale:
+		return "Scale"
+	case Add:
+		return "Add"
+	case Triad:
+		return "Triad"
+	default:
+		return fmt.Sprintf("kernel(%d)", int(k))
+	}
+}
+
+// LogicalBytes returns the bytes STREAM credits the kernel with per
+// element of array size s: 2 arrays for Copy/Scale, 3 for Add/Triad.
+func (k Kernel) LogicalBytes(s units.Bytes) units.Bytes {
+	switch k {
+	case Copy, Scale:
+		return 2 * s
+	default:
+		return 3 * s
+	}
+}
+
+const scalar = 3.0 // STREAM's canonical scale factor
+
+// Config parameterises a STREAM run.
+type Config struct {
+	// N is the real element count per array.
+	N int
+	// SimArray is the simulated size of each array (paper: 16 GB).
+	SimArray units.Bytes
+	// Iters repeats each kernel (paper-style averaging).
+	Iters int
+	// Kernels restricts the sub-tests; empty means all four.
+	Kernels []Kernel
+}
+
+// DefaultConfig matches the paper's setup at laptop scale: three arrays
+// of 16 GB simulated each.
+func DefaultConfig() Config {
+	return Config{N: 1 << 18, SimArray: units.GB(16), Iters: 4}
+}
+
+// Stream is the STREAM workload instance.
+type Stream struct {
+	Cfg     Config
+	a, b, c *shim.TrackedSlice[float64]
+	ran     bool
+}
+
+// New returns a STREAM workload with the default configuration.
+func New() *Stream { return &Stream{Cfg: DefaultConfig()} }
+
+func init() {
+	workloads.Register("stream", "STREAM Copy/Scale/Add/Triad, three 16 GB arrays (Figs. 2, 5)",
+		func() workloads.Workload { return New() })
+}
+
+// Name implements workloads.Workload.
+func (s *Stream) Name() string { return "stream" }
+
+// Arrays returns the allocation IDs of (a, b, c) after Setup.
+func (s *Stream) Arrays() (a, b, c shim.AllocID) {
+	return s.a.ID(), s.b.ID(), s.c.ID()
+}
+
+// Setup implements workloads.Workload.
+func (s *Stream) Setup(env *workloads.Env) error {
+	if s.Cfg.N <= 0 {
+		return fmt.Errorf("stream: non-positive N %d", s.Cfg.N)
+	}
+	if s.Cfg.SimArray <= 0 {
+		return fmt.Errorf("stream: non-positive simulated array size")
+	}
+	realBytes := units.Bytes(s.Cfg.N * 8)
+	scale := float64(s.Cfg.SimArray) / float64(realBytes)
+	s.a = shim.Alloc[float64](env.Alloc, "stream.a", s.Cfg.N, scale)
+	s.b = shim.Alloc[float64](env.Alloc, "stream.b", s.Cfg.N, scale)
+	s.c = shim.Alloc[float64](env.Alloc, "stream.c", s.Cfg.N, scale)
+	for i := range s.a.Data {
+		s.a.Data[i] = 1
+		s.b.Data[i] = 2
+		s.c.Data[i] = 0
+	}
+	s.ran = false
+	return nil
+}
+
+func (s *Stream) kernels() []Kernel {
+	if len(s.Cfg.Kernels) > 0 {
+		return s.Cfg.Kernels
+	}
+	return []Kernel{Copy, Scale, Add, Triad}
+}
+
+// Run implements workloads.Workload: it executes the kernels on the real
+// arrays and emits one phase per kernel iteration.
+func (s *Stream) Run(env *workloads.Env) error {
+	if s.a == nil {
+		return fmt.Errorf("stream: Run before Setup")
+	}
+	iters := s.Cfg.Iters
+	if iters <= 0 {
+		iters = 1
+	}
+	n := s.Cfg.N
+	et := env.ExecThreads()
+	simElems := float64(s.Cfg.SimArray) / 8
+	a, b, c := s.a.Data, s.b.Data, s.c.Data
+
+	for it := 0; it < iters; it++ {
+		for _, k := range s.kernels() {
+			var streams []trace.Stream
+			var flops units.Flops
+			switch k {
+			case Copy: // c = a
+				parallel.For(et, n, func(_, lo, hi int) {
+					copy(c[lo:hi], a[lo:hi])
+				})
+				streams = []trace.Stream{
+					{Alloc: s.a.ID(), Bytes: s.Cfg.SimArray, Kind: trace.Read, Pattern: trace.Sequential},
+					{Alloc: s.c.ID(), Bytes: s.Cfg.SimArray, Kind: trace.Write, Pattern: trace.Sequential},
+				}
+			case Scale: // b = scalar * c
+				parallel.For(et, n, func(_, lo, hi int) {
+					for i := lo; i < hi; i++ {
+						b[i] = scalar * c[i]
+					}
+				})
+				streams = []trace.Stream{
+					{Alloc: s.c.ID(), Bytes: s.Cfg.SimArray, Kind: trace.Read, Pattern: trace.Sequential},
+					{Alloc: s.b.ID(), Bytes: s.Cfg.SimArray, Kind: trace.Write, Pattern: trace.Sequential},
+				}
+				flops = units.Flops(simElems)
+			case Add: // c = a + b
+				parallel.For(et, n, func(_, lo, hi int) {
+					for i := lo; i < hi; i++ {
+						c[i] = a[i] + b[i]
+					}
+				})
+				streams = []trace.Stream{
+					{Alloc: s.a.ID(), Bytes: s.Cfg.SimArray, Kind: trace.Read, Pattern: trace.Sequential},
+					{Alloc: s.b.ID(), Bytes: s.Cfg.SimArray, Kind: trace.Read, Pattern: trace.Sequential},
+					{Alloc: s.c.ID(), Bytes: s.Cfg.SimArray, Kind: trace.Write, Pattern: trace.Sequential},
+				}
+				flops = units.Flops(simElems)
+			case Triad: // a = b + scalar * c
+				parallel.For(et, n, func(_, lo, hi int) {
+					for i := lo; i < hi; i++ {
+						a[i] = b[i] + scalar*c[i]
+					}
+				})
+				streams = []trace.Stream{
+					{Alloc: s.b.ID(), Bytes: s.Cfg.SimArray, Kind: trace.Read, Pattern: trace.Sequential},
+					{Alloc: s.c.ID(), Bytes: s.Cfg.SimArray, Kind: trace.Read, Pattern: trace.Sequential},
+					{Alloc: s.a.ID(), Bytes: s.Cfg.SimArray, Kind: trace.Write, Pattern: trace.Sequential},
+				}
+				flops = 2 * units.Flops(simElems)
+			}
+			env.Rec.Emit(trace.Phase{
+				Name:       k.String(),
+				Threads:    env.Threads,
+				Flops:      flops,
+				VectorFrac: 1,
+				FlopEff:    0.9, // STREAM kernels vectorise perfectly
+				Streams:    streams,
+			})
+		}
+	}
+	s.ran = true
+	return nil
+}
+
+// Verify implements workloads.Workload using STREAM's analytic check:
+// after k full iterations the array values follow a closed-form
+// recurrence from the initial (1, 2, 0).
+func (s *Stream) Verify() error {
+	if !s.ran {
+		return fmt.Errorf("stream: Verify before Run")
+	}
+	// Only full four-kernel iterations have the closed form.
+	if len(s.Cfg.Kernels) > 0 && len(s.Cfg.Kernels) != 4 {
+		return s.verifySpot()
+	}
+	aj, bj, cj := 1.0, 2.0, 0.0
+	iters := s.Cfg.Iters
+	if iters <= 0 {
+		iters = 1
+	}
+	for it := 0; it < iters; it++ {
+		cj = aj
+		bj = scalar * cj
+		cj = aj + bj
+		aj = bj + scalar*cj
+	}
+	for i, got := range []float64{s.a.Data[0], s.b.Data[0], s.c.Data[0]} {
+		want := []float64{aj, bj, cj}[i]
+		if math.Abs(got-want) > 1e-8*math.Abs(want) {
+			return fmt.Errorf("stream: array %c check failed: got %g want %g", 'a'+i, got, want)
+		}
+	}
+	// Spot-check interior elements match element 0 (all elements evolve identically).
+	mid := s.Cfg.N / 2
+	if s.a.Data[mid] != s.a.Data[0] || s.b.Data[mid] != s.b.Data[0] || s.c.Data[mid] != s.c.Data[0] {
+		return fmt.Errorf("stream: interior element diverged from element 0")
+	}
+	return nil
+}
+
+// verifySpot checks basic sanity when only a kernel subset ran.
+func (s *Stream) verifySpot() error {
+	for i := 0; i < s.Cfg.N; i += s.Cfg.N/8 + 1 {
+		for _, v := range []float64{s.a.Data[i], s.b.Data[i], s.c.Data[i]} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("stream: non-finite value at %d", i)
+			}
+		}
+	}
+	return nil
+}

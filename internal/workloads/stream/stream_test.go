@@ -1,0 +1,82 @@
+package stream
+
+import (
+	"testing"
+
+	"hmpt/internal/units"
+	"hmpt/internal/workloads"
+)
+
+func runStream(t *testing.T, cfg Config) (*Stream, *workloads.Env) {
+	t.Helper()
+	s := &Stream{Cfg: cfg}
+	env := workloads.NewEnv(0, 1, 9)
+	if err := s.Setup(env); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(env); err != nil {
+		t.Fatal(err)
+	}
+	return s, env
+}
+
+func TestStreamVerifies(t *testing.T) {
+	s, _ := runStream(t, Config{N: 1 << 12, SimArray: units.GB(16), Iters: 3})
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamTrafficPerKernel(t *testing.T) {
+	s, env := runStream(t, Config{N: 1 << 12, SimArray: units.GB(16), Iters: 1})
+	tr := env.Rec.Trace()
+	if len(tr.Phases) != 4 {
+		t.Fatalf("phases = %d, want 4", len(tr.Phases))
+	}
+	// Copy: 2 arrays; Add: 3 arrays of 16 GB.
+	if got := tr.Phases[0].TotalBytes(); got != units.GB(32) {
+		t.Errorf("copy bytes = %v", got)
+	}
+	if got := tr.Phases[2].TotalBytes(); got != units.GB(48) {
+		t.Errorf("add bytes = %v", got)
+	}
+	_ = s
+}
+
+func TestStreamKernelSubset(t *testing.T) {
+	s, env := runStream(t, Config{N: 1 << 12, SimArray: units.GB(16), Iters: 2, Kernels: []Kernel{Copy}})
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	tr := env.Rec.Trace()
+	// Two identical Copy phases coalesce into one with repeat 2.
+	if len(tr.Phases) != 1 || tr.Phases[0].Times() != 2 {
+		t.Errorf("phases = %d (repeat %d)", len(tr.Phases), tr.Phases[0].Times())
+	}
+}
+
+func TestStreamSetupErrors(t *testing.T) {
+	env := workloads.NewEnv(0, 1, 1)
+	for _, cfg := range []Config{
+		{N: 0, SimArray: units.GB(16), Iters: 1},
+		{N: 1024, SimArray: 0, Iters: 1},
+	} {
+		s := &Stream{Cfg: cfg}
+		if err := s.Setup(env); err == nil {
+			t.Errorf("Setup(%+v) should fail", cfg)
+		}
+	}
+	s := New()
+	if err := s.Run(env); err == nil {
+		t.Error("Run before Setup should fail")
+	}
+	if err := s.Verify(); err == nil {
+		t.Error("Verify before Run should fail")
+	}
+}
+
+func TestKernelLogicalBytes(t *testing.T) {
+	if Copy.LogicalBytes(100) != 200 || Add.LogicalBytes(100) != 300 {
+		t.Error("logical byte counts wrong")
+	}
+}

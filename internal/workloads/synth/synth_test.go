@@ -1,0 +1,65 @@
+package synth
+
+import (
+	"testing"
+
+	"hmpt/internal/units"
+	"hmpt/internal/workloads"
+)
+
+func TestSynthDefaultRuns(t *testing.T) {
+	w := Default()
+	env := workloads.NewEnv(0, 1, 5)
+	if err := w.Setup(env); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(env); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	tr := env.Rec.Trace()
+	if tr.Phases[0].Times() != 10 {
+		t.Errorf("iterations coalesced to %d, want 10", tr.Phases[0].Times())
+	}
+}
+
+func TestSynthTrafficMatchesSpec(t *testing.T) {
+	w := New(Config{
+		Arrays: []ArraySpec{
+			{Name: "x", SimBytes: units.GB(1), ReadBytes: units.GB(3), WriteBytes: units.GB(1)},
+		},
+		Iters: 2,
+	})
+	env := workloads.NewEnv(0, 1, 5)
+	if err := w.Setup(env); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(env); err != nil {
+		t.Fatal(err)
+	}
+	by := env.Rec.Trace().BytesByAlloc()
+	if got := by[w.AllocID(0)]; got != units.GB(8) {
+		t.Errorf("traffic = %v, want 8 GB (2 iters x (3R+1W))", got)
+	}
+}
+
+func TestSynthErrors(t *testing.T) {
+	env := workloads.NewEnv(0, 1, 1)
+	w := New(Config{})
+	if err := w.Setup(env); err == nil {
+		t.Error("no arrays should fail")
+	}
+	bad := New(Config{Arrays: []ArraySpec{{Name: "x", SimBytes: 0}}})
+	if err := bad.Setup(env); err == nil {
+		t.Error("zero size should fail")
+	}
+	fresh := New(Config{Arrays: []ArraySpec{{Name: "x", SimBytes: 1}}})
+	if err := fresh.Run(env); err == nil {
+		t.Error("Run before Setup should fail")
+	}
+	if err := fresh.Verify(); err == nil {
+		t.Error("Verify before Run should fail")
+	}
+}

@@ -1,0 +1,129 @@
+// Package workloads defines the contract between benchmark kernels and
+// the tuning tool: a Workload allocates its data through the shim
+// allocator (so every allocation is intercepted), runs its real kernel,
+// and emits the corresponding memory-access phases. A registry lets the
+// driver tool address workloads by name, as the paper's driver script
+// addresses benchmark binaries.
+package workloads
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"hmpt/internal/shim"
+	"hmpt/internal/trace"
+	"hmpt/internal/xrand"
+)
+
+// Env is the execution environment handed to a workload run.
+type Env struct {
+	// Alloc intercepts the workload's allocations.
+	Alloc *shim.Allocator
+	// Rec receives the workload's phase trace.
+	Rec *trace.Recorder
+	// Threads is the simulated thread count phases are costed with
+	// (0 = all cores of the platform under test).
+	Threads int
+	// Scale multiplies real allocation sizes into simulated sizes, so a
+	// laptop-scale kernel represents the paper's Class C/D footprint.
+	Scale float64
+	// RNG seeds any stochastic behaviour of the workload (input data).
+	RNG *xrand.Rand
+}
+
+// NewEnv returns an environment with fresh allocator, recorder and RNG.
+func NewEnv(threads int, scale float64, seed uint64) *Env {
+	if scale <= 0 {
+		scale = 1
+	}
+	return &Env{
+		Alloc:   shim.NewAllocator(),
+		Rec:     trace.NewRecorder(),
+		Threads: threads,
+		Scale:   scale,
+		RNG:     xrand.New(seed),
+	}
+}
+
+// ExecThreads returns the worker count for the kernel's real execution:
+// the simulated thread count capped by the host's usable CPUs. Simulated
+// costing still uses Env.Threads.
+func (e *Env) ExecThreads() int {
+	t := e.Threads
+	host := runtime.GOMAXPROCS(0)
+	if t <= 0 || t > host {
+		t = host
+	}
+	return t
+}
+
+// Workload is one evaluated application/benchmark.
+//
+// Setup allocates all working data through env.Alloc. Run executes the
+// kernel (real arithmetic on the real backing arrays) and emits phases
+// into env.Rec. Verify checks the numerical result of the last Run and
+// returns an error describing any residual failure — the reproduction's
+// defence against a kernel that emits plausible traffic but computes
+// nonsense.
+type Workload interface {
+	Name() string
+	Setup(env *Env) error
+	Run(env *Env) error
+	Verify() error
+}
+
+// Factory builds a fresh workload instance with default configuration.
+type Factory func() Workload
+
+type registryEntry struct {
+	factory Factory
+	desc    string
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]registryEntry)
+)
+
+// Register adds a workload factory under name. Registering a duplicate
+// name panics: it means two packages claim the same benchmark.
+func Register(name, desc string, f Factory) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("workloads: duplicate registration of %q", name))
+	}
+	registry[name] = registryEntry{factory: f, desc: desc}
+}
+
+// New instantiates the named workload.
+func New(name string) (Workload, error) {
+	regMu.RLock()
+	e, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("workloads: unknown workload %q (have %v)", name, Names())
+	}
+	return e.factory(), nil
+}
+
+// Names returns all registered workload names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Describe returns the registered description of a workload.
+func Describe(name string) string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return registry[name].desc
+}
