@@ -9,12 +9,17 @@ package hmpt
 
 import (
 	"fmt"
+	"math/bits"
 	"sync"
 	"testing"
 
 	"hmpt/internal/core"
 	"hmpt/internal/experiments"
 	"hmpt/internal/memsim"
+	"hmpt/internal/shim"
+	"hmpt/internal/trace"
+	"hmpt/internal/units"
+	"hmpt/internal/workloads"
 	"hmpt/internal/workloads/synth"
 )
 
@@ -343,6 +348,144 @@ func BenchmarkAblationNoise(b *testing.B) {
 			once("abl-noise", "\n== Ablation: run-count vs ranking stability (MG) ==\n"+out)
 		}
 	}
+}
+
+// ---------------------------------------------------------------------
+// Sweep-engine benchmarks: the hot path under every figure and table.
+// ---------------------------------------------------------------------
+
+// sweepBenchSetup runs the npb.bt reduced instance once and returns its
+// machine, trace, and tuned allocation groups — the paper's 8-group /
+// 256-configuration sweep shape.
+func sweepBenchSetup(b *testing.B) (*memsim.Machine, *trace.Trace, []core.Group) {
+	b.Helper()
+	spec, err := experiments.SpecFor("npb.bt")
+	if err != nil {
+		b.Fatal(err)
+	}
+	an, err := experiments.Analyze(spec, platform(), true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := spec.Fast()
+	env := workloads.NewEnv(0, 1, 1)
+	if err := w.Setup(env); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Run(env); err != nil {
+		b.Fatal(err)
+	}
+	return memsim.NewMachine(platform()), env.Rec.Trace(), an.Groups
+}
+
+func sweepBenchPlacement(p *memsim.Platform, groups []core.Group, mask uint32) *memsim.SimplePlacement {
+	pl := memsim.NewSimplePlacement(len(p.Pools), p.MustPool(memsim.DDR))
+	hbm := p.MustPool(memsim.HBM)
+	for gi := range groups {
+		if mask&(1<<uint(gi)) == 0 {
+			continue
+		}
+		for _, id := range groups[gi].Allocs {
+			pl.Set(id, hbm)
+		}
+	}
+	return pl
+}
+
+// BenchmarkSweepEngine compares one full 2^|AG| deterministic sweep on
+// the compiled engine (including compilation, Gray-code incremental
+// evaluation) against the naive path costing every mask from scratch.
+// The "naive/engine-speedup" metric is the per-sweep ratio.
+func BenchmarkSweepEngine(b *testing.B) {
+	m, tr, groups := sweepBenchSetup(b)
+	ddr := m.P.MustPool(memsim.DDR)
+	hbm := m.P.MustPool(memsim.HBM)
+	sets := make([][]shim.AllocID, len(groups))
+	for gi := range groups {
+		sets[gi] = groups[gi].Allocs
+	}
+	nMasks := uint32(1) << uint(len(groups))
+	var sink units.Duration
+
+	var engineNs, naiveNs float64
+	b.Run("engine", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ev, err := m.CompileSweep(tr, 0, sets, ddr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			det := ev.EvalMask(0, ddr, hbm)
+			for g := uint32(1); g < nMasks; g++ {
+				bit := bits.TrailingZeros32(g)
+				mask := g ^ (g >> 1)
+				to := ddr
+				if mask&(1<<uint(bit)) != 0 {
+					to = hbm
+				}
+				det = ev.Flip(bit, to)
+			}
+			sink += det
+		}
+		engineNs = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for mask := uint32(0); mask < nMasks; mask++ {
+				res, err := m.Cost(tr, sweepBenchPlacement(m.P, groups, mask), 0, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sink += res.Time
+			}
+		}
+		naiveNs = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+	if engineNs > 0 && naiveNs > 0 {
+		once("sweep-engine", fmt.Sprintf("\n== SweepEngine: %d masks, naive %.2fms vs engine %.3fms: %.0fx ==\n",
+			nMasks, naiveNs/1e6, engineNs/1e6, naiveNs/engineNs))
+	}
+	_ = sink
+}
+
+// BenchmarkCostAllocs measures allocation behaviour of the two costing
+// paths with testing.AllocsPerRun: the engine's sweep inner loop (flip +
+// full mask evaluation) must be allocation-free, and the legacy
+// Machine.Cost path must stay flat (per-call scratch, not per-stream).
+func BenchmarkCostAllocs(b *testing.B) {
+	m, tr, groups := sweepBenchSetup(b)
+	ddr := m.P.MustPool(memsim.DDR)
+	hbm := m.P.MustPool(memsim.HBM)
+	sets := make([][]shim.AllocID, len(groups))
+	for gi := range groups {
+		sets[gi] = groups[gi].Allocs
+	}
+	ev, err := m.CompileSweep(tr, 0, sets, ddr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sink units.Duration
+	sweepAllocs := testing.AllocsPerRun(100, func() {
+		sink += ev.Flip(3, hbm)
+		sink += ev.Flip(3, ddr)
+		sink += ev.EvalMask(0x55, ddr, hbm)
+	})
+	pl := sweepBenchPlacement(m.P, groups, 0x55)
+	costAllocs := testing.AllocsPerRun(100, func() {
+		res, err := m.Cost(tr, pl, 0, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += res.Time
+	})
+	b.ReportMetric(sweepAllocs, "sweep-allocs/op")
+	b.ReportMetric(costAllocs, "cost-allocs/op")
+	if sweepAllocs != 0 {
+		b.Errorf("sweep inner loop allocates %.1f allocs/op, want 0", sweepAllocs)
+	}
+	for i := 0; i < b.N; i++ {
+		sink += ev.EvalMask(uint32(i)&(1<<uint(len(groups))-1), ddr, hbm)
+	}
+	_ = sink
 }
 
 // BenchmarkOnlineTuning runs the dynamic extension (§III "online

@@ -62,6 +62,11 @@ func analyzeWorkload(fs *flag.FlagSet, args []string) (*core.Analysis, error) {
 		return nil, fmt.Errorf("missing workload name (try `hmpt list`)")
 	}
 	name := fs.Arg(0)
+	// flag parsing stops at the workload name; re-parse what follows so
+	// the documented `analyze <workload> [-flags]` order works.
+	if err := fs.Parse(fs.Args()[1:]); err != nil {
+		return nil, err
+	}
 	spec, err := experiments.SpecFor(name)
 	if err != nil {
 		// Not an evaluated benchmark: run with default options.

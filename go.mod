@@ -1,0 +1,3 @@
+module hmpt
+
+go 1.22

@@ -10,16 +10,27 @@
 // measures every one of the 2^|AG| placement configurations, n runs
 // each. The result is an Analysis exposing the paper's detailed view
 // (Fig. 7a), summary view (Fig. 7b), and the Table II metrics.
+//
+// The probe and sweep stages run on the memsim sweep engine: the phase
+// trace is compiled once per group partition, each configuration's
+// deterministic time is evaluated incrementally in Gray-code order (one
+// group flips per step), the n measurement-noise draws are replayed
+// against the one deterministic time, and the mask space is fanned out
+// over internal/parallel workers. All of this is bit-identical to the
+// naive per-mask costing path, which AnalyzeReference retains as the
+// equivalence oracle.
 package core
 
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 	"strings"
 
 	"hmpt/internal/ibs"
 	"hmpt/internal/memsim"
+	"hmpt/internal/parallel"
 	"hmpt/internal/shim"
 	"hmpt/internal/stats"
 	"hmpt/internal/trace"
@@ -56,6 +67,11 @@ type Options struct {
 	Scale float64
 	// Seed makes the whole analysis reproducible.
 	Seed uint64
+	// SweepParallelism caps the worker goroutines of the configuration
+	// sweep (0 = GOMAXPROCS). The sweep is deterministic for any value:
+	// every configuration owns a pre-split RNG and a pre-assigned
+	// result slot, so the worker count changes scheduling only.
+	SweepParallelism int
 }
 
 func (o *Options) withDefaults() Options {
@@ -164,8 +180,18 @@ func New(w workloads.Workload, opts Options) *Tuner {
 	return &Tuner{opts: opts.withDefaults(), w: w}
 }
 
-// Analyze runs the full pipeline and returns the analysis.
-func (t *Tuner) Analyze() (*Analysis, error) {
+// Analyze runs the full pipeline and returns the analysis. The probe and
+// configuration-sweep stages run on the compiled sweep engine; the
+// result is bit-identical to AnalyzeReference.
+func (t *Tuner) Analyze() (*Analysis, error) { return t.analyze(true) }
+
+// AnalyzeReference runs the identical pipeline through the pre-engine
+// costing path: a fresh Machine.Cost per probe and per configuration
+// run. It is retained as the bit-exactness oracle the equivalence tests
+// and benchmarks compare the sweep engine against.
+func (t *Tuner) AnalyzeReference() (*Analysis, error) { return t.analyze(false) }
+
+func (t *Tuner) analyze(engine bool) (*Analysis, error) {
 	o := t.opts
 	p := o.Platform
 	machine := memsim.NewMachine(p)
@@ -207,7 +233,7 @@ func (t *Tuner) Analyze() (*Analysis, error) {
 	}
 
 	// 4. Build allocation groups.
-	groups, filtered, totalSites, err := t.buildGroups(machine, tr, env.Alloc, rep, baseline.Mean(), ddr, hbm, rng.Split(4))
+	groups, filtered, totalSites, err := t.buildGroups(machine, tr, env.Alloc, rep, baseline.Mean(), ddr, hbm, rng.Split(4), engine)
 	if err != nil {
 		return nil, err
 	}
@@ -232,17 +258,95 @@ func (t *Tuner) Analyze() (*Analysis, error) {
 		return nil, fmt.Errorf("core: %d groups would enumerate 2^%d configurations", k, k)
 	}
 	hbmCap := p.Pools[hbm].Capacity
-	an.Configs = make([]Config, 1<<k)
+	an.Configs = make([]Config, 1<<uint(k))
 	cfgRNG := rng.Split(5)
-	for mask := uint32(0); mask < 1<<uint(k); mask++ {
-		cfg, err := t.measureConfig(machine, tr, env.Alloc, rep, groups, mask, total,
-			float64(baseline.Mean()), hbmCap, ddr, hbm, cfgRNG.Split(uint64(mask)))
-		if err != nil {
-			return nil, err
+	if !engine {
+		for mask := uint32(0); mask < 1<<uint(k); mask++ {
+			cfg, err := t.measureConfig(machine, tr, groups, mask, total,
+				baseline.Mean(), hbmCap, ddr, hbm, cfgRNG.Split(uint64(mask)))
+			if err != nil {
+				return nil, err
+			}
+			an.Configs[mask] = cfg
 		}
-		an.Configs[mask] = cfg
+		return an, nil
+	}
+	if err := t.sweepConfigs(an, machine, tr, groups, total, baseline.Mean(), hbmCap, ddr, hbm, cfgRNG); err != nil {
+		return nil, err
 	}
 	return an, nil
+}
+
+// sweepConfigs measures every mask on the sweep engine: configurations
+// own pre-split RNGs (in the same order the naive loop splits them), the
+// mask space is partitioned over workers, and each worker walks its
+// slice of the Gray-code sequence so that consecutive masks differ by
+// one group flip and only the phases that group touches are re-costed.
+func (t *Tuner) sweepConfigs(an *Analysis, machine *memsim.Machine, tr *trace.Trace,
+	groups []Group, total units.Bytes, baseMean float64, hbmCap units.Bytes,
+	ddr, hbm memsim.PoolID, cfgRNG *xrand.Rand) error {
+
+	sets := make([][]shim.AllocID, len(groups))
+	for gi := range groups {
+		sets[gi] = groups[gi].Allocs
+	}
+	eng, err := machine.CompileSweep(tr, t.opts.Threads, sets, ddr)
+	if err != nil {
+		return fmt.Errorf("core: compiling sweep: %w", err)
+	}
+
+	n := len(an.Configs)
+	rngs := make([]*xrand.Rand, n)
+	for mask := range rngs {
+		rngs[mask] = cfgRNG.Split(uint64(mask))
+	}
+
+	workers := t.opts.SweepParallelism
+	if workers < 1 {
+		workers = parallel.DefaultThreads()
+	}
+	if workers > n {
+		workers = n
+	}
+	parallel.For(workers, n, func(_, lo, hi int) {
+		if lo >= hi {
+			return
+		}
+		ev := eng.Clone()
+		mask := grayCode(uint32(lo))
+		det := ev.EvalMask(mask, ddr, hbm)
+		for i := lo; ; {
+			cfg := configShell(groups, mask, total, hbmCap)
+			finishConfig(&cfg, replaySample(machine, det, t.opts.Runs, rngs[mask]), baseMean, groups)
+			an.Configs[mask] = cfg
+			if i++; i >= hi {
+				return
+			}
+			// Gray-code step: position i flips exactly one group.
+			bit := bits.TrailingZeros32(uint32(i))
+			mask = grayCode(uint32(i))
+			to := ddr
+			if mask&(1<<uint(bit)) != 0 {
+				to = hbm
+			}
+			det = ev.Flip(bit, to)
+		}
+	})
+	return nil
+}
+
+// grayCode returns the i-th binary-reflected Gray code; consecutive
+// codes differ in exactly bit TrailingZeros(i+1).
+func grayCode(i uint32) uint32 { return i ^ (i >> 1) }
+
+// replaySample replays runs noise draws against one deterministic trace
+// time, reproducing what runs Machine.Cost calls would have measured.
+func replaySample(m *memsim.Machine, det units.Duration, runs int, rng *xrand.Rand) *stats.Sample {
+	s := &stats.Sample{}
+	for i := 0; i < runs; i++ {
+		s.Add(m.NoisyTime(det, rng).Seconds())
+	}
+	return s
 }
 
 // measure runs the trace Runs times under the placement, returning the
@@ -274,10 +378,9 @@ func placementFor(pools int, ddr, hbm memsim.PoolID, groups []Group, mask uint32
 	return pl
 }
 
-func (t *Tuner) measureConfig(m *memsim.Machine, tr *trace.Trace, al *shim.Allocator,
-	rep *ibs.Report, groups []Group, mask uint32, total units.Bytes, baseMean float64,
-	hbmCap units.Bytes, ddr, hbm memsim.PoolID, rng *xrand.Rand) (Config, error) {
-
+// configShell builds the placement-derived fields of a Config: member
+// groups, HBM footprint, sample fraction, label, and feasibility.
+func configShell(groups []Group, mask uint32, total, hbmCap units.Bytes) Config {
 	cfg := Config{Mask: mask, Feasible: true}
 	for gi := range groups {
 		if mask&(1<<uint(gi)) != 0 {
@@ -293,12 +396,12 @@ func (t *Tuner) measureConfig(m *memsim.Machine, tr *trace.Trace, al *shim.Alloc
 	if hbmCap > 0 && cfg.HBMBytes > hbmCap {
 		cfg.Feasible = false
 	}
+	return cfg
+}
 
-	pl := placementFor(len(m.P.Pools), ddr, hbm, groups, mask)
-	sample, err := t.measure(m, tr, pl, rng)
-	if err != nil {
-		return Config{}, err
-	}
+// finishConfig fills the measured statistics and the linear estimate of
+// a Config from its run sample.
+func finishConfig(cfg *Config, sample *stats.Sample, baseMean float64, groups []Group) {
 	cfg.Times = make([]units.Duration, 0, sample.N())
 	for _, v := range sample.Values() {
 		cfg.Times = append(cfg.Times, units.Duration(v))
@@ -315,6 +418,22 @@ func (t *Tuner) measureConfig(m *memsim.Machine, tr *trace.Trace, al *shim.Alloc
 	for _, gi := range cfg.Groups {
 		cfg.EstSpeedup += groups[gi].SoloSpeedup - 1
 	}
+}
+
+// measureConfig is the naive per-mask measurement of AnalyzeReference:
+// it builds the configuration's placement and costs every run from
+// scratch through Machine.Cost.
+func (t *Tuner) measureConfig(m *memsim.Machine, tr *trace.Trace,
+	groups []Group, mask uint32, total units.Bytes, baseMean float64,
+	hbmCap units.Bytes, ddr, hbm memsim.PoolID, rng *xrand.Rand) (Config, error) {
+
+	cfg := configShell(groups, mask, total, hbmCap)
+	pl := placementFor(len(m.P.Pools), ddr, hbm, groups, mask)
+	sample, err := t.measure(m, tr, pl, rng)
+	if err != nil {
+		return Config{}, err
+	}
+	finishConfig(&cfg, sample, baseMean, groups)
 	return cfg, nil
 }
 
@@ -331,9 +450,12 @@ func maskLabel(groups []int) string {
 }
 
 // buildGroups performs filtering, optional pre-grouping, impact probing
-// and top-k selection (§III-A).
+// and top-k selection (§III-A). With engine set, probes run on a sweep
+// evaluator compiled over the pre-groups: successive solo probes differ
+// by two group flips, so each probe re-costs only the phases its two
+// differing groups touch.
 func (t *Tuner) buildGroups(m *memsim.Machine, tr *trace.Trace, al *shim.Allocator,
-	rep *ibs.Report, baseMean float64, ddr, hbm memsim.PoolID, rng *xrand.Rand) ([]Group, int, int, error) {
+	rep *ibs.Report, baseMean float64, ddr, hbm memsim.PoolID, rng *xrand.Rand, engine bool) ([]Group, int, int, error) {
 
 	o := t.opts
 	sites := al.Sites()
@@ -342,6 +464,7 @@ func (t *Tuner) buildGroups(m *memsim.Machine, tr *trace.Trace, al *shim.Allocat
 	// Pre-group sites: by GroupBy key when provided, else one pre-group
 	// per site.
 	type pre struct {
+		idx    int // index in pres, the engine's group index
 		label  string
 		allocs []shim.AllocID
 		bytes  units.Bytes
@@ -366,15 +489,66 @@ func (t *Tuner) buildGroups(m *memsim.Machine, tr *trace.Trace, al *shim.Allocat
 		g.allocs = append(g.allocs, sg.Allocs...)
 		g.bytes += sg.SimSize
 	}
+	for i, g := range pres {
+		g.idx = i
+	}
+
+	// measureHBM measures the configuration with exactly the given
+	// pre-groups in HBM, on the engine when enabled and through fresh
+	// Machine.Cost runs otherwise. Both paths are bit-identical.
+	var eng *memsim.SweepEvaluator
+	inHBM := make([]bool, len(pres))
+	var engDet units.Duration
+	if engine {
+		sets := make([][]shim.AllocID, len(pres))
+		for i, g := range pres {
+			sets[i] = g.allocs
+		}
+		var err error
+		eng, err = m.CompileSweep(tr, o.Threads, sets, ddr)
+		if err != nil {
+			return nil, 0, 0, fmt.Errorf("core: compiling probe sweep: %w", err)
+		}
+		engDet = eng.EvalGroups(nil, ddr, hbm)
+	}
+	measureHBM := func(hbmPres []*pre, rng *xrand.Rand) (*stats.Sample, error) {
+		if eng != nil {
+			want := make([]bool, len(pres))
+			for _, g := range hbmPres {
+				want[g.idx] = true
+			}
+			for i := range want {
+				if want[i] == inHBM[i] {
+					continue
+				}
+				to := ddr
+				if want[i] {
+					to = hbm
+				}
+				engDet = eng.Flip(i, to)
+				inHBM[i] = want[i]
+			}
+			return replaySample(m, engDet, o.Runs, rng), nil
+		}
+		pl := memsim.NewSimplePlacement(len(m.P.Pools), ddr)
+		for _, g := range hbmPres {
+			for _, id := range g.allocs {
+				pl.Set(id, hbm)
+			}
+		}
+		return t.measure(m, tr, pl, rng)
+	}
 
 	// Filter: small pre-groups fold into rest.
 	var significant []*pre
+	var restPres []*pre
 	var rest pre
 	rest.label = "rest"
 	for _, g := range pres {
 		if g.bytes < o.FilterBelow {
 			rest.allocs = append(rest.allocs, g.allocs...)
 			rest.bytes += g.bytes
+			restPres = append(restPres, g)
 			continue
 		}
 		significant = append(significant, g)
@@ -388,11 +562,7 @@ func (t *Tuner) buildGroups(m *memsim.Machine, tr *trace.Trace, al *shim.Allocat
 	}
 	probes := make([]probed, 0, len(significant))
 	for i, g := range significant {
-		pl := memsim.NewSimplePlacement(len(m.P.Pools), ddr)
-		for _, id := range g.allocs {
-			pl.Set(id, hbm)
-		}
-		sample, err := t.measure(m, tr, pl, rng.Split(uint64(i)))
+		sample, err := measureHBM([]*pre{g}, rng.Split(uint64(i)))
 		if err != nil {
 			return nil, 0, 0, fmt.Errorf("core: probing group %q: %w", g.label, err)
 		}
@@ -417,6 +587,7 @@ func (t *Tuner) buildGroups(m *memsim.Machine, tr *trace.Trace, al *shim.Allocat
 	for _, pr := range probes[keep:] {
 		rest.allocs = append(rest.allocs, pr.allocs...)
 		rest.bytes += pr.bytes
+		restPres = append(restPres, pr.pre)
 	}
 	probes = probes[:keep]
 
@@ -458,11 +629,7 @@ func (t *Tuner) buildGroups(m *memsim.Machine, tr *trace.Trace, al *shim.Allocat
 			}
 		}
 		// Probe the rest group too, so estimates cover it.
-		pl := memsim.NewSimplePlacement(len(m.P.Pools), ddr)
-		for _, id := range rest.allocs {
-			pl.Set(id, hbm)
-		}
-		sample, err := t.measure(m, tr, pl, rng.Split(math.MaxUint32))
+		sample, err := measureHBM(restPres, rng.Split(math.MaxUint32))
 		if err != nil {
 			return nil, 0, 0, fmt.Errorf("core: probing rest group: %w", err)
 		}

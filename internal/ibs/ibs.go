@@ -115,7 +115,12 @@ func (s *Sampler) Sample(tr *trace.Trace, al *shim.Allocator, m *memsim.Machine,
 		reads  int
 		latSum float64
 	}
-	byAlloc := make(map[shim.AllocID]*agg)
+	res := newResolver(al)
+	// Dense per-allocation aggregation, indexed by AllocID: the sample
+	// loop runs up to MaxSamples times and must not hash per sample.
+	byAlloc := make([]agg, res.maxID+1)
+	splitBuf := make([]float64, pl.NumPools())
+	latSec := make([]float64, len(m.P.Pools))
 
 	var carry float64 // fractional samples carried across streams
 	for pi := range tr.Phases {
@@ -137,7 +142,12 @@ func (s *Sampler) Sample(tr *trace.Trace, al *shim.Allocator, m *memsim.Machine,
 			if n == 0 {
 				continue
 			}
-			split := pl.Split(st.Alloc)
+			split := splitBuf
+			if sp, ok := pl.(memsim.SplitterInto); ok {
+				sp.SplitInto(st.Alloc, splitBuf)
+			} else {
+				split = pl.Split(st.Alloc)
+			}
 			span := uint64(st.WorkingSet)
 			if span == 0 || span > uint64(a.SimSize) {
 				span = uint64(a.SimSize)
@@ -145,27 +155,30 @@ func (s *Sampler) Sample(tr *trace.Trace, al *shim.Allocator, m *memsim.Machine,
 			if span == 0 {
 				continue
 			}
+			// The pool-latency profile depends only on the stream and the
+			// sampled pool, not on the sampled address: precompute the
+			// per-pool latencies once per stream.
+			for pid := range m.P.Pools {
+				prof := memsim.AccessProfile{AvgLatency: m.P.Pools[pid].Latency}
+				if st.Pattern == trace.Random || st.Pattern == trace.Chase {
+					prof = m.P.AccessProfileFor(memsim.PoolID(pid), st.WorkingSet)
+				}
+				latSec[pid] = prof.AvgLatency.Seconds()
+			}
+			countReads := st.Kind == trace.Read
 			for k := 0; k < n; k++ {
 				addr := a.Addr + rng.Uint64()%span
-				res := al.Resolve(addr)
-				if res == nil {
+				id := res.resolve(addr)
+				if id == 0 {
 					rep.Unmapped++
 					rep.Total++
 					continue
 				}
 				pid := choosePool(split, rng)
-				prof := memsim.AccessProfile{AvgLatency: m.P.Pools[pid].Latency}
-				if st.Pattern == trace.Random || st.Pattern == trace.Chase {
-					prof = m.P.AccessProfileFor(pid, st.WorkingSet)
-				}
-				g := byAlloc[res.ID]
-				if g == nil {
-					g = &agg{}
-					byAlloc[res.ID] = g
-				}
+				g := &byAlloc[id]
 				g.n++
-				g.latSum += prof.AvgLatency.Seconds()
-				if st.Kind == trace.Read || (st.Kind == trace.Update && k%2 == 0) {
+				g.latSum += latSec[pid]
+				if countReads || (st.Kind == trace.Update && k%2 == 0) {
 					g.reads++
 				}
 				rep.Total++
@@ -173,18 +186,66 @@ func (s *Sampler) Sample(tr *trace.Trace, al *shim.Allocator, m *memsim.Machine,
 		}
 	}
 
-	for id, g := range byAlloc {
+	for id := range byAlloc {
+		g := &byAlloc[id]
+		if g.n == 0 {
+			continue
+		}
 		st := &AllocStats{Samples: g.n}
 		if rep.Total > 0 {
 			st.Density = float64(g.n) / float64(rep.Total)
 		}
-		if g.n > 0 {
-			st.AvgLatency = units.Duration(g.latSum / float64(g.n))
-			st.ReadFrac = float64(g.reads) / float64(g.n)
-		}
-		rep.ByAlloc[id] = st
+		st.AvgLatency = units.Duration(g.latSum / float64(g.n))
+		st.ReadFrac = float64(g.reads) / float64(g.n)
+		rep.ByAlloc[shim.AllocID(id)] = st
 	}
 	return rep, nil
+}
+
+// resolver is a snapshot of the live allocations for address-to-
+// allocation attribution: the shim's bump allocator hands out disjoint,
+// monotonically increasing ranges, so a binary search over the sorted
+// live ranges returns exactly the allocation Allocator.Resolve's linear
+// scan would, without taking the allocator lock per sample.
+type resolver struct {
+	addrs []uint64 // sorted range starts
+	ends  []uint64
+	ids   []shim.AllocID
+	maxID shim.AllocID
+}
+
+func newResolver(al *shim.Allocator) *resolver {
+	r := &resolver{}
+	for _, a := range al.All() {
+		if a.ID > r.maxID {
+			r.maxID = a.ID
+		}
+		if !a.Live() {
+			continue
+		}
+		r.addrs = append(r.addrs, a.Addr)
+		r.ends = append(r.ends, a.End())
+		r.ids = append(r.ids, a.ID)
+	}
+	return r
+}
+
+// resolve returns the live allocation containing addr, or 0.
+func (r *resolver) resolve(addr uint64) shim.AllocID {
+	lo, hi := 0, len(r.addrs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if r.addrs[mid] <= addr {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	// lo is one past the last range starting at or below addr.
+	if lo == 0 || addr >= r.ends[lo-1] {
+		return 0
+	}
+	return r.ids[lo-1]
 }
 
 // choosePool picks a pool index according to the placement split.

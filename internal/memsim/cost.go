@@ -84,26 +84,39 @@ func (m *Machine) Cost(tr *trace.Trace, pl Placement, defThreads int, rng *xrand
 		return nil, fmt.Errorf("memsim: placement spans %d pools, platform %q has %d", got, m.P.Name, want)
 	}
 	res := &RunResult{Counters: perfctr.NewCounters()}
+	sc := newCostScratch(len(m.P.Pools))
 	for i := range tr.Phases {
 		ph := &tr.Phases[i]
-		pc, err := m.costPhase(ph, pl, defThreads, res.Counters)
+		pc, err := m.costPhase(ph, pl, defThreads, res.Counters, sc)
 		if err != nil {
 			return nil, fmt.Errorf("memsim: phase %d (%s): %w", i, ph.Name, err)
 		}
 		res.Phases = append(res.Phases, pc)
 		res.Time += pc.Time * units.Duration(pc.Repeat)
 	}
-	if rng != nil && m.Noise > 0 {
-		n := rng.NormFloat64()
-		if n > 3 {
-			n = 3
-		} else if n < -3 {
-			n = -3
-		}
-		res.Time *= units.Duration(1 + m.Noise*n)
-	}
+	res.Time = m.NoisyTime(res.Time, rng)
 	res.Counters.Elapsed = res.Time
 	return res, nil
+}
+
+// costScratch holds the per-pool working arrays of one Cost call so the
+// phase loop does not allocate per phase (nor per stream, via SplitInto).
+type costScratch struct {
+	split       []float64
+	effBus      []float64 // bus-seconds numerator: effective bytes
+	readByPool  []float64 // counter bytes
+	writeByPool []float64 // counter bytes
+	busTimes    []units.Duration
+}
+
+func newCostScratch(nPools int) *costScratch {
+	return &costScratch{
+		split:       make([]float64, nPools),
+		effBus:      make([]float64, nPools),
+		readByPool:  make([]float64, nPools),
+		writeByPool: make([]float64, nPools),
+		busTimes:    make([]units.Duration, nPools),
+	}
 }
 
 // mlpFor returns the per-thread outstanding-line budget for a stream.
@@ -125,7 +138,7 @@ func (m *Machine) mlpFor(s *trace.Stream) float64 {
 	}
 }
 
-func (m *Machine) costPhase(ph *trace.Phase, pl Placement, defThreads int, ctr *perfctr.Counters) (PhaseCost, error) {
+func (m *Machine) costPhase(ph *trace.Phase, pl Placement, defThreads int, ctr *perfctr.Counters, sc *costScratch) (PhaseCost, error) {
 	threads := ph.Threads
 	if threads <= 0 {
 		threads = defThreads
@@ -136,11 +149,19 @@ func (m *Machine) costPhase(ph *trace.Phase, pl Placement, defThreads int, ctr *
 	reps := ph.Times()
 
 	nPools := len(m.P.Pools)
-	effBus := make([]float64, nPools)      // bus-seconds numerator: effective bytes
-	readByPool := make([]float64, nPools)  // counter bytes
-	writeByPool := make([]float64, nPools) // counter bytes
-	var concSec float64                    // per-thread concurrency time
-	var cacheServed float64                // bytes served by caches
+	effBus := sc.effBus
+	readByPool := sc.readByPool
+	writeByPool := sc.writeByPool
+	for pid := 0; pid < nPools; pid++ {
+		effBus[pid] = 0
+		readByPool[pid] = 0
+		writeByPool[pid] = 0
+	}
+	var concSec float64     // per-thread concurrency time
+	var cacheServed float64 // bytes served by caches
+
+	assigner, wholePool := pl.(PoolAssigner)
+	splitter, _ := pl.(SplitterInto)
 
 	for si := range ph.Streams {
 		s := &ph.Streams[si]
@@ -150,9 +171,26 @@ func (m *Machine) costPhase(ph *trace.Phase, pl Placement, defThreads int, ctr *
 		if s.Bytes == 0 {
 			continue
 		}
-		split := pl.Split(s.Alloc)
-		if len(split) != nPools {
-			return PhaseCost{}, fmt.Errorf("placement split for alloc %d has %d pools, want %d", s.Alloc, len(split), nPools)
+		// Resolve the placement through the cheapest available path:
+		// whole-allocation placements answer with a single pool, split
+		// placements fill the scratch buffer, and plain Placements fall
+		// back to the allocating Split.
+		var split []float64
+		lo, hi := 0, nPools
+		if wholePool {
+			pid := assigner.PoolOf(s.Alloc)
+			if int(pid) < 0 || int(pid) >= nPools {
+				return PhaseCost{}, fmt.Errorf("placement pool %d for alloc %d out of range [0,%d)", pid, s.Alloc, nPools)
+			}
+			lo, hi = int(pid), int(pid)+1
+		} else if splitter != nil {
+			splitter.SplitInto(s.Alloc, sc.split)
+			split = sc.split
+		} else {
+			split = pl.Split(s.Alloc)
+			if len(split) != nPools {
+				return PhaseCost{}, fmt.Errorf("placement split for alloc %d has %d pools, want %d", s.Alloc, len(split), nPools)
+			}
 		}
 		var readB, writeB float64
 		switch s.Kind {
@@ -168,13 +206,16 @@ func (m *Machine) costPhase(ph *trace.Phase, pl Placement, defThreads int, ctr *
 		}
 		mlp := m.mlpFor(s)
 		cached := s.Pattern == trace.Random || s.Pattern == trace.Chase
-		for pid := 0; pid < nPools; pid++ {
-			f := split[pid]
-			if f <= 0 {
-				continue
-			}
-			if f > 1+1e-9 {
-				return PhaseCost{}, fmt.Errorf("placement split for alloc %d has fraction %f > 1", s.Alloc, f)
+		for pid := lo; pid < hi; pid++ {
+			f := 1.0
+			if !wholePool {
+				f = split[pid]
+				if f <= 0 {
+					continue
+				}
+				if f > 1+1e-9 {
+					return PhaseCost{}, fmt.Errorf("placement split for alloc %d has fraction %f > 1", s.Alloc, f)
+				}
 			}
 			prof := AccessProfile{AvgLatency: m.P.Pools[pid].Latency, MemFrac: 1}
 			if cached {
@@ -199,7 +240,7 @@ func (m *Machine) costPhase(ph *trace.Phase, pl Placement, defThreads int, ctr *
 	}
 
 	var memTime units.Duration
-	busTimes := make([]units.Duration, nPools)
+	busTimes := sc.busTimes
 	for pid := 0; pid < nPools; pid++ {
 		t := m.P.Pools[pid].BusBW.Time(units.Bytes(effBus[pid]))
 		busTimes[pid] = t

@@ -19,6 +19,24 @@ type Placement interface {
 	NumPools() int
 }
 
+// PoolAssigner is an optional Placement fast path for placements that
+// put each allocation wholly in one pool. The cost engine prefers it
+// over Split: a single pool lookup replaces a fraction vector, so the
+// hot costing loop performs no per-stream allocation at all.
+type PoolAssigner interface {
+	// PoolOf returns the pool serving the whole allocation. Unknown
+	// allocations report the default pool.
+	PoolOf(a shim.AllocID) PoolID
+}
+
+// SplitterInto is an optional Placement fast path for split placements:
+// implementations fill a caller-provided fraction buffer instead of
+// allocating a fresh slice per query. Semantics match Split; out has
+// NumPools() elements and is fully overwritten.
+type SplitterInto interface {
+	SplitInto(a shim.AllocID, out []float64)
+}
+
 // SimplePlacement maps whole allocations to pools, with a default pool
 // for unmapped allocations. It is the in-memory form of a tuning plan.
 type SimplePlacement struct {
@@ -50,6 +68,14 @@ func (sp *SimplePlacement) Split(a shim.AllocID) []float64 {
 	return out
 }
 
+// SplitInto implements SplitterInto.
+func (sp *SimplePlacement) SplitInto(a shim.AllocID, out []float64) {
+	for i := range out {
+		out[i] = 0
+	}
+	out[sp.PoolOf(a)] = 1
+}
+
 // NumPools implements Placement.
 func (sp *SimplePlacement) NumPools() int { return sp.Pools }
 
@@ -76,14 +102,22 @@ type InterleavedPlacement struct {
 // Split implements Placement.
 func (ip *InterleavedPlacement) Split(shim.AllocID) []float64 {
 	out := make([]float64, ip.Pools)
+	ip.SplitInto(0, out)
+	return out
+}
+
+// SplitInto implements SplitterInto.
+func (ip *InterleavedPlacement) SplitInto(_ shim.AllocID, out []float64) {
+	for i := range out {
+		out[i] = 0
+	}
 	if len(ip.Across) == 0 {
-		return out
+		return
 	}
 	f := 1 / float64(len(ip.Across))
 	for _, p := range ip.Across {
 		out[p] += f
 	}
-	return out
 }
 
 // NumPools implements Placement.

@@ -230,22 +230,32 @@ func (as *AddressSpace) UsedBytes(p memsim.PoolID) units.Bytes {
 // pages on each pool.
 func (as *AddressSpace) Split(id shim.AllocID) []float64 {
 	out := make([]float64, as.pools)
+	as.SplitInto(id, out)
+	return out
+}
+
+// SplitInto implements memsim.SplitterInto: Split without allocating the
+// fraction vector (beyond the generation cache).
+func (as *AddressSpace) SplitInto(id shim.AllocID, out []float64) {
+	for i := range out {
+		out[i] = 0
+	}
 	a := as.alloc.Lookup(id)
 	if a == nil {
 		out[as.def] = 1
-		return out
+		return
 	}
 	as.mu.Lock()
 	defer as.mu.Unlock()
 	if c, ok := as.splitCache[id]; ok && c.gen == as.gen {
 		copy(out, c.frac)
-		return out
+		return
 	}
 	first, last := pageRange(a)
 	n := last - first
 	if n == 0 {
 		out[as.def] = 1
-		return out
+		return
 	}
 	for pg := first; pg < last; pg++ {
 		out[as.poolOfPageLocked(pg)]++
@@ -256,7 +266,6 @@ func (as *AddressSpace) Split(id shim.AllocID) []float64 {
 	cached := make([]float64, len(out))
 	copy(cached, out)
 	as.splitCache[id] = cachedSplit{gen: as.gen, frac: cached}
-	return out
 }
 
 // NumPools implements memsim.Placement.

@@ -72,6 +72,7 @@ type BT struct {
 	us, vs, ws, qs, rhoI, sqr *shim.TrackedSlice[float64]
 
 	cmat     npbcommon.Mat5
+	cij      npbcommon.IJ // cmat in the I/J block algebra
 	env      *workloads.Env
 	errNorms []float64
 }
@@ -117,7 +118,9 @@ func (b *BT) Setup(env *workloads.Env) error {
 	b.rhoI = shim.Alloc[float64](env.Alloc, "bt.rho_i", cells, b.scale)
 	b.sqr = shim.Alloc[float64](env.Alloc, "bt.square", cells, b.scale)
 
-	// Component-coupling matrix: SPD, diagonally dominant.
+	// Component-coupling matrix: SPD, diagonally dominant. In the I/J
+	// basis the same matrix is (1−couple/4)·I + (couple/4)·J, which is
+	// what lets the implicit solves run on the structured block algebra.
 	b.cmat = npbcommon.Identity5()
 	for r := 0; r < 5; r++ {
 		for cc := 0; cc < 5; cc++ {
@@ -126,6 +129,7 @@ func (b *BT) Setup(env *workloads.Env) error {
 			}
 		}
 	}
+	b.cij = npbcommon.IJ{A: 1 - couple/4, B: couple / 4}
 
 	npbcommon.FillExact(b.g, b.u.Data)
 	b.computeAuxInto(b.u.Data, false)
@@ -302,32 +306,34 @@ func (b *BT) solveDim(dim int) {
 			return g.Idx(a, bb, t)
 		}
 	}
-	id := npbcommon.Identity5()
 	parallel.For(b.env.ExecThreads(), n, func(_, lo, hi int) {
-		al := make([]npbcommon.Mat5, n)
-		bl := make([]npbcommon.Mat5, n)
-		cl := make([]npbcommon.Mat5, n)
+		al := make([]npbcommon.IJ, n)
+		bl := make([]npbcommon.IJ, n)
+		cl := make([]npbcommon.IJ, n)
 		d := make([]npbcommon.Vec5, n)
 		for bb := lo; bb < hi; bb++ {
 			for a := 0; a < n; a++ {
 				for t := 0; t < n; t++ {
 					idx := lineAt(a, bb, t)
 					if t == 0 || t == n-1 {
-						al[t] = npbcommon.Mat5{}
-						bl[t] = id
-						cl[t] = npbcommon.Mat5{}
+						al[t] = npbcommon.IJ{}
+						bl[t] = npbcommon.IJ{A: 1}
+						cl[t] = npbcommon.IJ{}
 					} else {
+						// The blocks −kl·C and I + 2kl·C stay inside the
+						// I/J algebra, so the line solve runs on the
+						// structured Thomas elimination.
 						kl := dt * kappa * (1 + 0.1*rhoI[idx])
-						off := npbcommon.AddScaled(&npbcommon.Mat5{}, &b.cmat, -kl)
+						off := npbcommon.IJ{A: -kl * b.cij.A, B: -kl * b.cij.B}
 						al[t] = off
 						cl[t] = off
-						bl[t] = npbcommon.AddScaled(&id, &b.cmat, 2*kl)
+						bl[t] = npbcommon.IJ{A: 1 + 2*kl*b.cij.A, B: 2 * kl * b.cij.B}
 					}
 					for c := 0; c < 5; c++ {
 						d[t][c] = rhs[idx*5+c]
 					}
 				}
-				if err := npbcommon.BlockTriDiagSolve(al, bl, cl, d); err != nil {
+				if err := npbcommon.CoupledTriDiagSolve(al, bl, cl, d); err != nil {
 					panic(fmt.Sprintf("npbbt: %v", err))
 				}
 				for t := 0; t < n; t++ {

@@ -1,0 +1,100 @@
+package npbcommon
+
+import (
+	"math"
+	"testing"
+
+	"hmpt/internal/xrand"
+)
+
+// TestIJAlgebra cross-checks the structured block operations against
+// their dense Mat5 counterparts.
+func TestIJAlgebra(t *testing.T) {
+	a := IJ{A: 1.7, B: -0.21}
+	b := IJ{A: 0.4, B: 0.05}
+	am, bm := a.Mat5(), b.Mat5()
+
+	prod := a.mul(b).Mat5()
+	dense := am.Mul(&bm)
+	for i := range prod {
+		if math.Abs(prod[i]-dense[i]) > 1e-12 {
+			t.Fatalf("mul mismatch at %d: %g vs %g", i, prod[i], dense[i])
+		}
+	}
+
+	inv, err := a.inv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	di, err := am.Invert()
+	if err != nil {
+		t.Fatal(err)
+	}
+	im := inv.Mat5()
+	for i := range im {
+		if math.Abs(im[i]-di[i]) > 1e-12 {
+			t.Fatalf("inv mismatch at %d: %g vs %g", i, im[i], di[i])
+		}
+	}
+
+	v := Vec5{1, -2, 3, 0.5, 4}
+	got := a.mulVec(&v)
+	want := am.MulVec(&v)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("mulVec mismatch at %d: %g vs %g", i, got[i], want[i])
+		}
+	}
+
+	if _, err := (IJ{A: 0.2, B: -0.04}).inv(); err == nil {
+		t.Error("singular block (A+5B=0) inverted without error")
+	}
+}
+
+// TestCoupledTriDiagMatchesBlock solves the same structured systems with
+// the specialised and the dense block-Thomas solvers and compares.
+func TestCoupledTriDiagMatchesBlock(t *testing.T) {
+	rng := xrand.New(99)
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(30)
+		aij := make([]IJ, n)
+		bij := make([]IJ, n)
+		cij := make([]IJ, n)
+		dij := make([]Vec5, n)
+		am := make([]Mat5, n)
+		bm := make([]Mat5, n)
+		cm := make([]Mat5, n)
+		dm := make([]Vec5, n)
+		for i := 0; i < n; i++ {
+			if i == 0 || i == n-1 {
+				bij[i] = IJ{A: 1}
+			} else {
+				// Diagonally dominant blocks like BT's implicit factor.
+				kl := 0.2 + rng.Float64()
+				off := IJ{A: -0.25 * kl, B: -0.03 * kl}
+				aij[i], cij[i] = off, off
+				bij[i] = IJ{A: 1 + kl, B: 0.08 * kl}
+			}
+			am[i], bm[i], cm[i] = aij[i].Mat5(), bij[i].Mat5(), cij[i].Mat5()
+			for c := 0; c < 5; c++ {
+				v := rng.Float64()*4 - 2
+				dij[i][c] = v
+				dm[i][c] = v
+			}
+		}
+		if err := CoupledTriDiagSolve(aij, bij, cij, dij); err != nil {
+			t.Fatal(err)
+		}
+		if err := BlockTriDiagSolve(am, bm, cm, dm); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			for c := 0; c < 5; c++ {
+				if d := math.Abs(dij[i][c] - dm[i][c]); d > 1e-9 {
+					t.Fatalf("trial %d row %d comp %d: coupled %g vs block %g (|Δ|=%g)",
+						trial, i, c, dij[i][c], dm[i][c], d)
+				}
+			}
+		}
+	}
+}

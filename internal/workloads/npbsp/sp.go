@@ -299,35 +299,41 @@ func (s *SP) solveDim(dim int) {
 		d := make([]float64, n)
 		c := make([]float64, n)
 		f := make([]float64, n)
-		line := make([]float64, n)
+		line := make([]npbcommon.Vec5, n)
 		for b := lo; b < hi; b++ {
 			for a := 0; a < n; a++ {
-				for comp := 0; comp < 5; comp++ {
-					for t := 0; t < n; t++ {
-						idx := lineAt(dim, a, b, t)
-						if t == 0 || t == n-1 {
-							// Dirichlet boundary rows: identity.
-							e[t], as[t], d[t], c[t], f[t] = 0, 0, 1, 0, 0
-						} else {
-							kl := dt * kappa * (1 + 0.1*speed[idx])
-							e[t] = kl
-							as[t] = -4 * kl
-							d[t] = 1 + 6*kl
-							c[t] = -4 * kl
-							f[t] = kl
-							if t == 1 || t == n-2 {
-								// One-sided closure folds the clamped
-								// outer band into the diagonal.
-								d[t] += kl
-							}
+				// The bands depend only on the grid point, not the
+				// component: build and factor them once per line and
+				// carry all five components as one multi-RHS solve.
+				for t := 0; t < n; t++ {
+					idx := lineAt(dim, a, b, t)
+					if t == 0 || t == n-1 {
+						// Dirichlet boundary rows: identity.
+						e[t], as[t], d[t], c[t], f[t] = 0, 0, 1, 0, 0
+					} else {
+						kl := dt * kappa * (1 + 0.1*speed[idx])
+						e[t] = kl
+						as[t] = -4 * kl
+						d[t] = 1 + 6*kl
+						c[t] = -4 * kl
+						f[t] = kl
+						if t == 1 || t == n-2 {
+							// One-sided closure folds the clamped
+							// outer band into the diagonal.
+							d[t] += kl
 						}
-						line[t] = rhs[idx*5+comp]
 					}
-					if err := npbcommon.PentaDiagSolve(e, as, d, c, f, line); err != nil {
-						panic(fmt.Sprintf("npbsp: %v", err)) // singular only on programming error
+					for comp := 0; comp < 5; comp++ {
+						line[t][comp] = rhs[idx*5+comp]
 					}
-					for t := 0; t < n; t++ {
-						rhs[lineAt(dim, a, b, t)*5+comp] = line[t]
+				}
+				if err := npbcommon.PentaDiagSolveVec(e, as, d, c, f, line); err != nil {
+					panic(fmt.Sprintf("npbsp: %v", err)) // singular only on programming error
+				}
+				for t := 0; t < n; t++ {
+					idx := lineAt(dim, a, b, t)
+					for comp := 0; comp < 5; comp++ {
+						rhs[idx*5+comp] = line[t][comp]
 					}
 				}
 			}
