@@ -13,6 +13,7 @@ import (
 	"sync"
 	"testing"
 
+	"hmpt/internal/campaign"
 	"hmpt/internal/core"
 	"hmpt/internal/experiments"
 	"hmpt/internal/memsim"
@@ -486,6 +487,55 @@ func BenchmarkCostAllocs(b *testing.B) {
 		sink += ev.EvalMask(uint32(i)&(1<<uint(len(groups))-1), ddr, hbm)
 	}
 	_ = sink
+}
+
+// BenchmarkCampaignMatrix measures the campaign engine on the full
+// benchmark set × both platform presets (14 cells from 7 reference
+// captures) against the naive path that re-executes every cell's kernel
+// through a live Tuner.Analyze. The engine executes each kernel once
+// per matrix; "kernels-saved" is the per-sweep reduction in real kernel
+// executions.
+func BenchmarkCampaignMatrix(b *testing.B) {
+	matrix := experiments.CampaignMatrix(platform(), true)
+	matrix.Platforms = append(matrix.Platforms,
+		campaign.Platform{Name: "dual", Platform: memsim.DualXeonMax9468()})
+	cells := len(matrix.Workloads) * len(matrix.Platforms)
+
+	var engineNs, naiveNs float64
+	var saved int64
+	b.Run("engine", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			before := core.KernelExecutions()
+			res, err := (&campaign.Engine{}).Run(matrix)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := res.Err(); err != nil {
+				b.Fatal(err)
+			}
+			saved = int64(cells) - (core.KernelExecutions() - before)
+		}
+		b.ReportMetric(float64(saved), "kernels-saved")
+		engineNs = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, w := range matrix.Workloads {
+				for _, p := range matrix.Platforms {
+					opts := w.Options
+					opts.Platform = p.Platform
+					if _, err := core.New(w.Factory(), opts).Analyze(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+		naiveNs = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+	if engineNs > 0 && naiveNs > 0 {
+		once("campaign", fmt.Sprintf("\n== Campaign: %d cells, naive %.1fms vs engine %.1fms (%.2fx), %d kernel executions saved per matrix ==\n",
+			cells, naiveNs/1e6, engineNs/1e6, naiveNs/engineNs, saved))
+	}
 }
 
 // BenchmarkOnlineTuning runs the dynamic extension (§III "online

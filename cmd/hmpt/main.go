@@ -8,19 +8,29 @@
 //	hmpt list
 //	hmpt analyze <workload> [-runs N] [-threads N] [-seed N] [-full] [-csv]
 //	hmpt plan <workload> -budget <bytes, e.g. 16GB> [-full]
+//	hmpt campaign [-workloads a,b|all] [-platforms xeonmax,dual] [-seeds 1,2]
+//	              [-runs N] [-cache DIR] [-par N] [-full] [-csv]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
+	"hmpt/internal/campaign"
 	"hmpt/internal/core"
 	"hmpt/internal/experiments"
 	"hmpt/internal/memsim"
 	"hmpt/internal/report"
+	"hmpt/internal/trace"
 	"hmpt/internal/units"
 	"hmpt/internal/workloads"
+
+	// Registered through experiments for the benchmark set; synth only
+	// lives in the registry.
+	_ "hmpt/internal/workloads/synth"
 )
 
 func main() {
@@ -32,7 +42,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: hmpt <list|analyze|plan> [args]")
+		return fmt.Errorf("usage: hmpt <list|analyze|plan|campaign> [args]")
 	}
 	switch args[0] {
 	case "list":
@@ -44,9 +54,146 @@ func run(args []string) error {
 		return analyze(args[1:])
 	case "plan":
 		return plan(args[1:])
+	case "campaign":
+		return campaignCmd(args[1:])
 	default:
 		return fmt.Errorf("unknown command %q", args[0])
 	}
+}
+
+// campaignCmd runs a scenario matrix — workloads × platform presets ×
+// seed variants — on the campaign engine: each kernel executes at most
+// once (or not at all when the snapshot cache already holds its
+// reference run), and every cell replays the shared capture.
+func campaignCmd(args []string) error {
+	fs := flag.NewFlagSet("campaign", flag.ContinueOnError)
+	workloadsFlag := fs.String("workloads", "all", "comma-separated workloads (all = the Table I set)")
+	platformsFlag := fs.String("platforms", "xeonmax", "comma-separated platform presets: xeonmax, dual")
+	seedsFlag := fs.String("seeds", "", "comma-separated seed variants (empty = spec seeds)")
+	runs := fs.Int("runs", 0, "measured runs per configuration (0 = spec default)")
+	cacheDir := fs.String("cache", "", "snapshot cache directory (empty = no disk cache)")
+	par := fs.Int("par", 0, "campaign worker goroutines (0 = GOMAXPROCS)")
+	full := fs.Bool("full", false, "full-size workload instances (slower)")
+	csv := fs.Bool("csv", false, "emit CSV instead of a table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var m campaign.Matrix
+	names := strings.Split(*workloadsFlag, ",")
+	if *workloadsFlag == "all" {
+		names = nil
+		for _, spec := range experiments.Specs() {
+			names = append(names, spec.Name)
+		}
+	}
+	for _, name := range names {
+		w, err := campaignWorkload(strings.TrimSpace(name), *full, *runs)
+		if err != nil {
+			return err
+		}
+		m.Workloads = append(m.Workloads, w)
+	}
+	for _, name := range strings.Split(*platformsFlag, ",") {
+		switch strings.TrimSpace(name) {
+		case "xeonmax", "single":
+			m.Platforms = append(m.Platforms, campaign.Platform{Name: "xeonmax", Platform: memsim.XeonMax9468()})
+		case "dual", "dual-xeonmax":
+			m.Platforms = append(m.Platforms, campaign.Platform{Name: "dual", Platform: memsim.DualXeonMax9468()})
+		default:
+			return fmt.Errorf("unknown platform preset %q (have xeonmax, dual)", name)
+		}
+	}
+	if *seedsFlag != "" {
+		for _, s := range strings.Split(*seedsFlag, ",") {
+			seed, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad seed %q: %w", s, err)
+			}
+			m.Variants = append(m.Variants, campaign.Variant{
+				Name:  fmt.Sprintf("seed%d", seed),
+				Apply: func(o *core.Options) { o.Seed = seed },
+			})
+		}
+	}
+
+	eng := &campaign.Engine{Parallelism: *par}
+	if *cacheDir != "" {
+		cache, err := trace.NewSnapshotCache(*cacheDir)
+		if err != nil {
+			return err
+		}
+		eng.Cache = cache
+	}
+	res, err := eng.Run(m)
+	if err != nil {
+		return err
+	}
+
+	t := report.NewTable("workload", "platform", "variant", "baseline", "max-speedup", "best-config", "hbm-only", "90%-usage", "error")
+	for i := range res.Cells {
+		cell := &res.Cells[i]
+		if cell.Err != nil {
+			t.AddRow(cell.Workload, cell.Platform, cell.Variant, "", "", "", "", "", cell.Err.Error())
+			continue
+		}
+		an := cell.Analysis
+		row := an.TableIIRow()
+		_, best := an.MaxSpeedup()
+		t.AddRow(cell.Workload, cell.Platform, cell.Variant, an.BaselineTime.String(),
+			row.MaxSpeedup, best.Label, row.HBMOnlySpeedup, row.NinetyUsage, "")
+	}
+	// In CSV mode only the CSV reaches stdout; the summary and cache
+	// warnings go to stderr so piped output stays parseable.
+	summary := os.Stdout
+	if *csv {
+		if err := t.WriteCSV(os.Stdout); err != nil {
+			return err
+		}
+		summary = os.Stderr
+	} else {
+		if err := t.Write(os.Stdout); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(summary, "\n%d cells, %d reference runs: %d kernels executed, %d served from cache\n",
+		len(res.Cells), res.Snapshots, res.Executions, res.CacheHits)
+	for _, err := range res.CacheErrs {
+		fmt.Fprintf(os.Stderr, "hmpt: snapshot cache warning: %v\n", err)
+	}
+	return res.Err()
+}
+
+// campaignWorkload resolves a workload name to a matrix row: the
+// evaluated benchmarks come with their paper options, any other
+// registered workload runs with defaults.
+func campaignWorkload(name string, full bool, runs int) (campaign.Workload, error) {
+	var w campaign.Workload
+	if spec, err := experiments.SpecFor(name); err == nil {
+		w = experiments.SpecWorkload(spec, !full)
+	} else {
+		if full {
+			return w, fmt.Errorf("workload %q has no full-size instance (only the Table I benchmarks do)", name)
+		}
+		if _, werr := workloads.New(name); werr != nil {
+			return w, werr
+		}
+		w = campaign.Workload{
+			Name:    name,
+			Options: core.Options{Seed: 1, ConfigTag: "default"},
+			Factory: func() workloads.Workload {
+				wl, err := workloads.New(name)
+				if err != nil {
+					panic(err) // registry membership checked above
+				}
+				return wl
+			},
+		}
+	}
+	if runs > 0 {
+		w.Options.Runs = runs
+	}
+	return w, nil
 }
 
 // analyzeWorkload runs the tuner for a named workload with flags applied.

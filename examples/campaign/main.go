@@ -1,0 +1,100 @@
+// Campaign: sweep a scenario matrix — workloads × platform presets ×
+// option variants — with each benchmark kernel executed at most once.
+//
+// The expensive stage of an analysis is running the real kernel and
+// sampling it; the campaign engine captures that reference run once per
+// workload as a snapshot and replays it into every cell of the matrix
+// (replays are byte-identical to live analyses). A content-addressed
+// on-disk cache carries the captures across processes, so a re-run of
+// this example executes zero kernels.
+//
+//	go run ./examples/campaign
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"hmpt"
+)
+
+func main() {
+	// Three benchmarks, identified for the snapshot cache by name.
+	var ws []hmpt.CampaignWorkload
+	for _, name := range []string{"synth", "stream", "chase"} {
+		name := name
+		ws = append(ws, hmpt.CampaignWorkload{
+			Name: name,
+			Factory: func() hmpt.Workload {
+				w, err := hmpt.NewWorkload(name)
+				if err != nil {
+					log.Fatal(err)
+				}
+				return w
+			},
+			Options: hmpt.Options{Seed: 7},
+		})
+	}
+
+	// Two platform presets and two measurement budgets: a 3×2×2 matrix,
+	// twelve analyses — but only three kernel executions.
+	m := hmpt.CampaignMatrix{
+		Workloads: ws,
+		Platforms: []hmpt.CampaignPlatform{
+			{Name: "xeonmax", Platform: hmpt.XeonMax9468()},
+			{Name: "dual", Platform: hmpt.DualXeonMax9468()},
+		},
+		Variants: []hmpt.CampaignVariant{
+			{Name: "n3"},
+			{Name: "n9", Apply: func(o *hmpt.Options) { o.Runs = 9 }},
+		},
+	}
+
+	// A fresh per-run cache directory: snapshot content addresses
+	// include the build's VCS stamp, which `go run` binaries lack, so a
+	// cache that outlives this process could serve captures of kernels
+	// you have since edited. Long-lived caches belong to stamped
+	// `go build` binaries (see `hmpt campaign -cache`).
+	cacheDir, err := os.MkdirTemp("", "hmpt-campaign-cache-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(cacheDir)
+	cache, err := hmpt.NewSnapshotCache(cacheDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := (&hmpt.CampaignEngine{Cache: cache}).Run(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-8s %-8s %-4s  %-12s %s\n", "workload", "platform", "runs", "max-speedup", "best config")
+	for _, cell := range res.Cells {
+		max, cfg := cell.Analysis.MaxSpeedup()
+		fmt.Printf("%-8s %-8s %-4s  %-12.2f %s\n",
+			cell.Workload, cell.Platform, cell.Variant, max, cfg.Label)
+	}
+	fmt.Printf("\n%d analyses from %d reference runs: %d kernels executed, %d loaded from cache\n",
+		len(res.Cells), res.Snapshots, res.Executions, res.CacheHits)
+
+	// A second campaign over the same scenarios — say, a deeper
+	// measurement budget — replays the on-disk snapshots: zero kernel
+	// executions.
+	for i := range m.Variants {
+		m.Variants[i].Name += "-rerun"
+	}
+	res2, err := (&hmpt.CampaignEngine{Cache: cache}).Run(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := res2.Err(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("re-run: %d analyses, %d kernels executed, %d loaded from the snapshot cache\n",
+		len(res2.Cells), res2.Executions, res2.CacheHits)
+}

@@ -23,8 +23,10 @@
 package hmpt
 
 import (
+	"hmpt/internal/campaign"
 	"hmpt/internal/core"
 	"hmpt/internal/memsim"
+	"hmpt/internal/trace"
 	"hmpt/internal/workloads"
 
 	// Register the benchmark suite with the workload registry.
@@ -62,6 +64,32 @@ type (
 	Platform = memsim.Platform
 )
 
+// Re-exported snapshot and campaign types: captured reference runs, the
+// content-addressed snapshot cache, and the scenario-matrix engine.
+type (
+	// Snapshot is a captured reference run (phase trace + allocation
+	// registry + metadata); replaying it is byte-identical to
+	// re-executing the kernel.
+	Snapshot = trace.Snapshot
+	// SnapshotCache is the content-addressed on-disk snapshot store.
+	SnapshotCache = trace.SnapshotCache
+	// CampaignMatrix declares a workload × platform × variant space.
+	CampaignMatrix = campaign.Matrix
+	// CampaignWorkload is one workload row of a campaign matrix.
+	CampaignWorkload = campaign.Workload
+	// CampaignPlatform is one platform-preset column.
+	CampaignPlatform = campaign.Platform
+	// CampaignVariant is one tuner-option overlay.
+	CampaignVariant = campaign.Variant
+	// CampaignCell is one evaluated scenario.
+	CampaignCell = campaign.Cell
+	// CampaignResult is the outcome of a campaign run.
+	CampaignResult = campaign.Result
+	// CampaignEngine evaluates campaign matrices; configure Cache and
+	// Parallelism directly.
+	CampaignEngine = campaign.Engine
+)
+
 // XeonMax9468 returns the single-socket Intel Xeon Max 9468 platform
 // model used by all paper experiments.
 func XeonMax9468() *Platform { return memsim.XeonMax9468() }
@@ -74,6 +102,32 @@ func DualXeonMax9468() *Platform { return memsim.DualXeonMax9468() }
 // for the workload and returns the analysis.
 func Analyze(w Workload, opts Options) (*Analysis, error) {
 	return core.New(w, opts).Analyze()
+}
+
+// Capture executes the workload's kernel once — the reference stage of
+// Analyze — and returns the run as a replayable snapshot.
+func Capture(w Workload, opts Options) (*Snapshot, error) {
+	return core.Capture(w, opts)
+}
+
+// Replay analyses a captured snapshot without executing any kernel. The
+// result is byte-identical to Analyze with the capture's options.
+func Replay(snap *Snapshot, opts Options) (*Analysis, error) {
+	return core.NewReplay(snap, opts).Analyze()
+}
+
+// NewSnapshotCache opens (creating if needed) a content-addressed
+// snapshot cache rooted at dir, for sharing captured reference runs
+// across processes and campaign runs.
+func NewSnapshotCache(dir string) (*SnapshotCache, error) {
+	return trace.NewSnapshotCache(dir)
+}
+
+// RunCampaign evaluates a scenario matrix with default engine settings:
+// each kernel executes at most once, cells fan out over all cores. Use
+// CampaignEngine directly for a snapshot cache or a worker cap.
+func RunCampaign(m CampaignMatrix) (*CampaignResult, error) {
+	return (&campaign.Engine{}).Run(m)
 }
 
 // NewWorkload instantiates a registered benchmark by name; see

@@ -1,0 +1,331 @@
+// Package campaign runs analysis campaigns: declarative matrices of
+// workload × platform preset × tuner-option variant, evaluated with each
+// kernel executed at most once.
+//
+// The paper's workflow (§III, Fig. 6) captures one reference run per
+// workload and then explores many placement configurations against it.
+// The campaign engine is that idea industrialised for scenario sweeps:
+// stage one captures every distinct reference run the matrix needs (or
+// loads it from the content-addressed snapshot cache, so captures are
+// shared across processes and PRs), stage two fans the matrix cells over
+// internal/parallel workers, each replaying its snapshot into a tuner
+// analysis. Replayed analyses are byte-identical to live Tuner.Analyze
+// results, and cells own pre-assigned result slots, so the outcome is
+// deterministic for any worker count.
+package campaign
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"hmpt/internal/core"
+	"hmpt/internal/memsim"
+	"hmpt/internal/parallel"
+	"hmpt/internal/trace"
+	"hmpt/internal/workloads"
+)
+
+// Workload is one workload row of a campaign matrix.
+type Workload struct {
+	// Name identifies the workload in cells and cache keys; it must
+	// match what the factory's instances report from Name().
+	Name string
+	// Factory builds instances for reference capture.
+	Factory workloads.Factory
+	// Options carries the workload's base tuner options (seed, runs,
+	// grouping); platform and variants overlay it per cell.
+	Options core.Options
+}
+
+// Platform is one platform-preset column of a campaign matrix.
+type Platform struct {
+	Name     string
+	Platform *memsim.Platform
+}
+
+// Variant is one tuner-option overlay of a campaign matrix: a named
+// mutation of the cell options (different run counts, group budgets,
+// seeds, sweep parallelism, ...). A variant that changes the capture
+// inputs (threads, scale, seed) gets its own reference capture; all
+// others share the workload's.
+type Variant struct {
+	Name  string
+	Apply func(*core.Options)
+}
+
+// Matrix declares a campaign's scenario space. Cells enumerate
+// workload-major, then platform, then variant.
+type Matrix struct {
+	Workloads []Workload
+	Platforms []Platform
+	// Variants may be empty: the matrix then has one pass-through
+	// variant with an empty name.
+	Variants []Variant
+}
+
+// Cell is one evaluated scenario of a campaign.
+type Cell struct {
+	Workload string
+	Platform string
+	Variant  string
+	// Options are the fully resolved tuner options the cell ran with.
+	Options core.Options
+	// Analysis is the result; nil when Err is set.
+	Analysis *core.Analysis
+	Err      error
+	// FromCache reports whether the cell's reference snapshot was
+	// served from a cache (the in-process memo or the on-disk store)
+	// rather than captured this run.
+	FromCache bool
+}
+
+// Result is the outcome of one campaign run.
+type Result struct {
+	Cells []Cell
+	// Snapshots is the number of distinct reference runs the matrix
+	// needed; Executions how many of those were actually executed this
+	// run, and CacheHits how many were served from a cache (in-process
+	// memo or on-disk store). Executions + CacheHits == Snapshots on a
+	// fully successful run.
+	Snapshots  int
+	Executions int
+	CacheHits  int
+	// CacheErrs records non-fatal snapshot-cache failures (unreadable
+	// or mismatched entries on load, failed writes on store), in
+	// capture-key order. The affected cells still analysed — a load
+	// failure re-executed the kernel, a store failure kept the
+	// in-memory capture — but the operator should know the cache is
+	// degraded.
+	CacheErrs []error
+}
+
+// Cell returns the cell for the given coordinates, or nil.
+func (r *Result) Cell(workload, platform, variant string) *Cell {
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		if c.Workload == workload && c.Platform == platform && c.Variant == variant {
+			return c
+		}
+	}
+	return nil
+}
+
+// Err returns the first cell error in matrix order, or nil.
+func (r *Result) Err() error {
+	for i := range r.Cells {
+		if r.Cells[i].Err != nil {
+			return fmt.Errorf("campaign: cell %s/%s/%s: %w",
+				r.Cells[i].Workload, r.Cells[i].Platform, r.Cells[i].Variant, r.Cells[i].Err)
+		}
+	}
+	return nil
+}
+
+// Engine evaluates campaign matrices.
+type Engine struct {
+	// Cache persists reference snapshots across runs and processes;
+	// nil keeps snapshots in memory for the single run only.
+	Cache *trace.SnapshotCache
+	// Memo shares captures between engine runs within one process
+	// (cheaper than the disk cache, checked first). Several engines
+	// may share one Memo.
+	Memo *Memo
+	// Parallelism caps the worker goroutines of the capture and
+	// analysis fan-outs (0 = GOMAXPROCS). Results are identical for
+	// any value.
+	Parallelism int
+}
+
+// Memo is a process-local snapshot store, safe for concurrent use.
+type Memo struct {
+	mu sync.Mutex
+	m  map[string]*trace.Snapshot
+}
+
+// NewMemo returns an empty memo.
+func NewMemo() *Memo { return &Memo{m: make(map[string]*trace.Snapshot)} }
+
+func (m *Memo) get(id string) *trace.Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.m[id]
+}
+
+func (m *Memo) put(id string, s *trace.Snapshot) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.m[id] = s
+}
+
+// capture is one distinct reference run the matrix needs.
+type capture struct {
+	key      trace.SnapshotKey
+	id       string // key.ID(), hashed once
+	factory  workloads.Factory
+	opts     core.Options
+	snap     *trace.Snapshot
+	hit      bool
+	err      error
+	cacheErr error // non-fatal: the disk cache failed a load or store
+}
+
+// Run evaluates the matrix: every distinct reference run is captured (or
+// loaded) exactly once, then every cell replays its snapshot into an
+// analysis. Per-cell failures are recorded on the cells — one diverging
+// scenario must not sink a thousand-cell campaign — and surfaced
+// together through Result.Err.
+func (e *Engine) Run(m Matrix) (*Result, error) {
+	variants := m.Variants
+	if len(variants) == 0 {
+		variants = []Variant{{}}
+	}
+	if len(m.Workloads) == 0 || len(m.Platforms) == 0 {
+		return nil, fmt.Errorf("campaign: matrix needs at least one workload and one platform")
+	}
+
+	// Enumerate cells and the distinct captures they need.
+	res := &Result{Cells: make([]Cell, 0, len(m.Workloads)*len(m.Platforms)*len(variants))}
+	caps := make(map[string]*capture)
+	capOf := make([]*capture, 0, cap(res.Cells)) // cell index -> capture
+	for _, w := range m.Workloads {
+		for _, p := range m.Platforms {
+			for _, v := range variants {
+				opts := w.Options
+				opts.Platform = p.Platform
+				opts.Snapshot = nil
+				if v.Apply != nil {
+					v.Apply(&opts)
+				}
+				key := core.SnapshotKeyFor(w.Name, opts)
+				id := key.ID()
+				c, ok := caps[id]
+				if !ok {
+					c = &capture{key: key, id: id, factory: w.Factory, opts: opts}
+					caps[id] = c
+				}
+				capOf = append(capOf, c)
+				res.Cells = append(res.Cells, Cell{
+					Workload: w.Name, Platform: p.Name, Variant: v.Name, Options: opts,
+				})
+			}
+		}
+	}
+
+	// Stage 1: capture (or load) every distinct reference run, fanned
+	// over workers. Keys are ordered for a deterministic work list.
+	order := make([]*capture, 0, len(caps))
+	for _, c := range caps {
+		order = append(order, c)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].id < order[j].id })
+	parallel.For(e.workers(len(order)), len(order), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e.resolve(order[i])
+		}
+	})
+	res.Snapshots = len(order)
+	for _, c := range order {
+		if c.cacheErr != nil {
+			res.CacheErrs = append(res.CacheErrs, c.cacheErr)
+		}
+		if c.err != nil {
+			continue
+		}
+		if c.hit {
+			res.CacheHits++
+		} else {
+			res.Executions++
+		}
+	}
+
+	// Stage 2: replay every cell's snapshot into its analysis.
+	parallel.For(e.workers(len(res.Cells)), len(res.Cells), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			cell := &res.Cells[i]
+			c := capOf[i]
+			if c.err != nil {
+				cell.Err = c.err
+				continue
+			}
+			cell.FromCache = c.hit
+			opts := cell.Options
+			opts.Snapshot = c.snap
+			cell.Analysis, cell.Err = core.New(instance{name: cell.Workload}, opts).Analyze()
+		}
+	})
+	return res, nil
+}
+
+// resolve fills a capture from the memo, the disk cache, or by
+// executing the kernel. A corrupt cache entry is treated as a miss and
+// overwritten.
+func (e *Engine) resolve(c *capture) {
+	if e.Memo != nil {
+		if snap := e.Memo.get(c.id); snap != nil {
+			c.snap, c.hit = snap, true
+			return
+		}
+	}
+	if e.Cache != nil {
+		snap, ok, err := e.Cache.Load(c.key)
+		if err == nil && ok {
+			c.snap, c.hit = snap, true
+			if e.Memo != nil {
+				e.Memo.put(c.id, snap)
+			}
+			return
+		}
+		// Entry unreadable or mismatched: surface the degradation,
+		// fall through, and recapture over it.
+		c.cacheErr = err
+	}
+	w := c.factory()
+	if w.Name() != c.key.Workload {
+		c.err = fmt.Errorf("campaign: factory for %q built workload %q", c.key.Workload, w.Name())
+		return
+	}
+	snap, err := core.Capture(w, c.opts)
+	if err != nil {
+		c.err = err
+		return
+	}
+	c.snap = snap
+	if e.Memo != nil {
+		e.Memo.put(c.id, snap)
+	}
+	if e.Cache != nil {
+		// A failed write degrades the cache, not the campaign: the
+		// capture in hand is valid and the cells proceed from it. Keep
+		// any load error too — both describe the degradation.
+		if err := e.Cache.Store(c.key, snap); err != nil && c.cacheErr == nil {
+			c.cacheErr = err
+		}
+	}
+}
+
+func (e *Engine) workers(n int) int {
+	w := e.Parallelism
+	if w < 1 {
+		w = parallel.DefaultThreads()
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// instance satisfies workloads.Workload for replay cells, where only the
+// name is ever consulted; the kernel methods must never be reached
+// because the tuner replays the snapshot instead of executing.
+type instance struct{ name string }
+
+func (i instance) Name() string { return i.name }
+func (i instance) Setup(*workloads.Env) error {
+	return fmt.Errorf("campaign: replay cell executed Setup")
+}
+func (i instance) Run(*workloads.Env) error { return fmt.Errorf("campaign: replay cell executed Run") }
+func (i instance) Verify() error            { return fmt.Errorf("campaign: replay cell executed Verify") }

@@ -1,0 +1,258 @@
+package campaign
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"hmpt/internal/core"
+	"hmpt/internal/memsim"
+	"hmpt/internal/trace"
+	"hmpt/internal/workloads"
+
+	_ "hmpt/internal/workloads/chase"
+	_ "hmpt/internal/workloads/stream"
+	_ "hmpt/internal/workloads/synth"
+)
+
+// testMatrix builds a 3-workload × 2-platform matrix over fast registry
+// workloads. The platforms are constructed once so result comparisons
+// can DeepEqual resolved options.
+func testMatrix(t *testing.T) Matrix {
+	t.Helper()
+	var ws []Workload
+	for _, name := range []string{"chase", "stream", "synth"} {
+		name := name
+		ws = append(ws, Workload{
+			Name: name,
+			Factory: func() workloads.Workload {
+				w, err := workloads.New(name)
+				if err != nil {
+					panic(err)
+				}
+				return w
+			},
+			Options: core.Options{Seed: 1},
+		})
+	}
+	return Matrix{
+		Workloads: ws,
+		Platforms: []Platform{
+			{Name: "xeonmax", Platform: memsim.XeonMax9468()},
+			{Name: "dual-xeonmax", Platform: memsim.DualXeonMax9468()},
+		},
+	}
+}
+
+// TestCampaignExecutesEachKernelOnce is the acceptance criterion: a
+// campaign over 3 workloads × 2 platform presets executes each kernel
+// exactly once, and every replayed cell is byte-identical to a live
+// Tuner.Analyze of the same scenario.
+func TestCampaignExecutesEachKernelOnce(t *testing.T) {
+	m := testMatrix(t)
+	before := core.KernelExecutions()
+	res, err := (&Engine{}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := core.KernelExecutions() - before; got != int64(len(m.Workloads)) {
+		t.Errorf("campaign executed %d kernels, want %d (one per workload)", got, len(m.Workloads))
+	}
+	if res.Snapshots != len(m.Workloads) || res.Executions != len(m.Workloads) || res.CacheHits != 0 {
+		t.Errorf("snapshots=%d executions=%d hits=%d, want %d/%d/0",
+			res.Snapshots, res.Executions, res.CacheHits, len(m.Workloads), len(m.Workloads))
+	}
+	if want := len(m.Workloads) * len(m.Platforms); len(res.Cells) != want {
+		t.Fatalf("got %d cells, want %d", len(res.Cells), want)
+	}
+	for i := range res.Cells {
+		cell := &res.Cells[i]
+		w, err := workloads.New(cell.Workload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := cell.Options
+		opts.Snapshot = nil
+		live, err := core.New(w, opts).Analyze()
+		if err != nil {
+			t.Fatalf("live %s/%s: %v", cell.Workload, cell.Platform, err)
+		}
+		if !reflect.DeepEqual(live, cell.Analysis) {
+			t.Errorf("cell %s/%s differs from live analysis", cell.Workload, cell.Platform)
+		}
+	}
+}
+
+// TestCampaignDiskCache proves the content-addressed cache carries
+// captures across engine runs: the second run executes zero kernels,
+// serves every snapshot from disk, and produces identical results.
+func TestCampaignDiskCache(t *testing.T) {
+	m := testMatrix(t)
+	cache, err := trace.NewSnapshotCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := (&Engine{Cache: cache}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := first.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if first.Executions != len(m.Workloads) || first.CacheHits != 0 {
+		t.Errorf("first run: executions=%d hits=%d, want %d/0", first.Executions, first.CacheHits, len(m.Workloads))
+	}
+
+	before := core.KernelExecutions()
+	second, err := (&Engine{Cache: cache}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := second.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := core.KernelExecutions() - before; got != 0 {
+		t.Errorf("cached run executed %d kernels, want 0", got)
+	}
+	if second.Executions != 0 || second.CacheHits != len(m.Workloads) {
+		t.Errorf("second run: executions=%d hits=%d, want 0/%d", second.Executions, second.CacheHits, len(m.Workloads))
+	}
+	for i := range first.Cells {
+		a, b := &first.Cells[i], &second.Cells[i]
+		if !reflect.DeepEqual(a.Analysis, b.Analysis) {
+			t.Errorf("cell %s/%s: cached replay differs from captured replay", a.Workload, a.Platform)
+		}
+	}
+}
+
+// TestCampaignRecoversCorruptCacheEntry: an unreadable cache entry is
+// treated as a miss, recaptured, and overwritten with a valid snapshot.
+func TestCampaignRecoversCorruptCacheEntry(t *testing.T) {
+	m := testMatrix(t)
+	m.Workloads = m.Workloads[:1]
+	cache, err := trace.NewSnapshotCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := core.SnapshotKeyFor(m.Workloads[0].Name, m.Workloads[0].Options)
+	if err := os.WriteFile(cache.Path(key), []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := (&Engine{Cache: cache}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Executions != 1 || res.CacheHits != 0 {
+		t.Errorf("executions=%d hits=%d, want 1/0 after corrupt entry", res.Executions, res.CacheHits)
+	}
+	if len(res.CacheErrs) != 1 {
+		t.Errorf("got %d cache errors, want 1 (the corrupt load)", len(res.CacheErrs))
+	}
+	if _, ok, err := cache.Load(key); err != nil || !ok {
+		t.Errorf("cache entry not healed: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestCampaignCacheStoreFailureIsNonFatal: when the cache directory
+// disappears mid-run, the capture in hand still feeds every cell; only
+// a store warning is recorded.
+func TestCampaignCacheStoreFailureIsNonFatal(t *testing.T) {
+	m := testMatrix(t)
+	m.Workloads = m.Workloads[:1]
+	dir := filepath.Join(t.TempDir(), "cache")
+	cache, err := trace.NewSnapshotCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replace the cache directory with a plain file: every write fails.
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dir, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := (&Engine{Cache: cache}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatalf("store failure sank the campaign: %v", err)
+	}
+	if len(res.CacheErrs) != 1 {
+		t.Errorf("got %d cache errors, want 1", len(res.CacheErrs))
+	}
+	for i := range res.Cells {
+		if res.Cells[i].Analysis == nil {
+			t.Errorf("cell %s/%s missing analysis", res.Cells[i].Workload, res.Cells[i].Platform)
+		}
+	}
+}
+
+// TestCampaignDeterministicParallelism: the result is identical for any
+// worker count — parallelism changes scheduling only.
+func TestCampaignDeterministicParallelism(t *testing.T) {
+	m := testMatrix(t)
+	var base *Result
+	for _, par := range []int{1, 2, 7} {
+		res, err := (&Engine{Parallelism: par}).Run(m)
+		if err != nil {
+			t.Fatalf("parallelism=%d: %v", par, err)
+		}
+		if err := res.Err(); err != nil {
+			t.Fatalf("parallelism=%d: %v", par, err)
+		}
+		if base == nil {
+			base = res
+			continue
+		}
+		if !reflect.DeepEqual(base, res) {
+			t.Errorf("campaign result differs at Parallelism=%d", par)
+		}
+	}
+}
+
+// TestCampaignVariants: variants that only change analysis options share
+// one capture; variants that change capture inputs get their own.
+func TestCampaignVariants(t *testing.T) {
+	m := testMatrix(t)
+	m.Workloads = m.Workloads[:1]
+	m.Platforms = m.Platforms[:1]
+	m.Variants = []Variant{
+		{Name: "base"},
+		{Name: "runs5", Apply: func(o *core.Options) { o.Runs = 5 }},
+		{Name: "seed9", Apply: func(o *core.Options) { o.Seed = 9 }},
+	}
+	before := core.KernelExecutions()
+	res, err := (&Engine{}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// base and runs5 share a capture; seed9 needs its own.
+	if got := core.KernelExecutions() - before; got != 2 {
+		t.Errorf("executed %d kernels, want 2 (runs variant shares the capture)", got)
+	}
+	if res.Snapshots != 2 {
+		t.Errorf("snapshots=%d, want 2", res.Snapshots)
+	}
+	if c := res.Cell("chase", "xeonmax", "runs5"); c == nil || c.Analysis.Runs != 5 {
+		t.Errorf("runs5 variant not applied: %+v", c)
+	}
+	base := res.Cell("chase", "xeonmax", "base")
+	seed9 := res.Cell("chase", "xeonmax", "seed9")
+	if base == nil || seed9 == nil {
+		t.Fatal("missing cells")
+	}
+	if reflect.DeepEqual(base.Analysis.Configs, seed9.Analysis.Configs) {
+		t.Error("seed variant produced identical measurements; expected different noise draws")
+	}
+}

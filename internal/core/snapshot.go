@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"hmpt/internal/shim"
+	"hmpt/internal/trace"
+	"hmpt/internal/workloads"
+	"hmpt/internal/xrand"
+)
+
+// kernelExecs counts real kernel executions performed on behalf of the
+// tuning pipeline (live analyses and Captures). Campaign tests use it to
+// prove each kernel ran at most once per matrix.
+var kernelExecs atomic.Int64
+
+// KernelExecutions returns the number of real kernel executions the
+// pipeline has performed in this process. Tests compare deltas.
+func KernelExecutions() int64 { return kernelExecs.Load() }
+
+// Capture executes the workload's kernel once — exactly as the reference
+// stage of Analyze would — and returns the run as a snapshot: the phase
+// trace, the shim allocation registry, and the capture inputs. An
+// analysis replaying the snapshot (Options.Snapshot or NewReplay) is
+// byte-identical to one executing the kernel itself.
+//
+// Only the options that feed kernel execution matter to a capture:
+// Threads, Scale and Seed. The platform does not — capture happens
+// before any costing — so one snapshot serves every platform preset and
+// tuner-option variant.
+func Capture(w workloads.Workload, opts Options) (*trace.Snapshot, error) {
+	o := opts.withDefaults()
+	envSeed := xrand.New(o.Seed).Split(1).Uint64()
+	env, tr, err := executeReference(w, o.Threads, o.Scale, envSeed)
+	if err != nil {
+		return nil, err
+	}
+	return &trace.Snapshot{
+		Meta: trace.Meta{
+			Workload: w.Name(),
+			Config:   o.ConfigTag,
+			Threads:  o.Threads,
+			Scale:    o.Scale,
+			Seed:     o.Seed,
+			EnvSeed:  envSeed,
+			SimBytes: env.Alloc.TotalSimBytes(),
+		},
+		Registry: env.Alloc.Export(),
+		Trace:    tr,
+	}, nil
+}
+
+// SnapshotKeyFor returns the snapshot-cache key of a capture with these
+// options — the same defaulting rules Capture and Analyze apply.
+func SnapshotKeyFor(workload string, opts Options) trace.SnapshotKey {
+	o := opts.withDefaults()
+	return trace.SnapshotKey{Workload: workload, Config: o.ConfigTag, Threads: o.Threads, Scale: o.Scale, Seed: o.Seed}
+}
+
+// NewReplay returns a tuner that analyses the snapshot without any
+// workload instance: the kernel is never executed. The options must
+// agree with the snapshot's capture inputs (zero-valued Threads, Scale
+// and Seed are filled in from the snapshot).
+func NewReplay(snap *trace.Snapshot, opts Options) *Tuner {
+	if opts.Seed == 0 {
+		opts.Seed = snap.Meta.Seed
+	}
+	if opts.Threads == 0 {
+		opts.Threads = snap.Meta.Threads
+	}
+	if opts.Scale <= 0 {
+		opts.Scale = snap.Meta.Scale
+	}
+	if opts.ConfigTag == "" {
+		opts.ConfigTag = snap.Meta.Config
+	}
+	opts.Snapshot = snap
+	return &Tuner{opts: opts.withDefaults(), name: snap.Meta.Workload}
+}
+
+// executeReference runs the kernel once in a fresh environment: the one
+// place in the pipeline real execution happens.
+func executeReference(w workloads.Workload, threads int, scale float64, envSeed uint64) (*workloads.Env, *trace.Trace, error) {
+	kernelExecs.Add(1)
+	env := workloads.NewEnv(threads, scale, envSeed)
+	if err := w.Setup(env); err != nil {
+		return nil, nil, fmt.Errorf("core: setup %s: %w", w.Name(), err)
+	}
+	if err := w.Run(env); err != nil {
+		return nil, nil, fmt.Errorf("core: run %s: %w", w.Name(), err)
+	}
+	if err := w.Verify(); err != nil {
+		return nil, nil, fmt.Errorf("core: verify %s: %w", w.Name(), err)
+	}
+	return env, env.Rec.Trace(), nil
+}
+
+// reference produces the reference run's allocation registry and phase
+// trace: restored from the injected snapshot when one is present,
+// executed live otherwise. envSeed is the seed the caller derived for
+// the workload environment; a snapshot whose recorded seed disagrees was
+// captured under different options and is rejected rather than silently
+// producing a divergent analysis.
+func (t *Tuner) reference(envSeed uint64) (*shim.Allocator, *trace.Trace, error) {
+	snap := t.opts.Snapshot
+	if snap == nil {
+		if t.w == nil {
+			return nil, nil, fmt.Errorf("core: tuner for %s has neither workload nor snapshot", t.name)
+		}
+		env, tr, err := executeReference(t.w, t.opts.Threads, t.opts.Scale, envSeed)
+		if err != nil {
+			return nil, nil, err
+		}
+		return env.Alloc, tr, nil
+	}
+	m := snap.Meta
+	if m.Workload != t.name {
+		return nil, nil, fmt.Errorf("core: snapshot of %q injected into tuner for %q", m.Workload, t.name)
+	}
+	o := t.opts
+	if m.Config != o.ConfigTag || m.Threads != o.Threads || m.Scale != o.Scale || m.Seed != o.Seed {
+		return nil, nil, fmt.Errorf("core: snapshot of %q captured at config=%q threads=%d scale=%g seed=%d, options want config=%q threads=%d scale=%g seed=%d",
+			m.Workload, m.Config, m.Threads, m.Scale, m.Seed, o.ConfigTag, o.Threads, o.Scale, o.Seed)
+	}
+	if m.EnvSeed != envSeed {
+		return nil, nil, fmt.Errorf("core: snapshot of %q records env seed %#x, expected %#x (corrupted or cross-version snapshot)",
+			m.Workload, m.EnvSeed, envSeed)
+	}
+	al, err := shim.Restore(snap.Registry)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: restoring %q registry: %w", m.Workload, err)
+	}
+	// Deep-copy the trace (phases and their stream slices) so concurrent
+	// replays of one shared snapshot never alias mutable state.
+	tr := &trace.Trace{Phases: make([]trace.Phase, len(snap.Trace.Phases))}
+	copy(tr.Phases, snap.Trace.Phases)
+	for i := range tr.Phases {
+		tr.Phases[i].Streams = append([]trace.Stream(nil), tr.Phases[i].Streams...)
+	}
+	return al, tr, nil
+}

@@ -72,6 +72,16 @@ type Options struct {
 	// every configuration owns a pre-split RNG and a pre-assigned
 	// result slot, so the worker count changes scheduling only.
 	SweepParallelism int
+	// Snapshot injects a captured reference run (see Capture): the
+	// analysis replays the snapshot's trace and allocation registry
+	// instead of executing the kernel. The snapshot's capture inputs
+	// (workload, config tag, threads, scale, seed) must match the
+	// options; the replayed analysis is byte-identical to a live one.
+	Snapshot *trace.Snapshot
+	// ConfigTag names the workload instance configuration in snapshot
+	// keys and metadata (e.g. "fast" vs "full" experiment instances).
+	// It never affects analysis results, only snapshot identity.
+	ConfigTag string
 }
 
 func (o *Options) withDefaults() Options {
@@ -172,12 +182,15 @@ type Analysis struct {
 // Tuner drives the analysis of one workload.
 type Tuner struct {
 	opts Options
-	w    workloads.Workload
+	w    workloads.Workload // nil when replaying a snapshot via NewReplay
+	name string
 }
 
-// New returns a tuner for the workload with the given options.
+// New returns a tuner for the workload with the given options. When
+// opts.Snapshot is set the workload's kernel is not executed; the
+// snapshot is replayed in its place.
 func New(w workloads.Workload, opts Options) *Tuner {
-	return &Tuner{opts: opts.withDefaults(), w: w}
+	return &Tuner{opts: opts.withDefaults(), w: w, name: w.Name()}
 }
 
 // Analyze runs the full pipeline and returns the analysis. The probe and
@@ -198,20 +211,16 @@ func (t *Tuner) analyze(engine bool) (*Analysis, error) {
 	rng := xrand.New(o.Seed)
 
 	// 1. Reference run: execute the real kernel once, capturing
-	// allocations and the phase trace.
-	env := workloads.NewEnv(o.Threads, o.Scale, rng.Split(1).Uint64())
-	if err := t.w.Setup(env); err != nil {
-		return nil, fmt.Errorf("core: setup %s: %w", t.w.Name(), err)
+	// allocations and the phase trace — or replay an injected snapshot
+	// of exactly that capture. Both paths consume the identical RNG
+	// stream, so everything downstream is byte-identical.
+	envSeed := rng.Split(1).Uint64()
+	al, tr, err := t.reference(envSeed)
+	if err != nil {
+		return nil, err
 	}
-	if err := t.w.Run(env); err != nil {
-		return nil, fmt.Errorf("core: run %s: %w", t.w.Name(), err)
-	}
-	if err := t.w.Verify(); err != nil {
-		return nil, fmt.Errorf("core: verify %s: %w", t.w.Name(), err)
-	}
-	tr := env.Rec.Trace()
 	if len(tr.Phases) == 0 {
-		return nil, fmt.Errorf("core: workload %s emitted no phases", t.w.Name())
+		return nil, fmt.Errorf("core: workload %s emitted no phases", t.name)
 	}
 
 	ddr := p.MustPool(memsim.DDR)
@@ -227,20 +236,20 @@ func (t *Tuner) analyze(engine bool) (*Analysis, error) {
 
 	// 3. IBS sampling of the baseline run.
 	sampler := ibs.NewSampler()
-	rep, err := sampler.Sample(tr, env.Alloc, machine, allDDR, rng.Split(3))
+	rep, err := sampler.Sample(tr, al, machine, allDDR, rng.Split(3))
 	if err != nil {
 		return nil, fmt.Errorf("core: sampling: %w", err)
 	}
 
 	// 4. Build allocation groups.
-	groups, filtered, totalSites, err := t.buildGroups(machine, tr, env.Alloc, rep, baseline.Mean(), ddr, hbm, rng.Split(4), engine)
+	groups, filtered, totalSites, err := t.buildGroups(machine, tr, al, rep, baseline.Mean(), ddr, hbm, rng.Split(4), engine)
 	if err != nil {
 		return nil, err
 	}
 
-	total := env.Alloc.TotalSimBytes()
+	total := al.TotalSimBytes()
 	an := &Analysis{
-		Workload:       t.w.Name(),
+		Workload:       t.name,
 		Platform:       p.Name,
 		TotalBytes:     total,
 		Threads:        o.Threads,
@@ -637,7 +646,7 @@ func (t *Tuner) buildGroups(m *memsim.Machine, tr *trace.Trace, al *shim.Allocat
 		groups = append(groups, g)
 	}
 	if len(groups) == 0 {
-		return nil, 0, 0, fmt.Errorf("core: workload %s produced no allocation groups", t.w.Name())
+		return nil, 0, 0, fmt.Errorf("core: workload %s produced no allocation groups", t.name)
 	}
 	return groups, filtered, totalSites, nil
 }

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hmpt/internal/campaign"
+	"hmpt/internal/core"
+	"hmpt/internal/memsim"
+)
+
+// snapshotMemo shares reference captures between every figure, table and
+// campaign regenerated in this process: each benchmark kernel executes
+// at most once per (config, threads, scale, seed), no matter how many
+// artefacts replay it.
+var snapshotMemo = campaign.NewMemo()
+
+// CampaignEngine returns a campaign engine wired to the experiments'
+// shared in-process snapshot memo.
+func CampaignEngine() *campaign.Engine {
+	return &campaign.Engine{Memo: snapshotMemo}
+}
+
+// SpecWorkload adapts a workload spec to a campaign matrix row. The
+// fast/full choice is part of the snapshot identity (the ConfigTag):
+// reduced-size and benchmark-scale instances execute different kernels,
+// and every campaign over a spec — experiments-driven or CLI-driven —
+// must address the same cache entries, so this is the one place the
+// adaptation lives.
+func SpecWorkload(spec WorkloadSpec, fast bool) campaign.Workload {
+	f := spec.Full
+	tag := "full"
+	if fast {
+		f = spec.Fast
+		tag = "fast"
+	}
+	opts := spec.Options
+	opts.ConfigTag = tag
+	return campaign.Workload{Name: spec.Name, Factory: f, Options: opts}
+}
+
+// CampaignMatrix returns the full Table I benchmark set on the given
+// platform as a campaign matrix.
+func CampaignMatrix(p *memsim.Platform, fast bool) campaign.Matrix {
+	m := campaign.Matrix{Platforms: []campaign.Platform{{Name: p.Name, Platform: p}}}
+	for _, spec := range Specs() {
+		m.Workloads = append(m.Workloads, SpecWorkload(spec, fast))
+	}
+	return m
+}
+
+// summaryFigureID maps a workload to its summary-view figure of the
+// paper (Figs 9–15; MG's data also appears as Fig. 7b).
+var summaryFigureID = map[string]string{
+	"npb.mg": "Fig9",
+	"npb.ua": "Fig10",
+	"npb.sp": "Fig11",
+	"npb.bt": "Fig12",
+	"npb.lu": "Fig13",
+	"npb.is": "Fig14",
+	"kwave":  "Fig15",
+}
+
+// Summaries regenerates every per-benchmark summary-view figure from a
+// single campaign run: one reference capture and one analysis per
+// benchmark, fanned over workers.
+func Summaries(p *memsim.Platform, fast bool) ([]*Figure, error) {
+	res, err := CampaignEngine().Run(CampaignMatrix(p, fast))
+	if err != nil {
+		return nil, err
+	}
+	if err := res.Err(); err != nil {
+		return nil, fmt.Errorf("experiments: summaries: %w", err)
+	}
+	figs := make([]*Figure, 0, len(res.Cells))
+	for i := range res.Cells {
+		cell := &res.Cells[i]
+		id := summaryFigureID[cell.Workload]
+		if id == "" {
+			id = cell.Workload
+		}
+		figs = append(figs, SummaryFigure(id, cell.Workload+" summary view", cell.Analysis))
+	}
+	return figs, nil
+}
+
+// Table2Campaign regenerates Table II from an already-evaluated campaign
+// result, one row per cell in matrix order.
+func Table2Campaign(res *campaign.Result) ([]core.TableRow, error) {
+	if err := res.Err(); err != nil {
+		return nil, fmt.Errorf("experiments: table 2: %w", err)
+	}
+	rows := make([]core.TableRow, 0, len(res.Cells))
+	for i := range res.Cells {
+		rows = append(rows, res.Cells[i].Analysis.TableIIRow())
+	}
+	return rows, nil
+}

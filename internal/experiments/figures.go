@@ -170,16 +170,13 @@ func Table1(p *memsim.Platform, fast bool) ([]Table1Row, error) {
 	return rows, nil
 }
 
-// Table2 regenerates Table II by running the full analysis for every
-// benchmark in the evaluation set.
+// Table2 regenerates Table II by campaigning the full benchmark set:
+// one reference capture and one analysis per benchmark, fanned over
+// workers, with captures shared process-wide.
 func Table2(p *memsim.Platform, fast bool) ([]core.TableRow, error) {
-	var rows []core.TableRow
-	for _, spec := range Specs() {
-		an, err := Analyze(spec, p, fast)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: table 2 %s: %w", spec.Name, err)
-		}
-		rows = append(rows, an.TableIIRow())
+	res, err := CampaignEngine().Run(CampaignMatrix(p, fast))
+	if err != nil {
+		return nil, err
 	}
-	return rows, nil
+	return Table2Campaign(res)
 }

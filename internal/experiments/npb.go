@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"hmpt/internal/campaign"
 	"hmpt/internal/core"
 	"hmpt/internal/memsim"
 	"hmpt/internal/units"
@@ -113,15 +114,22 @@ func init() {
 }
 
 // Analyze runs the tuner for a spec on the given platform. fast selects
-// the reduced-size instance.
+// the reduced-size instance. Analyses run on the campaign engine: the
+// reference capture is memoized process-wide, so regenerating many
+// artefacts over the same workload executes its kernel only once, and
+// every analysis is byte-identical to a direct core.Tuner run.
 func Analyze(spec WorkloadSpec, p *memsim.Platform, fast bool) (*core.Analysis, error) {
-	opts := spec.Options
-	opts.Platform = p
-	f := spec.Full
-	if fast {
-		f = spec.Fast
+	res, err := CampaignEngine().Run(campaign.Matrix{
+		Workloads: []campaign.Workload{SpecWorkload(spec, fast)},
+		Platforms: []campaign.Platform{{Name: p.Name, Platform: p}},
+	})
+	if err != nil {
+		return nil, err
 	}
-	return core.New(f(), opts).Analyze()
+	if err := res.Err(); err != nil {
+		return nil, fmt.Errorf("experiments: analyze: %w", err)
+	}
+	return res.Cells[0].Analysis, nil
 }
 
 // SummaryFigure renders a workload analysis as the paper's summary-view

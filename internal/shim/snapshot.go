@@ -1,0 +1,74 @@
+package shim
+
+import "fmt"
+
+// Registry is the portable image of an Allocator: every allocation
+// record in creation order plus the scalar bookkeeping state. It is what
+// a reference-run snapshot persists so that a later process can replay
+// IBS attribution, site grouping and placement against the exact
+// allocation registry the kernel produced, without re-executing it.
+//
+// Records are plain values (no pointers into the live allocator), so a
+// Registry can be encoded, hashed and compared byte for byte.
+type Registry struct {
+	// Allocs holds the allocation records in creation order.
+	Allocs []Allocation
+	// Next, Ordinal and Brk restore the allocator's ID counter, the
+	// birth/death ordinal clock and the address-space break, so that
+	// allocations registered after a Restore continue the same streams.
+	Next    AllocID
+	Ordinal uint64
+	Brk     uint64
+}
+
+// Export captures the allocator's current state as a Registry. The
+// returned records are copies; mutating them does not affect the live
+// allocator.
+func (al *Allocator) Export() *Registry {
+	al.mu.Lock()
+	defer al.mu.Unlock()
+	reg := &Registry{
+		Allocs:  make([]Allocation, 0, len(al.order)),
+		Next:    al.next,
+		Ordinal: al.ordinal,
+		Brk:     al.brk,
+	}
+	for _, id := range al.order {
+		reg.Allocs = append(reg.Allocs, *al.allocs[id])
+	}
+	return reg
+}
+
+// Restore rebuilds an Allocator from an exported Registry. The result is
+// indistinguishable from the allocator Export was called on: creation
+// order, site aliasing, live ranges and the address-space break are all
+// reproduced, so Sites, Resolve and TotalSimBytes return identical
+// answers. Restore validates the registry enough to catch truncated or
+// corrupted snapshots.
+func Restore(reg *Registry) (*Allocator, error) {
+	al := NewAllocator()
+	for i := range reg.Allocs {
+		rec := reg.Allocs[i] // copy; the allocator owns its records
+		if rec.ID == 0 {
+			return nil, fmt.Errorf("shim: registry record %d has zero ID", i)
+		}
+		if _, dup := al.allocs[rec.ID]; dup {
+			return nil, fmt.Errorf("shim: registry duplicates allocation %d", rec.ID)
+		}
+		if rec.Addr == 0 {
+			return nil, fmt.Errorf("shim: allocation %d at unmapped address 0", rec.ID)
+		}
+		al.allocs[rec.ID] = &rec
+		al.bySite[rec.Site] = append(al.bySite[rec.Site], rec.ID)
+		al.order = append(al.order, rec.ID)
+	}
+	if int(reg.Next) < len(reg.Allocs) {
+		return nil, fmt.Errorf("shim: registry Next %d below allocation count %d", reg.Next, len(reg.Allocs))
+	}
+	al.next = reg.Next
+	al.ordinal = reg.Ordinal
+	if reg.Brk != 0 {
+		al.brk = reg.Brk
+	}
+	return al, nil
+}

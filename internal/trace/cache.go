@@ -1,0 +1,167 @@
+package trace
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+)
+
+// kernelEpoch ties snapshot content addresses to the build that captured
+// them: a snapshot records a kernel's *output*, so a kernel code change
+// must not resurrect captures of the old kernel. The VCS revision (plus
+// dirty marker) of the running binary participates in every key hash;
+// rebuilding from a new commit simply addresses a fresh set of entries.
+// Builds without VCS stamping (go test, dev trees) share the "dev"
+// epoch — fine for per-run temp caches, but a long-lived shared cache
+// should be populated by a stamped `go build`.
+var kernelEpoch = func() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		var rev, dirty string
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value
+			}
+		}
+		if rev != "" {
+			return rev + ":" + dirty
+		}
+	}
+	return "dev"
+}()
+
+// SnapshotKey identifies one capturable reference run: the inputs that
+// determine the kernel's trace and allocation registry. The platform is
+// deliberately absent — capture is platform-independent (the kernel runs
+// before any costing), so one snapshot serves every platform preset and
+// tuner-option variant of a campaign.
+type SnapshotKey struct {
+	Workload string
+	// Config tags the workload instance configuration; see Meta.Config.
+	Config  string
+	Threads int
+	Scale   float64
+	Seed    uint64
+}
+
+// ID returns the content address of the key: a SHA-256 over the
+// canonical key encoding, the codec version, and the kernel epoch of
+// this build. Bumping SnapshotVersion or rebuilding from a different
+// commit therefore invalidates every cached snapshot without any
+// migration logic — stale entries are simply never addressed again.
+func (k SnapshotKey) ID() string {
+	h := sha256.New()
+	var scratch [8]byte
+	binary.LittleEndian.PutUint64(scratch[:], SnapshotVersion)
+	h.Write(scratch[:])
+	binary.LittleEndian.PutUint64(scratch[:], uint64(len(kernelEpoch)))
+	h.Write(scratch[:])
+	h.Write([]byte(kernelEpoch))
+	binary.LittleEndian.PutUint64(scratch[:], uint64(len(k.Workload)))
+	h.Write(scratch[:])
+	h.Write([]byte(k.Workload))
+	binary.LittleEndian.PutUint64(scratch[:], uint64(len(k.Config)))
+	h.Write(scratch[:])
+	h.Write([]byte(k.Config))
+	binary.LittleEndian.PutUint64(scratch[:], uint64(int64(k.Threads)))
+	h.Write(scratch[:])
+	binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(k.Scale))
+	h.Write(scratch[:])
+	binary.LittleEndian.PutUint64(scratch[:], k.Seed)
+	h.Write(scratch[:])
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Matches reports whether a snapshot's metadata corresponds to the key.
+func (k SnapshotKey) Matches(m Meta) bool {
+	return m.Workload == k.Workload && m.Config == k.Config &&
+		m.Threads == k.Threads && m.Scale == k.Scale && m.Seed == k.Seed
+}
+
+// SnapshotCache is a content-addressed snapshot store on disk: one file
+// per SnapshotKey under the cache directory, named by the key's ID.
+// Writes are atomic (temp file + rename), so concurrent campaign workers
+// and interrupted runs can never leave a partially written entry that a
+// later Load would trust — and Load verifies the codec checksum and the
+// key metadata anyway.
+type SnapshotCache struct {
+	dir string
+}
+
+// NewSnapshotCache opens (creating if needed) a cache rooted at dir.
+func NewSnapshotCache(dir string) (*SnapshotCache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("trace: empty snapshot cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("trace: creating snapshot cache: %w", err)
+	}
+	return &SnapshotCache{dir: dir}, nil
+}
+
+// Dir returns the cache root directory.
+func (c *SnapshotCache) Dir() string { return c.dir }
+
+// Path returns the file path an entry for the key lives at.
+func (c *SnapshotCache) Path(k SnapshotKey) string {
+	return filepath.Join(c.dir, k.ID()+".snap")
+}
+
+// Load returns the cached snapshot for the key, or ok=false on a miss.
+// A present-but-invalid entry (truncated, corrupted, or colliding
+// metadata) is reported as an error; callers typically treat it as a
+// miss and overwrite it through Store.
+func (c *SnapshotCache) Load(k SnapshotKey) (snap *Snapshot, ok bool, err error) {
+	raw, err := os.ReadFile(c.Path(k))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("trace: reading cached snapshot: %w", err)
+	}
+	s, err := DecodeSnapshotBytes(raw)
+	if err != nil {
+		return nil, false, fmt.Errorf("trace: cached snapshot %s: %w", k.ID()[:12], err)
+	}
+	if !k.Matches(s.Meta) {
+		return nil, false, fmt.Errorf("trace: cached snapshot %s holds %q/%q/threads=%d/scale=%g/seed=%d, key wants %q/%q/threads=%d/scale=%g/seed=%d",
+			k.ID()[:12], s.Meta.Workload, s.Meta.Config, s.Meta.Threads, s.Meta.Scale, s.Meta.Seed,
+			k.Workload, k.Config, k.Threads, k.Scale, k.Seed)
+	}
+	return s, true, nil
+}
+
+// Store writes the snapshot under the key, atomically replacing any
+// existing entry.
+func (c *SnapshotCache) Store(k SnapshotKey, s *Snapshot) error {
+	if !k.Matches(s.Meta) {
+		return fmt.Errorf("trace: snapshot meta %+v does not match cache key %+v", s.Meta, k)
+	}
+	b, err := s.EncodeBytes()
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(c.dir, "."+k.ID()[:12]+".tmp*")
+	if err != nil {
+		return fmt.Errorf("trace: staging snapshot: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		return fmt.Errorf("trace: writing snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("trace: writing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.Path(k)); err != nil {
+		return fmt.Errorf("trace: publishing snapshot: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,323 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+
+	"hmpt/internal/shim"
+	"hmpt/internal/units"
+)
+
+// A Snapshot is a captured reference run: the phase trace the kernel
+// emitted, the shim allocation registry it populated, and the metadata
+// identifying the run. It is everything the tuning pipeline needs
+// downstream of kernel execution, so an analysis replayed from a
+// snapshot is byte-identical to one that re-executed the kernel — while
+// skipping the most expensive stage entirely.
+//
+// Snapshots serialise through a versioned, deterministic binary codec:
+// the same snapshot always encodes to the same bytes, so encoded
+// snapshots can be content-addressed, diffed and golden-tested. The
+// format is little-endian throughout, strings are length-prefixed, and
+// the payload is sealed by an FNV-64a checksum.
+type Snapshot struct {
+	Meta     Meta
+	Registry *shim.Registry
+	Trace    *Trace
+}
+
+// Meta identifies the run a snapshot captured. Workload, Config,
+// Threads, Scale and Seed are the capture inputs (the cache key);
+// EnvSeed is the derived workload-environment seed and SimBytes the
+// simulated footprint at capture time, both recorded for validation and
+// inspection.
+type Meta struct {
+	Workload string
+	// Config tags the workload instance configuration (for example the
+	// experiments' reduced-size "fast" vs benchmark-scale "full"
+	// instances), distinguishing captures that share a name and seed
+	// but execute different kernels.
+	Config   string
+	Threads  int
+	Scale    float64
+	Seed     uint64
+	EnvSeed  uint64
+	SimBytes units.Bytes
+}
+
+// SnapshotVersion is the codec version written by Encode and required by
+// DecodeSnapshot. Bump it on any change to the wire format; the snapshot
+// cache keys on it, so old cache entries are simply never resurrected.
+const SnapshotVersion = 1
+
+// snapshotMagic leads every encoded snapshot.
+const snapshotMagic = "HMPTSNAP"
+
+// Encode writes the snapshot to w in the versioned binary format.
+func (s *Snapshot) Encode(w io.Writer) error {
+	b, err := s.EncodeBytes()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// EncodeBytes returns the deterministic encoding of the snapshot.
+func (s *Snapshot) EncodeBytes() ([]byte, error) {
+	if s.Registry == nil || s.Trace == nil {
+		return nil, fmt.Errorf("trace: snapshot missing registry or trace")
+	}
+	var e encoder
+	e.raw([]byte(snapshotMagic))
+	e.u32(SnapshotVersion)
+
+	e.str(s.Meta.Workload)
+	e.str(s.Meta.Config)
+	e.i64(int64(s.Meta.Threads))
+	e.f64(s.Meta.Scale)
+	e.u64(s.Meta.Seed)
+	e.u64(s.Meta.EnvSeed)
+	e.i64(int64(s.Meta.SimBytes))
+
+	reg := s.Registry
+	e.u32(uint32(len(reg.Allocs)))
+	for i := range reg.Allocs {
+		a := &reg.Allocs[i]
+		e.u64(uint64(a.ID))
+		e.u64(uint64(a.Site))
+		e.str(a.Label)
+		e.u64(a.Addr)
+		e.i64(int64(a.SimSize))
+		e.i64(int64(a.RealSize))
+		e.f64(a.Scale)
+		e.u64(a.Birth)
+		e.u64(a.Death)
+		e.i64(int64(a.Hint))
+	}
+	e.u64(uint64(reg.Next))
+	e.u64(reg.Ordinal)
+	e.u64(reg.Brk)
+
+	e.u32(uint32(len(s.Trace.Phases)))
+	for i := range s.Trace.Phases {
+		p := &s.Trace.Phases[i]
+		e.str(p.Name)
+		e.i64(int64(p.Threads))
+		e.f64(float64(p.Flops))
+		e.f64(p.VectorFrac)
+		e.f64(p.FlopEff)
+		e.i64(p.Repeat)
+		e.u32(uint32(len(p.Streams)))
+		for _, st := range p.Streams {
+			e.u64(uint64(st.Alloc))
+			e.i64(int64(st.Bytes))
+			e.u8(uint8(st.Kind))
+			e.u8(uint8(st.Pattern))
+			e.i64(int64(st.WorkingSet))
+			e.f64(st.MLP)
+		}
+	}
+
+	h := fnv.New64a()
+	h.Write(e.buf.Bytes())
+	e.u64(h.Sum64())
+	return e.buf.Bytes(), nil
+}
+
+// DecodeSnapshot reads one snapshot from r, validating magic, version
+// and checksum. It fails on trailing garbage: a snapshot file holds
+// exactly one snapshot.
+func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading snapshot: %w", err)
+	}
+	return DecodeSnapshotBytes(raw)
+}
+
+// DecodeSnapshotBytes decodes an encoded snapshot.
+func DecodeSnapshotBytes(raw []byte) (*Snapshot, error) {
+	if len(raw) < len(snapshotMagic)+4+8 {
+		return nil, fmt.Errorf("trace: snapshot truncated (%d bytes)", len(raw))
+	}
+	if string(raw[:len(snapshotMagic)]) != snapshotMagic {
+		return nil, fmt.Errorf("trace: bad snapshot magic %q", raw[:len(snapshotMagic)])
+	}
+	payload, tail := raw[:len(raw)-8], raw[len(raw)-8:]
+	h := fnv.New64a()
+	h.Write(payload)
+	if got, want := binary.LittleEndian.Uint64(tail), h.Sum64(); got != want {
+		return nil, fmt.Errorf("trace: snapshot checksum mismatch (%#x != %#x)", got, want)
+	}
+	d := decoder{buf: payload[len(snapshotMagic):]}
+	if v := d.u32(); v != SnapshotVersion {
+		return nil, fmt.Errorf("trace: snapshot codec version %d, this build reads %d", v, SnapshotVersion)
+	}
+
+	s := &Snapshot{Registry: &shim.Registry{}, Trace: &Trace{}}
+	s.Meta.Workload = d.str()
+	s.Meta.Config = d.str()
+	s.Meta.Threads = int(d.i64())
+	s.Meta.Scale = d.f64()
+	s.Meta.Seed = d.u64()
+	s.Meta.EnvSeed = d.u64()
+	s.Meta.SimBytes = units.Bytes(d.i64())
+
+	nAllocs := d.u32()
+	if err := d.fits(uint64(nAllocs), 60); err != nil {
+		return nil, err
+	}
+	s.Registry.Allocs = make([]shim.Allocation, nAllocs)
+	for i := range s.Registry.Allocs {
+		a := &s.Registry.Allocs[i]
+		a.ID = shim.AllocID(d.u64())
+		a.Site = shim.SiteID(d.u64())
+		a.Label = d.str()
+		a.Addr = d.u64()
+		a.SimSize = units.Bytes(d.i64())
+		a.RealSize = units.Bytes(d.i64())
+		a.Scale = d.f64()
+		a.Birth = d.u64()
+		a.Death = d.u64()
+		a.Hint = shim.PoolHint(d.i64())
+	}
+	s.Registry.Next = shim.AllocID(d.u64())
+	s.Registry.Ordinal = d.u64()
+	s.Registry.Brk = d.u64()
+
+	nPhases := d.u32()
+	if err := d.fits(uint64(nPhases), 40); err != nil {
+		return nil, err
+	}
+	s.Trace.Phases = make([]Phase, nPhases)
+	for i := range s.Trace.Phases {
+		p := &s.Trace.Phases[i]
+		p.Name = d.str()
+		p.Threads = int(d.i64())
+		p.Flops = units.Flops(d.f64())
+		p.VectorFrac = d.f64()
+		p.FlopEff = d.f64()
+		p.Repeat = d.i64()
+		nStreams := d.u32()
+		if err := d.fits(uint64(nStreams), 34); err != nil {
+			return nil, err
+		}
+		p.Streams = make([]Stream, nStreams)
+		for j := range p.Streams {
+			st := &p.Streams[j]
+			st.Alloc = shim.AllocID(d.u64())
+			st.Bytes = units.Bytes(d.i64())
+			st.Kind = Kind(d.u8())
+			st.Pattern = Pattern(d.u8())
+			st.WorkingSet = units.Bytes(d.i64())
+			st.MLP = d.f64()
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("trace: %d trailing bytes after snapshot", len(d.buf))
+	}
+	return s, nil
+}
+
+// encoder accumulates the little-endian wire form.
+type encoder struct {
+	buf     bytes.Buffer
+	scratch [8]byte
+}
+
+func (e *encoder) raw(b []byte) { e.buf.Write(b) }
+
+func (e *encoder) u8(v uint8) { e.buf.WriteByte(v) }
+
+func (e *encoder) u32(v uint32) {
+	binary.LittleEndian.PutUint32(e.scratch[:4], v)
+	e.buf.Write(e.scratch[:4])
+}
+
+func (e *encoder) u64(v uint64) {
+	binary.LittleEndian.PutUint64(e.scratch[:8], v)
+	e.buf.Write(e.scratch[:8])
+}
+
+func (e *encoder) i64(v int64)   { e.u64(uint64(v)) }
+func (e *encoder) f64(v float64) { e.u64(math.Float64bits(v)) }
+
+func (e *encoder) str(s string) {
+	e.u32(uint32(len(s)))
+	e.buf.WriteString(s)
+}
+
+// decoder consumes the wire form, latching the first error.
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if len(d.buf) < n {
+		d.err = fmt.Errorf("trace: snapshot truncated (want %d bytes, have %d)", n, len(d.buf))
+		return nil
+	}
+	out := d.buf[:n]
+	d.buf = d.buf[n:]
+	return out
+}
+
+// fits rejects count fields whose minimal encoding (unit bytes per
+// element) could not fit in the remaining buffer, before make() trusts
+// them.
+func (d *decoder) fits(count, unit uint64) error {
+	if d.err != nil {
+		return d.err
+	}
+	if count*unit > uint64(len(d.buf)) {
+		d.err = fmt.Errorf("trace: snapshot count %d exceeds remaining %d bytes", count, len(d.buf))
+	}
+	return d.err
+}
+
+func (d *decoder) u8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *decoder) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *decoder) i64() int64   { return int64(d.u64()) }
+func (d *decoder) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *decoder) str() string {
+	n := d.u32()
+	if d.fits(uint64(n), 1) != nil {
+		return ""
+	}
+	return string(d.take(int(n)))
+}
