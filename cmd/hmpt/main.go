@@ -7,15 +7,23 @@
 //
 //	hmpt list
 //	hmpt analyze <workload> [-runs N] [-threads N] [-seed N] [-full] [-csv]
+//	             [-ibs-period N] [-ibs-max-samples N]
 //	hmpt plan <workload> -budget <bytes, e.g. 16GB> [-full]
 //	hmpt campaign [-workloads a,b|all] [-platforms xeonmax,dual] [-seeds 1,2]
 //	              [-runs N] [-cache DIR] [-par N] [-full] [-csv]
+//	              [-ibs-period N] [-ibs-max-samples N]
+//	hmpt bench-report [-in FILE] [-out FILE] [-label S]
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -42,7 +50,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: hmpt <list|analyze|plan|campaign> [args]")
+		return fmt.Errorf("usage: hmpt <list|analyze|plan|campaign|bench-report> [args]")
 	}
 	switch args[0] {
 	case "list":
@@ -56,6 +64,8 @@ func run(args []string) error {
 		return plan(args[1:])
 	case "campaign":
 		return campaignCmd(args[1:])
+	case "bench-report":
+		return benchReport(args[1:])
 	default:
 		return fmt.Errorf("unknown command %q", args[0])
 	}
@@ -75,6 +85,8 @@ func campaignCmd(args []string) error {
 	par := fs.Int("par", 0, "campaign worker goroutines (0 = GOMAXPROCS)")
 	full := fs.Bool("full", false, "full-size workload instances (slower)")
 	csv := fs.Bool("csv", false, "emit CSV instead of a table")
+	ibsPeriod := fs.Int64("ibs-period", 0, "IBS sampling period in cache lines (0 = default 64Ki); part of the snapshot cache key")
+	ibsMax := fs.Int("ibs-max-samples", 0, "IBS per-run sample budget (0 = default 200k); part of the snapshot cache key")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -91,6 +103,15 @@ func campaignCmd(args []string) error {
 		w, err := campaignWorkload(strings.TrimSpace(name), *full, *runs)
 		if err != nil {
 			return err
+		}
+		// Only explicit flags override the workload's own sampler
+		// options (0 would clobber a spec-provided value with the
+		// defaults, like the seed flag's != 1 guard avoids).
+		if *ibsPeriod > 0 {
+			w.Options.SamplePeriod = *ibsPeriod
+		}
+		if *ibsMax > 0 {
+			w.Options.SampleBudget = *ibsMax
 		}
 		m.Workloads = append(m.Workloads, w)
 	}
@@ -202,6 +223,8 @@ func analyzeWorkload(fs *flag.FlagSet, args []string) (*core.Analysis, error) {
 	threads := fs.Int("threads", 0, "simulated threads (0 = all cores)")
 	seed := fs.Uint64("seed", 1, "determinism seed")
 	full := fs.Bool("full", false, "full-size workload instance (slower)")
+	ibsPeriod := fs.Int64("ibs-period", 0, "IBS sampling period in cache lines (0 = default 64Ki)")
+	ibsMax := fs.Int("ibs-max-samples", 0, "IBS per-run sample budget (0 = default 200k)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -221,13 +244,20 @@ func analyzeWorkload(fs *flag.FlagSet, args []string) (*core.Analysis, error) {
 		if werr != nil {
 			return nil, werr
 		}
-		return core.New(w, core.Options{Runs: *runs, Threads: *threads, Seed: *seed}).Analyze()
+		return core.New(w, core.Options{Runs: *runs, Threads: *threads, Seed: *seed,
+			SamplePeriod: *ibsPeriod, SampleBudget: *ibsMax}).Analyze()
 	}
 	opts := spec.Options
 	opts.Runs = *runs
 	opts.Threads = *threads
 	if *seed != 1 {
 		opts.Seed = *seed
+	}
+	if *ibsPeriod > 0 {
+		opts.SamplePeriod = *ibsPeriod
+	}
+	if *ibsMax > 0 {
+		opts.SampleBudget = *ibsMax
 	}
 	opts.Platform = memsim.XeonMax9468()
 	f := spec.Fast
@@ -305,6 +335,98 @@ func analyze(args []string) error {
 		fmt.Printf("90%% of max       %.2fx with %s (%.1f%% of data in HBM)\n", ncfg.Speedup, ncfg.Label, ninety*100)
 	}
 	return nil
+}
+
+// benchResult is one parsed benchmark line of a `go test -bench` log.
+type benchResult struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// benchReportDoc is the machine-readable form of a bench-smoke log,
+// committed as a CI artifact so the cross-PR perf trajectory
+// accumulates in a diffable format.
+type benchReportDoc struct {
+	Schema     string        `json:"schema"`
+	Label      string        `json:"label,omitempty"`
+	GoVersion  string        `json:"go"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+// benchReport parses `go test -bench` output into a JSON report. Lines
+// that are not benchmark results (figure dumps, PASS/ok trailers) are
+// skipped, so the bench-smoke log can be piped through unchanged.
+func benchReport(args []string) error {
+	fs := flag.NewFlagSet("bench-report", flag.ContinueOnError)
+	in := fs.String("in", "-", "bench output to parse (- = stdin)")
+	out := fs.String("out", "", "JSON report path (empty = stdout)")
+	label := fs.String("label", "", "trajectory label recorded in the report (e.g. pr3)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	doc := benchReportDoc{Schema: "hmpt-bench/v1", Label: *label, GoVersion: runtime.Version()}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		res, ok := parseBenchLine(sc.Text())
+		if ok {
+			doc.Benchmarks = append(doc.Benchmarks, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("reading bench output: %w", err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found in %s", *in)
+	}
+	sort.SliceStable(doc.Benchmarks, func(i, j int) bool {
+		return doc.Benchmarks[i].Name < doc.Benchmarks[j].Name
+	})
+	enc, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(*out, enc, 0o644)
+}
+
+// parseBenchLine parses one `BenchmarkName-P  iters  v1 unit1  v2 unit2 ...`
+// line; ok is false for anything that is not a benchmark result.
+func parseBenchLine(line string) (benchResult, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return benchResult{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return benchResult{}, false
+	}
+	res := benchResult{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return benchResult{}, false
+		}
+		res.Metrics[fields[i+1]] = v
+	}
+	if len(res.Metrics) == 0 {
+		return benchResult{}, false
+	}
+	return res, true
 }
 
 func plan(args []string) error {

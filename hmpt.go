@@ -130,6 +130,18 @@ func RunCampaign(m CampaignMatrix) (*CampaignResult, error) {
 	return (&campaign.Engine{}).Run(m)
 }
 
+// KernelExecutions returns the number of real kernel executions the
+// tuning pipeline has performed in this process. A warm campaign — all
+// snapshots served from the cache — performs zero.
+func KernelExecutions() int64 { return core.KernelExecutions() }
+
+// SamplePasses returns the number of IBS sampling passes — report
+// constructions that consume RNG or derive fresh sample counts — the
+// pipeline has performed in this process. Analyses replaying a snapshot
+// reconstruct their sampling report from the embedded counts through an
+// RNG-free validation walk, so a warm campaign performs zero.
+func SamplePasses() int64 { return core.SamplePasses() }
+
 // NewWorkload instantiates a registered benchmark by name; see
 // WorkloadNames for the registry contents.
 func NewWorkload(name string) (Workload, error) { return workloads.New(name) }

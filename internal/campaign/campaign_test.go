@@ -129,6 +129,86 @@ func TestCampaignDiskCache(t *testing.T) {
 	}
 }
 
+// TestCampaignWarmRunsZeroSamplePasses: replayed cells reconstruct
+// their IBS reports from the sample counts embedded in each snapshot,
+// so a cold campaign samples exactly once per capture (the count pass)
+// and a warm campaign — snapshots served from the disk cache — performs
+// no sampling at all, on top of executing no kernels.
+func TestCampaignWarmRunsZeroSamplePasses(t *testing.T) {
+	m := testMatrix(t)
+	cache, err := trace.NewSnapshotCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := core.SamplePasses()
+	first, err := (&Engine{Cache: cache}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := first.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// Cold: one count pass per distinct capture, none per cell — the
+	// cells replay the embedded counts even on the first run.
+	if got := core.SamplePasses() - before; got != int64(first.Snapshots) {
+		t.Errorf("cold campaign ran %d sampling passes, want %d (one per capture)", got, first.Snapshots)
+	}
+
+	before = core.SamplePasses()
+	beforeKernels := core.KernelExecutions()
+	second, err := (&Engine{Cache: cache}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := second.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := core.SamplePasses() - before; got != 0 {
+		t.Errorf("warm campaign ran %d sampling passes, want 0", got)
+	}
+	if got := core.KernelExecutions() - beforeKernels; got != 0 {
+		t.Errorf("warm campaign executed %d kernels, want 0", got)
+	}
+	for i := range first.Cells {
+		a, b := &first.Cells[i], &second.Cells[i]
+		if !reflect.DeepEqual(a.Analysis, b.Analysis) {
+			t.Errorf("cell %s/%s: sampling-free replay differs from cold analysis", a.Workload, a.Platform)
+		}
+	}
+}
+
+// TestCampaignSamplerVariantsOwnCaptures: sampler controls are capture
+// inputs — a variant changing the IBS period addresses its own snapshot
+// instead of replaying counts captured under a different period.
+func TestCampaignSamplerVariantsOwnCaptures(t *testing.T) {
+	m := testMatrix(t)
+	m.Workloads = m.Workloads[:1]
+	m.Platforms = m.Platforms[:1]
+	m.Variants = []Variant{
+		{Name: "base"},
+		{Name: "period14", Apply: func(o *core.Options) { o.SamplePeriod = 1 << 14 }},
+	}
+	res, err := (&Engine{}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Snapshots != 2 {
+		t.Errorf("snapshots=%d, want 2 (non-default period needs its own capture)", res.Snapshots)
+	}
+	base := res.Cell(m.Workloads[0].Name, "xeonmax", "base")
+	p14 := res.Cell(m.Workloads[0].Name, "xeonmax", "period14")
+	if base == nil || p14 == nil {
+		t.Fatal("missing cells")
+	}
+	if p14.Analysis.SampleCount <= base.Analysis.SampleCount {
+		t.Errorf("quartered period did not raise the sample count (%d vs %d)",
+			p14.Analysis.SampleCount, base.Analysis.SampleCount)
+	}
+}
+
 // TestCampaignRecoversCorruptCacheEntry: an unreadable cache entry is
 // treated as a miss, recaptured, and overwritten with a valid snapshot.
 func TestCampaignRecoversCorruptCacheEntry(t *testing.T) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"hmpt/internal/ibs"
 	"hmpt/internal/shim"
 	"hmpt/internal/trace"
 	"hmpt/internal/workloads"
@@ -19,16 +20,30 @@ var kernelExecs atomic.Int64
 // pipeline has performed in this process. Tests compare deltas.
 func KernelExecutions() int64 { return kernelExecs.Load() }
 
+// samplePasses counts sampling passes performed on behalf of the
+// pipeline: report constructions that consume RNG or derive fresh
+// counts — batched-engine passes, reference-loop passes, and the count
+// pass a Capture embeds. Replaying embedded counts (an RNG-free
+// validation walk against already-derived counts) is not a pass.
+// Campaign tests use deltas to prove warm campaigns derive no sampling
+// data at all.
+var samplePasses atomic.Int64
+
+// SamplePasses returns the number of sampling passes the pipeline has
+// performed in this process. Tests compare deltas.
+func SamplePasses() int64 { return samplePasses.Load() }
+
 // Capture executes the workload's kernel once — exactly as the reference
 // stage of Analyze would — and returns the run as a snapshot: the phase
 // trace, the shim allocation registry, and the capture inputs. An
 // analysis replaying the snapshot (Options.Snapshot or NewReplay) is
 // byte-identical to one executing the kernel itself.
 //
-// Only the options that feed kernel execution matter to a capture:
-// Threads, Scale and Seed. The platform does not — capture happens
-// before any costing — so one snapshot serves every platform preset and
-// tuner-option variant.
+// Only the options that feed kernel execution or the embedded sample
+// counts matter to a capture: Threads, Scale, Seed, and the sampler
+// controls. The platform does not — capture happens before any costing,
+// and the embedded counts are platform-independent — so one snapshot
+// serves every platform preset and tuner-option variant.
 func Capture(w workloads.Workload, opts Options) (*trace.Snapshot, error) {
 	o := opts.withDefaults()
 	envSeed := xrand.New(o.Seed).Split(1).Uint64()
@@ -36,26 +51,42 @@ func Capture(w workloads.Workload, opts Options) (*trace.Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Embed the sampling counts so replays skip the sampling pass: the
+	// count pass is the one sampling walk this capture pays for.
+	samplePasses.Add(1)
+	counts, err := o.sampler().Counts(tr, env.Alloc)
+	if err != nil {
+		return nil, fmt.Errorf("core: counting samples for %s: %w", w.Name(), err)
+	}
 	return &trace.Snapshot{
 		Meta: trace.Meta{
-			Workload: w.Name(),
-			Config:   o.ConfigTag,
-			Threads:  o.Threads,
-			Scale:    o.Scale,
-			Seed:     o.Seed,
-			EnvSeed:  envSeed,
-			SimBytes: env.Alloc.TotalSimBytes(),
+			Workload:     w.Name(),
+			Config:       o.ConfigTag,
+			Threads:      o.Threads,
+			Scale:        o.Scale,
+			Seed:         o.Seed,
+			EnvSeed:      envSeed,
+			SimBytes:     env.Alloc.TotalSimBytes(),
+			SamplePeriod: o.SamplePeriod,
+			SampleBudget: o.SampleBudget,
 		},
 		Registry: env.Alloc.Export(),
 		Trace:    tr,
+		Samples:  counts,
 	}, nil
 }
 
 // SnapshotKeyFor returns the snapshot-cache key of a capture with these
-// options — the same defaulting rules Capture and Analyze apply.
+// options — the same defaulting rules Capture and Analyze apply. The
+// sampler controls and the sampling-engine version participate: a
+// non-default period or budget embeds different sample counts and so
+// addresses a different capture.
 func SnapshotKeyFor(workload string, opts Options) trace.SnapshotKey {
 	o := opts.withDefaults()
-	return trace.SnapshotKey{Workload: workload, Config: o.ConfigTag, Threads: o.Threads, Scale: o.Scale, Seed: o.Seed}
+	return trace.SnapshotKey{
+		Workload: workload, Config: o.ConfigTag, Threads: o.Threads, Scale: o.Scale, Seed: o.Seed,
+		SamplePeriod: o.SamplePeriod, SampleBudget: int64(o.SampleBudget), SamplerVersion: ibs.SamplerVersion,
+	}
 }
 
 // NewReplay returns a tuner that analyses the snapshot without any
@@ -74,6 +105,12 @@ func NewReplay(snap *trace.Snapshot, opts Options) *Tuner {
 	}
 	if opts.ConfigTag == "" {
 		opts.ConfigTag = snap.Meta.Config
+	}
+	if opts.SamplePeriod <= 0 {
+		opts.SamplePeriod = snap.Meta.SamplePeriod
+	}
+	if opts.SampleBudget <= 0 {
+		opts.SampleBudget = snap.Meta.SampleBudget
 	}
 	opts.Snapshot = snap
 	return &Tuner{opts: opts.withDefaults(), name: snap.Meta.Workload}
@@ -122,6 +159,21 @@ func (t *Tuner) reference(envSeed uint64) (*shim.Allocator, *trace.Trace, error)
 	if m.Config != o.ConfigTag || m.Threads != o.Threads || m.Scale != o.Scale || m.Seed != o.Seed {
 		return nil, nil, fmt.Errorf("core: snapshot of %q captured at config=%q threads=%d scale=%g seed=%d, options want config=%q threads=%d scale=%g seed=%d",
 			m.Workload, m.Config, m.Threads, m.Scale, m.Seed, o.ConfigTag, o.Threads, o.Scale, o.Seed)
+	}
+	// Zero-valued sampler controls in the metadata mean "defaults" —
+	// hand-built snapshots (and their nil-Samples live-sampling
+	// fallback) naturally leave them unset — so normalise before the
+	// comparison, the same way withDefaults normalised the options.
+	mPeriod, mBudget := m.SamplePeriod, m.SampleBudget
+	if mPeriod <= 0 {
+		mPeriod = ibs.DefaultPeriod
+	}
+	if mBudget <= 0 {
+		mBudget = ibs.DefaultMaxSamples
+	}
+	if mPeriod != o.SamplePeriod || mBudget != o.SampleBudget {
+		return nil, nil, fmt.Errorf("core: snapshot of %q captured at sample period=%d budget=%d, options want period=%d budget=%d",
+			m.Workload, mPeriod, mBudget, o.SamplePeriod, o.SampleBudget)
 	}
 	if m.EnvSeed != envSeed {
 		return nil, nil, fmt.Errorf("core: snapshot of %q records env seed %#x, expected %#x (corrupted or cross-version snapshot)",

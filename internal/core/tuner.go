@@ -72,6 +72,15 @@ type Options struct {
 	// every configuration owns a pre-split RNG and a pre-assigned
 	// result slot, so the worker count changes scheduling only.
 	SweepParallelism int
+	// SamplePeriod is the IBS sampling period in cache lines per sample
+	// (0 = the paper driver's default, 64 Ki lines). It is a capture
+	// input: the sample counts embedded in a snapshot are keyed by it,
+	// so a non-default period addresses a different snapshot.
+	SamplePeriod int64
+	// SampleBudget bounds the per-run sample count (0 = the default
+	// 200k perf buffer budget); the period is raised to stay within it.
+	// Like SamplePeriod it participates in snapshot identity.
+	SampleBudget int
 	// Snapshot injects a captured reference run (see Capture): the
 	// analysis replays the snapshot's trace and allocation registry
 	// instead of executing the kernel. The snapshot's capture inputs
@@ -104,7 +113,21 @@ func (o *Options) withDefaults() Options {
 	if out.Seed == 0 {
 		out.Seed = 1
 	}
+	// Sampler controls are normalised here so that snapshot keys are
+	// canonical: "unset" and "explicitly the default" address the same
+	// capture.
+	if out.SamplePeriod <= 0 {
+		out.SamplePeriod = ibs.DefaultPeriod
+	}
+	if out.SampleBudget <= 0 {
+		out.SampleBudget = ibs.DefaultMaxSamples
+	}
 	return out
+}
+
+// sampler builds the IBS sampler the options configure.
+func (o *Options) sampler() *ibs.Sampler {
+	return &ibs.Sampler{Period: o.SamplePeriod, MaxSamples: o.SampleBudget}
 }
 
 func defaultFilter(p *memsim.Platform) units.Bytes {
@@ -234,9 +257,15 @@ func (t *Tuner) analyze(engine bool) (*Analysis, error) {
 		return nil, err
 	}
 
-	// 3. IBS sampling of the baseline run.
-	sampler := ibs.NewSampler()
-	rep, err := sampler.Sample(tr, al, machine, allDDR, rng.Split(3))
+	// 3. IBS sampling of the baseline run: replayed from the snapshot's
+	// embedded sample counts when present (no sampling pass at all), run
+	// on the batched engine otherwise — or on the per-sample reference
+	// loop when the naive oracle path is selected. All three produce
+	// identical count-derived statistics, which is all the pipeline
+	// consumes downstream. The RNG split is consumed either way so the
+	// downstream stream stays byte-identical across paths.
+	smpRNG := rng.Split(3)
+	rep, err := t.sampleReport(tr, al, machine, allDDR, smpRNG, engine)
 	if err != nil {
 		return nil, fmt.Errorf("core: sampling: %w", err)
 	}
@@ -284,6 +313,31 @@ func (t *Tuner) analyze(engine bool) (*Analysis, error) {
 		return nil, err
 	}
 	return an, nil
+}
+
+// sampleReport produces the IBS report of the reference run. A snapshot
+// carrying sample counts that match this build's sampler version lets
+// the analysis skip the sampling pass — no RNG is consumed and no fresh
+// counts are derived; the report is reconstructed from the embedded
+// counts through an RNG-free validation walk (same O(streams × pools)
+// cost class as the engine, and bitwise equal to what it would produce
+// under the all-DDR reference placement — the walk is what pins the
+// embedding to this trace and re-derives latencies on the replaying
+// machine). Otherwise a sampling pass runs: the batched engine on the
+// engine path, the per-sample reference loop on the oracle path.
+func (t *Tuner) sampleReport(tr *trace.Trace, al *shim.Allocator, machine *memsim.Machine,
+	allDDR memsim.Placement, rng *xrand.Rand, engine bool) (*ibs.Report, error) {
+
+	if snap := t.opts.Snapshot; snap != nil && snap.Samples != nil &&
+		snap.Samples.SamplerVersion == ibs.SamplerVersion {
+		return ibs.ReportFromCounts(snap.Samples, tr, al, machine, allDDR)
+	}
+	samplePasses.Add(1)
+	sampler := t.opts.sampler()
+	if engine {
+		return sampler.Sample(tr, al, machine, allDDR, rng)
+	}
+	return sampler.SampleReference(tr, al, machine, allDDR, rng)
 }
 
 // sweepConfigs measures every mask on the sweep engine: configurations

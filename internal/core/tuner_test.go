@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"hmpt/internal/memsim"
@@ -395,5 +396,97 @@ func TestTunerTraceReuse(t *testing.T) {
 	}
 	if r1.Time != r2.Time {
 		t.Errorf("deterministic cost changed across calls: %v vs %v", r1.Time, r2.Time)
+	}
+}
+
+// TestSamplerControlsChangeSnapshotKey: the IBS period and budget are
+// capture inputs — a non-default value must address a different
+// snapshot-cache entry, and the default must be canonical (unset and
+// explicitly-default options share one entry).
+func TestSamplerControlsChangeSnapshotKey(t *testing.T) {
+	base := SnapshotKeyFor("w", Options{Seed: 1})
+	explicit := SnapshotKeyFor("w", Options{Seed: 1, SamplePeriod: 1 << 16, SampleBudget: 200_000})
+	if base.ID() != explicit.ID() {
+		t.Error("explicitly-default sampler controls address a different entry than unset ones")
+	}
+	period := SnapshotKeyFor("w", Options{Seed: 1, SamplePeriod: 1 << 14})
+	if period.ID() == base.ID() {
+		t.Error("non-default sample period did not change the snapshot cache key")
+	}
+	budget := SnapshotKeyFor("w", Options{Seed: 1, SampleBudget: 50_000})
+	if budget.ID() == base.ID() {
+		t.Error("non-default sample budget did not change the snapshot cache key")
+	}
+}
+
+// TestSamplerControlsThreadThroughAnalysis: a coarser sampling period
+// attributes fewer samples (the default-period run is budget-bound),
+// and a replay of a non-default capture reproduces it without a
+// sampling pass.
+func TestSamplerControlsThreadThroughAnalysis(t *testing.T) {
+	w := synth.Default()
+	base, err := New(w, Options{Seed: 1}).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Seed: 1, SamplePeriod: 1 << 22}
+	coarse, err := New(synth.Default(), opts).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coarse.SampleCount >= base.SampleCount {
+		t.Errorf("64x period: %d samples vs %d at default, want fewer", coarse.SampleCount, base.SampleCount)
+	}
+	snap, err := Capture(synth.Default(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Meta.SamplePeriod != 1<<22 {
+		t.Errorf("capture recorded period %d, want %d", snap.Meta.SamplePeriod, 1<<22)
+	}
+	before := SamplePasses()
+	replay, err := NewReplay(snap, opts).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := SamplePasses() - before; got != 0 {
+		t.Errorf("replay ran %d sampling passes, want 0 (embedded counts)", got)
+	}
+	if !reflect.DeepEqual(coarse, replay) {
+		t.Error("replay at non-default period differs from live analysis")
+	}
+	// Mismatched sampler controls must be rejected, like any other
+	// capture-input mismatch.
+	if _, err := New(synth.Default(), Options{Seed: 1, Snapshot: snap}).Analyze(); err == nil {
+		t.Error("analysis accepted a snapshot captured under a different sampling period")
+	}
+}
+
+// TestReplayWithoutEmbeddedCountsSamplesLive: a snapshot carrying no
+// sample counts (hand-built, with sampler controls left unset in its
+// metadata) replays by running a live sampling pass instead of being
+// rejected, and still matches the live analysis byte for byte.
+func TestReplayWithoutEmbeddedCountsSamplesLive(t *testing.T) {
+	snap, err := Capture(synth.Default(), Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := New(synth.Default(), Options{Seed: 1}).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.Samples = nil
+	snap.Meta.SamplePeriod = 0 // the natural hand-built state
+	snap.Meta.SampleBudget = 0
+	before := SamplePasses()
+	replay, err := NewReplay(snap, Options{}).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := SamplePasses() - before; got != 1 {
+		t.Errorf("count-free replay ran %d sampling passes, want 1 (live fallback)", got)
+	}
+	if !reflect.DeepEqual(live, replay) {
+		t.Error("count-free replay differs from live analysis")
 	}
 }

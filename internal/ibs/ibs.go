@@ -8,10 +8,32 @@
 //
 // The "Access Samples" fraction plotted as blue crosses in Fig. 7a is
 // Report.Density over a set of allocations.
+//
+// Two sampling paths produce a Report:
+//
+//   - Sample is the batched engine: every quantity of the report is a
+//     deterministic function of per-(stream, pool) sample counts, so the
+//     engine derives each stream's sample count n in closed form,
+//     resolves the whole stream with one liveness check (addresses are
+//     drawn uniformly inside one allocation, so they land in it iff it
+//     is live), counts reads directly from n and the stream kind, and
+//     attributes pools with a multinomial draw — NumPools−1 binomial
+//     draws instead of n roulette spins. The whole pass is
+//     O(phases × streams × pools), independent of the sample budget.
+//   - SampleReference is the bit-level oracle for the original RNG
+//     discipline: one RNG draw, address resolve and pool roulette per
+//     sample, up to MaxSamples iterations per run.
+//
+// Both paths agree exactly on Total, Unmapped, Period, per-allocation
+// Samples, Density and ReadFrac (all deterministic in the trace), and
+// within CLT tolerance on AvgLatency (the only statistic the pool
+// roulette actually randomises); the root-level sampling equivalence
+// test enforces this for every registered workload.
 package ibs
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"hmpt/internal/memsim"
@@ -19,6 +41,21 @@ import (
 	"hmpt/internal/trace"
 	"hmpt/internal/units"
 	"hmpt/internal/xrand"
+)
+
+// SamplerVersion identifies the sampling discipline of the batched
+// engine (bucket math, multinomial pool attribution, RNG consumption
+// order). It participates in snapshot keys so that embedded sample
+// counts captured under an older discipline are never replayed into a
+// newer engine. Bump it whenever Sample's math or RNG usage changes.
+const SamplerVersion = 2
+
+// Default sampler controls: the paper driver's ~64 Ki-line period and
+// 200k-sample perf buffer budget. core.Options normalises unset sampler
+// controls to these values so snapshot keys are canonical.
+const (
+	DefaultPeriod     int64 = 1 << 16
+	DefaultMaxSamples       = 200_000
 )
 
 // Sample is one sampled memory access.
@@ -88,37 +125,296 @@ type Sampler struct {
 // NewSampler returns a sampler with the defaults used by the paper's
 // driver script: a period around 64 Ki lines and a 200k-sample budget.
 func NewSampler() *Sampler {
-	return &Sampler{Period: 1 << 16, MaxSamples: 200_000}
+	return &Sampler{Period: DefaultPeriod, MaxSamples: DefaultMaxSamples}
 }
 
-// Sample draws samples for the trace as placed by pl on machine m.
-// Addresses are drawn uniformly within each stream's allocation
-// (restricted to the stream working set when one is declared), then
-// resolved through the allocator — unresolvable addresses are counted as
-// unmapped, as real IBS samples landing outside tracked ranges would be.
-func (s *Sampler) Sample(tr *trace.Trace, al *shim.Allocator, m *memsim.Machine, pl memsim.Placement, rng *xrand.Rand) (*Report, error) {
-	if tr == nil || al == nil || m == nil || pl == nil || rng == nil {
-		return nil, fmt.Errorf("ibs: nil argument")
-	}
+// effectivePeriod returns the period actually used for tr: the nominal
+// period, raised so the trace stays within the sample budget.
+func (s *Sampler) effectivePeriod(tr *trace.Trace) int64 {
 	period := s.Period
 	if period <= 0 {
-		period = 1 << 16
+		period = DefaultPeriod
 	}
 	totalLines := tr.TotalBytes().Lines()
 	if s.MaxSamples > 0 && totalLines/period > int64(s.MaxSamples) {
 		period = totalLines/int64(s.MaxSamples) + 1
 	}
+	return period
+}
+
+// forEachStream walks the trace in phase/stream order invoking fn for
+// every stream that draws at least one sample, with the stream's
+// allocation and its sample count n. The fractional-sample carry is
+// threaded across streams exactly as the per-sample reference loop
+// does, so every pass — counting, batched sampling, reference sampling,
+// count replay — derives the identical n sequence and therefore the
+// identical Total.
+func forEachStream(tr *trace.Trace, al *shim.Allocator, period int64, fn func(st *trace.Stream, a *shim.Allocation, n int)) {
+	var carry float64 // fractional samples carried across streams
+	for pi := range tr.Phases {
+		ph := &tr.Phases[pi]
+		times := float64(ph.Times())
+		for si := range ph.Streams {
+			st := &ph.Streams[si]
+			a := al.Lookup(st.Alloc)
+			if a == nil {
+				continue
+			}
+			lines := float64(st.Bytes.Lines()) * times
+			if st.Kind == trace.Update {
+				lines *= 2
+			}
+			want := lines/float64(period) + carry
+			n := int(want)
+			carry = want - float64(n)
+			if n == 0 {
+				continue
+			}
+			if a.SimSize <= 0 {
+				// Zero-extent allocation: no addresses to draw from. The
+				// reference loop drops these samples after consuming the
+				// carry; mirror that exactly.
+				continue
+			}
+			fn(st, a, n)
+		}
+	}
+}
+
+// readsFor returns how many of a stream's n samples the reference loop
+// counts as reads: all of them for Read streams, the even sample
+// indices (⌈n/2⌉) for Update streams, none for Write streams.
+func readsFor(k trace.Kind, n int) int {
+	switch k {
+	case trace.Read:
+		return n
+	case trace.Update:
+		return (n + 1) / 2
+	default:
+		return 0
+	}
+}
+
+// poolLatency returns the average access latency in seconds a sample of
+// st served by pool pid observes — the same per-(stream, pool) profile
+// the reference loop precomputes per stream.
+func poolLatency(m *memsim.Machine, pid memsim.PoolID, st *trace.Stream) float64 {
+	prof := memsim.AccessProfile{AvgLatency: m.P.Pools[pid].Latency}
+	if st.Pattern == trace.Random || st.Pattern == trace.Chase {
+		prof = m.P.AccessProfileFor(pid, st.WorkingSet)
+	}
+	return prof.AvgLatency.Seconds()
+}
+
+// Sample draws samples for the trace as placed by pl on machine m using
+// the batched engine: O(phases × streams × pools) work regardless of
+// the sample budget, no allocations in the per-stream loop (provided pl
+// implements memsim.SplitterInto or memsim.PoolAssigner), and a report
+// that agrees with SampleReference exactly on every count-derived
+// statistic and within CLT tolerance on AvgLatency. The result is
+// deterministic for a fixed rng seed.
+func (s *Sampler) Sample(tr *trace.Trace, al *shim.Allocator, m *memsim.Machine, pl memsim.Placement, rng *xrand.Rand) (*Report, error) {
+	if tr == nil || al == nil || m == nil || pl == nil || rng == nil {
+		return nil, fmt.Errorf("ibs: nil argument")
+	}
+	period := s.effectivePeriod(tr)
+	rep := &Report{Period: period, ByAlloc: make(map[shim.AllocID]*AllocStats)}
+	byAlloc := make([]sampleAgg, maxAllocID(al)+1)
+
+	if pa, ok := pl.(memsim.PoolAssigner); ok {
+		// Whole-pool placements (the all-DDR reference run, every tuning
+		// configuration) need no draws at all: every sample of a stream
+		// observes the same pool latency.
+		rep.Total, rep.Unmapped = accumulate(tr, al, period, byAlloc, wholePoolLatency(m, pa))
+		finishReport(rep, byAlloc)
+		return rep, nil
+	}
+
+	splitBuf := make([]float64, pl.NumPools())
+	poolBuf := make([]int, pl.NumPools())
+	latSec := make([]float64, len(m.P.Pools))
+	sp, _ := pl.(memsim.SplitterInto)
+	rep.Total, rep.Unmapped = accumulate(tr, al, period, byAlloc, func(st *trace.Stream, n int, g *sampleAgg) {
+		split := splitBuf
+		if sp != nil {
+			sp.SplitInto(st.Alloc, splitBuf)
+		} else {
+			split = pl.Split(st.Alloc)
+		}
+		for pid := range latSec {
+			latSec[pid] = poolLatency(m, memsim.PoolID(pid), st)
+		}
+		multinomial(rng, n, split, poolBuf)
+		for pid, k := range poolBuf {
+			if k != 0 {
+				g.latSum += float64(k) * latSec[pid]
+			}
+		}
+	})
+	finishReport(rep, byAlloc)
+	return rep, nil
+}
+
+// accumulate tallies every sampled stream into byAlloc and returns the
+// total and unmapped sample counts. tally, when non-nil, runs for each
+// live stream after the count tally to attribute latency (whole-pool
+// term or multinomial draw); the machine-free count pass passes nil.
+// Every sampling pass — counting, the engine's two placement paths, and
+// count replay — runs on this one body, which is what keeps their
+// tallies, and therefore the snapshot-validation equalities, in
+// lock-step by construction.
+func accumulate(tr *trace.Trace, al *shim.Allocator, period int64, byAlloc []sampleAgg,
+	tally func(st *trace.Stream, n int, g *sampleAgg)) (total, unmapped int) {
+
+	forEachStream(tr, al, period, func(st *trace.Stream, a *shim.Allocation, n int) {
+		total += n
+		if !a.Live() {
+			// The whole stream draws inside this one dead allocation's
+			// range; the shim's bump allocator never reuses it, so no
+			// sample can resolve to a live allocation.
+			unmapped += n
+			return
+		}
+		g := &byAlloc[a.ID]
+		g.n += n
+		g.reads += readsFor(st.Kind, n)
+		if tally != nil {
+			tally(st, n, g)
+		}
+	})
+	return total, unmapped
+}
+
+// wholePoolLatency returns the latency tally of a whole-pool placement:
+// every sample of a stream observes its one pool's latency.
+func wholePoolLatency(m *memsim.Machine, pa memsim.PoolAssigner) func(st *trace.Stream, n int, g *sampleAgg) {
+	return func(st *trace.Stream, n int, g *sampleAgg) {
+		g.latSum += float64(n) * poolLatency(m, pa.PoolOf(st.Alloc), st)
+	}
+}
+
+// Counts runs the platform-independent half of the batched engine: the
+// deterministic per-allocation sample and read counts, with no machine,
+// placement or RNG involved. This is what core.Capture embeds in a
+// snapshot — everything else in a Report is either derived from these
+// counts or recomputed against the replaying machine.
+func (s *Sampler) Counts(tr *trace.Trace, al *shim.Allocator) (*trace.SampleCounts, error) {
+	if tr == nil || al == nil {
+		return nil, fmt.Errorf("ibs: nil argument")
+	}
+	period := s.effectivePeriod(tr)
+	byAlloc := make([]sampleAgg, maxAllocID(al)+1)
+	c := &trace.SampleCounts{SamplerVersion: SamplerVersion, Period: period}
+	total, unmapped := accumulate(tr, al, period, byAlloc, nil)
+	c.Total, c.Unmapped = int64(total), int64(unmapped)
+	for id := range byAlloc {
+		if byAlloc[id].n == 0 {
+			continue
+		}
+		c.ByAlloc = append(c.ByAlloc, trace.SampleAllocCount{
+			ID: shim.AllocID(id), Samples: int64(byAlloc[id].n), Reads: int64(byAlloc[id].reads),
+		})
+	}
+	return c, nil
+}
+
+// ReportFromCounts reconstructs the report a Sample call would produce
+// from previously captured counts: count-derived statistics come
+// straight from c, while latencies — which depend on the machine and
+// placement, deliberately absent from the platform-independent counts —
+// are re-derived through the same accumulate walk the engine runs (so
+// the cost class is the engine's O(streams × pools), not less; what the
+// replay saves is the RNG discipline and the count derivation, and what
+// the walk buys is validation). The placement must assign each
+// allocation wholly to one pool (memsim.PoolAssigner — the all-DDR
+// reference placement the pipeline samples under), which makes the
+// reconstruction deterministic, free of RNG, and bitwise equal to the
+// engine's output. Counts that disagree with the trace (a stale or
+// foreign embedding) are rejected rather than silently producing a
+// divergent report.
+func ReportFromCounts(c *trace.SampleCounts, tr *trace.Trace, al *shim.Allocator, m *memsim.Machine, pl memsim.Placement) (*Report, error) {
+	if c == nil || tr == nil || al == nil || m == nil || pl == nil {
+		return nil, fmt.Errorf("ibs: nil argument")
+	}
+	if c.SamplerVersion != SamplerVersion {
+		return nil, fmt.Errorf("ibs: sample counts from sampler version %d, this build replays %d", c.SamplerVersion, SamplerVersion)
+	}
+	pa, ok := pl.(memsim.PoolAssigner)
+	if !ok {
+		return nil, fmt.Errorf("ibs: count replay requires a whole-pool placement (memsim.PoolAssigner)")
+	}
+	if c.Period <= 0 {
+		return nil, fmt.Errorf("ibs: sample counts carry period %d", c.Period)
+	}
+	rep := &Report{Period: c.Period, ByAlloc: make(map[shim.AllocID]*AllocStats)}
+	byAlloc := make([]sampleAgg, maxAllocID(al)+1)
+	rep.Total, rep.Unmapped = accumulate(tr, al, c.Period, byAlloc, wholePoolLatency(m, pa))
+	if int64(rep.Total) != c.Total || int64(rep.Unmapped) != c.Unmapped {
+		return nil, fmt.Errorf("ibs: sample counts record %d total / %d unmapped, trace yields %d / %d (stale embedding)",
+			c.Total, c.Unmapped, rep.Total, rep.Unmapped)
+	}
+	for _, e := range c.ByAlloc {
+		if int(e.ID) >= len(byAlloc) || int64(byAlloc[e.ID].n) != e.Samples || int64(byAlloc[e.ID].reads) != e.Reads {
+			return nil, fmt.Errorf("ibs: sample counts for allocation %d disagree with the trace (stale embedding)", e.ID)
+		}
+	}
+	finishReport(rep, byAlloc)
+	return rep, nil
+}
+
+// sampleAgg is the dense per-allocation accumulator shared by the
+// batched engine, the reference loop and count replay.
+type sampleAgg struct {
+	n      int
+	reads  int
+	latSum float64
+}
+
+// finishReport folds the dense accumulator into the report's ByAlloc
+// map, deriving densities and averages.
+func finishReport(rep *Report, byAlloc []sampleAgg) {
+	for id := range byAlloc {
+		g := &byAlloc[id]
+		if g.n == 0 {
+			continue
+		}
+		st := &AllocStats{Samples: g.n}
+		if rep.Total > 0 {
+			st.Density = float64(g.n) / float64(rep.Total)
+		}
+		st.AvgLatency = units.Duration(g.latSum / float64(g.n))
+		st.ReadFrac = float64(g.reads) / float64(g.n)
+		rep.ByAlloc[shim.AllocID(id)] = st
+	}
+}
+
+// maxAllocID returns the highest allocation ID the allocator has issued.
+func maxAllocID(al *shim.Allocator) shim.AllocID {
+	var maxID shim.AllocID
+	for _, a := range al.All() {
+		if a.ID > maxID {
+			maxID = a.ID
+		}
+	}
+	return maxID
+}
+
+// SampleReference draws samples with the original per-sample loop: one
+// RNG draw, binary-search address resolve and pool roulette per sample,
+// up to MaxSamples iterations. It is retained as the bit-level oracle
+// for the old RNG discipline that the batched engine is equivalence-
+// tested against; new callers should use Sample.
+func (s *Sampler) SampleReference(tr *trace.Trace, al *shim.Allocator, m *memsim.Machine, pl memsim.Placement, rng *xrand.Rand) (*Report, error) {
+	if tr == nil || al == nil || m == nil || pl == nil || rng == nil {
+		return nil, fmt.Errorf("ibs: nil argument")
+	}
+	period := s.effectivePeriod(tr)
 
 	rep := &Report{Period: period, ByAlloc: make(map[shim.AllocID]*AllocStats)}
-	type agg struct {
-		n      int
-		reads  int
-		latSum float64
-	}
 	res := newResolver(al)
 	// Dense per-allocation aggregation, indexed by AllocID: the sample
 	// loop runs up to MaxSamples times and must not hash per sample.
-	byAlloc := make([]agg, res.maxID+1)
+	byAlloc := make([]sampleAgg, res.maxID+1)
 	splitBuf := make([]float64, pl.NumPools())
 	latSec := make([]float64, len(m.P.Pools))
 
@@ -159,11 +455,7 @@ func (s *Sampler) Sample(tr *trace.Trace, al *shim.Allocator, m *memsim.Machine,
 			// sampled pool, not on the sampled address: precompute the
 			// per-pool latencies once per stream.
 			for pid := range m.P.Pools {
-				prof := memsim.AccessProfile{AvgLatency: m.P.Pools[pid].Latency}
-				if st.Pattern == trace.Random || st.Pattern == trace.Chase {
-					prof = m.P.AccessProfileFor(memsim.PoolID(pid), st.WorkingSet)
-				}
-				latSec[pid] = prof.AvgLatency.Seconds()
+				latSec[pid] = poolLatency(m, memsim.PoolID(pid), st)
 			}
 			countReads := st.Kind == trace.Read
 			for k := 0; k < n; k++ {
@@ -185,20 +477,7 @@ func (s *Sampler) Sample(tr *trace.Trace, al *shim.Allocator, m *memsim.Machine,
 			}
 		}
 	}
-
-	for id := range byAlloc {
-		g := &byAlloc[id]
-		if g.n == 0 {
-			continue
-		}
-		st := &AllocStats{Samples: g.n}
-		if rep.Total > 0 {
-			st.Density = float64(g.n) / float64(rep.Total)
-		}
-		st.AvgLatency = units.Duration(g.latSum / float64(g.n))
-		st.ReadFrac = float64(g.reads) / float64(g.n)
-		rep.ByAlloc[shim.AllocID(id)] = st
-	}
+	finishReport(rep, byAlloc)
 	return rep, nil
 }
 
@@ -248,15 +527,117 @@ func (r *resolver) resolve(addr uint64) shim.AllocID {
 	return r.ids[lo-1]
 }
 
-// choosePool picks a pool index according to the placement split.
+// choosePool picks a pool index according to the placement split. The
+// draw is normalised by the split's sum, so fraction vectors summing to
+// slightly less than 1 (float accumulation across pools) distribute the
+// tail proportionally instead of silently funnelling it into the last
+// pool. Degenerate splits are pinned by tests: a single-pool split
+// always returns that pool, and an all-zero split falls back to the
+// last pool (the "unknown allocation" escape hatch).
 func choosePool(split []float64, rng *xrand.Rand) memsim.PoolID {
+	var sum float64
+	for _, f := range split {
+		if f > 0 {
+			sum += f
+		}
+	}
 	u := rng.Float64()
+	if sum > 0 {
+		u *= sum // exact no-op for the common sum == 1 case
+	}
 	acc := 0.0
 	for i, f := range split {
+		if f <= 0 {
+			continue
+		}
 		acc += f
 		if u < acc {
 			return memsim.PoolID(i)
 		}
 	}
 	return memsim.PoolID(len(split) - 1)
+}
+
+// multinomial draws the per-pool counts of n samples distributed over
+// the (possibly under-normalised) weight vector split, writing them
+// into out. It consumes at most len(split)−1 binomial draws — the
+// marginal of a multinomial is binomial, and each subsequent pool is
+// binomial in the remaining trials with its weight renormalised against
+// the remaining mass. Weights are normalised by their sum, matching
+// choosePool; an all-zero split degenerates to the last pool.
+func multinomial(rng *xrand.Rand, n int, split []float64, out []int) {
+	for i := range out {
+		out[i] = 0
+	}
+	if n <= 0 || len(out) == 0 {
+		return
+	}
+	last := -1
+	rem := 0.0
+	for i, f := range split {
+		if f > 0 {
+			last = i
+			rem += f
+		}
+	}
+	if last < 0 {
+		out[len(out)-1] = n
+		return
+	}
+	left := n
+	for i := 0; i < last && left > 0; i++ {
+		f := split[i]
+		if f <= 0 {
+			continue
+		}
+		k := left
+		if p := f / rem; p < 1 {
+			k = binomial(rng, left, p)
+		}
+		out[i] = k
+		left -= k
+		rem -= f
+	}
+	out[last] += left
+}
+
+// binomial draws k ~ Binomial(n, p) deterministically from rng. Small
+// means invert the CDF exactly (expected O(np) work); large means use
+// the normal approximation with continuity correction — one draw, and
+// indistinguishable at the sampler's aggregation level, whose contract
+// on latency statistics is CLT tolerance, not bit equality.
+func binomial(rng *xrand.Rand, n int, p float64) int {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	if p > 0.5 {
+		// Invert the rarer tail so the exact path's work stays bounded.
+		return n - binomial(rng, n, 1-p)
+	}
+	mean := float64(n) * p
+	if mean <= 32 {
+		u := rng.Float64()
+		q := 1 - p
+		pdf := math.Pow(q, float64(n))
+		cdf := pdf
+		ratio := p / q
+		k := 0
+		for u > cdf && k < n {
+			k++
+			pdf *= float64(n-k+1) / float64(k) * ratio
+			cdf += pdf
+		}
+		return k
+	}
+	k := int(math.Round(mean + math.Sqrt(mean*(1-p))*rng.NormFloat64()))
+	if k < 0 {
+		k = 0
+	}
+	if k > n {
+		k = n
+	}
+	return k
 }

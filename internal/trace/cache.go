@@ -49,6 +49,15 @@ type SnapshotKey struct {
 	Threads int
 	Scale   float64
 	Seed    uint64
+	// SamplePeriod and SampleBudget are the sampler controls the
+	// capture's embedded sample counts were produced under, and
+	// SamplerVersion the sampling-engine discipline that produced them
+	// (see Snapshot.Samples). A non-default period or budget addresses
+	// a different entry; a sampler-discipline change retires every
+	// embedded count the same way a codec bump retires every snapshot.
+	SamplePeriod   int64
+	SampleBudget   int64
+	SamplerVersion uint32
 }
 
 // ID returns the content address of the key: a SHA-256 over the
@@ -76,13 +85,23 @@ func (k SnapshotKey) ID() string {
 	h.Write(scratch[:])
 	binary.LittleEndian.PutUint64(scratch[:], k.Seed)
 	h.Write(scratch[:])
+	binary.LittleEndian.PutUint64(scratch[:], uint64(k.SamplePeriod))
+	h.Write(scratch[:])
+	binary.LittleEndian.PutUint64(scratch[:], uint64(k.SampleBudget))
+	h.Write(scratch[:])
+	binary.LittleEndian.PutUint64(scratch[:], uint64(k.SamplerVersion))
+	h.Write(scratch[:])
 	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Matches reports whether a snapshot's metadata corresponds to the key.
+// The sampler version is not part of Meta — it is recorded with the
+// embedded counts themselves and validated by the replaying sampler —
+// so it participates in the content address only.
 func (k SnapshotKey) Matches(m Meta) bool {
 	return m.Workload == k.Workload && m.Config == k.Config &&
-		m.Threads == k.Threads && m.Scale == k.Scale && m.Seed == k.Seed
+		m.Threads == k.Threads && m.Scale == k.Scale && m.Seed == k.Seed &&
+		m.SamplePeriod == k.SamplePeriod && int64(m.SampleBudget) == k.SampleBudget
 }
 
 // SnapshotCache is a content-addressed snapshot store on disk: one file

@@ -28,6 +28,34 @@ type Snapshot struct {
 	Meta     Meta
 	Registry *shim.Registry
 	Trace    *Trace
+	// Samples optionally embeds the IBS sample counts of the captured
+	// reference run — the platform-independent half of a sampling
+	// report. A replay whose sampler controls and sampler version match
+	// reconstructs the full report from them without running a sampling
+	// pass; nil means the capture predates sampling embeds (or was
+	// hand-built) and replays fall back to sampling live.
+	Samples *SampleCounts
+}
+
+// SampleCounts is the platform-independent outcome of one sampling
+// pass: the deterministic per-allocation sample and read counts of the
+// capture's reference run. Everything else in a sampling report is
+// either derived from these counts or recomputed against the replaying
+// machine. SamplerVersion records the engine discipline that produced
+// the counts; replays reject a version mismatch.
+type SampleCounts struct {
+	SamplerVersion uint32
+	Period         int64 // effective cache-lines-per-sample period used
+	Total          int64
+	Unmapped       int64
+	ByAlloc        []SampleAllocCount // ascending by ID
+}
+
+// SampleAllocCount is the sample tally of one allocation.
+type SampleAllocCount struct {
+	ID      shim.AllocID
+	Samples int64
+	Reads   int64
 }
 
 // Meta identifies the run a snapshot captured. Workload, Config,
@@ -47,12 +75,21 @@ type Meta struct {
 	Seed     uint64
 	EnvSeed  uint64
 	SimBytes units.Bytes
+	// SamplePeriod and SampleBudget are the sampler controls the
+	// embedded sample counts (Snapshot.Samples) were captured under.
+	// They are capture inputs like Seed: a replay under different
+	// sampler controls must address a different snapshot.
+	SamplePeriod int64
+	SampleBudget int
 }
 
 // SnapshotVersion is the codec version written by Encode and required by
 // DecodeSnapshot. Bump it on any change to the wire format; the snapshot
 // cache keys on it, so old cache entries are simply never resurrected.
-const SnapshotVersion = 1
+//
+// v2 added the sampler controls to Meta and the optional embedded
+// sample-counts section.
+const SnapshotVersion = 2
 
 // snapshotMagic leads every encoded snapshot.
 const snapshotMagic = "HMPTSNAP"
@@ -83,6 +120,8 @@ func (s *Snapshot) EncodeBytes() ([]byte, error) {
 	e.u64(s.Meta.Seed)
 	e.u64(s.Meta.EnvSeed)
 	e.i64(int64(s.Meta.SimBytes))
+	e.i64(s.Meta.SamplePeriod)
+	e.i64(int64(s.Meta.SampleBudget))
 
 	reg := s.Registry
 	e.u32(uint32(len(reg.Allocs)))
@@ -121,6 +160,22 @@ func (s *Snapshot) EncodeBytes() ([]byte, error) {
 			e.i64(int64(st.WorkingSet))
 			e.f64(st.MLP)
 		}
+	}
+
+	if sc := s.Samples; sc != nil {
+		e.u8(1)
+		e.u32(sc.SamplerVersion)
+		e.i64(sc.Period)
+		e.i64(sc.Total)
+		e.i64(sc.Unmapped)
+		e.u32(uint32(len(sc.ByAlloc)))
+		for _, a := range sc.ByAlloc {
+			e.u64(uint64(a.ID))
+			e.i64(a.Samples)
+			e.i64(a.Reads)
+		}
+	} else {
+		e.u8(0)
 	}
 
 	h := fnv.New64a()
@@ -167,6 +222,8 @@ func DecodeSnapshotBytes(raw []byte) (*Snapshot, error) {
 	s.Meta.Seed = d.u64()
 	s.Meta.EnvSeed = d.u64()
 	s.Meta.SimBytes = units.Bytes(d.i64())
+	s.Meta.SamplePeriod = d.i64()
+	s.Meta.SampleBudget = int(d.i64())
 
 	nAllocs := d.u32()
 	if err := d.fits(uint64(nAllocs), 60); err != nil {
@@ -217,6 +274,25 @@ func DecodeSnapshotBytes(raw []byte) (*Snapshot, error) {
 			st.WorkingSet = units.Bytes(d.i64())
 			st.MLP = d.f64()
 		}
+	}
+	if d.u8() != 0 {
+		sc := &SampleCounts{}
+		sc.SamplerVersion = d.u32()
+		sc.Period = d.i64()
+		sc.Total = d.i64()
+		sc.Unmapped = d.i64()
+		nCounts := d.u32()
+		if err := d.fits(uint64(nCounts), 24); err != nil {
+			return nil, err
+		}
+		sc.ByAlloc = make([]SampleAllocCount, nCounts)
+		for i := range sc.ByAlloc {
+			a := &sc.ByAlloc[i]
+			a.ID = shim.AllocID(d.u64())
+			a.Samples = d.i64()
+			a.Reads = d.i64()
+		}
+		s.Samples = sc
 	}
 	if d.err != nil {
 		return nil, d.err

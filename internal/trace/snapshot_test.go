@@ -20,13 +20,15 @@ var update = flag.Bool("update", false, "rewrite golden files")
 func sampleSnapshot() *Snapshot {
 	return &Snapshot{
 		Meta: Meta{
-			Workload: "golden.demo",
-			Config:   "fast",
-			Threads:  12,
-			Scale:    1.5,
-			Seed:     42,
-			EnvSeed:  0xdeadbeefcafef00d,
-			SimBytes: 24 * units.GiB,
+			Workload:     "golden.demo",
+			Config:       "fast",
+			Threads:      12,
+			Scale:        1.5,
+			Seed:         42,
+			EnvSeed:      0xdeadbeefcafef00d,
+			SimBytes:     24 * units.GiB,
+			SamplePeriod: 1 << 16,
+			SampleBudget: 200_000,
 		},
 		Registry: &shim.Registry{
 			Allocs: []shim.Allocation{
@@ -58,6 +60,16 @@ func sampleSnapshot() *Snapshot {
 				},
 			},
 		}},
+		Samples: &SampleCounts{
+			SamplerVersion: 2,
+			Period:         1 << 16,
+			Total:          1234,
+			Unmapped:       34,
+			ByAlloc: []SampleAllocCount{
+				{ID: 1, Samples: 900, Reads: 450},
+				{ID: 2, Samples: 300, Reads: 0},
+			},
+		},
 	}
 }
 
@@ -93,12 +105,34 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSnapshotRoundTripNoSamples: the sample-counts section is
+// optional; a snapshot without embedded counts (hand-built, or captured
+// by a future sampler that opts out) round-trips with the absent flag.
+func TestSnapshotRoundTripNoSamples(t *testing.T) {
+	s := sampleSnapshot()
+	s.Samples = nil
+	b, err := s.EncodeBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSnapshotBytes(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Samples != nil {
+		t.Fatalf("decoded absent samples section as %+v", got.Samples)
+	}
+	if !reflect.DeepEqual(s, got) {
+		t.Fatal("round trip without samples mismatch")
+	}
+}
+
 // TestSnapshotGolden pins the on-disk format: the sample snapshot must
 // encode to exactly the committed golden bytes, and the golden bytes
 // must decode to exactly the sample snapshot. Any codec change breaks
 // this test and must bump SnapshotVersion with a new golden file.
 func TestSnapshotGolden(t *testing.T) {
-	path := filepath.Join("testdata", "snapshot_v1.snap")
+	path := filepath.Join("testdata", "snapshot_v2.snap")
 	s := sampleSnapshot()
 	enc, err := s.EncodeBytes()
 	if err != nil {
@@ -217,7 +251,8 @@ func TestSnapshotCache(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := sampleSnapshot()
-	key := SnapshotKey{Workload: s.Meta.Workload, Config: s.Meta.Config, Threads: s.Meta.Threads, Scale: s.Meta.Scale, Seed: s.Meta.Seed}
+	key := SnapshotKey{Workload: s.Meta.Workload, Config: s.Meta.Config, Threads: s.Meta.Threads, Scale: s.Meta.Scale, Seed: s.Meta.Seed,
+		SamplePeriod: s.Meta.SamplePeriod, SampleBudget: int64(s.Meta.SampleBudget)}
 
 	if _, ok, err := cache.Load(key); err != nil || ok {
 		t.Fatalf("empty cache: ok=%v err=%v, want miss", ok, err)
@@ -265,6 +300,9 @@ func TestSnapshotKeyID(t *testing.T) {
 		{Workload: "w", Threads: 3, Scale: 1, Seed: 3},
 		{Workload: "w", Threads: 2, Scale: 2, Seed: 3},
 		{Workload: "w", Threads: 2, Scale: 1, Seed: 4},
+		{Workload: "w", Threads: 2, Scale: 1, Seed: 3, SamplePeriod: 1 << 14},
+		{Workload: "w", Threads: 2, Scale: 1, Seed: 3, SampleBudget: 50_000},
+		{Workload: "w", Threads: 2, Scale: 1, Seed: 3, SamplerVersion: 3},
 	}
 	for _, v := range variants {
 		if v.ID() == k.ID() {

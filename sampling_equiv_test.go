@@ -1,0 +1,159 @@
+// Sampling-engine equivalence tests: the batched IBS engine
+// (ibs.Sampler.Sample, O(streams × pools)) must agree with the
+// per-sample reference loop (SampleReference, the bit-level oracle for
+// the old RNG discipline) for every registered workload — exactly on
+// every count-derived statistic (Total, Unmapped, Period, per-allocation
+// Samples, Density, ReadFrac), and within CLT tolerance on AvgLatency,
+// the one statistic the pool roulette randomises. The engine must also
+// be deterministic for a fixed seed and invariant to concurrency —
+// sampling results never depend on what else is running.
+package hmpt
+
+import (
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+
+	"hmpt/internal/ibs"
+	"hmpt/internal/memsim"
+	"hmpt/internal/shim"
+	"hmpt/internal/trace"
+	"hmpt/internal/workloads"
+	"hmpt/internal/xrand"
+)
+
+// sampleSetupFor executes the case's kernel once and returns everything
+// a sampling pass needs.
+func sampleSetupFor(t *testing.T, c equivCase) (*shim.Allocator, *trace.Trace, *memsim.Machine) {
+	t.Helper()
+	w := c.factory()
+	env := workloads.NewEnv(0, 1, c.opts.Seed+1)
+	if err := w.Setup(env); err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	if err := w.Run(env); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return env.Alloc, env.Rec.Trace(), memsim.NewMachine(memsim.XeonMax9468())
+}
+
+// diffReports compares an engine report against the reference oracle:
+// count-derived statistics exactly, latency within tol·stat relative
+// tolerance (tol scaled by 1/sqrt(n) per allocation).
+func diffReports(t *testing.T, ref, eng *ibs.Report, label string) {
+	t.Helper()
+	if eng.Total != ref.Total || eng.Unmapped != ref.Unmapped || eng.Period != ref.Period {
+		t.Errorf("%s: (total, unmapped, period) engine (%d, %d, %d) vs reference (%d, %d, %d)",
+			label, eng.Total, eng.Unmapped, eng.Period, ref.Total, ref.Unmapped, ref.Period)
+	}
+	if len(eng.ByAlloc) != len(ref.ByAlloc) {
+		t.Fatalf("%s: engine reports %d allocations, reference %d", label, len(eng.ByAlloc), len(ref.ByAlloc))
+	}
+	for id, r := range ref.ByAlloc {
+		e := eng.ByAlloc[id]
+		if e == nil {
+			t.Errorf("%s: alloc %d missing from engine report", label, id)
+			continue
+		}
+		if e.Samples != r.Samples || e.Density != r.Density || e.ReadFrac != r.ReadFrac {
+			t.Errorf("%s: alloc %d counts: engine (n=%d d=%.17g rf=%.17g) vs reference (n=%d d=%.17g rf=%.17g)",
+				label, id, e.Samples, e.Density, e.ReadFrac, r.Samples, r.Density, r.ReadFrac)
+		}
+		// CLT tolerance: the roulette's per-sample pool noise averages
+		// out as 1/sqrt(n); latencies across pools differ by ~20 %, so
+		// 1.5/sqrt(n) is a ≫6-sigma envelope on the relative error.
+		tol := 1.5/math.Sqrt(float64(r.Samples)) + 1e-12
+		if r.AvgLatency > 0 {
+			if rel := math.Abs(float64(e.AvgLatency)/float64(r.AvgLatency) - 1); rel > tol {
+				t.Errorf("%s: alloc %d AvgLatency: engine %.17g vs reference %.17g (rel %.3g > tol %.3g, n=%d)",
+					label, id, float64(e.AvgLatency), float64(r.AvgLatency), rel, tol, r.Samples)
+			}
+		}
+	}
+}
+
+// TestSamplingEngineMatchesReference runs both sampling paths for every
+// registered workload under the all-DDR reference placement, a mixed
+// whole-pool placement, and an interleaved split placement (the
+// multinomial path), and checks the equivalence contract.
+func TestSamplingEngineMatchesReference(t *testing.T) {
+	for _, c := range equivCases(t) {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			al, tr, m := sampleSetupFor(t, c)
+			ddr := m.P.MustPool(memsim.DDR)
+			hbm := m.P.MustPool(memsim.HBM)
+
+			mixed := memsim.NewSimplePlacement(len(m.P.Pools), ddr)
+			for i, a := range al.All() {
+				if i%2 == 1 {
+					mixed.Set(a.ID, hbm)
+				}
+			}
+			placements := []struct {
+				name string
+				pl   memsim.Placement
+			}{
+				{"all-ddr", memsim.NewSimplePlacement(len(m.P.Pools), ddr)},
+				{"mixed-pools", mixed},
+				{"interleaved", &memsim.InterleavedPlacement{Pools: len(m.P.Pools), Across: []memsim.PoolID{ddr, hbm}}},
+			}
+			s := ibs.NewSampler()
+			for _, pc := range placements {
+				ref, err := s.SampleReference(tr, al, m, pc.pl, xrand.New(c.opts.Seed))
+				if err != nil {
+					t.Fatalf("%s: reference: %v", pc.name, err)
+				}
+				eng, err := s.Sample(tr, al, m, pc.pl, xrand.New(c.opts.Seed))
+				if err != nil {
+					t.Fatalf("%s: engine: %v", pc.name, err)
+				}
+				diffReports(t, ref, eng, pc.name)
+
+				again, err := s.Sample(tr, al, m, pc.pl, xrand.New(c.opts.Seed))
+				if err != nil {
+					t.Fatalf("%s: engine rerun: %v", pc.name, err)
+				}
+				if !reflect.DeepEqual(eng, again) {
+					t.Errorf("%s: engine report not deterministic for a fixed seed", pc.name)
+				}
+			}
+		})
+	}
+}
+
+// TestSamplingEngineConcurrencyInvariant: concurrent engine passes over
+// one shared trace and allocator produce the identical report a lone
+// pass does — sampling has no hidden shared state, so campaign
+// parallelism can never perturb it.
+func TestSamplingEngineConcurrencyInvariant(t *testing.T) {
+	c := equivCases(t)[0]
+	al, tr, m := sampleSetupFor(t, c)
+	pl := memsim.NewSimplePlacement(len(m.P.Pools), m.P.MustPool(memsim.DDR))
+	s := ibs.NewSampler()
+	base, err := s.Sample(tr, al, m, pl, xrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	reports := make([]*ibs.Report, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reports[i], errs[i] = s.Sample(tr, al, m, pl, xrand.New(9))
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < workers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("worker %d: %v", i, errs[i])
+		}
+		if !reflect.DeepEqual(base, reports[i]) {
+			t.Errorf("worker %d produced a different report than the lone pass", i)
+		}
+	}
+}
