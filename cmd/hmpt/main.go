@@ -10,9 +10,9 @@
 //	             [-ibs-period N] [-ibs-max-samples N]
 //	hmpt plan <workload> -budget <bytes, e.g. 16GB> [-full]
 //	hmpt campaign [-workloads a,b|all] [-platforms xeonmax,dual] [-seeds 1,2]
-//	              [-runs N] [-cache DIR] [-par N] [-full] [-csv]
-//	              [-ibs-period N] [-ibs-max-samples N]
-//	hmpt bench-report [-in FILE] [-out FILE] [-label S]
+//	              [-runs N] [-cache DIR] [-analysis-cache DIR] [-par N]
+//	              [-full] [-csv] [-ibs-period N] [-ibs-max-samples N]
+//	hmpt bench-report [-in FILE] [-out FILE] [-label S] [-expect a,b]
 package main
 
 import (
@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strconv"
@@ -74,7 +75,9 @@ func run(args []string) error {
 // campaignCmd runs a scenario matrix — workloads × platform presets ×
 // seed variants — on the campaign engine: each kernel executes at most
 // once (or not at all when the snapshot cache already holds its
-// reference run), and every cell replays the shared capture.
+// reference run), cells of one capture share a replay context, and a
+// cell whose full analysis is already in the analysis cache runs zero
+// placement costing.
 func campaignCmd(args []string) error {
 	fs := flag.NewFlagSet("campaign", flag.ContinueOnError)
 	workloadsFlag := fs.String("workloads", "all", "comma-separated workloads (all = the Table I set)")
@@ -82,6 +85,7 @@ func campaignCmd(args []string) error {
 	seedsFlag := fs.String("seeds", "", "comma-separated seed variants (empty = spec seeds)")
 	runs := fs.Int("runs", 0, "measured runs per configuration (0 = spec default)")
 	cacheDir := fs.String("cache", "", "snapshot cache directory (empty = no disk cache)")
+	analysisDir := fs.String("analysis-cache", "", "analysis cache directory (empty = <cache>/analyses when -cache is set, else no analysis cache)")
 	par := fs.Int("par", 0, "campaign worker goroutines (0 = GOMAXPROCS)")
 	full := fs.Bool("full", false, "full-size workload instances (slower)")
 	csv := fs.Bool("csv", false, "emit CSV instead of a table")
@@ -146,6 +150,16 @@ func campaignCmd(args []string) error {
 		}
 		eng.Cache = cache
 	}
+	if *analysisDir == "" && *cacheDir != "" {
+		*analysisDir = filepath.Join(*cacheDir, "analyses")
+	}
+	if *analysisDir != "" {
+		analyses, err := core.NewAnalysisCache(*analysisDir)
+		if err != nil {
+			return err
+		}
+		eng.Analyses = analyses
+	}
 	res, err := eng.Run(m)
 	if err != nil {
 		return err
@@ -177,10 +191,12 @@ func campaignCmd(args []string) error {
 			return err
 		}
 	}
-	fmt.Fprintf(summary, "\n%d cells, %d reference runs: %d kernels executed, %d served from cache\n",
-		len(res.Cells), res.Snapshots, res.Executions, res.CacheHits)
+	fmt.Fprintf(summary, "\n%d cells, %d reference runs: %d kernels executed, %d snapshots served from cache, %d full analyses served from cache\n",
+		len(res.Cells), res.Snapshots, res.Executions, res.CacheHits, res.AnalysisHits)
+	// CacheErrs carries snapshot-cache errors first, then analysis-cache
+	// errors; the entries' own messages name their layer.
 	for _, err := range res.CacheErrs {
-		fmt.Fprintf(os.Stderr, "hmpt: snapshot cache warning: %v\n", err)
+		fmt.Fprintf(os.Stderr, "hmpt: campaign cache warning: %v\n", err)
 	}
 	return res.Err()
 }
@@ -357,11 +373,18 @@ type benchReportDoc struct {
 // benchReport parses `go test -bench` output into a JSON report. Lines
 // that are not benchmark results (figure dumps, PASS/ok trailers) are
 // skipped, so the bench-smoke log can be piped through unchanged.
+//
+// -expect names benchmarks the report must cover: an expected benchmark
+// missing from the log (skipped, renamed, or filtered out by a changed
+// -bench pattern) is emitted with null metrics instead of failing the
+// job, so one renamed benchmark can never sink the whole perf-trajectory
+// artifact — the nulls make the gap visible in the JSON instead.
 func benchReport(args []string) error {
 	fs := flag.NewFlagSet("bench-report", flag.ContinueOnError)
 	in := fs.String("in", "-", "bench output to parse (- = stdin)")
 	out := fs.String("out", "", "JSON report path (empty = stdout)")
 	label := fs.String("label", "", "trajectory label recorded in the report (e.g. pr3)")
+	expect := fs.String("expect", "", "comma-separated benchmark names that must appear; missing ones are recorded with null metrics instead of failing")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -386,8 +409,21 @@ func benchReport(args []string) error {
 	if err := sc.Err(); err != nil {
 		return fmt.Errorf("reading bench output: %w", err)
 	}
+	// A log with no benchmark lines at all means the bench invocation
+	// itself is broken (typo'd -bench pattern, failed build) — that
+	// must stay a hard error, or an all-null report would silently
+	// disable every perf gate. The nulls below tolerate *individual*
+	// missing or renamed benchmarks only.
 	if len(doc.Benchmarks) == 0 {
 		return fmt.Errorf("no benchmark lines found in %s", *in)
+	}
+	for _, name := range strings.Split(*expect, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" || benchCovered(doc.Benchmarks, name) {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "hmpt: bench-report: expected benchmark %q missing from %s; recording null metrics\n", name, *in)
+		doc.Benchmarks = append(doc.Benchmarks, benchResult{Name: name})
 	}
 	sort.SliceStable(doc.Benchmarks, func(i, j int) bool {
 		return doc.Benchmarks[i].Name < doc.Benchmarks[j].Name
@@ -402,6 +438,18 @@ func benchReport(args []string) error {
 		return err
 	}
 	return os.WriteFile(*out, enc, 0o644)
+}
+
+// benchCovered reports whether an expected benchmark name is covered by
+// a parsed result: an exact match, a GOMAXPROCS suffix ("Name-8"), or a
+// sub-benchmark ("Name/gates-8").
+func benchCovered(results []benchResult, name string) bool {
+	for _, r := range results {
+		if r.Name == name || strings.HasPrefix(r.Name, name+"-") || strings.HasPrefix(r.Name, name+"/") {
+			return true
+		}
+	}
+	return false
 }
 
 // parseBenchLine parses one `BenchmarkName-P  iters  v1 unit1  v2 unit2 ...`

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	res, ok := parseBenchLine("BenchmarkTable2Summary-4   25   46700000 ns/op   3.10 max-speedup")
+	if !ok {
+		t.Fatal("benchmark line not parsed")
+	}
+	if res.Name != "BenchmarkTable2Summary-4" || res.Iterations != 25 {
+		t.Errorf("parsed %+v", res)
+	}
+	if res.Metrics["ns/op"] != 46700000 || res.Metrics["max-speedup"] != 3.10 {
+		t.Errorf("metrics %v", res.Metrics)
+	}
+	for _, line := range []string{
+		"PASS",
+		"ok  	hmpt	1.2s",
+		"== Table II: tuning summary ==",
+		"BenchmarkBroken-4 notanumber 12 ns/op",
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Errorf("non-benchmark line parsed: %q", line)
+		}
+	}
+}
+
+// TestBenchReportToleratesMissingBenchmarks: an expected benchmark
+// absent from the log (renamed or skipped) lands in the report with
+// null metrics instead of failing the job, and matching covers exact
+// names, -P suffixes and sub-benchmarks.
+func TestBenchReportToleratesMissingBenchmarks(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	out := filepath.Join(dir, "bench.json")
+	log := "junk line\n" +
+		"BenchmarkTable2Summary-4 25 46700000 ns/op\n" +
+		"BenchmarkIBSSample/gates-4 1 30.0 reference/engine-speedup\n" +
+		"PASS\n"
+	if err := os.WriteFile(in, []byte(log), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := benchReport([]string{"-in", in, "-out", out, "-label", "t",
+		"-expect", "BenchmarkTable2Summary,BenchmarkIBSSample,BenchmarkRenamedAway"})
+	if err != nil {
+		t.Fatalf("bench-report failed on a missing benchmark: %v", err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Benchmarks []struct {
+			Name    string             `json:"name"`
+			Metrics map[string]float64 `json:"metrics"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]map[string]float64{}
+	for _, b := range doc.Benchmarks {
+		byName[b.Name] = b.Metrics
+	}
+	if m, ok := byName["BenchmarkRenamedAway"]; !ok {
+		t.Error("missing expected benchmark not recorded")
+	} else if m != nil {
+		t.Errorf("missing benchmark has metrics %v, want null", m)
+	}
+	if byName["BenchmarkTable2Summary-4"] == nil {
+		t.Error("present benchmark lost its metrics")
+	}
+	if _, dup := byName["BenchmarkIBSSample"]; dup {
+		t.Error("sub-benchmark coverage not recognised; null duplicate emitted")
+	}
+}
+
+// TestBenchReportEmptyLogStillFails: tolerating individual missing
+// benchmarks must not extend to an entirely empty log — that means the
+// bench invocation itself broke (typo'd pattern, failed build), and an
+// all-null report would silently disable every perf gate.
+func TestBenchReportEmptyLogStillFails(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "empty.txt")
+	out := filepath.Join(dir, "out.json")
+	if err := os.WriteFile(in, []byte("PASS\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := benchReport([]string{"-in", in, "-out", out, "-expect", "BenchmarkGone"}); err == nil {
+		t.Error("empty log with expectations did not fail; all-null reports disable the gates")
+	}
+	if err := benchReport([]string{"-in", in, "-out", out}); err == nil {
+		t.Error("empty log without expectations did not fail")
+	}
+}

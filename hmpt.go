@@ -73,6 +73,16 @@ type (
 	Snapshot = trace.Snapshot
 	// SnapshotCache is the content-addressed on-disk snapshot store.
 	SnapshotCache = trace.SnapshotCache
+	// ReplayContext is the shared replay environment of one capture:
+	// restored registry, trace, sampling report and compiled sweep
+	// evaluators, built once and reused read-only by every analysis
+	// replaying the capture.
+	ReplayContext = core.ReplayContext
+	// AnalysisCache is the content-addressed on-disk analysis store —
+	// the third caching layer: a campaign cell served from it runs zero
+	// kernel executions, zero sampling passes and zero placement
+	// costing.
+	AnalysisCache = core.AnalysisCache
 	// CampaignMatrix declares a workload × platform × variant space.
 	CampaignMatrix = campaign.Matrix
 	// CampaignWorkload is one workload row of a campaign matrix.
@@ -123,6 +133,27 @@ func NewSnapshotCache(dir string) (*SnapshotCache, error) {
 	return trace.NewSnapshotCache(dir)
 }
 
+// NewAnalysisCache opens (creating if needed) a content-addressed
+// analysis cache rooted at dir, for sharing complete analyses across
+// processes and campaign runs (CampaignEngine.Analyses). A campaign
+// cell served from it runs zero placement costing.
+func NewAnalysisCache(dir string) (*AnalysisCache, error) {
+	return core.NewAnalysisCache(dir)
+}
+
+// NewContext builds the shared replay environment of a snapshot; see
+// ReplayContext. ContextReplay analyses through it.
+func NewContext(snap *Snapshot) (*ReplayContext, error) {
+	return core.NewContext(snap)
+}
+
+// ContextReplay analyses a capture through its shared replay context
+// without re-restoring the registry or re-compiling sweep evaluators.
+// The result is byte-identical to Replay of the same snapshot/options.
+func ContextReplay(ctx *ReplayContext, opts Options) (*Analysis, error) {
+	return core.NewContextReplay(ctx, opts).Analyze()
+}
+
 // RunCampaign evaluates a scenario matrix with default engine settings:
 // each kernel executes at most once, cells fan out over all cores. Use
 // CampaignEngine directly for a snapshot cache or a worker cap.
@@ -141,6 +172,12 @@ func KernelExecutions() int64 { return core.KernelExecutions() }
 // reconstruct their sampling report from the embedded counts through an
 // RNG-free validation walk, so a warm campaign performs zero.
 func SamplePasses() int64 { return core.SamplePasses() }
+
+// SweepEvaluations returns the number of probe/sweep placement-costing
+// passes the pipeline has performed in this process — the third rung of
+// the zero-work ladder after KernelExecutions and SamplePasses. A
+// campaign served from the analysis cache performs zero.
+func SweepEvaluations() int64 { return core.SweepEvaluations() }
 
 // NewWorkload instantiates a registered benchmark by name; see
 // WorkloadNames for the registry contents.

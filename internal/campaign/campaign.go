@@ -1,17 +1,29 @@
 // Package campaign runs analysis campaigns: declarative matrices of
 // workload × platform preset × tuner-option variant, evaluated with each
-// kernel executed at most once.
+// kernel executed at most once — and, with the analysis cache, each
+// placement space probed and swept at most once.
 //
 // The paper's workflow (§III, Fig. 6) captures one reference run per
 // workload and then explores many placement configurations against it.
-// The campaign engine is that idea industrialised for scenario sweeps:
-// stage one captures every distinct reference run the matrix needs (or
-// loads it from the content-addressed snapshot cache, so captures are
-// shared across processes and PRs), stage two fans the matrix cells over
-// internal/parallel workers, each replaying its snapshot into a tuner
-// analysis. Replayed analyses are byte-identical to live Tuner.Analyze
-// results, and cells own pre-assigned result slots, so the outcome is
-// deterministic for any worker count.
+// The campaign engine is that idea industrialised for scenario sweeps,
+// as a ladder of content-addressed caches:
+//
+//   - stage zero probes the analysis cache (in-process memo and on-disk
+//     store): cells whose full analysis is already cached are done
+//     without touching a snapshot, a registry, or a placement sweep;
+//   - stage one captures every distinct reference run the remaining
+//     cells need (or loads it from the content-addressed snapshot
+//     cache, so captures are shared across processes and PRs) and
+//     builds one shared core.ReplayContext per capture — the registry
+//     is restored and the trace copied once, not per cell;
+//   - stage two fans the remaining cells over internal/parallel
+//     workers, each replaying its capture's shared context into a tuner
+//     analysis and publishing the result back into the analysis cache.
+//
+// Replayed analyses are byte-identical to live Tuner.Analyze results
+// (cached ones byte-identical to the run that stored them), and cells
+// own pre-assigned result slots, so the outcome is deterministic for
+// any worker count.
 package campaign
 
 import (
@@ -78,24 +90,37 @@ type Cell struct {
 	// served from a cache (the in-process memo or the on-disk store)
 	// rather than captured this run.
 	FromCache bool
+	// AnalysisFromCache reports whether the cell's entire analysis was
+	// served from the analysis cache (memo or disk): the cell ran zero
+	// kernel executions, zero sampling passes and zero placement
+	// costing. Cached analyses are shared read-only.
+	AnalysisFromCache bool
 }
 
 // Result is the outcome of one campaign run.
 type Result struct {
 	Cells []Cell
 	// Snapshots is the number of distinct reference runs the matrix
-	// needed; Executions how many of those were actually executed this
-	// run, and CacheHits how many were served from a cache (in-process
-	// memo or on-disk store). Executions + CacheHits == Snapshots on a
-	// fully successful run.
+	// needed beyond the analysis cache; Executions how many of those
+	// were actually executed this run, and CacheHits how many were
+	// served from a cache (in-process memo or on-disk store).
+	// Executions + CacheHits == Snapshots on a fully successful run.
 	Snapshots  int
 	Executions int
 	CacheHits  int
-	// CacheErrs records non-fatal snapshot-cache failures (unreadable
-	// or mismatched entries on load, failed writes on store), in
-	// capture-key order. The affected cells still analysed — a load
-	// failure re-executed the kernel, a store failure kept the
-	// in-memory capture — but the operator should know the cache is
+	// AnalysisHits counts cells whose complete analysis was served from
+	// the analysis cache (memo or disk) — cells that ran zero kernel
+	// executions, zero sampling passes and zero placement costing. A
+	// fully warm campaign has AnalysisHits == len(Cells); if the matrix
+	// is also GroupBy-free, Snapshots == 0 too (GroupBy cells resolve
+	// their capture to fingerprint the policy before probing, so their
+	// snapshot load still shows up even when the analysis hits).
+	AnalysisHits int
+	// CacheErrs records non-fatal cache failures — snapshot-cache load
+	// and store errors in capture-key order, then analysis-cache load
+	// and store errors in cell order. The affected cells still
+	// analysed — a load failure recomputed, a store failure kept the
+	// in-memory result — but the operator should know the cache is
 	// degraded.
 	CacheErrs []error
 }
@@ -127,9 +152,16 @@ type Engine struct {
 	// Cache persists reference snapshots across runs and processes;
 	// nil keeps snapshots in memory for the single run only.
 	Cache *trace.SnapshotCache
-	// Memo shares captures between engine runs within one process
-	// (cheaper than the disk cache, checked first). Several engines
-	// may share one Memo.
+	// Analyses persists complete analyses across runs and processes —
+	// the third caching layer after snapshots (zero kernels) and
+	// embedded sample counts (zero sampling): a cell served from it
+	// runs zero placement costing, and a fully warm campaign never
+	// resolves a snapshot at all. nil disables the disk layer; a Memo
+	// still shares analyses within the process.
+	Analyses *core.AnalysisCache
+	// Memo shares captures, replay contexts and analyses between engine
+	// runs within one process (cheaper than the disk caches, checked
+	// first). Several engines may share one Memo.
 	Memo *Memo
 	// Parallelism caps the worker goroutines of the capture and
 	// analysis fan-outs (0 = GOMAXPROCS). Results are identical for
@@ -137,25 +169,68 @@ type Engine struct {
 	Parallelism int
 }
 
-// Memo is a process-local snapshot store, safe for concurrent use.
+// Memo is a process-local store of snapshots, shared replay contexts
+// and analyses, safe for concurrent use. Memoised values are shared
+// pointers: callers must treat them as read-only.
 type Memo struct {
-	mu sync.Mutex
-	m  map[string]*trace.Snapshot
+	mu    sync.Mutex
+	snaps map[string]*trace.Snapshot
+	ctxs  map[string]*core.ReplayContext
+	ans   map[string]*core.Analysis
 }
 
 // NewMemo returns an empty memo.
-func NewMemo() *Memo { return &Memo{m: make(map[string]*trace.Snapshot)} }
+func NewMemo() *Memo {
+	return &Memo{
+		snaps: make(map[string]*trace.Snapshot),
+		ctxs:  make(map[string]*core.ReplayContext),
+		ans:   make(map[string]*core.Analysis),
+	}
+}
 
 func (m *Memo) get(id string) *trace.Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.m[id]
+	return m.snaps[id]
 }
 
 func (m *Memo) put(id string, s *trace.Snapshot) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.m[id] = s
+	if m.snaps == nil {
+		m.snaps = make(map[string]*trace.Snapshot)
+	}
+	m.snaps[id] = s
+}
+
+func (m *Memo) getContext(id string) *core.ReplayContext {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ctxs[id]
+}
+
+func (m *Memo) putContext(id string, c *core.ReplayContext) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.ctxs == nil {
+		m.ctxs = make(map[string]*core.ReplayContext)
+	}
+	m.ctxs[id] = c
+}
+
+func (m *Memo) getAnalysis(id string) *core.Analysis {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ans[id]
+}
+
+func (m *Memo) putAnalysis(id string, a *core.Analysis) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.ans == nil {
+		m.ans = make(map[string]*core.Analysis)
+	}
+	m.ans[id] = a
 }
 
 // capture is one distinct reference run the matrix needs.
@@ -165,16 +240,46 @@ type capture struct {
 	factory  workloads.Factory
 	opts     core.Options
 	snap     *trace.Snapshot
+	ctx      *core.ReplayContext
 	hit      bool
 	err      error
 	cacheErr error // non-fatal: the disk cache failed a load or store
 }
 
-// Run evaluates the matrix: every distinct reference run is captured (or
-// loaded) exactly once, then every cell replays its snapshot into an
-// analysis. Per-cell failures are recorded on the cells — one diverging
-// scenario must not sink a thousand-cell campaign — and surfaced
-// together through Result.Err.
+// cellWork is the per-cell scheduling state of one Run.
+type cellWork struct {
+	cap     *capture
+	key     core.AnalysisKey
+	id      string // key.ID(), hashed once
+	haveKey bool
+	done    bool  // analysis served from the cache before stage 2
+	aErr    error // non-fatal: the analysis cache failed a load or store
+}
+
+// analysisFlight resolves one analysis key exactly once per run, no
+// matter how many concurrent cells share the key (e.g. variants
+// differing only in SweepParallelism, which the key deliberately
+// ignores): the first cell to claim it probes the cache (for keys whose
+// probe was deferred to stage 2) and computes on a miss, the rest block
+// on the Once and share the (bit-identical by key contract) result.
+// Probing inside the Once is what keeps fromCache deterministic: it
+// always precedes any same-key store, so it reflects the cache state at
+// the start of the run, not worker timing.
+type analysisFlight struct {
+	once      sync.Once
+	an        *core.Analysis
+	err       error
+	fromCache bool
+}
+
+// Run evaluates the matrix: cells already resolved by the analysis cache
+// are served directly (stage 0), every reference run the remaining
+// cells need is captured (or loaded) exactly once and wrapped in one
+// shared replay context (stage 1), then every remaining cell replays
+// its capture's context into an analysis and publishes it back into the
+// cache (stage 2). Per-cell failures are recorded on the cells — one
+// diverging scenario must not sink a thousand-cell campaign — and
+// surfaced together through Result.Err.
 func (e *Engine) Run(m Matrix) (*Result, error) {
 	variants := m.Variants
 	if len(variants) == 0 {
@@ -211,11 +316,49 @@ func (e *Engine) Run(m Matrix) (*Result, error) {
 			}
 		}
 	}
+	work := make([]cellWork, len(res.Cells))
+	for i := range work {
+		work[i].cap = capOf[i]
+	}
 
-	// Stage 1: capture (or load) every distinct reference run, fanned
-	// over workers. Keys are ordered for a deterministic work list.
-	order := make([]*capture, 0, len(caps))
-	for _, c := range caps {
+	// Stage 0: probe the analysis cache. Cells without a GroupBy policy
+	// have a fully option-derived key (the capture's pre-grouping is
+	// pinned by the snapshot identity), so a warm cell is served here
+	// without resolving its snapshot or restoring a registry at all.
+	// GroupBy cells need the capture's sites to fingerprint the policy;
+	// their probe happens in stage 2, after contexts exist.
+	caching := e.Analyses != nil || e.Memo != nil
+	if caching {
+		parallel.For(e.workers(len(res.Cells)), len(res.Cells), func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				cell := &res.Cells[i]
+				if cell.Options.GroupBy != nil {
+					continue
+				}
+				key, err := core.AnalysisKeyFor(cell.Workload, cell.Options, nil)
+				if err != nil {
+					continue
+				}
+				work[i].key, work[i].id, work[i].haveKey = key, key.ID(), true
+				if an := e.loadAnalysis(key, work[i].id, &work[i].aErr); an != nil {
+					cell.Analysis, cell.AnalysisFromCache = an, true
+					work[i].done = true
+				}
+			}
+		})
+	}
+
+	// Stage 1: capture (or load) every distinct reference run some cell
+	// still needs, fanned over workers, and wrap each in one shared
+	// replay context. Keys are ordered for a deterministic work list.
+	needed := make(map[*capture]bool, len(caps))
+	for i := range work {
+		if !work[i].done {
+			needed[work[i].cap] = true
+		}
+	}
+	order := make([]*capture, 0, len(needed))
+	for c := range needed {
 		order = append(order, c)
 	}
 	sort.Slice(order, func(i, j int) bool { return order[i].id < order[j].id })
@@ -239,31 +382,139 @@ func (e *Engine) Run(m Matrix) (*Result, error) {
 		}
 	}
 
-	// Stage 2: replay every cell's snapshot into its analysis.
-	parallel.For(e.workers(len(res.Cells)), len(res.Cells), func(_, lo, hi int) {
-		for i := lo; i < hi; i++ {
+	// Stage 2: replay every remaining cell through its capture's shared
+	// context (probing the analysis cache first for GroupBy cells, whose
+	// keys are computable only now) and publish fresh analyses back.
+	// Cells sharing one analysis key share one computation (flights), so
+	// within a caching run each placement space is probed and swept at
+	// most once.
+	var flightMu sync.Mutex
+	flights := make(map[string]*analysisFlight)
+	getFlight := func(id string) *analysisFlight {
+		flightMu.Lock()
+		defer flightMu.Unlock()
+		f, ok := flights[id]
+		if !ok {
+			f = &analysisFlight{}
+			flights[id] = f
+		}
+		return f
+	}
+	// Fan over the not-done cells only: in a partially warm campaign the
+	// cold cells are often contiguous (one new workload's block), and a
+	// static partition over all cells would hand them to one worker.
+	todo := make([]int, 0, len(res.Cells))
+	for i := range work {
+		if !work[i].done {
+			todo = append(todo, i)
+		}
+	}
+	parallel.For(e.workers(len(todo)), len(todo), func(_, lo, hi int) {
+		for t := lo; t < hi; t++ {
+			i := todo[t]
 			cell := &res.Cells[i]
-			c := capOf[i]
+			c := work[i].cap
 			if c.err != nil {
 				cell.Err = c.err
 				continue
 			}
 			cell.FromCache = c.hit
-			opts := cell.Options
-			opts.Snapshot = c.snap
-			cell.Analysis, cell.Err = core.New(instance{name: cell.Workload}, opts).Analyze()
+			// GroupBy cells compute their key only now (it needs the
+			// capture's sites); their cache probe is deferred into the
+			// flight below so equal-key cells see one deterministic
+			// probe instead of racing a sibling's publish.
+			probeInFlight := false
+			if caching && !work[i].haveKey {
+				key, err := core.AnalysisKeyFor(cell.Workload, cell.Options, c.ctx.Sites())
+				if err == nil {
+					work[i].key, work[i].id, work[i].haveKey = key, key.ID(), true
+					probeInFlight = true
+				}
+			}
+			if !work[i].haveKey {
+				// Uncacheable cell (caching off, or a GroupBy policy
+				// that could not be fingerprinted): compute privately.
+				cell.Analysis, cell.Err = core.NewContextReplay(c.ctx, cell.Options).Analyze()
+				continue
+			}
+			f := getFlight(work[i].id)
+			f.once.Do(func() {
+				if probeInFlight {
+					if an := e.loadAnalysis(work[i].key, work[i].id, &work[i].aErr); an != nil {
+						f.an, f.fromCache = an, true
+						return
+					}
+				}
+				f.an, f.err = core.NewContextReplay(c.ctx, cell.Options).Analyze()
+				if f.err == nil {
+					e.storeAnalysis(work[i].key, work[i].id, f.an, &work[i].aErr)
+				}
+			})
+			cell.Analysis, cell.Err = f.an, f.err
+			cell.AnalysisFromCache = f.fromCache
 		}
 	})
+	for i := range work {
+		if res.Cells[i].AnalysisFromCache {
+			res.AnalysisHits++
+		}
+		if work[i].aErr != nil {
+			res.CacheErrs = append(res.CacheErrs, work[i].aErr)
+		}
+	}
 	return res, nil
 }
 
-// resolve fills a capture from the memo, the disk cache, or by
-// executing the kernel. A corrupt cache entry is treated as a miss and
-// overwritten.
+// loadAnalysis serves an analysis from the memo or the disk cache,
+// promoting disk hits into the memo. id is key.ID(), hashed once by the
+// caller. A present-but-unreadable disk entry is recorded as a
+// non-fatal degradation and treated as a miss.
+func (e *Engine) loadAnalysis(key core.AnalysisKey, id string, degraded *error) *core.Analysis {
+	if e.Memo != nil {
+		if an := e.Memo.getAnalysis(id); an != nil {
+			return an
+		}
+	}
+	if e.Analyses != nil {
+		an, ok, err := e.Analyses.Load(key)
+		if err == nil && ok {
+			if e.Memo != nil {
+				e.Memo.putAnalysis(id, an)
+			}
+			return an
+		}
+		if err != nil && *degraded == nil {
+			*degraded = err
+		}
+	}
+	return nil
+}
+
+// storeAnalysis publishes a fresh analysis into the memo and the disk
+// cache. A failed disk write degrades the cache, not the campaign.
+func (e *Engine) storeAnalysis(key core.AnalysisKey, id string, an *core.Analysis, degraded *error) {
+	if e.Memo != nil {
+		e.Memo.putAnalysis(id, an)
+	}
+	if e.Analyses != nil {
+		if err := e.Analyses.Store(key, an); err != nil && *degraded == nil {
+			*degraded = err
+		}
+	}
+}
+
+// resolve fills a capture — and its shared replay context — from the
+// memo, the disk cache, or by executing the kernel. A corrupt cache
+// entry is treated as a miss and overwritten.
 func (e *Engine) resolve(c *capture) {
 	if e.Memo != nil {
+		if ctx := e.Memo.getContext(c.id); ctx != nil {
+			c.snap, c.ctx, c.hit = ctx.Snapshot(), ctx, true
+			return
+		}
 		if snap := e.Memo.get(c.id); snap != nil {
 			c.snap, c.hit = snap, true
+			e.finishContext(c)
 			return
 		}
 	}
@@ -274,6 +525,7 @@ func (e *Engine) resolve(c *capture) {
 			if e.Memo != nil {
 				e.Memo.put(c.id, snap)
 			}
+			e.finishContext(c)
 			return
 		}
 		// Entry unreadable or mismatched: surface the degradation,
@@ -302,6 +554,21 @@ func (e *Engine) resolve(c *capture) {
 			c.cacheErr = err
 		}
 	}
+	e.finishContext(c)
+}
+
+// finishContext builds the capture's shared replay context and memoises
+// it for future runs.
+func (e *Engine) finishContext(c *capture) {
+	ctx, err := core.NewContext(c.snap)
+	if err != nil {
+		c.err = err
+		return
+	}
+	c.ctx = ctx
+	if e.Memo != nil {
+		e.Memo.putContext(c.id, ctx)
+	}
 }
 
 func (e *Engine) workers(n int) int {
@@ -317,15 +584,3 @@ func (e *Engine) workers(n int) int {
 	}
 	return w
 }
-
-// instance satisfies workloads.Workload for replay cells, where only the
-// name is ever consulted; the kernel methods must never be reached
-// because the tuner replays the snapshot instead of executing.
-type instance struct{ name string }
-
-func (i instance) Name() string { return i.name }
-func (i instance) Setup(*workloads.Env) error {
-	return fmt.Errorf("campaign: replay cell executed Setup")
-}
-func (i instance) Run(*workloads.Env) error { return fmt.Errorf("campaign: replay cell executed Run") }
-func (i instance) Verify() error            { return fmt.Errorf("campaign: replay cell executed Verify") }

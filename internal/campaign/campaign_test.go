@@ -298,6 +298,245 @@ func TestCampaignDeterministicParallelism(t *testing.T) {
 	}
 }
 
+// TestCampaignWarmRunsZeroPlacementPasses is PR 4's acceptance
+// criterion: with the analysis cache on disk, a cold campaign runs one
+// probe pass and one sweep pass per cell, and a warm campaign — a fresh
+// engine over the same caches — runs zero placement costing on top of
+// zero kernels and zero sampling, never resolves a snapshot, and
+// serves byte-identical analyses.
+func TestCampaignWarmRunsZeroPlacementPasses(t *testing.T) {
+	m := testMatrix(t)
+	snapCache, err := trace.NewSnapshotCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	anCache, err := core.NewAnalysisCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := core.SweepEvaluations()
+	first, err := (&Engine{Cache: snapCache, Analyses: anCache}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := first.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// Cold: every cell probes and sweeps exactly once (two passes per
+	// analysis), nothing is served from the analysis cache.
+	if got, want := core.SweepEvaluations()-before, int64(2*len(first.Cells)); got != want {
+		t.Errorf("cold campaign ran %d placement passes, want %d (probe + sweep per cell)", got, want)
+	}
+	if first.AnalysisHits != 0 {
+		t.Errorf("cold campaign reported %d analysis hits, want 0", first.AnalysisHits)
+	}
+
+	before = core.SweepEvaluations()
+	beforeKernels := core.KernelExecutions()
+	beforeSamples := core.SamplePasses()
+	second, err := (&Engine{Cache: snapCache, Analyses: anCache}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := second.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := core.SweepEvaluations() - before; got != 0 {
+		t.Errorf("warm campaign ran %d placement passes, want 0", got)
+	}
+	if got := core.KernelExecutions() - beforeKernels; got != 0 {
+		t.Errorf("warm campaign executed %d kernels, want 0", got)
+	}
+	if got := core.SamplePasses() - beforeSamples; got != 0 {
+		t.Errorf("warm campaign ran %d sampling passes, want 0", got)
+	}
+	if second.AnalysisHits != len(second.Cells) {
+		t.Errorf("warm campaign served %d/%d cells from the analysis cache", second.AnalysisHits, len(second.Cells))
+	}
+	// Fully warm: no reference run was even needed.
+	if second.Snapshots != 0 || second.Executions != 0 || second.CacheHits != 0 {
+		t.Errorf("warm campaign resolved %d snapshots (%d executed, %d cached), want none",
+			second.Snapshots, second.Executions, second.CacheHits)
+	}
+	for i := range first.Cells {
+		a, b := &first.Cells[i], &second.Cells[i]
+		if !b.AnalysisFromCache {
+			t.Errorf("cell %s/%s not marked analysis-from-cache", b.Workload, b.Platform)
+		}
+		if !reflect.DeepEqual(a.Analysis, b.Analysis) {
+			t.Errorf("cell %s/%s: cached analysis differs from cold analysis", a.Workload, a.Platform)
+		}
+	}
+}
+
+// TestCampaignDedupesEqualAnalysisKeys: cells whose resolved options
+// produce the same analysis key — e.g. variants differing only in
+// SweepParallelism, which the key deliberately ignores because results
+// are invariant to it — share one probe/sweep computation even on a
+// cold run.
+func TestCampaignDedupesEqualAnalysisKeys(t *testing.T) {
+	m := testMatrix(t)
+	m.Workloads = m.Workloads[:1]
+	m.Platforms = m.Platforms[:1]
+	m.Variants = []Variant{
+		{Name: "par1", Apply: func(o *core.Options) { o.SweepParallelism = 1 }},
+		{Name: "par4", Apply: func(o *core.Options) { o.SweepParallelism = 4 }},
+	}
+	before := core.SweepEvaluations()
+	res, err := (&Engine{Memo: NewMemo()}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := core.SweepEvaluations() - before; got != 2 {
+		t.Errorf("cold campaign ran %d placement passes for 2 equal-key cells, want 2 (one shared probe + sweep)", got)
+	}
+	if res.AnalysisHits != 0 {
+		t.Errorf("cold equal-key cells reported %d analysis hits, want 0", res.AnalysisHits)
+	}
+	if !reflect.DeepEqual(res.Cells[0].Analysis, res.Cells[1].Analysis) {
+		t.Error("equal-key cells produced different analyses")
+	}
+
+	// GroupBy cells resolve their keys (and probe the cache) inside the
+	// shared flight: a cold run still computes once with zero hits, and
+	// a warm re-run over the same memo serves every cell from it.
+	m.Workloads[0].Options.GroupBy = func(string) string { return "all" }
+	memo := NewMemo()
+	before = core.SweepEvaluations()
+	cold, err := (&Engine{Memo: memo}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cold.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := core.SweepEvaluations() - before; got != 2 {
+		t.Errorf("cold GroupBy campaign ran %d placement passes for 2 equal-key cells, want 2", got)
+	}
+	if cold.AnalysisHits != 0 {
+		t.Errorf("cold GroupBy cells reported %d analysis hits, want 0", cold.AnalysisHits)
+	}
+	before = core.SweepEvaluations()
+	warm, err := (&Engine{Memo: memo}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := warm.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := core.SweepEvaluations() - before; got != 0 {
+		t.Errorf("warm GroupBy campaign ran %d placement passes, want 0", got)
+	}
+	if warm.AnalysisHits != len(warm.Cells) {
+		t.Errorf("warm GroupBy campaign served %d/%d cells from the memo", warm.AnalysisHits, len(warm.Cells))
+	}
+	for i := range cold.Cells {
+		if !reflect.DeepEqual(cold.Cells[i].Analysis, warm.Cells[i].Analysis) {
+			t.Errorf("GroupBy cell %d: warm analysis differs from cold", i)
+		}
+	}
+}
+
+// TestCampaignRecoversCorruptAnalysisEntry: an unreadable analysis-cache
+// entry is a non-fatal degradation — the cell recomputes through the
+// shared context, the corruption is overwritten with a valid entry, and
+// the recomputed analysis is byte-identical to an uncached run.
+func TestCampaignRecoversCorruptAnalysisEntry(t *testing.T) {
+	m := testMatrix(t)
+	m.Workloads = m.Workloads[:1]
+	m.Platforms = m.Platforms[:1]
+	anCache, err := core.NewAnalysisCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := m.Workloads[0].Options
+	opts.Platform = m.Platforms[0].Platform
+	key, err := core.AnalysisKeyFor(m.Workloads[0].Name, opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(anCache.Path(key), []byte("not an analysis"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := (&Engine{Analyses: anCache}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if res.AnalysisHits != 0 {
+		t.Errorf("analysis hits = %d, want 0 after corrupt entry", res.AnalysisHits)
+	}
+	if len(res.CacheErrs) != 1 {
+		t.Errorf("got %d cache errors, want 1 (the corrupt load)", len(res.CacheErrs))
+	}
+	healed, ok, err := anCache.Load(key)
+	if err != nil || !ok {
+		t.Fatalf("analysis entry not healed: ok=%v err=%v", ok, err)
+	}
+	if !reflect.DeepEqual(res.Cells[0].Analysis, healed) {
+		t.Error("healed entry differs from the recomputed analysis")
+	}
+	// Truncating a valid entry degrades the same way.
+	good, err := os.ReadFile(anCache.Path(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(anCache.Path(key), good[:len(good)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := (&Engine{Analyses: anCache}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res2.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.CacheErrs) != 1 {
+		t.Errorf("truncated entry: got %d cache errors, want 1", len(res2.CacheErrs))
+	}
+	if !reflect.DeepEqual(res.Cells[0].Analysis, res2.Cells[0].Analysis) {
+		t.Error("recomputed analysis after truncation differs")
+	}
+}
+
+// TestCampaignAnalysisCacheStoreFailureIsNonFatal: when the analysis
+// cache directory disappears mid-run, cells still analyse; only a
+// store warning is recorded.
+func TestCampaignAnalysisCacheStoreFailureIsNonFatal(t *testing.T) {
+	m := testMatrix(t)
+	m.Workloads = m.Workloads[:1]
+	m.Platforms = m.Platforms[:1]
+	dir := filepath.Join(t.TempDir(), "analyses")
+	anCache, err := core.NewAnalysisCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dir, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := (&Engine{Analyses: anCache}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatalf("analysis store failure sank the campaign: %v", err)
+	}
+	if len(res.CacheErrs) != 1 {
+		t.Errorf("got %d cache errors, want 1", len(res.CacheErrs))
+	}
+	if res.Cells[0].Analysis == nil {
+		t.Error("cell missing analysis after store failure")
+	}
+}
+
 // TestCampaignVariants: variants that only change analysis options share
 // one capture; variants that change capture inputs get their own.
 func TestCampaignVariants(t *testing.T) {

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+
+	"hmpt/internal/memsim"
+	"hmpt/internal/shim"
+	"hmpt/internal/wire"
+)
+
+// AnalysisVersion is the analysis-cache codec version written by
+// EncodeAnalysis and required by DecodeAnalysis. Bump it on any change
+// to the wire format; cache keys include it, so old entries are simply
+// never addressed again.
+const AnalysisVersion = 1
+
+// AnalysisKey identifies one fully-resolved analysis: everything its
+// result is a deterministic function of. The capture identity
+// (SnapshotID — workload, config, threads, scale, seed, sampler
+// controls, sampler version, snapshot codec version and the build's
+// kernel epoch) pins the reference run; PlatformFP pins the machine
+// model; OptionsFP pins the tuner options that shape the result beyond
+// the capture (runs, group budget, filter threshold); PartitionFP pins
+// a GroupBy policy's effect on the capture's sites. SweepParallelism is
+// deliberately absent: results are invariant to the worker count.
+type AnalysisKey struct {
+	Workload   string
+	SnapshotID string
+	PlatformFP string
+	OptionsFP  uint64
+	// Grouped records whether a GroupBy policy was in effect;
+	// PartitionFP is the policy's effect hash (meaningful only when
+	// Grouped). Keeping the flag separate avoids aliasing two policies
+	// whose hashes differ only in a reserved bit.
+	Grouped     bool
+	PartitionFP uint64
+}
+
+// ID returns the content address of the key: a SHA-256 over the
+// canonical key encoding plus the analysis codec version and the
+// costing-engine version. Bumping either version, or anything feeding
+// the component fingerprints, silently retires every cached analysis.
+func (k AnalysisKey) ID() string {
+	h := sha256.New()
+	w := wire.NewHashWriter(h)
+	w.U64(AnalysisVersion)
+	w.U64(memsim.EngineVersion)
+	w.Str(k.Workload)
+	w.Str(k.SnapshotID)
+	w.Str(k.PlatformFP)
+	w.U64(k.OptionsFP)
+	w.Bool(k.Grouped)
+	w.U64(k.PartitionFP)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// AnalysisKeyFor returns the analysis-cache key of analysing the named
+// workload under the options — the same defaulting rules Analyze
+// applies.
+//
+// When opts.GroupBy is nil the key is a pure function of the options:
+// the per-site pre-grouping is fully determined by the capture the
+// SnapshotID already pins. A non-nil GroupBy is a function and cannot
+// be hashed directly, so its *effect* is fingerprinted instead: the
+// label-to-group mapping over the capture's allocation sites, which is
+// exactly what the pipeline consumes. That needs the capture's sites
+// (ReplayContext.Sites); passing nil sites with a non-nil GroupBy is an
+// error rather than a silently unstable key.
+func AnalysisKeyFor(workload string, opts Options, sites []shim.SiteGroup) (AnalysisKey, error) {
+	o := opts.withDefaults()
+	key := AnalysisKey{
+		Workload:   workload,
+		SnapshotID: SnapshotKeyFor(workload, opts).ID(),
+		PlatformFP: o.Platform.Fingerprint(),
+	}
+	h := fnv.New64a()
+	w := wire.NewHashWriter(h)
+	w.I64(int64(o.Runs))
+	w.I64(int64(o.MaxGroups))
+	w.I64(int64(o.FilterBelow))
+	key.OptionsFP = h.Sum64()
+
+	if o.GroupBy != nil {
+		if sites == nil {
+			return AnalysisKey{}, fmt.Errorf("core: fingerprinting a GroupBy policy needs the capture's sites (see ReplayContext.Sites)")
+		}
+		ph := fnv.New64a()
+		pw := wire.NewHashWriter(ph)
+		for _, sg := range sites {
+			pw.Str(sg.Label)
+			pw.Str(o.GroupBy(sg.Label))
+		}
+		key.Grouped = true
+		key.PartitionFP = ph.Sum64()
+	}
+	return key, nil
+}
+
+// AnalysisCache is a content-addressed analysis store on disk — the
+// third caching layer of the pipeline, sibling of trace.SnapshotCache:
+// one file per AnalysisKey under the cache directory, named by the
+// key's ID. Writes are atomic (temp file + rename), and Load verifies
+// the codec checksum and the embedded key, so concurrent campaign
+// workers and interrupted runs can never leave an entry a later Load
+// would trust.
+type AnalysisCache struct {
+	dir string
+}
+
+// NewAnalysisCache opens (creating if needed) a cache rooted at dir.
+func NewAnalysisCache(dir string) (*AnalysisCache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("core: empty analysis cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: creating analysis cache: %w", err)
+	}
+	return &AnalysisCache{dir: dir}, nil
+}
+
+// Dir returns the cache root directory.
+func (c *AnalysisCache) Dir() string { return c.dir }
+
+// Path returns the file path an entry for the key lives at.
+func (c *AnalysisCache) Path(k AnalysisKey) string {
+	return filepath.Join(c.dir, k.ID()+".anl")
+}
+
+// path returns the entry file for an already-computed key ID.
+func (c *AnalysisCache) path(id string) string {
+	return filepath.Join(c.dir, id+".anl")
+}
+
+// Load returns the cached analysis for the key, or ok=false on a miss.
+// A present-but-invalid entry (truncated, corrupted, or addressing a
+// different key) is reported as an error; callers typically treat it as
+// a miss and overwrite it through Store.
+func (c *AnalysisCache) Load(k AnalysisKey) (an *Analysis, ok bool, err error) {
+	id := k.ID()
+	raw, err := os.ReadFile(c.path(id))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("core: reading cached analysis: %w", err)
+	}
+	an, keyID, err := DecodeAnalysis(raw)
+	if err != nil {
+		return nil, false, fmt.Errorf("core: cached analysis %s: %w", id[:12], err)
+	}
+	if keyID != id {
+		// Truncate defensively: the embedded ID is attacker/corruption
+		// controlled and may be shorter than a real content address.
+		if len(keyID) > 12 {
+			keyID = keyID[:12]
+		}
+		return nil, false, fmt.Errorf("core: cached analysis %s embeds key %q (collision or renamed entry)",
+			id[:12], keyID)
+	}
+	if an.Workload != k.Workload {
+		return nil, false, fmt.Errorf("core: cached analysis %s holds workload %q, key wants %q",
+			id[:12], an.Workload, k.Workload)
+	}
+	return an, true, nil
+}
+
+// Store writes the analysis under the key, atomically replacing any
+// existing entry.
+func (c *AnalysisCache) Store(k AnalysisKey, an *Analysis) error {
+	id := k.ID()
+	b, err := encodeAnalysis(id, an)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(c.dir, "."+id[:12]+".tmp*")
+	if err != nil {
+		return fmt.Errorf("core: staging analysis: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		return fmt.Errorf("core: writing analysis: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("core: writing analysis: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path(id)); err != nil {
+		return fmt.Errorf("core: publishing analysis: %w", err)
+	}
+	return nil
+}

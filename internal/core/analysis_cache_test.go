@@ -1,0 +1,244 @@
+package core
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"hmpt/internal/memsim"
+	"hmpt/internal/shim"
+	"hmpt/internal/units"
+)
+
+// testSites builds a small site-group set for partition fingerprinting.
+func testSites() []shim.SiteGroup {
+	return []shim.SiteGroup{
+		{Site: 1, Label: "w.u", Allocs: []shim.AllocID{1}, SimSize: 8 * units.MiB},
+		{Site: 2, Label: "w.v", Allocs: []shim.AllocID{2}, SimSize: 8 * units.MiB},
+		{Site: 3, Label: "w.r", Allocs: []shim.AllocID{3}, SimSize: 4 * units.MiB},
+	}
+}
+
+// TestAnalysisKeySensitivity: every input the analysis result depends on
+// must change the content address — and SweepParallelism, which the
+// result is provably invariant to, must not.
+func TestAnalysisKeySensitivity(t *testing.T) {
+	base := Options{Seed: 1}
+	baseKey, err := AnalysisKeyFor("w", base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseID := baseKey.ID()
+
+	mutations := map[string]Options{
+		"runs":          {Seed: 1, Runs: 5},
+		"max-groups":    {Seed: 1, MaxGroups: 4},
+		"filter-below":  {Seed: 1, FilterBelow: 64 * units.KiB},
+		"seed":          {Seed: 2},
+		"threads":       {Seed: 1, Threads: 4},
+		"scale":         {Seed: 1, Scale: 2},
+		"config-tag":    {Seed: 1, ConfigTag: "full"},
+		"sample-period": {Seed: 1, SamplePeriod: 1 << 14},
+		"sample-budget": {Seed: 1, SampleBudget: 50_000},
+		"platform":      {Seed: 1, Platform: memsim.DualXeonMax9468()},
+	}
+	for name, opts := range mutations {
+		k, err := AnalysisKeyFor("w", opts, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if k.ID() == baseID {
+			t.Errorf("changing %s did not change the analysis key", name)
+		}
+	}
+	// A different workload name misses too.
+	if k, _ := AnalysisKeyFor("other", base, nil); k.ID() == baseID {
+		t.Error("changing the workload did not change the analysis key")
+	}
+	// SweepParallelism is scheduling-only: results are bit-identical for
+	// any worker count, so it must share the cache entry.
+	par := base
+	par.SweepParallelism = 7
+	if k, _ := AnalysisKeyFor("w", par, nil); k.ID() != baseID {
+		t.Error("SweepParallelism changed the analysis key; results are invariant to it")
+	}
+	// Versions participate: altering any key component alters the ID.
+	for name, mut := range map[string]func(*AnalysisKey){
+		"snapshot-id":  func(k *AnalysisKey) { k.SnapshotID += "x" },
+		"platform-fp":  func(k *AnalysisKey) { k.PlatformFP += "x" },
+		"options-fp":   func(k *AnalysisKey) { k.OptionsFP++ },
+		"grouped":      func(k *AnalysisKey) { k.Grouped = true },
+		"partition-fp": func(k *AnalysisKey) { k.PartitionFP++ },
+	} {
+		k := baseKey
+		mut(&k)
+		if k.ID() == baseID {
+			t.Errorf("mutating %s did not change the analysis key ID", name)
+		}
+	}
+}
+
+// TestAnalysisKeyGroupByFingerprint: a GroupBy policy is fingerprinted
+// by its effect on the capture's sites — identical mappings share a
+// key, different mappings miss, and fingerprinting without sites is an
+// error rather than a silently unstable key.
+func TestAnalysisKeyGroupByFingerprint(t *testing.T) {
+	sites := testSites()
+	fold := func(label string) string {
+		if strings.HasPrefix(label, "w.") {
+			return "w"
+		}
+		return ""
+	}
+	none := Options{Seed: 1}
+	grouped := Options{Seed: 1, GroupBy: fold}
+
+	if _, err := AnalysisKeyFor("w", grouped, nil); err == nil {
+		t.Error("GroupBy options without sites produced a key; want an error")
+	}
+	kNone, err := AnalysisKeyFor("w", none, sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kGroup, err := AnalysisKeyFor("w", grouped, sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kNone.ID() == kGroup.ID() {
+		t.Error("GroupBy policy did not change the analysis key")
+	}
+	// Same mapping through a distinct closure: same key.
+	again := Options{Seed: 1, GroupBy: func(label string) string { return fold(label) }}
+	kAgain, err := AnalysisKeyFor("w", again, sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kAgain.ID() != kGroup.ID() {
+		t.Error("equivalent GroupBy mappings produced different keys")
+	}
+	// Different mapping: different key.
+	other := Options{Seed: 1, GroupBy: func(label string) string {
+		if label == "w.u" {
+			return "solo"
+		}
+		return ""
+	}}
+	kOther, err := AnalysisKeyFor("w", other, sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kOther.ID() == kGroup.ID() {
+		t.Error("different GroupBy mappings shared one key")
+	}
+}
+
+// testAnalysis builds a small synthetic analysis exercising every codec
+// field shape (rest group, empty config-group list, infeasible config).
+func testAnalysis() *Analysis {
+	return &Analysis{
+		Workload:       "w",
+		Platform:       "p",
+		TotalBytes:     20 * units.MiB,
+		Threads:        8,
+		Runs:           3,
+		BaselineTime:   units.Duration(1.5),
+		FilteredAllocs: 2,
+		TotalAllocs:    3,
+		SampleCount:    1000,
+		Groups: []Group{
+			{Index: 0, Label: "w.u", Allocs: []shim.AllocID{1}, SimBytes: 8 * units.MiB, Frac: 0.4, Density: 0.6, SoloSpeedup: 1.4},
+			{Index: 1, Label: "rest", Rest: true, Allocs: []shim.AllocID{2, 3}, SimBytes: 12 * units.MiB, Frac: 0.6, Density: 0.4, SoloSpeedup: 1.1},
+		},
+		Configs: []Config{
+			{Mask: 0, Label: "[]", Times: []units.Duration{1.5, 1.51, 1.49}, MeanTime: 1.5, Speedup: 1, EstSpeedup: 1, Feasible: true},
+			{Mask: 1, Groups: []int{0}, Label: "[0]", HBMBytes: 8 * units.MiB, HBMFrac: 0.4, SampleFrac: 0.6,
+				Times: []units.Duration{1.1, 1.09, 1.11}, MeanTime: 1.1, Speedup: 1.36, SpeedupCI: 0.01, EstSpeedup: 1.4},
+			{Mask: 3, Groups: []int{0, 1}, Label: "[0 1]", HBMBytes: 20 * units.MiB, HBMFrac: 1, SampleFrac: 1,
+				Times: []units.Duration{1.0, 1.0, 1.0}, MeanTime: 1, Speedup: 1.5, SpeedupCI: 0.02, EstSpeedup: 1.5, Feasible: false},
+		},
+	}
+}
+
+// TestAnalysisCacheCorruptEntriesAreErrors: truncated, bit-flipped,
+// version-bumped and cross-key entries must all fail Load loudly (the
+// campaign engine then treats them as misses and overwrites), and a
+// plain missing entry is a clean miss.
+func TestAnalysisCacheCorruptEntriesAreErrors(t *testing.T) {
+	cache, err := NewAnalysisCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := AnalysisKeyFor("w", Options{Seed: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := testAnalysis()
+
+	if _, ok, err := cache.Load(key); ok || err != nil {
+		t.Fatalf("empty cache: ok=%v err=%v, want clean miss", ok, err)
+	}
+	if err := cache.Store(key, an); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(cache.Path(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corruptions := map[string]func() []byte{
+		"truncated": func() []byte { return good[:len(good)/2] },
+		"bit flip": func() []byte {
+			b := append([]byte(nil), good...)
+			b[len(b)/3] ^= 0x40
+			return b
+		},
+		"trailing garbage": func() []byte { return append(append([]byte(nil), good...), 0xAA) },
+		"garbage":          func() []byte { return []byte("not an analysis") },
+	}
+	for name, corrupt := range corruptions {
+		if err := os.WriteFile(cache.Path(key), corrupt(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, err := cache.Load(key); err == nil {
+			t.Errorf("%s: Load ok=%v err=nil, want an error", name, ok)
+		}
+	}
+
+	// A sealed entry embedding a short (corrupted/foreign) key ID must
+	// surface as an error, not a slice-bounds panic.
+	shortKeyed, err := encodeAnalysis("x", an)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cache.Path(key), shortKeyed, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := cache.Load(key); err == nil {
+		t.Errorf("short embedded key: Load ok=%v err=nil, want an error", ok)
+	}
+
+	// A valid entry parked under the wrong key (renamed file) is
+	// rejected by the embedded key ID.
+	otherKey, err := AnalysisKeyFor("w", Options{Seed: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cache.Path(otherKey), good, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := cache.Load(otherKey); err == nil {
+		t.Errorf("renamed entry: Load ok=%v err=nil, want embedded-key mismatch", ok)
+	}
+
+	// Healing: Store overwrites the corruption and Load round-trips.
+	if err := cache.Store(key, an); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := cache.Load(key)
+	if err != nil || !ok {
+		t.Fatalf("healed entry: ok=%v err=%v", ok, err)
+	}
+	if got.Workload != an.Workload || len(got.Configs) != len(an.Configs) {
+		t.Error("healed entry does not round-trip")
+	}
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+
+	"hmpt/internal/shim"
+	"hmpt/internal/units"
+	"hmpt/internal/wire"
+)
+
+// analysisMagic leads every encoded analysis.
+const analysisMagic = "HMPTANAL"
+
+// EncodeAnalysis returns the deterministic encoding of the analysis
+// under its cache key: little-endian, length-prefixed strings, floats
+// as exact IEEE-754 bit images, sealed by an FNV-64a checksum — the
+// same wire discipline as the snapshot codec. The key's ID is embedded
+// so a cache Load can detect renamed or colliding entries. The same
+// analysis always encodes to the same bytes, and a decode of those
+// bytes is reflect.DeepEqual to the original (zero-length slices
+// round-trip as nil, matching how the pipeline builds them).
+func EncodeAnalysis(k AnalysisKey, an *Analysis) ([]byte, error) {
+	return encodeAnalysis(k.ID(), an)
+}
+
+// encodeAnalysis is EncodeAnalysis over an already-computed key ID.
+func encodeAnalysis(keyID string, an *Analysis) ([]byte, error) {
+	if an == nil {
+		return nil, fmt.Errorf("core: nil analysis")
+	}
+	var e wire.Encoder
+	e.Raw([]byte(analysisMagic))
+	e.U32(AnalysisVersion)
+	e.Str(keyID)
+
+	e.Str(an.Workload)
+	e.Str(an.Platform)
+	e.I64(int64(an.TotalBytes))
+	e.I64(int64(an.Threads))
+	e.I64(int64(an.Runs))
+	e.F64(float64(an.BaselineTime))
+	e.I64(int64(an.FilteredAllocs))
+	e.I64(int64(an.TotalAllocs))
+	e.I64(int64(an.SampleCount))
+
+	e.U32(uint32(len(an.Groups)))
+	for i := range an.Groups {
+		g := &an.Groups[i]
+		e.I64(int64(g.Index))
+		e.Str(g.Label)
+		e.Bool(g.Rest)
+		e.U32(uint32(len(g.Allocs)))
+		for _, id := range g.Allocs {
+			e.U64(uint64(id))
+		}
+		e.I64(int64(g.SimBytes))
+		e.F64(g.Frac)
+		e.F64(g.Density)
+		e.F64(g.SoloSpeedup)
+	}
+
+	e.U32(uint32(len(an.Configs)))
+	for i := range an.Configs {
+		c := &an.Configs[i]
+		e.U32(c.Mask)
+		e.U32(uint32(len(c.Groups)))
+		for _, gi := range c.Groups {
+			e.I64(int64(gi))
+		}
+		e.Str(c.Label)
+		e.I64(int64(c.HBMBytes))
+		e.F64(c.HBMFrac)
+		e.F64(c.SampleFrac)
+		e.U32(uint32(len(c.Times)))
+		for _, t := range c.Times {
+			e.F64(float64(t))
+		}
+		e.F64(float64(c.MeanTime))
+		e.F64(c.Speedup)
+		e.F64(c.SpeedupCI)
+		e.F64(c.EstSpeedup)
+		e.Bool(c.Feasible)
+	}
+
+	return e.Seal(), nil
+}
+
+// DecodeAnalysis decodes an encoded analysis, validating magic, version
+// and checksum, and returns it together with the embedded key ID. It
+// fails on trailing garbage: an entry holds exactly one analysis.
+func DecodeAnalysis(raw []byte) (*Analysis, string, error) {
+	if len(raw) < len(analysisMagic)+4+8 {
+		return nil, "", fmt.Errorf("core: analysis truncated (%d bytes)", len(raw))
+	}
+	if string(raw[:len(analysisMagic)]) != analysisMagic {
+		return nil, "", fmt.Errorf("core: bad analysis magic %q", raw[:len(analysisMagic)])
+	}
+	payload, err := wire.CheckSeal(raw)
+	if err != nil {
+		return nil, "", fmt.Errorf("core: analysis: %w", err)
+	}
+	d := wire.NewDecoder(payload[len(analysisMagic):])
+	if v := d.U32(); v != AnalysisVersion {
+		return nil, "", fmt.Errorf("core: analysis codec version %d, this build reads %d", v, AnalysisVersion)
+	}
+	keyID := d.Str()
+
+	an := &Analysis{}
+	an.Workload = d.Str()
+	an.Platform = d.Str()
+	an.TotalBytes = units.Bytes(d.I64())
+	an.Threads = int(d.I64())
+	an.Runs = int(d.I64())
+	an.BaselineTime = units.Duration(d.F64())
+	an.FilteredAllocs = int(d.I64())
+	an.TotalAllocs = int(d.I64())
+	an.SampleCount = int(d.I64())
+
+	nGroups := d.U32()
+	if err := d.Fits(uint64(nGroups), 45); err != nil {
+		return nil, "", err
+	}
+	if nGroups > 0 {
+		an.Groups = make([]Group, nGroups)
+	}
+	for i := range an.Groups {
+		g := &an.Groups[i]
+		g.Index = int(d.I64())
+		g.Label = d.Str()
+		g.Rest = d.Bool()
+		nAllocs := d.U32()
+		if err := d.Fits(uint64(nAllocs), 8); err != nil {
+			return nil, "", err
+		}
+		if nAllocs > 0 {
+			g.Allocs = make([]shim.AllocID, nAllocs)
+		}
+		for j := range g.Allocs {
+			g.Allocs[j] = shim.AllocID(d.U64())
+		}
+		g.SimBytes = units.Bytes(d.I64())
+		g.Frac = d.F64()
+		g.Density = d.F64()
+		g.SoloSpeedup = d.F64()
+	}
+
+	nConfigs := d.U32()
+	if err := d.Fits(uint64(nConfigs), 61); err != nil {
+		return nil, "", err
+	}
+	if nConfigs > 0 {
+		an.Configs = make([]Config, nConfigs)
+	}
+	for i := range an.Configs {
+		c := &an.Configs[i]
+		c.Mask = d.U32()
+		nMembers := d.U32()
+		if err := d.Fits(uint64(nMembers), 8); err != nil {
+			return nil, "", err
+		}
+		if nMembers > 0 {
+			c.Groups = make([]int, nMembers)
+		}
+		for j := range c.Groups {
+			c.Groups[j] = int(d.I64())
+		}
+		c.Label = d.Str()
+		c.HBMBytes = units.Bytes(d.I64())
+		c.HBMFrac = d.F64()
+		c.SampleFrac = d.F64()
+		nTimes := d.U32()
+		if err := d.Fits(uint64(nTimes), 8); err != nil {
+			return nil, "", err
+		}
+		if nTimes > 0 {
+			c.Times = make([]units.Duration, nTimes)
+		}
+		for j := range c.Times {
+			c.Times[j] = units.Duration(d.F64())
+		}
+		c.MeanTime = units.Duration(d.F64())
+		c.Speedup = d.F64()
+		c.SpeedupCI = d.F64()
+		c.EstSpeedup = d.F64()
+		c.Feasible = d.Bool()
+	}
+
+	if err := d.Err(); err != nil {
+		return nil, "", err
+	}
+	if d.Len() != 0 {
+		return nil, "", fmt.Errorf("core: %d trailing bytes after analysis", d.Len())
+	}
+	return an, keyID, nil
+}

@@ -33,6 +33,19 @@ var samplePasses atomic.Int64
 // performed in this process. Tests compare deltas.
 func SamplePasses() int64 { return samplePasses.Load() }
 
+// sweepEvals counts placement-costing passes: probe stages (solo-impact
+// measurement of every pre-group) and configuration sweeps (the 2^|AG|
+// mask walk), on both the compiled-engine and naive-oracle paths. An
+// analysis served from the analysis cache runs neither, so campaign
+// tests pin the delta to zero on warm runs — the placement analogue of
+// KernelExecutions and SamplePasses.
+var sweepEvals atomic.Int64
+
+// SweepEvaluations returns the number of probe/sweep placement-costing
+// passes the pipeline has performed in this process. Tests compare
+// deltas.
+func SweepEvaluations() int64 { return sweepEvals.Load() }
+
 // Capture executes the workload's kernel once — exactly as the reference
 // stage of Analyze would — and returns the run as a snapshot: the phase
 // trace, the shim allocation registry, and the capture inputs. An
@@ -116,6 +129,18 @@ func NewReplay(snap *trace.Snapshot, opts Options) *Tuner {
 	return &Tuner{opts: opts.withDefaults(), name: snap.Meta.Workload}
 }
 
+// NewContextReplay returns a tuner that analyses the context's capture
+// through the shared replay environment: the registry, trace, sampling
+// report and compiled evaluators come from the context instead of being
+// re-derived per replay. The analysis is byte-identical to NewReplay of
+// the same snapshot and options; the snapshot-validation rules are
+// identical too.
+func NewContextReplay(ctx *ReplayContext, opts Options) *Tuner {
+	t := NewReplay(ctx.snap, opts)
+	t.ctx = ctx
+	return t
+}
+
 // executeReference runs the kernel once in a fresh environment: the one
 // place in the pipeline real execution happens.
 func executeReference(w workloads.Workload, threads int, scale float64, envSeed uint64) (*workloads.Env, *trace.Trace, error) {
@@ -179,16 +204,16 @@ func (t *Tuner) reference(envSeed uint64) (*shim.Allocator, *trace.Trace, error)
 		return nil, nil, fmt.Errorf("core: snapshot of %q records env seed %#x, expected %#x (corrupted or cross-version snapshot)",
 			m.Workload, m.EnvSeed, envSeed)
 	}
+	// A shared context already restored the registry and copied the
+	// trace once for every replay of this capture.
+	if t.ctx != nil {
+		return t.ctx.al, t.ctx.tr, nil
+	}
 	al, err := shim.Restore(snap.Registry)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: restoring %q registry: %w", m.Workload, err)
 	}
 	// Deep-copy the trace (phases and their stream slices) so concurrent
 	// replays of one shared snapshot never alias mutable state.
-	tr := &trace.Trace{Phases: make([]trace.Phase, len(snap.Trace.Phases))}
-	copy(tr.Phases, snap.Trace.Phases)
-	for i := range tr.Phases {
-		tr.Phases[i].Streams = append([]trace.Stream(nil), tr.Phases[i].Streams...)
-	}
-	return al, tr, nil
+	return al, copyTrace(snap.Trace), nil
 }

@@ -207,6 +207,14 @@ type Tuner struct {
 	opts Options
 	w    workloads.Workload // nil when replaying a snapshot via NewReplay
 	name string
+	// ctx is the shared replay environment when the tuner was built by
+	// NewContextReplay: registry, trace, sampling report and compiled
+	// evaluators come from it instead of being re-derived per replay.
+	ctx *ReplayContext
+	// platformFP is the platform's content fingerprint, computed once
+	// per analysis (in analyze, only when ctx is set) and reused by
+	// every context-memo lookup of the run.
+	platformFP string
 }
 
 // New returns a tuner for the workload with the given options. When
@@ -231,6 +239,9 @@ func (t *Tuner) analyze(engine bool) (*Analysis, error) {
 	o := t.opts
 	p := o.Platform
 	machine := memsim.NewMachine(p)
+	if t.ctx != nil {
+		t.platformFP = p.Fingerprint()
+	}
 	rng := xrand.New(o.Seed)
 
 	// 1. Reference run: execute the real kernel once, capturing
@@ -298,6 +309,7 @@ func (t *Tuner) analyze(engine bool) (*Analysis, error) {
 	hbmCap := p.Pools[hbm].Capacity
 	an.Configs = make([]Config, 1<<uint(k))
 	cfgRNG := rng.Split(5)
+	sweepEvals.Add(1)
 	if !engine {
 		for mask := uint32(0); mask < 1<<uint(k); mask++ {
 			cfg, err := t.measureConfig(machine, tr, groups, mask, total,
@@ -330,6 +342,11 @@ func (t *Tuner) sampleReport(tr *trace.Trace, al *shim.Allocator, machine *memsi
 
 	if snap := t.opts.Snapshot; snap != nil && snap.Samples != nil &&
 		snap.Samples.SamplerVersion == ibs.SamplerVersion {
+		if t.ctx != nil {
+			// Shared context: the reconstruction is memoised per
+			// platform, so cells of one platform share one report.
+			return t.ctx.report(t.platformFP, machine, allDDR)
+		}
 		return ibs.ReportFromCounts(snap.Samples, tr, al, machine, allDDR)
 	}
 	samplePasses.Add(1)
@@ -353,7 +370,7 @@ func (t *Tuner) sweepConfigs(an *Analysis, machine *memsim.Machine, tr *trace.Tr
 	for gi := range groups {
 		sets[gi] = groups[gi].Allocs
 	}
-	eng, err := machine.CompileSweep(tr, t.opts.Threads, sets, ddr)
+	eng, err := t.compileSweep(machine, tr, sets, ddr)
 	if err != nil {
 		return fmt.Errorf("core: compiling sweep: %w", err)
 	}
@@ -401,6 +418,18 @@ func (t *Tuner) sweepConfigs(an *Analysis, machine *memsim.Machine, tr *trace.Tr
 // grayCode returns the i-th binary-reflected Gray code; consecutive
 // codes differ in exactly bit TrailingZeros(i+1).
 func grayCode(i uint32) uint32 { return i ^ (i >> 1) }
+
+// compileSweep compiles the trace against a group partition, through the
+// shared context's per-(platform, threads, partition) memo when one is
+// attached (the caller receives a private clone) and directly otherwise.
+// Both routes are bit-identical: compilation is deterministic in its
+// inputs, and a clone shares only the read-only compiled tables.
+func (t *Tuner) compileSweep(m *memsim.Machine, tr *trace.Trace, sets [][]shim.AllocID, ddr memsim.PoolID) (*memsim.SweepEvaluator, error) {
+	if t.ctx != nil {
+		return t.ctx.evaluator(t.platformFP, m, t.opts.Threads, sets, ddr)
+	}
+	return m.CompileSweep(tr, t.opts.Threads, sets, ddr)
+}
 
 // replaySample replays runs noise draws against one deterministic trace
 // time, reproducing what runs Machine.Cost calls would have measured.
@@ -521,6 +550,7 @@ func (t *Tuner) buildGroups(m *memsim.Machine, tr *trace.Trace, al *shim.Allocat
 	rep *ibs.Report, baseMean float64, ddr, hbm memsim.PoolID, rng *xrand.Rand, engine bool) ([]Group, int, int, error) {
 
 	o := t.opts
+	sweepEvals.Add(1) // the probe stage is one placement-costing pass
 	sites := al.Sites()
 	totalSites := len(sites)
 
@@ -568,7 +598,7 @@ func (t *Tuner) buildGroups(m *memsim.Machine, tr *trace.Trace, al *shim.Allocat
 			sets[i] = g.allocs
 		}
 		var err error
-		eng, err = m.CompileSweep(tr, o.Threads, sets, ddr)
+		eng, err = t.compileSweep(m, tr, sets, ddr)
 		if err != nil {
 			return nil, 0, 0, fmt.Errorf("core: compiling probe sweep: %w", err)
 		}

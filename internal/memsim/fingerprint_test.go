@@ -1,0 +1,48 @@
+package memsim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestFingerprintCoversEveryField pins the field counts of the structs
+// Platform.Fingerprint enumerates by hand. Fingerprint is a cache
+// identity: a field added without extending it would silently alias
+// distinct platforms in the analysis cache and the replay-context
+// memos, serving one platform's results for another. If this test
+// fails, extend Fingerprint with the new field first, then bump the
+// expected count here (and expect old analysis-cache entries to be
+// retired by the changed hash, which is the correct outcome).
+func TestFingerprintCoversEveryField(t *testing.T) {
+	for _, c := range []struct {
+		typ    reflect.Type
+		fields int
+	}{
+		{reflect.TypeOf(Platform{}), 13},
+		{reflect.TypeOf(PoolSpec{}), 6},
+		{reflect.TypeOf(CacheLevel{}), 4},
+	} {
+		if got := c.typ.NumField(); got != c.fields {
+			t.Errorf("%s has %d fields, Fingerprint was written against %d — extend Fingerprint, then update this count",
+				c.typ.Name(), got, c.fields)
+		}
+	}
+}
+
+// TestFingerprintSensitivity: distinct presets and any parameter
+// mutation must produce distinct fingerprints; equal content must
+// produce equal fingerprints across distinct instances.
+func TestFingerprintSensitivity(t *testing.T) {
+	if XeonMax9468().Fingerprint() != XeonMax9468().Fingerprint() {
+		t.Error("identical platforms fingerprint differently")
+	}
+	if XeonMax9468().Fingerprint() == DualXeonMax9468().Fingerprint() {
+		t.Error("distinct presets share a fingerprint")
+	}
+	p := XeonMax9468()
+	base := p.Fingerprint()
+	p.Pools[0].BusBW *= 2
+	if p.Fingerprint() == base {
+		t.Error("mutating a pool bandwidth did not change the fingerprint")
+	}
+}

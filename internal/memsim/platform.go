@@ -15,9 +15,12 @@
 package memsim
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 
 	"hmpt/internal/units"
+	"hmpt/internal/wire"
 )
 
 // PoolKind distinguishes the memory technologies of the platform.
@@ -98,6 +101,45 @@ type Platform struct {
 	// FlopEff derates the FMA peak for real kernels (default compute
 	// ceiling efficiency when a phase does not specify one).
 	FlopEff float64
+}
+
+// Fingerprint returns a content hash over every model parameter of the
+// platform. Two platforms with equal fingerprints produce bit-identical
+// costings for any trace and placement, so the fingerprint identifies
+// the platform in analysis-cache keys and replay-context memos —
+// pointer identity deliberately plays no role (presets are constructed
+// fresh per call).
+func (p *Platform) Fingerprint() string {
+	h := sha256.New()
+	w := wire.NewHashWriter(h)
+	w.Str(p.Name)
+	w.I64(int64(p.Sockets))
+	w.I64(int64(p.TilesPerSock))
+	w.I64(int64(p.CoresPerTile))
+	w.F64(p.ClockGHz)
+	w.F64(p.VecFlopsPerCycle)
+	w.F64(p.ScalarFlopsPerCycle)
+	w.U64(uint64(len(p.Caches)))
+	for _, c := range p.Caches {
+		w.Str(c.Name)
+		w.I64(int64(c.Size))
+		w.Bool(c.PerCore)
+		w.F64(float64(c.Latency))
+	}
+	w.U64(uint64(len(p.Pools)))
+	for _, pool := range p.Pools {
+		w.I64(int64(pool.Kind))
+		w.Str(pool.Name)
+		w.I64(int64(pool.Capacity))
+		w.F64(float64(pool.BusBW))
+		w.F64(pool.WriteCost)
+		w.F64(float64(pool.Latency))
+	}
+	w.F64(p.SeqMLP)
+	w.F64(p.StencilMLP)
+	w.F64(p.RandomMLP)
+	w.F64(p.FlopEff)
+	return hex.EncodeToString(h.Sum(nil)[:16])
 }
 
 // Cores returns the total core count.

@@ -10,6 +10,14 @@ import (
 	"hmpt/internal/xrand"
 )
 
+// EngineVersion identifies the costing discipline of the machine model
+// and the sweep engine (cost-component math, float evaluation order,
+// noise replay). It participates in analysis-cache keys so that
+// analyses computed under an older discipline are never resurrected
+// into a newer engine. Bump it whenever costPhase, CompileSweep, or
+// NoisyTime change observable arithmetic.
+const EngineVersion = 1
+
 // SweepEvaluator is the compiled form of one (trace, group partition)
 // pair: the preallocated, allocation-free engine behind the tuner's
 // exhaustive 2^|AG| configuration sweep and its impact probes.

@@ -92,11 +92,16 @@ type Allocator struct {
 
 // NewAllocator returns an empty allocator whose simulated address space
 // starts at a non-zero base (so address 0 is never valid).
-func NewAllocator() *Allocator {
+func NewAllocator() *Allocator { return newAllocator(0) }
+
+// newAllocator is NewAllocator with maps pre-sized for n allocations —
+// the one place the allocator's base invariants live, so a batched
+// Restore cannot drift from a live allocator's initial state.
+func newAllocator(n int) *Allocator {
 	return &Allocator{
 		brk:    uint64(PageSize), // keep page 0 unmapped
-		allocs: make(map[AllocID]*Allocation),
-		bySite: make(map[SiteID][]AllocID),
+		allocs: make(map[AllocID]*Allocation, n),
+		bySite: make(map[SiteID][]AllocID, n),
 	}
 }
 

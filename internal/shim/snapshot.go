@@ -45,10 +45,22 @@ func (al *Allocator) Export() *Registry {
 // reproduced, so Sites, Resolve and TotalSimBytes return identical
 // answers. Restore validates the registry enough to catch truncated or
 // corrupted snapshots.
+//
+// The rebuild is batched: all records land in one arena slice, the
+// per-site ID lists are carved out of one shared backing array, and the
+// maps are pre-sized, so restoring an N-allocation registry costs a
+// constant number of allocations instead of O(N) per-record inserts
+// (BenchmarkRestore gates this). Registry restore is a standing
+// per-replay cost wherever replay contexts cannot be shared, so it has
+// to stay cheap.
 func Restore(reg *Registry) (*Allocator, error) {
-	al := NewAllocator()
-	for i := range reg.Allocs {
-		rec := reg.Allocs[i] // copy; the allocator owns its records
+	n := len(reg.Allocs)
+	arena := make([]Allocation, n) // one slice owns every record
+	copy(arena, reg.Allocs)
+	al := newAllocator(n)
+	al.order = make([]AllocID, 0, n)
+	for i := range arena {
+		rec := &arena[i]
 		if rec.ID == 0 {
 			return nil, fmt.Errorf("shim: registry record %d has zero ID", i)
 		}
@@ -58,12 +70,32 @@ func Restore(reg *Registry) (*Allocator, error) {
 		if rec.Addr == 0 {
 			return nil, fmt.Errorf("shim: allocation %d at unmapped address 0", rec.ID)
 		}
-		al.allocs[rec.ID] = &rec
-		al.bySite[rec.Site] = append(al.bySite[rec.Site], rec.ID)
+		al.allocs[rec.ID] = rec
 		al.order = append(al.order, rec.ID)
 	}
-	if int(reg.Next) < len(reg.Allocs) {
-		return nil, fmt.Errorf("shim: registry Next %d below allocation count %d", reg.Next, len(reg.Allocs))
+	// Site lists: count members per site, carve each site's list out of
+	// one shared backing array, fill in creation order (into the
+	// constructor's pre-sized bySite map). Capacities are capped at each
+	// carve so a post-restore Register on an aliased site copies its
+	// list out instead of clobbering a neighbour's.
+	counts := make(map[SiteID]int, n)
+	for i := range arena {
+		counts[arena[i].Site]++
+	}
+	backing := make([]AllocID, n)
+	next := 0
+	for i := range arena {
+		site := arena[i].Site
+		ids, ok := al.bySite[site]
+		if !ok {
+			c := counts[site]
+			ids = backing[next : next : next+c]
+			next += c
+		}
+		al.bySite[site] = append(ids, arena[i].ID)
+	}
+	if int(reg.Next) < n {
+		return nil, fmt.Errorf("shim: registry Next %d below allocation count %d", reg.Next, n)
 	}
 	al.next = reg.Next
 	al.ordinal = reg.Ordinal

@@ -2,13 +2,13 @@ package trace
 
 import (
 	"crypto/sha256"
-	"encoding/binary"
 	"encoding/hex"
 	"fmt"
-	"math"
 	"os"
 	"path/filepath"
 	"runtime/debug"
+
+	"hmpt/internal/wire"
 )
 
 // kernelEpoch ties snapshot content addresses to the build that captured
@@ -67,30 +67,17 @@ type SnapshotKey struct {
 // migration logic — stale entries are simply never addressed again.
 func (k SnapshotKey) ID() string {
 	h := sha256.New()
-	var scratch [8]byte
-	binary.LittleEndian.PutUint64(scratch[:], SnapshotVersion)
-	h.Write(scratch[:])
-	binary.LittleEndian.PutUint64(scratch[:], uint64(len(kernelEpoch)))
-	h.Write(scratch[:])
-	h.Write([]byte(kernelEpoch))
-	binary.LittleEndian.PutUint64(scratch[:], uint64(len(k.Workload)))
-	h.Write(scratch[:])
-	h.Write([]byte(k.Workload))
-	binary.LittleEndian.PutUint64(scratch[:], uint64(len(k.Config)))
-	h.Write(scratch[:])
-	h.Write([]byte(k.Config))
-	binary.LittleEndian.PutUint64(scratch[:], uint64(int64(k.Threads)))
-	h.Write(scratch[:])
-	binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(k.Scale))
-	h.Write(scratch[:])
-	binary.LittleEndian.PutUint64(scratch[:], k.Seed)
-	h.Write(scratch[:])
-	binary.LittleEndian.PutUint64(scratch[:], uint64(k.SamplePeriod))
-	h.Write(scratch[:])
-	binary.LittleEndian.PutUint64(scratch[:], uint64(k.SampleBudget))
-	h.Write(scratch[:])
-	binary.LittleEndian.PutUint64(scratch[:], uint64(k.SamplerVersion))
-	h.Write(scratch[:])
+	w := wire.NewHashWriter(h)
+	w.U64(SnapshotVersion)
+	w.Str(kernelEpoch)
+	w.Str(k.Workload)
+	w.Str(k.Config)
+	w.I64(int64(k.Threads))
+	w.F64(k.Scale)
+	w.U64(k.Seed)
+	w.I64(k.SamplePeriod)
+	w.I64(k.SampleBudget)
+	w.U64(uint64(k.SamplerVersion))
 	return hex.EncodeToString(h.Sum(nil))
 }
 

@@ -1,15 +1,12 @@
 package trace
 
 import (
-	"bytes"
-	"encoding/binary"
 	"fmt"
-	"hash/fnv"
 	"io"
-	"math"
 
 	"hmpt/internal/shim"
 	"hmpt/internal/units"
+	"hmpt/internal/wire"
 )
 
 // A Snapshot is a captured reference run: the phase trace the kernel
@@ -109,79 +106,76 @@ func (s *Snapshot) EncodeBytes() ([]byte, error) {
 	if s.Registry == nil || s.Trace == nil {
 		return nil, fmt.Errorf("trace: snapshot missing registry or trace")
 	}
-	var e encoder
-	e.raw([]byte(snapshotMagic))
-	e.u32(SnapshotVersion)
+	var e wire.Encoder
+	e.Raw([]byte(snapshotMagic))
+	e.U32(SnapshotVersion)
 
-	e.str(s.Meta.Workload)
-	e.str(s.Meta.Config)
-	e.i64(int64(s.Meta.Threads))
-	e.f64(s.Meta.Scale)
-	e.u64(s.Meta.Seed)
-	e.u64(s.Meta.EnvSeed)
-	e.i64(int64(s.Meta.SimBytes))
-	e.i64(s.Meta.SamplePeriod)
-	e.i64(int64(s.Meta.SampleBudget))
+	e.Str(s.Meta.Workload)
+	e.Str(s.Meta.Config)
+	e.I64(int64(s.Meta.Threads))
+	e.F64(s.Meta.Scale)
+	e.U64(s.Meta.Seed)
+	e.U64(s.Meta.EnvSeed)
+	e.I64(int64(s.Meta.SimBytes))
+	e.I64(s.Meta.SamplePeriod)
+	e.I64(int64(s.Meta.SampleBudget))
 
 	reg := s.Registry
-	e.u32(uint32(len(reg.Allocs)))
+	e.U32(uint32(len(reg.Allocs)))
 	for i := range reg.Allocs {
 		a := &reg.Allocs[i]
-		e.u64(uint64(a.ID))
-		e.u64(uint64(a.Site))
-		e.str(a.Label)
-		e.u64(a.Addr)
-		e.i64(int64(a.SimSize))
-		e.i64(int64(a.RealSize))
-		e.f64(a.Scale)
-		e.u64(a.Birth)
-		e.u64(a.Death)
-		e.i64(int64(a.Hint))
+		e.U64(uint64(a.ID))
+		e.U64(uint64(a.Site))
+		e.Str(a.Label)
+		e.U64(a.Addr)
+		e.I64(int64(a.SimSize))
+		e.I64(int64(a.RealSize))
+		e.F64(a.Scale)
+		e.U64(a.Birth)
+		e.U64(a.Death)
+		e.I64(int64(a.Hint))
 	}
-	e.u64(uint64(reg.Next))
-	e.u64(reg.Ordinal)
-	e.u64(reg.Brk)
+	e.U64(uint64(reg.Next))
+	e.U64(reg.Ordinal)
+	e.U64(reg.Brk)
 
-	e.u32(uint32(len(s.Trace.Phases)))
+	e.U32(uint32(len(s.Trace.Phases)))
 	for i := range s.Trace.Phases {
 		p := &s.Trace.Phases[i]
-		e.str(p.Name)
-		e.i64(int64(p.Threads))
-		e.f64(float64(p.Flops))
-		e.f64(p.VectorFrac)
-		e.f64(p.FlopEff)
-		e.i64(p.Repeat)
-		e.u32(uint32(len(p.Streams)))
+		e.Str(p.Name)
+		e.I64(int64(p.Threads))
+		e.F64(float64(p.Flops))
+		e.F64(p.VectorFrac)
+		e.F64(p.FlopEff)
+		e.I64(p.Repeat)
+		e.U32(uint32(len(p.Streams)))
 		for _, st := range p.Streams {
-			e.u64(uint64(st.Alloc))
-			e.i64(int64(st.Bytes))
-			e.u8(uint8(st.Kind))
-			e.u8(uint8(st.Pattern))
-			e.i64(int64(st.WorkingSet))
-			e.f64(st.MLP)
+			e.U64(uint64(st.Alloc))
+			e.I64(int64(st.Bytes))
+			e.U8(uint8(st.Kind))
+			e.U8(uint8(st.Pattern))
+			e.I64(int64(st.WorkingSet))
+			e.F64(st.MLP)
 		}
 	}
 
 	if sc := s.Samples; sc != nil {
-		e.u8(1)
-		e.u32(sc.SamplerVersion)
-		e.i64(sc.Period)
-		e.i64(sc.Total)
-		e.i64(sc.Unmapped)
-		e.u32(uint32(len(sc.ByAlloc)))
+		e.U8(1)
+		e.U32(sc.SamplerVersion)
+		e.I64(sc.Period)
+		e.I64(sc.Total)
+		e.I64(sc.Unmapped)
+		e.U32(uint32(len(sc.ByAlloc)))
 		for _, a := range sc.ByAlloc {
-			e.u64(uint64(a.ID))
-			e.i64(a.Samples)
-			e.i64(a.Reads)
+			e.U64(uint64(a.ID))
+			e.I64(a.Samples)
+			e.I64(a.Reads)
 		}
 	} else {
-		e.u8(0)
+		e.U8(0)
 	}
 
-	h := fnv.New64a()
-	h.Write(e.buf.Bytes())
-	e.u64(h.Sum64())
-	return e.buf.Bytes(), nil
+	return e.Seal(), nil
 }
 
 // DecodeSnapshot reads one snapshot from r, validating magic, version
@@ -203,197 +197,100 @@ func DecodeSnapshotBytes(raw []byte) (*Snapshot, error) {
 	if string(raw[:len(snapshotMagic)]) != snapshotMagic {
 		return nil, fmt.Errorf("trace: bad snapshot magic %q", raw[:len(snapshotMagic)])
 	}
-	payload, tail := raw[:len(raw)-8], raw[len(raw)-8:]
-	h := fnv.New64a()
-	h.Write(payload)
-	if got, want := binary.LittleEndian.Uint64(tail), h.Sum64(); got != want {
-		return nil, fmt.Errorf("trace: snapshot checksum mismatch (%#x != %#x)", got, want)
+	payload, err := wire.CheckSeal(raw)
+	if err != nil {
+		return nil, fmt.Errorf("trace: snapshot: %w", err)
 	}
-	d := decoder{buf: payload[len(snapshotMagic):]}
-	if v := d.u32(); v != SnapshotVersion {
+	d := wire.NewDecoder(payload[len(snapshotMagic):])
+	if v := d.U32(); v != SnapshotVersion {
 		return nil, fmt.Errorf("trace: snapshot codec version %d, this build reads %d", v, SnapshotVersion)
 	}
 
 	s := &Snapshot{Registry: &shim.Registry{}, Trace: &Trace{}}
-	s.Meta.Workload = d.str()
-	s.Meta.Config = d.str()
-	s.Meta.Threads = int(d.i64())
-	s.Meta.Scale = d.f64()
-	s.Meta.Seed = d.u64()
-	s.Meta.EnvSeed = d.u64()
-	s.Meta.SimBytes = units.Bytes(d.i64())
-	s.Meta.SamplePeriod = d.i64()
-	s.Meta.SampleBudget = int(d.i64())
+	s.Meta.Workload = d.Str()
+	s.Meta.Config = d.Str()
+	s.Meta.Threads = int(d.I64())
+	s.Meta.Scale = d.F64()
+	s.Meta.Seed = d.U64()
+	s.Meta.EnvSeed = d.U64()
+	s.Meta.SimBytes = units.Bytes(d.I64())
+	s.Meta.SamplePeriod = d.I64()
+	s.Meta.SampleBudget = int(d.I64())
 
-	nAllocs := d.u32()
-	if err := d.fits(uint64(nAllocs), 60); err != nil {
+	nAllocs := d.U32()
+	if err := d.Fits(uint64(nAllocs), 60); err != nil {
 		return nil, err
 	}
 	s.Registry.Allocs = make([]shim.Allocation, nAllocs)
 	for i := range s.Registry.Allocs {
 		a := &s.Registry.Allocs[i]
-		a.ID = shim.AllocID(d.u64())
-		a.Site = shim.SiteID(d.u64())
-		a.Label = d.str()
-		a.Addr = d.u64()
-		a.SimSize = units.Bytes(d.i64())
-		a.RealSize = units.Bytes(d.i64())
-		a.Scale = d.f64()
-		a.Birth = d.u64()
-		a.Death = d.u64()
-		a.Hint = shim.PoolHint(d.i64())
+		a.ID = shim.AllocID(d.U64())
+		a.Site = shim.SiteID(d.U64())
+		a.Label = d.Str()
+		a.Addr = d.U64()
+		a.SimSize = units.Bytes(d.I64())
+		a.RealSize = units.Bytes(d.I64())
+		a.Scale = d.F64()
+		a.Birth = d.U64()
+		a.Death = d.U64()
+		a.Hint = shim.PoolHint(d.I64())
 	}
-	s.Registry.Next = shim.AllocID(d.u64())
-	s.Registry.Ordinal = d.u64()
-	s.Registry.Brk = d.u64()
+	s.Registry.Next = shim.AllocID(d.U64())
+	s.Registry.Ordinal = d.U64()
+	s.Registry.Brk = d.U64()
 
-	nPhases := d.u32()
-	if err := d.fits(uint64(nPhases), 40); err != nil {
+	nPhases := d.U32()
+	if err := d.Fits(uint64(nPhases), 40); err != nil {
 		return nil, err
 	}
 	s.Trace.Phases = make([]Phase, nPhases)
 	for i := range s.Trace.Phases {
 		p := &s.Trace.Phases[i]
-		p.Name = d.str()
-		p.Threads = int(d.i64())
-		p.Flops = units.Flops(d.f64())
-		p.VectorFrac = d.f64()
-		p.FlopEff = d.f64()
-		p.Repeat = d.i64()
-		nStreams := d.u32()
-		if err := d.fits(uint64(nStreams), 34); err != nil {
+		p.Name = d.Str()
+		p.Threads = int(d.I64())
+		p.Flops = units.Flops(d.F64())
+		p.VectorFrac = d.F64()
+		p.FlopEff = d.F64()
+		p.Repeat = d.I64()
+		nStreams := d.U32()
+		if err := d.Fits(uint64(nStreams), 34); err != nil {
 			return nil, err
 		}
 		p.Streams = make([]Stream, nStreams)
 		for j := range p.Streams {
 			st := &p.Streams[j]
-			st.Alloc = shim.AllocID(d.u64())
-			st.Bytes = units.Bytes(d.i64())
-			st.Kind = Kind(d.u8())
-			st.Pattern = Pattern(d.u8())
-			st.WorkingSet = units.Bytes(d.i64())
-			st.MLP = d.f64()
+			st.Alloc = shim.AllocID(d.U64())
+			st.Bytes = units.Bytes(d.I64())
+			st.Kind = Kind(d.U8())
+			st.Pattern = Pattern(d.U8())
+			st.WorkingSet = units.Bytes(d.I64())
+			st.MLP = d.F64()
 		}
 	}
-	if d.u8() != 0 {
+	if d.U8() != 0 {
 		sc := &SampleCounts{}
-		sc.SamplerVersion = d.u32()
-		sc.Period = d.i64()
-		sc.Total = d.i64()
-		sc.Unmapped = d.i64()
-		nCounts := d.u32()
-		if err := d.fits(uint64(nCounts), 24); err != nil {
+		sc.SamplerVersion = d.U32()
+		sc.Period = d.I64()
+		sc.Total = d.I64()
+		sc.Unmapped = d.I64()
+		nCounts := d.U32()
+		if err := d.Fits(uint64(nCounts), 24); err != nil {
 			return nil, err
 		}
 		sc.ByAlloc = make([]SampleAllocCount, nCounts)
 		for i := range sc.ByAlloc {
 			a := &sc.ByAlloc[i]
-			a.ID = shim.AllocID(d.u64())
-			a.Samples = d.i64()
-			a.Reads = d.i64()
+			a.ID = shim.AllocID(d.U64())
+			a.Samples = d.I64()
+			a.Reads = d.I64()
 		}
 		s.Samples = sc
 	}
-	if d.err != nil {
-		return nil, d.err
+	if err := d.Err(); err != nil {
+		return nil, err
 	}
-	if len(d.buf) != 0 {
-		return nil, fmt.Errorf("trace: %d trailing bytes after snapshot", len(d.buf))
+	if d.Len() != 0 {
+		return nil, fmt.Errorf("trace: %d trailing bytes after snapshot", d.Len())
 	}
 	return s, nil
-}
-
-// encoder accumulates the little-endian wire form.
-type encoder struct {
-	buf     bytes.Buffer
-	scratch [8]byte
-}
-
-func (e *encoder) raw(b []byte) { e.buf.Write(b) }
-
-func (e *encoder) u8(v uint8) { e.buf.WriteByte(v) }
-
-func (e *encoder) u32(v uint32) {
-	binary.LittleEndian.PutUint32(e.scratch[:4], v)
-	e.buf.Write(e.scratch[:4])
-}
-
-func (e *encoder) u64(v uint64) {
-	binary.LittleEndian.PutUint64(e.scratch[:8], v)
-	e.buf.Write(e.scratch[:8])
-}
-
-func (e *encoder) i64(v int64)   { e.u64(uint64(v)) }
-func (e *encoder) f64(v float64) { e.u64(math.Float64bits(v)) }
-
-func (e *encoder) str(s string) {
-	e.u32(uint32(len(s)))
-	e.buf.WriteString(s)
-}
-
-// decoder consumes the wire form, latching the first error.
-type decoder struct {
-	buf []byte
-	err error
-}
-
-func (d *decoder) take(n int) []byte {
-	if d.err != nil {
-		return nil
-	}
-	if len(d.buf) < n {
-		d.err = fmt.Errorf("trace: snapshot truncated (want %d bytes, have %d)", n, len(d.buf))
-		return nil
-	}
-	out := d.buf[:n]
-	d.buf = d.buf[n:]
-	return out
-}
-
-// fits rejects count fields whose minimal encoding (unit bytes per
-// element) could not fit in the remaining buffer, before make() trusts
-// them.
-func (d *decoder) fits(count, unit uint64) error {
-	if d.err != nil {
-		return d.err
-	}
-	if count*unit > uint64(len(d.buf)) {
-		d.err = fmt.Errorf("trace: snapshot count %d exceeds remaining %d bytes", count, len(d.buf))
-	}
-	return d.err
-}
-
-func (d *decoder) u8() uint8 {
-	b := d.take(1)
-	if b == nil {
-		return 0
-	}
-	return b[0]
-}
-
-func (d *decoder) u32() uint32 {
-	b := d.take(4)
-	if b == nil {
-		return 0
-	}
-	return binary.LittleEndian.Uint32(b)
-}
-
-func (d *decoder) u64() uint64 {
-	b := d.take(8)
-	if b == nil {
-		return 0
-	}
-	return binary.LittleEndian.Uint64(b)
-}
-
-func (d *decoder) i64() int64   { return int64(d.u64()) }
-func (d *decoder) f64() float64 { return math.Float64frombits(d.u64()) }
-
-func (d *decoder) str() string {
-	n := d.u32()
-	if d.fits(uint64(n), 1) != nil {
-		return ""
-	}
-	return string(d.take(int(n)))
 }
