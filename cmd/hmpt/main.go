@@ -7,12 +7,13 @@
 //
 //	hmpt list
 //	hmpt analyze <workload> [-runs N] [-threads N] [-seed N] [-full] [-csv]
-//	             [-ibs-period N] [-ibs-max-samples N]
+//	             [-ibs-period N] [-ibs-max-samples N] [-iters N]
 //	hmpt plan <workload> -budget <bytes, e.g. 16GB> [-full]
 //	hmpt campaign [-workloads a,b|all] [-platforms xeonmax,dual] [-seeds 1,2]
 //	              [-runs N] [-cache DIR] [-analysis-cache DIR] [-par N]
-//	              [-full] [-csv] [-ibs-period N] [-ibs-max-samples N]
+//	              [-full] [-csv] [-ibs-period N] [-ibs-max-samples N] [-iters N]
 //	hmpt bench-report [-in FILE] [-out FILE] [-label S] [-expect a,b]
+//	                  [-prior 'BENCH_pr*.json']
 package main
 
 import (
@@ -91,6 +92,7 @@ func campaignCmd(args []string) error {
 	csv := fs.Bool("csv", false, "emit CSV instead of a table")
 	ibsPeriod := fs.Int64("ibs-period", 0, "IBS sampling period in cache lines (0 = default 64Ki); part of the snapshot cache key")
 	ibsMax := fs.Int("ibs-max-samples", 0, "IBS per-run sample budget (0 = default 200k); part of the snapshot cache key")
+	iters := fs.Int("iters", 0, "iteration/timestep count override (0 = workload default); part of the snapshot cache key")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -116,6 +118,9 @@ func campaignCmd(args []string) error {
 		}
 		if *ibsMax > 0 {
 			w.Options.SampleBudget = *ibsMax
+		}
+		if *iters > 0 {
+			w.Options.Iterations = *iters
 		}
 		m.Workloads = append(m.Workloads, w)
 	}
@@ -241,6 +246,7 @@ func analyzeWorkload(fs *flag.FlagSet, args []string) (*core.Analysis, error) {
 	full := fs.Bool("full", false, "full-size workload instance (slower)")
 	ibsPeriod := fs.Int64("ibs-period", 0, "IBS sampling period in cache lines (0 = default 64Ki)")
 	ibsMax := fs.Int("ibs-max-samples", 0, "IBS per-run sample budget (0 = default 200k)")
+	iters := fs.Int("iters", 0, "iteration/timestep count override (0 = workload default)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -261,7 +267,7 @@ func analyzeWorkload(fs *flag.FlagSet, args []string) (*core.Analysis, error) {
 			return nil, werr
 		}
 		return core.New(w, core.Options{Runs: *runs, Threads: *threads, Seed: *seed,
-			SamplePeriod: *ibsPeriod, SampleBudget: *ibsMax}).Analyze()
+			SamplePeriod: *ibsPeriod, SampleBudget: *ibsMax, Iterations: *iters}).Analyze()
 	}
 	opts := spec.Options
 	opts.Runs = *runs
@@ -274,6 +280,9 @@ func analyzeWorkload(fs *flag.FlagSet, args []string) (*core.Analysis, error) {
 	}
 	if *ibsMax > 0 {
 		opts.SampleBudget = *ibsMax
+	}
+	if *iters > 0 {
+		opts.Iterations = *iters
 	}
 	opts.Platform = memsim.XeonMax9468()
 	f := spec.Fast
@@ -368,6 +377,19 @@ type benchReportDoc struct {
 	Label      string        `json:"label,omitempty"`
 	GoVersion  string        `json:"go"`
 	Benchmarks []benchResult `json:"benchmarks"`
+	// Trajectory is the merged cross-PR view (-prior): one point per
+	// prior BENCH_*.json artifact, in file order, plus this report
+	// itself as the final point — benchmark name to ns/op. Benchmarks a
+	// point lacks are simply absent from its map, so renames show up as
+	// gaps rather than zeros.
+	Trajectory []trajectoryPoint `json:"trajectory,omitempty"`
+}
+
+// trajectoryPoint is one PR's entry of the merged trajectory table.
+type trajectoryPoint struct {
+	Label   string             `json:"label"`
+	Source  string             `json:"source,omitempty"` // the prior file the point came from
+	NsPerOp map[string]float64 `json:"ns_per_op"`
 }
 
 // benchReport parses `go test -bench` output into a JSON report. Lines
@@ -379,12 +401,20 @@ type benchReportDoc struct {
 // -bench pattern) is emitted with null metrics instead of failing the
 // job, so one renamed benchmark can never sink the whole perf-trajectory
 // artifact — the nulls make the gap visible in the JSON instead.
+//
+// -prior merges earlier BENCH_*.json artifacts into a single cross-PR
+// trajectory: the report gains a "trajectory" section (one ns/op point
+// per prior file, in file order, plus this report as the final point)
+// and a human-readable table is printed to stderr. Files or globs that
+// match nothing are skipped — a fresh CI workspace has no priors and
+// the report degrades to a single-point trajectory.
 func benchReport(args []string) error {
 	fs := flag.NewFlagSet("bench-report", flag.ContinueOnError)
 	in := fs.String("in", "-", "bench output to parse (- = stdin)")
 	out := fs.String("out", "", "JSON report path (empty = stdout)")
 	label := fs.String("label", "", "trajectory label recorded in the report (e.g. pr3)")
 	expect := fs.String("expect", "", "comma-separated benchmark names that must appear; missing ones are recorded with null metrics instead of failing")
+	prior := fs.String("prior", "", "comma-separated prior BENCH_*.json files or globs to merge into the cross-PR trajectory (missing files are skipped)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -428,6 +458,11 @@ func benchReport(args []string) error {
 	sort.SliceStable(doc.Benchmarks, func(i, j int) bool {
 		return doc.Benchmarks[i].Name < doc.Benchmarks[j].Name
 	})
+	if *prior != "" {
+		if err := mergeTrajectory(&doc, *prior); err != nil {
+			return err
+		}
+	}
 	enc, err := json.MarshalIndent(&doc, "", "  ")
 	if err != nil {
 		return err
@@ -438,6 +473,133 @@ func benchReport(args []string) error {
 		return err
 	}
 	return os.WriteFile(*out, enc, 0o644)
+}
+
+// trailingNumber returns the integer ending a file's base name (before
+// the extension), e.g. 7 for "BENCH_pr7.json".
+func trailingNumber(path string) (int, bool) {
+	base := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	i := len(base)
+	for i > 0 && base[i-1] >= '0' && base[i-1] <= '9' {
+		i--
+	}
+	if i == len(base) {
+		return 0, false
+	}
+	n, err := strconv.Atoi(base[i:])
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// nsPoint flattens a report's benchmarks to name → ns/op, skipping
+// null-metric placeholders.
+func nsPoint(label, source string, benchmarks []benchResult) trajectoryPoint {
+	pt := trajectoryPoint{Label: label, Source: source, NsPerOp: map[string]float64{}}
+	for _, r := range benchmarks {
+		if ns, ok := r.Metrics["ns/op"]; ok {
+			pt.NsPerOp[r.Name] = ns
+		}
+	}
+	return pt
+}
+
+// mergeTrajectory resolves the -prior file list (commas and globs),
+// parses each prior report, and appends the merged cross-PR trajectory
+// to doc — priors in file order, this report last — plus a text table
+// on stderr. A prior that cannot be parsed fails the merge loudly: a
+// silently dropped point would misrepresent the trajectory.
+func mergeTrajectory(doc *benchReportDoc, prior string) error {
+	var files []string
+	for _, pat := range strings.Split(prior, ",") {
+		pat = strings.TrimSpace(pat)
+		if pat == "" {
+			continue
+		}
+		matches, err := filepath.Glob(pat)
+		if err != nil {
+			return fmt.Errorf("bad -prior pattern %q: %w", pat, err)
+		}
+		if len(matches) == 0 {
+			fmt.Fprintf(os.Stderr, "hmpt: bench-report: no prior reports match %q; skipping\n", pat)
+			continue
+		}
+		// Chronological, not lexicographic: BENCH_pr10 must sort after
+		// BENCH_pr9, so compare the numeric suffix when both have one.
+		sort.Slice(matches, func(i, j int) bool {
+			ni, iok := trailingNumber(matches[i])
+			nj, jok := trailingNumber(matches[j])
+			if iok && jok && ni != nj {
+				return ni < nj
+			}
+			if iok != jok {
+				return jok // un-numbered names first, numbered run in order
+			}
+			return matches[i] < matches[j]
+		})
+		files = append(files, matches...)
+	}
+	// Overlapping patterns (a glob plus an explicit file it covers) must
+	// not produce duplicate trajectory points.
+	seen := make(map[string]bool, len(files))
+	deduped := files[:0]
+	for _, f := range files {
+		if seen[f] {
+			continue
+		}
+		seen[f] = true
+		deduped = append(deduped, f)
+	}
+	files = deduped
+	for _, f := range files {
+		raw, err := os.ReadFile(f)
+		if err != nil {
+			return fmt.Errorf("reading prior report: %w", err)
+		}
+		var p benchReportDoc
+		if err := json.Unmarshal(raw, &p); err != nil {
+			return fmt.Errorf("parsing prior report %s: %w", f, err)
+		}
+		label := p.Label
+		if label == "" {
+			label = filepath.Base(f)
+		}
+		doc.Trajectory = append(doc.Trajectory, nsPoint(label, filepath.Base(f), p.Benchmarks))
+	}
+	doc.Trajectory = append(doc.Trajectory, nsPoint(doc.Label, "", doc.Benchmarks))
+
+	// Human-readable trajectory table on stderr: rows are the union of
+	// benchmark names, columns the points.
+	names := map[string]bool{}
+	for _, pt := range doc.Trajectory {
+		for n := range pt.NsPerOp {
+			names[n] = true
+		}
+	}
+	ordered := make([]string, 0, len(names))
+	for n := range names {
+		ordered = append(ordered, n)
+	}
+	sort.Strings(ordered)
+	cols := []string{"benchmark"}
+	for _, pt := range doc.Trajectory {
+		cols = append(cols, pt.Label)
+	}
+	t := report.NewTable(cols...)
+	for _, n := range ordered {
+		row := []any{n}
+		for _, pt := range doc.Trajectory {
+			if ns, ok := pt.NsPerOp[n]; ok {
+				row = append(row, ns/1e6) // ms/op reads better than ns at this scale
+			} else {
+				row = append(row, "")
+			}
+		}
+		t.AddRow(row...)
+	}
+	fmt.Fprintf(os.Stderr, "cross-PR trajectory (ms/op):\n")
+	return t.Write(os.Stderr)
 }
 
 // benchCovered reports whether an expected benchmark name is covered by

@@ -98,3 +98,158 @@ func TestBenchReportEmptyLogStillFails(t *testing.T) {
 		t.Error("empty log without expectations did not fail")
 	}
 }
+
+// TestBenchReportMergesPriorTrajectory: -prior folds earlier BENCH_*.json
+// artifacts into a trajectory — priors in file order, this report last,
+// ns/op per benchmark — and tolerates globs matching nothing (a fresh CI
+// workspace has no priors).
+func TestBenchReportMergesPriorTrajectory(t *testing.T) {
+	dir := t.TempDir()
+	prior3 := filepath.Join(dir, "BENCH_pr3.json")
+	prior4 := filepath.Join(dir, "BENCH_pr4.json")
+	if err := os.WriteFile(prior3, []byte(`{
+		"schema": "hmpt-bench/v1", "label": "pr3", "go": "go1.23",
+		"benchmarks": [{"name": "BenchmarkTable2Summary-4", "iterations": 1,
+			"metrics": {"ns/op": 46700000}}]
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(prior4, []byte(`{
+		"schema": "hmpt-bench/v1", "label": "pr4", "go": "go1.23",
+		"benchmarks": [{"name": "BenchmarkTable2Summary-4", "iterations": 1,
+			"metrics": {"ns/op": 40000000}},
+			{"name": "BenchmarkWarmCampaignPlacementFree-4", "iterations": 1,
+			"metrics": {"ns/op": 30000}}]
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	in := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(in, []byte("BenchmarkTable2Summary-4 1 35000000 ns/op\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "BENCH_pr5.json")
+	err := benchReport([]string{"-in", in, "-out", out, "-label", "pr5",
+		"-prior", filepath.Join(dir, "BENCH_pr*.json") + "," + filepath.Join(dir, "nonexistent-*.json")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Trajectory []struct {
+			Label   string             `json:"label"`
+			NsPerOp map[string]float64 `json:"ns_per_op"`
+		} `json:"trajectory"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Trajectory) != 3 {
+		t.Fatalf("trajectory has %d points, want 3 (pr3, pr4, pr5)", len(doc.Trajectory))
+	}
+	for i, want := range []string{"pr3", "pr4", "pr5"} {
+		if doc.Trajectory[i].Label != want {
+			t.Errorf("trajectory[%d] = %q, want %q", i, doc.Trajectory[i].Label, want)
+		}
+	}
+	if got := doc.Trajectory[0].NsPerOp["BenchmarkTable2Summary-4"]; got != 46700000 {
+		t.Errorf("pr3 point carries %g ns/op, want 46700000", got)
+	}
+	if got := doc.Trajectory[2].NsPerOp["BenchmarkTable2Summary-4"]; got != 35000000 {
+		t.Errorf("pr5 point carries %g ns/op, want 35000000", got)
+	}
+	if _, ok := doc.Trajectory[0].NsPerOp["BenchmarkWarmCampaignPlacementFree-4"]; ok {
+		t.Error("pr3 point invented a benchmark it never ran (gaps must stay gaps)")
+	}
+}
+
+// TestPriorFilesSortNumerically: BENCH_pr10 must order after BENCH_pr9
+// in the trajectory — lexicographic order would put it first.
+func TestPriorFilesSortNumerically(t *testing.T) {
+	dir := t.TempDir()
+	mk := func(name, label string) {
+		doc := `{"schema": "hmpt-bench/v1", "label": "` + label + `", "go": "go1.23",
+			"benchmarks": [{"name": "B-4", "iterations": 1, "metrics": {"ns/op": 1}}]}`
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(doc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("BENCH_pr9.json", "pr9")
+	mk("BENCH_pr10.json", "pr10")
+	mk("BENCH_pr2.json", "pr2")
+	in := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(in, []byte("BenchmarkB-4 1 2 ns/op\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "out.json")
+	if err := benchReport([]string{"-in", in, "-out", out, "-label", "pr11",
+		"-prior", filepath.Join(dir, "BENCH_pr*.json")}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Trajectory []struct {
+			Label string `json:"label"`
+		} `json:"trajectory"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]string, len(doc.Trajectory))
+	for i := range doc.Trajectory {
+		got[i] = doc.Trajectory[i].Label
+	}
+	want := []string{"pr2", "pr9", "pr10", "pr11"}
+	if len(got) != len(want) {
+		t.Fatalf("trajectory labels %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("trajectory labels %v, want %v", got, want)
+		}
+	}
+}
+
+// TestPriorOverlappingPatternsDedup: a glob plus an explicit file it
+// already covers must yield one trajectory point, not two.
+func TestPriorOverlappingPatternsDedup(t *testing.T) {
+	dir := t.TempDir()
+	doc := `{"schema": "hmpt-bench/v1", "label": "pr3", "go": "go1.23",
+		"benchmarks": [{"name": "B-4", "iterations": 1, "metrics": {"ns/op": 1}}]}`
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_pr3.json"), []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	in := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(in, []byte("BenchmarkB-4 1 2 ns/op\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "out.json")
+	if err := benchReport([]string{"-in", in, "-out", out, "-label", "pr5",
+		"-prior", filepath.Join(dir, "BENCH_pr*.json") + "," + filepath.Join(dir, "BENCH_pr3.json")}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Trajectory []struct {
+			Label string `json:"label"`
+		} `json:"trajectory"`
+	}
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Trajectory) != 2 {
+		labels := make([]string, len(got.Trajectory))
+		for i := range got.Trajectory {
+			labels[i] = got.Trajectory[i].Label
+		}
+		t.Fatalf("trajectory has %d points (%v), want 2", len(got.Trajectory), labels)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"hmpt/internal/core"
+	"hmpt/internal/ibs"
 	"hmpt/internal/memsim"
 )
 
@@ -122,5 +123,46 @@ func TestContextReplayConcurrent(t *testing.T) {
 		if !reflect.DeepEqual(expect, got[i]) {
 			t.Errorf("concurrent replay %d differs from the serial analysis", i)
 		}
+	}
+}
+
+// TestContextSharesCountValidation pins the platform-independent half
+// of report reconstruction: one shared context validates its embedded
+// sample counts exactly once (ibs.CountWalks), no matter how many
+// platforms reconstruct sampling reports from it — only the per-platform
+// latency half is re-derived.
+func TestContextSharesCountValidation(t *testing.T) {
+	c := equivCases(t)[0]
+	snap, err := core.Capture(c.factory(), c.opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := core.NewContext(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ibs.CountWalks()
+	for _, platform := range []*memsim.Platform{memsim.XeonMax9468(), memsim.DualXeonMax9468()} {
+		opts := c.opts
+		opts.Platform = platform
+		if _, err := core.NewContextReplay(ctx, opts).Analyze(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := ibs.CountWalks() - before; got != 1 {
+		t.Errorf("two platforms ran %d count-validation walks, want 1 (shared table)", got)
+	}
+	// Per-replay reconstruction (no context) validates per call — the
+	// baseline the sharing is measured against.
+	before = ibs.CountWalks()
+	for _, platform := range []*memsim.Platform{memsim.XeonMax9468(), memsim.DualXeonMax9468()} {
+		opts := c.opts
+		opts.Platform = platform
+		if _, err := core.NewReplay(snap, opts).Analyze(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := ibs.CountWalks() - before; got != 2 {
+		t.Errorf("two per-replay analyses ran %d count walks, want 2", got)
 	}
 }

@@ -69,7 +69,10 @@ type (
 type (
 	// Snapshot is a captured reference run (phase trace + allocation
 	// registry + metadata); replaying it is byte-identical to
-	// re-executing the kernel.
+	// re-executing the kernel. The stored trace is canonical: each
+	// distinct phase shape appears once with its total multiplicity, so
+	// snapshot size and every downstream pass are O(unique phases) in
+	// the kernel's iteration count (see Options.Iterations).
 	Snapshot = trace.Snapshot
 	// SnapshotCache is the content-addressed on-disk snapshot store.
 	SnapshotCache = trace.SnapshotCache
@@ -115,7 +118,8 @@ func Analyze(w Workload, opts Options) (*Analysis, error) {
 }
 
 // Capture executes the workload's kernel once — the reference stage of
-// Analyze — and returns the run as a replayable snapshot.
+// Analyze — and returns the run as a replayable snapshot carrying the
+// canonical deduplicated trace.
 func Capture(w Workload, opts Options) (*Snapshot, error) {
 	return core.Capture(w, opts)
 }

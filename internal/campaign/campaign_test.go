@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"sync"
 	"testing"
 
 	"hmpt/internal/core"
@@ -573,5 +574,93 @@ func TestCampaignVariants(t *testing.T) {
 	}
 	if reflect.DeepEqual(base.Analysis.Configs, seed9.Analysis.Configs) {
 		t.Error("seed variant produced identical measurements; expected different noise draws")
+	}
+}
+
+// TestConcurrentEnginesShareCacheDir is the multi-process-campaign
+// contract exercised in-process: two engines with private memos race
+// the same matrix against one snapshot-cache and one analysis-cache
+// directory. Both must succeed with byte-identical results, the shared
+// directories must end up with exactly one complete entry per key (no
+// stranded temp files, no torn entries — every publish staged under a
+// unique temp name and renamed atomically), and a third, warm engine
+// must serve every cell from the caches with zero kernel executions.
+func TestConcurrentEnginesShareCacheDir(t *testing.T) {
+	m := testMatrix(t)
+	snapDir := t.TempDir()
+	anDir := t.TempDir()
+
+	run := func() (*Result, error) {
+		snaps, err := trace.NewSnapshotCache(snapDir)
+		if err != nil {
+			return nil, err
+		}
+		analyses, err := core.NewAnalysisCache(anDir)
+		if err != nil {
+			return nil, err
+		}
+		eng := &Engine{Cache: snaps, Analyses: analyses, Memo: NewMemo()}
+		res, err := eng.Run(m)
+		if err != nil {
+			return nil, err
+		}
+		return res, res.Err()
+	}
+
+	results := make([]*Result, 2)
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for i := range results {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i], errs[i] = run()
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("engine %d: %v", i, err)
+		}
+		if len(results[i].CacheErrs) != 0 {
+			t.Errorf("engine %d degraded its caches: %v", i, results[i].CacheErrs)
+		}
+	}
+	for i := range results[0].Cells {
+		a, b := &results[0].Cells[i], &results[1].Cells[i]
+		if !reflect.DeepEqual(a.Analysis, b.Analysis) {
+			t.Errorf("cell %s/%s differs between racing engines", a.Workload, a.Platform)
+		}
+	}
+
+	for _, dir := range []string{snapDir, anDir} {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if filepath.Ext(e.Name()) != ".snap" && filepath.Ext(e.Name()) != ".anl" {
+				t.Errorf("stray file %q left in shared cache dir", e.Name())
+			}
+		}
+	}
+
+	before := core.KernelExecutions()
+	warm, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := core.KernelExecutions() - before; got != 0 {
+		t.Errorf("warm engine executed %d kernels, want 0", got)
+	}
+	if warm.AnalysisHits != len(warm.Cells) {
+		t.Errorf("warm engine served %d/%d cells from the analysis cache", warm.AnalysisHits, len(warm.Cells))
+	}
+	for i := range warm.Cells {
+		if !reflect.DeepEqual(warm.Cells[i].Analysis, results[0].Cells[i].Analysis) {
+			t.Errorf("warm cell %s/%s differs from the racing engines' result",
+				warm.Cells[i].Workload, warm.Cells[i].Platform)
+		}
 	}
 }

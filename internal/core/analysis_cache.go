@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"hmpt/internal/fsatomic"
 	"hmpt/internal/memsim"
 	"hmpt/internal/shim"
 	"hmpt/internal/wire"
@@ -170,26 +171,16 @@ func (c *AnalysisCache) Load(k AnalysisKey) (an *Analysis, ok bool, err error) {
 }
 
 // Store writes the analysis under the key, atomically replacing any
-// existing entry.
+// existing entry. Like the snapshot cache, the publish stages under a
+// unique temp name and renames atomically, so engines in separate
+// processes can share one cache directory without torn entries.
 func (c *AnalysisCache) Store(k AnalysisKey, an *Analysis) error {
 	id := k.ID()
 	b, err := encodeAnalysis(id, an)
 	if err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(c.dir, "."+id[:12]+".tmp*")
-	if err != nil {
-		return fmt.Errorf("core: staging analysis: %w", err)
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.Write(b); err != nil {
-		tmp.Close()
-		return fmt.Errorf("core: writing analysis: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("core: writing analysis: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), c.path(id)); err != nil {
+	if err := fsatomic.Publish(c.path(id), b); err != nil {
 		return fmt.Errorf("core: publishing analysis: %w", err)
 	}
 	return nil

@@ -36,6 +36,7 @@ type ReplayContext struct {
 	tr   *trace.Trace
 
 	mu      sync.Mutex
+	counts  *ibs.CountTable                    // validated once, shared by every platform
 	reports map[string]*ibs.Report             // platform fingerprint -> shared report
 	evals   map[evalKey]*memsim.SweepEvaluator // pristine compiled evaluators
 }
@@ -81,11 +82,40 @@ func (c *ReplayContext) Workload() string { return c.snap.Meta.Workload }
 // policy's effect on this capture.
 func (c *ReplayContext) Sites() []shim.SiteGroup { return c.al.Sites() }
 
+// countTable returns the capture's validated count table — the
+// platform-independent half of report reconstruction — building it on
+// first use and sharing it across every platform of the capture:
+// ibs.CountWalks therefore advances once per context no matter how many
+// platforms replay it (pinned by the context tests).
+func (c *ReplayContext) countTable() (*ibs.CountTable, error) {
+	c.mu.Lock()
+	t := c.counts
+	c.mu.Unlock()
+	if t != nil {
+		return t, nil
+	}
+	// Validate outside the lock; concurrent losers discard their
+	// (identical) table in favour of the first published one.
+	t, err := ibs.ValidateCounts(c.snap.Samples, c.tr, c.al)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if c.counts != nil {
+		t = c.counts
+	} else {
+		c.counts = t
+	}
+	c.mu.Unlock()
+	return t, nil
+}
+
 // report returns the sampling report of the capture's embedded counts
 // reconstructed against the machine, memoised per platform fingerprint
 // (fp, computed once per analysis by the caller): the reconstruction is
 // a pure function of (counts, trace, registry, platform), so every cell
-// of one platform shares one report.
+// of one platform shares one report — and all platforms share the one
+// validated count table, re-deriving only the latency half.
 func (c *ReplayContext) report(fp string, m *memsim.Machine, allDDR memsim.Placement) (*ibs.Report, error) {
 	c.mu.Lock()
 	r, ok := c.reports[fp]
@@ -93,10 +123,14 @@ func (c *ReplayContext) report(fp string, m *memsim.Machine, allDDR memsim.Place
 	if ok {
 		return r, nil
 	}
+	table, err := c.countTable()
+	if err != nil {
+		return nil, err
+	}
 	// Reconstruct outside the lock so independent platforms derive in
 	// parallel; concurrent losers for one key discard their (identical)
 	// result in favour of the first published one.
-	r, err := ibs.ReportFromCounts(c.snap.Samples, c.tr, c.al, m, allDDR)
+	r, err = table.Report(m, allDDR)
 	if err != nil {
 		return nil, err
 	}

@@ -60,7 +60,7 @@ func SweepEvaluations() int64 { return sweepEvals.Load() }
 func Capture(w workloads.Workload, opts Options) (*trace.Snapshot, error) {
 	o := opts.withDefaults()
 	envSeed := xrand.New(o.Seed).Split(1).Uint64()
-	env, tr, err := executeReference(w, o.Threads, o.Scale, envSeed)
+	env, tr, err := executeReference(w, o.Threads, o.Scale, o.Iterations, envSeed)
 	if err != nil {
 		return nil, err
 	}
@@ -82,6 +82,7 @@ func Capture(w workloads.Workload, opts Options) (*trace.Snapshot, error) {
 			SimBytes:     env.Alloc.TotalSimBytes(),
 			SamplePeriod: o.SamplePeriod,
 			SampleBudget: o.SampleBudget,
+			Iterations:   o.Iterations,
 		},
 		Registry: env.Alloc.Export(),
 		Trace:    tr,
@@ -99,6 +100,7 @@ func SnapshotKeyFor(workload string, opts Options) trace.SnapshotKey {
 	return trace.SnapshotKey{
 		Workload: workload, Config: o.ConfigTag, Threads: o.Threads, Scale: o.Scale, Seed: o.Seed,
 		SamplePeriod: o.SamplePeriod, SampleBudget: int64(o.SampleBudget), SamplerVersion: ibs.SamplerVersion,
+		Iterations: o.Iterations,
 	}
 }
 
@@ -125,6 +127,9 @@ func NewReplay(snap *trace.Snapshot, opts Options) *Tuner {
 	if opts.SampleBudget <= 0 {
 		opts.SampleBudget = snap.Meta.SampleBudget
 	}
+	if opts.Iterations == 0 {
+		opts.Iterations = snap.Meta.Iterations
+	}
 	opts.Snapshot = snap
 	return &Tuner{opts: opts.withDefaults(), name: snap.Meta.Workload}
 }
@@ -141,11 +146,17 @@ func NewContextReplay(ctx *ReplayContext, opts Options) *Tuner {
 	return t
 }
 
-// executeReference runs the kernel once in a fresh environment: the one
-// place in the pipeline real execution happens.
-func executeReference(w workloads.Workload, threads int, scale float64, envSeed uint64) (*workloads.Env, *trace.Trace, error) {
+// executeReference runs the kernel once in a fresh environment — the one
+// place in the pipeline real execution happens — and canonicalises the
+// recorded trace: each distinct phase shape once, total multiplicity in
+// Repeat (trace.Canonical). Canonicalisation happens here, before the
+// trace enters any downstream stage or snapshot, so live analyses,
+// captures and replays all consume the identical compact trace and the
+// whole pipeline is O(unique phases) in the kernel's iteration count.
+func executeReference(w workloads.Workload, threads int, scale float64, iters int, envSeed uint64) (*workloads.Env, *trace.Trace, error) {
 	kernelExecs.Add(1)
 	env := workloads.NewEnv(threads, scale, envSeed)
+	env.Iterations = iters
 	if err := w.Setup(env); err != nil {
 		return nil, nil, fmt.Errorf("core: setup %s: %w", w.Name(), err)
 	}
@@ -155,7 +166,7 @@ func executeReference(w workloads.Workload, threads int, scale float64, envSeed 
 	if err := w.Verify(); err != nil {
 		return nil, nil, fmt.Errorf("core: verify %s: %w", w.Name(), err)
 	}
-	return env, env.Rec.Trace(), nil
+	return env, env.Rec.Trace().Canonical(), nil
 }
 
 // reference produces the reference run's allocation registry and phase
@@ -170,7 +181,7 @@ func (t *Tuner) reference(envSeed uint64) (*shim.Allocator, *trace.Trace, error)
 		if t.w == nil {
 			return nil, nil, fmt.Errorf("core: tuner for %s has neither workload nor snapshot", t.name)
 		}
-		env, tr, err := executeReference(t.w, t.opts.Threads, t.opts.Scale, envSeed)
+		env, tr, err := executeReference(t.w, t.opts.Threads, t.opts.Scale, t.opts.Iterations, envSeed)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -199,6 +210,10 @@ func (t *Tuner) reference(envSeed uint64) (*shim.Allocator, *trace.Trace, error)
 	if mPeriod != o.SamplePeriod || mBudget != o.SampleBudget {
 		return nil, nil, fmt.Errorf("core: snapshot of %q captured at sample period=%d budget=%d, options want period=%d budget=%d",
 			m.Workload, mPeriod, mBudget, o.SamplePeriod, o.SampleBudget)
+	}
+	if m.Iterations != o.Iterations {
+		return nil, nil, fmt.Errorf("core: snapshot of %q captured at iterations=%d, options want iterations=%d",
+			m.Workload, m.Iterations, o.Iterations)
 	}
 	if m.EnvSeed != envSeed {
 		return nil, nil, fmt.Errorf("core: snapshot of %q records env seed %#x, expected %#x (corrupted or cross-version snapshot)",

@@ -81,6 +81,14 @@ type Options struct {
 	// 200k perf buffer budget); the period is raised to stay within it.
 	// Like SamplePeriod it participates in snapshot identity.
 	SampleBudget int
+	// Iterations overrides the workload's configured iteration/timestep
+	// count (0 = the workload default). It is a capture input like Seed:
+	// a different timestep count executes a different kernel, so it
+	// participates in snapshot identity. Thanks to phase deduplication
+	// the trace, the snapshot and every downstream pass stay O(unique
+	// phases) regardless of this count — only kernel execution itself
+	// scales with it.
+	Iterations int
 	// Snapshot injects a captured reference run (see Capture): the
 	// analysis replays the snapshot's trace and allocation registry
 	// instead of executing the kernel. The snapshot's capture inputs
@@ -649,17 +657,71 @@ func (t *Tuner) buildGroups(m *memsim.Machine, tr *trace.Trace, al *shim.Allocat
 	filtered := len(significant)
 
 	// Probe individual impact: each significant pre-group alone in HBM.
+	// Solo probes are independent, so they fan out over workers: every
+	// probe owns a pre-split RNG (split in the serial order, so results
+	// are identical for any worker count) and a pre-assigned result
+	// slot. Engine workers clone the compiled evaluator and walk their
+	// slice with two group flips per step (previous probe out, next one
+	// in) — bit-identical to full evaluations by the Flip contract; the
+	// oracle path costs each probe's placement from scratch on the
+	// stateless Machine.
 	type probed struct {
 		*pre
 		solo float64
 	}
-	probes := make([]probed, 0, len(significant))
-	for i, g := range significant {
-		sample, err := measureHBM([]*pre{g}, rng.Split(uint64(i)))
-		if err != nil {
-			return nil, 0, 0, fmt.Errorf("core: probing group %q: %w", g.label, err)
+	probes := make([]probed, len(significant))
+	if len(significant) > 0 {
+		probeRNGs := make([]*xrand.Rand, len(significant))
+		for i := range probeRNGs {
+			probeRNGs[i] = rng.Split(uint64(i))
 		}
-		probes = append(probes, probed{pre: g, solo: baseMean / sample.Mean()})
+		probeErrs := make([]error, len(significant))
+		workers := o.SweepParallelism
+		if workers < 1 {
+			workers = parallel.DefaultThreads()
+		}
+		if workers > len(significant) {
+			workers = len(significant)
+		}
+		parallel.For(workers, len(significant), func(_, lo, hi int) {
+			if lo >= hi {
+				return
+			}
+			var ev *memsim.SweepEvaluator
+			inHBM := -1 // pre-group index currently flipped into HBM
+			if eng != nil {
+				ev = eng.Clone()
+			}
+			for i := lo; i < hi; i++ {
+				g := significant[i]
+				var sample *stats.Sample
+				if ev != nil {
+					if inHBM >= 0 {
+						ev.Flip(inHBM, ddr)
+					}
+					det := ev.Flip(g.idx, hbm)
+					inHBM = g.idx
+					sample = replaySample(m, det, o.Runs, probeRNGs[i])
+				} else {
+					pl := memsim.NewSimplePlacement(len(m.P.Pools), ddr)
+					for _, id := range g.allocs {
+						pl.Set(id, hbm)
+					}
+					var err error
+					sample, err = t.measure(m, tr, pl, probeRNGs[i])
+					if err != nil {
+						probeErrs[i] = err
+						continue
+					}
+				}
+				probes[i] = probed{pre: g, solo: baseMean / sample.Mean()}
+			}
+		})
+		for i, err := range probeErrs {
+			if err != nil {
+				return nil, 0, 0, fmt.Errorf("core: probing group %q: %w", significant[i].label, err)
+			}
+		}
 	}
 	// Rank by individual impact, ties by bytes then label for determinism.
 	sort.SliceStable(probes, func(i, j int) bool {

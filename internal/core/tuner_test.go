@@ -490,3 +490,58 @@ func TestReplayWithoutEmbeddedCountsSamplesLive(t *testing.T) {
 		t.Error("count-free replay differs from live analysis")
 	}
 }
+
+// TestIterationsChangeSnapshotKey: the iteration-count override is a
+// capture input — a non-default value must address a different
+// snapshot-cache entry (it executes a different kernel), and zero (the
+// workload default) must be canonical.
+func TestIterationsChangeSnapshotKey(t *testing.T) {
+	base := SnapshotKeyFor("w", Options{Seed: 1})
+	again := SnapshotKeyFor("w", Options{Seed: 1, Iterations: 0})
+	if base.ID() != again.ID() {
+		t.Error("zero iterations (workload default) addresses a different entry than unset")
+	}
+	iters := SnapshotKeyFor("w", Options{Seed: 1, Iterations: 40})
+	if iters.ID() == base.ID() {
+		t.Error("iteration override did not change the snapshot cache key")
+	}
+}
+
+// TestIterationsThreadThroughAnalysis: the override reaches the kernel
+// (the trace's total traffic scales with it, while its phase count does
+// not), is recorded in the capture metadata, fills in on replay, and a
+// mismatched injection is rejected like any other capture input.
+func TestIterationsThreadThroughAnalysis(t *testing.T) {
+	base, err := Capture(synth.Default(), Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Seed: 1, Iterations: 30} // synth default is 10
+	more, err := Capture(synth.Default(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if more.Meta.Iterations != 30 {
+		t.Errorf("capture recorded iterations %d, want 30", more.Meta.Iterations)
+	}
+	if got, want := more.Trace.TotalBytes(), 3*base.Trace.TotalBytes(); got != want {
+		t.Errorf("3x iterations moved %v, want exactly 3x the default's %v", got, base.Trace.TotalBytes())
+	}
+	if got, want := len(more.Trace.Phases), len(base.Trace.Phases); got != want {
+		t.Errorf("3x iterations produced %d phases, want %d (dedup)", got, want)
+	}
+	live, err := New(synth.Default(), opts).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := NewReplay(more, Options{}).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(live, replay) {
+		t.Error("replay at non-default iterations differs from live analysis")
+	}
+	if _, err := New(synth.Default(), Options{Seed: 1, Snapshot: more}).Analyze(); err == nil {
+		t.Error("analysis accepted a snapshot captured under a different iteration count")
+	}
+}

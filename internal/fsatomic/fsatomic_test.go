@@ -1,0 +1,91 @@
+package fsatomic
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// TestPublishBasics: content lands whole, overwrites atomically, and no
+// staging file survives.
+func TestPublishBasics(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "entry.bin")
+	if err := Publish(path, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := Publish(path, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "two" {
+		t.Errorf("read %q, want %q", got, "two")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory holds %d entries, want 1 (no stranded temp files)", len(entries))
+	}
+}
+
+// TestPublishConcurrent: many writers racing one path — every read of
+// the final file must be one writer's payload in full, never a torn
+// interleaving, and no staging files remain.
+func TestPublishConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "entry.bin")
+	const writers = 16
+	payload := func(i int) []byte {
+		return bytes.Repeat([]byte{byte('a' + i)}, 4096)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := Publish(path, payload(i)); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	match := false
+	for i := 0; i < writers; i++ {
+		if bytes.Equal(got, payload(i)) {
+			match = true
+			break
+		}
+	}
+	if !match {
+		t.Error("final file is not any single writer's payload (torn publish)")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory holds %d entries, want 1", len(entries))
+	}
+}
+
+// TestPublishFailureLeavesTargetIntact: a publish into a missing
+// directory fails without touching anything.
+func TestPublishFailureLeavesTargetIntact(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sub", "entry.bin")
+	if err := Publish(path, []byte("x")); err == nil {
+		t.Error("publish into a missing directory succeeded, want error")
+	}
+}

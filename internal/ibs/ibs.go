@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"hmpt/internal/memsim"
 	"hmpt/internal/shim"
@@ -318,48 +319,110 @@ func (s *Sampler) Counts(tr *trace.Trace, al *shim.Allocator) (*trace.SampleCoun
 	return c, nil
 }
 
-// ReportFromCounts reconstructs the report a Sample call would produce
-// from previously captured counts: count-derived statistics come
-// straight from c, while latencies — which depend on the machine and
-// placement, deliberately absent from the platform-independent counts —
-// are re-derived through the same accumulate walk the engine runs (so
-// the cost class is the engine's O(streams × pools), not less; what the
-// replay saves is the RNG discipline and the count derivation, and what
-// the walk buys is validation). The placement must assign each
-// allocation wholly to one pool (memsim.PoolAssigner — the all-DDR
-// reference placement the pipeline samples under), which makes the
-// reconstruction deterministic, free of RNG, and bitwise equal to the
-// engine's output. Counts that disagree with the trace (a stale or
-// foreign embedding) are rejected rather than silently producing a
-// divergent report.
-func ReportFromCounts(c *trace.SampleCounts, tr *trace.Trace, al *shim.Allocator, m *memsim.Machine, pl memsim.Placement) (*Report, error) {
-	if c == nil || tr == nil || al == nil || m == nil || pl == nil {
+// countWalks counts platform-independent count-validation walks — the
+// half of a count replay that derives and validates per-allocation
+// sample counts against embedded counts. core.ReplayContext shares one
+// validated CountTable across every platform of a capture, so its
+// context tests pin this counter to one walk per capture regardless of
+// how many platforms reconstruct reports from it.
+var countWalks atomic.Int64
+
+// CountWalks returns the number of count-validation walks performed in
+// this process. Tests compare deltas.
+func CountWalks() int64 { return countWalks.Load() }
+
+// CountTable is the validated, platform-independent half of a count
+// replay: the per-allocation sample and read counts of one (counts,
+// trace, registry) triple, checked against the embedded counts once.
+// Report derives the platform-dependent half — latencies — from it for
+// any machine, without re-validating; one table serves every platform
+// of a capture.
+type CountTable struct {
+	counts   *trace.SampleCounts
+	tr       *trace.Trace
+	al       *shim.Allocator
+	byAlloc  []sampleAgg // n and reads filled; latSum unused (zero)
+	total    int
+	unmapped int
+}
+
+// ValidateCounts runs the platform-independent half of a count replay:
+// one machine-free accumulate walk deriving the per-allocation counts
+// from the trace, validated against the embedded counts. Counts that
+// disagree with the trace (a stale or foreign embedding) are rejected
+// rather than silently producing a divergent report.
+func ValidateCounts(c *trace.SampleCounts, tr *trace.Trace, al *shim.Allocator) (*CountTable, error) {
+	if c == nil || tr == nil || al == nil {
 		return nil, fmt.Errorf("ibs: nil argument")
 	}
 	if c.SamplerVersion != SamplerVersion {
 		return nil, fmt.Errorf("ibs: sample counts from sampler version %d, this build replays %d", c.SamplerVersion, SamplerVersion)
 	}
+	if c.Period <= 0 {
+		return nil, fmt.Errorf("ibs: sample counts carry period %d", c.Period)
+	}
+	countWalks.Add(1)
+	t := &CountTable{counts: c, tr: tr, al: al, byAlloc: make([]sampleAgg, maxAllocID(al)+1)}
+	t.total, t.unmapped = accumulate(tr, al, c.Period, t.byAlloc, nil)
+	if int64(t.total) != c.Total || int64(t.unmapped) != c.Unmapped {
+		return nil, fmt.Errorf("ibs: sample counts record %d total / %d unmapped, trace yields %d / %d (stale embedding)",
+			c.Total, c.Unmapped, t.total, t.unmapped)
+	}
+	for _, e := range c.ByAlloc {
+		if int(e.ID) >= len(t.byAlloc) || int64(t.byAlloc[e.ID].n) != e.Samples || int64(t.byAlloc[e.ID].reads) != e.Reads {
+			return nil, fmt.Errorf("ibs: sample counts for allocation %d disagree with the trace (stale embedding)", e.ID)
+		}
+	}
+	return t, nil
+}
+
+// Report derives the full report of the validated table against one
+// machine and placement — the platform-dependent half of a count replay:
+// a latency-only walk over the trace, with the counts taken from the
+// table. The placement must assign each allocation wholly to one pool
+// (memsim.PoolAssigner — the all-DDR reference placement the pipeline
+// samples under), which makes the reconstruction deterministic, free of
+// RNG, and bitwise equal to the engine's output: the latency additions
+// run in the same stream order on the same values as the fused
+// engine walk.
+func (t *CountTable) Report(m *memsim.Machine, pl memsim.Placement) (*Report, error) {
+	if m == nil || pl == nil {
+		return nil, fmt.Errorf("ibs: nil argument")
+	}
 	pa, ok := pl.(memsim.PoolAssigner)
 	if !ok {
 		return nil, fmt.Errorf("ibs: count replay requires a whole-pool placement (memsim.PoolAssigner)")
 	}
-	if c.Period <= 0 {
-		return nil, fmt.Errorf("ibs: sample counts carry period %d", c.Period)
-	}
-	rep := &Report{Period: c.Period, ByAlloc: make(map[shim.AllocID]*AllocStats)}
-	byAlloc := make([]sampleAgg, maxAllocID(al)+1)
-	rep.Total, rep.Unmapped = accumulate(tr, al, c.Period, byAlloc, wholePoolLatency(m, pa))
-	if int64(rep.Total) != c.Total || int64(rep.Unmapped) != c.Unmapped {
-		return nil, fmt.Errorf("ibs: sample counts record %d total / %d unmapped, trace yields %d / %d (stale embedding)",
-			c.Total, c.Unmapped, rep.Total, rep.Unmapped)
-	}
-	for _, e := range c.ByAlloc {
-		if int(e.ID) >= len(byAlloc) || int64(byAlloc[e.ID].n) != e.Samples || int64(byAlloc[e.ID].reads) != e.Reads {
-			return nil, fmt.Errorf("ibs: sample counts for allocation %d disagree with the trace (stale embedding)", e.ID)
+	rep := &Report{Period: t.counts.Period, ByAlloc: make(map[shim.AllocID]*AllocStats)}
+	rep.Total, rep.Unmapped = t.total, t.unmapped
+	byAlloc := make([]sampleAgg, len(t.byAlloc))
+	copy(byAlloc, t.byAlloc)
+	tally := wholePoolLatency(m, pa)
+	forEachStream(t.tr, t.al, t.counts.Period, func(st *trace.Stream, a *shim.Allocation, n int) {
+		if !a.Live() {
+			return
 		}
-	}
+		tally(st, n, &byAlloc[a.ID])
+	})
 	finishReport(rep, byAlloc)
 	return rep, nil
+}
+
+// ReportFromCounts reconstructs the report a Sample call would produce
+// from previously captured counts: ValidateCounts (the platform-
+// independent count walk and stale-embedding check) followed by
+// CountTable.Report (the per-platform latency derivation). Callers
+// reconstructing one capture against several platforms should validate
+// once and call Report per platform — what core.ReplayContext does.
+func ReportFromCounts(c *trace.SampleCounts, tr *trace.Trace, al *shim.Allocator, m *memsim.Machine, pl memsim.Placement) (*Report, error) {
+	if m == nil || pl == nil {
+		return nil, fmt.Errorf("ibs: nil argument")
+	}
+	t, err := ValidateCounts(c, tr, al)
+	if err != nil {
+		return nil, err
+	}
+	return t.Report(m, pl)
 }
 
 // sampleAgg is the dense per-allocation accumulator shared by the

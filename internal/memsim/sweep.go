@@ -3,6 +3,7 @@ package memsim
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"hmpt/internal/shim"
 	"hmpt/internal/trace"
@@ -22,47 +23,60 @@ const EngineVersion = 1
 // pair: the preallocated, allocation-free engine behind the tuner's
 // exhaustive 2^|AG| configuration sweep and its impact probes.
 //
-// Compilation walks the trace once and precomputes, for every
-// (phase, stream, pool) triple, the three contributions costPhase would
+// Compilation deduplicates the trace by phase shape (trace.PhaseHash /
+// trace.SameShape): each distinct shape is compiled once — for every
+// (shape, stream, pool) triple, the three contributions costPhase would
 // derive for that stream if its allocation lived in that pool: the two
 // per-thread concurrency addends (read and write) and the pool-bus
-// occupancy addend. Evaluating a placement then reduces to selecting one
-// pool column per stream and re-running the identical additions — no map
-// lookups, no per-stream split slices, no cache-profile recomputation.
+// occupancy addend — and every trace position merely references its
+// shape with its own repeat multiplier. Evaluating a placement then
+// costs each distinct shape once (selecting one pool column per stream
+// and re-running the identical additions — no map lookups, no per-stream
+// split slices, no cache-profile recomputation) and scales by count; on
+// the canonical deduplicated traces the pipeline captures, positions and
+// shapes coincide and the whole sweep is O(unique phases).
 //
 // Bit-exactness contract: for any whole-group pool assignment, Eval* and
 // Flip return exactly the Duration Machine.Cost computes for the
-// equivalent SimplePlacement (rng == nil). This holds because every
-// floating-point operation of the phase walk is performed in the same
-// order on the same values as costPhase, and because the incremental
-// Gray-code step (Flip) re-evaluates whole phases: a phase's cost is a
-// pure function of the pools of the groups it touches, so phases
-// untouched by a flip keep bitwise-identical cached values and touched
-// phases are recomputed by the same full stream-order walk a fresh
-// evaluation would use. The equivalence is asserted per-mask by
+// equivalent SimplePlacement (rng == nil) — on any trace, deduplicated
+// or not. This holds because every floating-point operation of the shape
+// walk is performed in the same order on the same values as costPhase
+// (two positions of one shape are bitwise-identical walks, so sharing
+// one result changes nothing), per-position contributions are
+// accumulated in trace order exactly as Cost accumulates RunResult.Time,
+// and the incremental Gray-code step (Flip) re-evaluates whole shapes: a
+// shape's cost is a pure function of the pools of the groups it touches,
+// so shapes untouched by a flip keep bitwise-identical cached values and
+// touched shapes are recomputed by the same full stream-order walk a
+// fresh evaluation would use. The equivalence is asserted per-mask by
 // TestSweepMatchesCost and end-to-end by the core equivalence tests.
 //
 // The evaluator carries mutable per-instance state (current assignment
-// and cached per-phase contributions) and is NOT safe for concurrent
-// use; Clone shares the compiled read-only tables and gives each worker
-// its own state, which is how the tuner fans the sweep out over
-// internal/parallel workers.
+// and cached per-shape/per-position contributions) and is NOT safe for
+// concurrent use; Clone shares the compiled read-only tables and gives
+// each worker its own state, which is how the tuner fans the sweep and
+// its probe stage out over internal/parallel workers.
 type SweepEvaluator struct {
 	m       *Machine
 	nPools  int
 	defPool PoolID
-	phases  []sweepPhase
-	byGroup [][]int32 // phase indices touched by each group
+	shapes  []sweepShape
+	pos     []sweepPos
+	// byGroupShape/byGroupPos list the shape and position indices whose
+	// cost depends on each group — what a Flip must re-derive.
+	byGroupShape [][]int32
+	byGroupPos   [][]int32
 
 	// Mutable evaluation state.
-	pools   []PoolID         // current pool per group
-	contrib []units.Duration // cached per-phase time × repeats
-	effBus  []float64        // per-pool bus-seconds scratch
+	pools     []PoolID         // current pool per group
+	shapeTime []units.Duration // cached per-shape time (single repeat)
+	contrib   []units.Duration // cached per-position time × repeats
+	effBus    []float64        // per-pool bus-seconds scratch
 }
 
-// sweepPhase is one compiled phase: per-term contribution columns plus
-// the placement-independent compute ceiling.
-type sweepPhase struct {
+// sweepShape is one compiled distinct phase shape: per-term contribution
+// columns plus the placement-independent compute ceiling.
+type sweepShape struct {
 	// group[t] is the owning group of term t; -1 pins the term's
 	// allocation to the default pool.
 	group []int32
@@ -72,11 +86,17 @@ type sweepPhase struct {
 	concR []float64
 	concW []float64
 	bus   []float64
-	// cpuTime is the phase's compute-ceiling time (mask independent).
+	// cpuTime is the shape's compute-ceiling time (mask independent).
 	cpuTime units.Duration
-	// reps is the phase repeat count as the Duration multiplier Cost
-	// applies when accumulating the trace total.
-	reps units.Duration
+	// touched lists the groups the shape's streams reference, sorted.
+	touched []int32
+}
+
+// sweepPos is one trace position: its shape and its repeat count as the
+// Duration multiplier Cost applies when accumulating the trace total.
+type sweepPos struct {
+	shape int32
+	reps  units.Duration
 }
 
 // CompileSweep compiles the trace against a partition of allocations
@@ -104,105 +124,138 @@ func (m *Machine) CompileSweep(tr *trace.Trace, defThreads int, groups [][]shim.
 	}
 
 	e := &SweepEvaluator{
-		m:       m,
-		nPools:  nPools,
-		defPool: defPool,
-		phases:  make([]sweepPhase, len(tr.Phases)),
-		byGroup: make([][]int32, len(groups)),
-		pools:   make([]PoolID, len(groups)),
-		contrib: make([]units.Duration, len(tr.Phases)),
-		effBus:  make([]float64, nPools),
+		m:            m,
+		nPools:       nPools,
+		defPool:      defPool,
+		pos:          make([]sweepPos, len(tr.Phases)),
+		byGroupShape: make([][]int32, len(groups)),
+		byGroupPos:   make([][]int32, len(groups)),
+		pools:        make([]PoolID, len(groups)),
+		contrib:      make([]units.Duration, len(tr.Phases)),
+		effBus:       make([]float64, nPools),
 	}
 	for gi := range e.pools {
 		e.pools[gi] = defPool
 	}
 
+	// Deduplicate positions by shape: each distinct shape compiles once,
+	// every position references it with its own repeat multiplier.
+	var shapeIdx trace.ShapeIndexer
 	for pi := range tr.Phases {
 		ph := &tr.Phases[pi]
-		sp := &e.phases[pi]
-		sp.reps = units.Duration(ph.Times())
-
-		threads := ph.Threads
-		if threads <= 0 {
-			threads = defThreads
+		e.pos[pi].reps = units.Duration(ph.Times())
+		si := shapeIdx.Index(ph)
+		e.pos[pi].shape = si
+		if int(si) < len(e.shapes) {
+			continue // shape already compiled by an earlier position
 		}
-		if threads <= 0 || threads > m.P.Cores() {
-			threads = m.P.Cores()
+		sp, err := m.compileShape(ph, pi, defThreads, groupOf, nPools)
+		if err != nil {
+			return nil, err
 		}
-
-		touched := make(map[int32]bool)
-		for si := range ph.Streams {
-			s := &ph.Streams[si]
-			if s.Bytes < 0 {
-				return nil, fmt.Errorf("memsim: phase %d (%s): stream %d has negative bytes", pi, ph.Name, si)
-			}
-			if s.Bytes == 0 {
-				continue
-			}
-			var readB, writeB float64
-			switch s.Kind {
-			case trace.Read:
-				readB = float64(s.Bytes)
-			case trace.Write:
-				writeB = float64(s.Bytes)
-			case trace.Update:
-				readB = float64(s.Bytes)
-				writeB = float64(s.Bytes)
-			default:
-				return nil, fmt.Errorf("memsim: phase %d (%s): stream %d has unknown kind %v", pi, ph.Name, si, s.Kind)
-			}
-			gi := int32(-1)
-			if g, ok := groupOf[s.Alloc]; ok {
-				gi = g
-				touched[g] = true
-			}
-			mlp := m.mlpFor(s)
-			cached := s.Pattern == trace.Random || s.Pattern == trace.Chase
-			sp.group = append(sp.group, gi)
-			for pid := 0; pid < nPools; pid++ {
-				prof := AccessProfile{AvgLatency: m.P.Pools[pid].Latency, MemFrac: 1}
-				if cached {
-					prof = m.P.AccessProfileFor(PoolID(pid), s.WorkingSet)
-				}
-				lineSec := prof.AvgLatency.Seconds() / (float64(threads) * 64)
-				concR := readB * lineSec / mlp
-				concW := writeB * lineSec / (mlp * writeMLPFactor)
-				memR := readB * prof.MemFrac
-				memW := writeB * prof.MemFrac
-				bus := memR + m.P.Pools[pid].WriteCost*memW
-				if !finite(concR) || !finite(concW) || !finite(bus) {
-					return nil, fmt.Errorf("memsim: phase %d (%s): stream %d cost is not finite in pool %s",
-						pi, ph.Name, si, m.P.Pools[pid].Name)
-				}
-				sp.concR = append(sp.concR, concR)
-				sp.concW = append(sp.concW, concW)
-				sp.bus = append(sp.bus, bus)
-			}
+		e.shapes = append(e.shapes, sp)
+		for _, g := range sp.touched {
+			e.byGroupShape[g] = append(e.byGroupShape[g], si)
 		}
-		for g := range touched {
-			e.byGroup[g] = append(e.byGroup[g], int32(pi))
-		}
-
-		if ph.Flops > 0 {
-			vf := ph.VectorFrac
-			if vf < 0 {
-				vf = 0
-			} else if vf > 1 {
-				vf = 1
-			}
-			eff := ph.FlopEff
-			if eff <= 0 {
-				eff = m.P.FlopEff
-			}
-			peakG := float64(threads) * m.P.ClockGHz * (vf*m.P.VecFlopsPerCycle + (1-vf)*m.P.ScalarFlopsPerCycle)
-			sp.cpuTime = units.FlopRate(peakG * 1e9 * eff).Time(ph.Flops)
-			if !finite(float64(sp.cpuTime)) {
-				return nil, fmt.Errorf("memsim: phase %d (%s): compute ceiling is not finite", pi, ph.Name)
-			}
-		}
-		e.contrib[pi] = e.evalPhase(pi)
 	}
+	for pi := range e.pos {
+		for _, g := range e.shapes[e.pos[pi].shape].touched {
+			e.byGroupPos[g] = append(e.byGroupPos[g], int32(pi))
+		}
+	}
+
+	// Initial evaluation under the all-default assignment.
+	e.shapeTime = make([]units.Duration, len(e.shapes))
+	e.evalAll()
 	return e, nil
+}
+
+// compileShape precompiles the per-(stream, pool) contribution columns
+// of one distinct phase shape — the identical arithmetic, in the
+// identical order, costPhase performs for that phase. pi is the shape's
+// first trace position, used for error attribution only.
+func (m *Machine) compileShape(ph *trace.Phase, pi, defThreads int, groupOf map[shim.AllocID]int32, nPools int) (sweepShape, error) {
+	var sp sweepShape
+	threads := ph.Threads
+	if threads <= 0 {
+		threads = defThreads
+	}
+	if threads <= 0 || threads > m.P.Cores() {
+		threads = m.P.Cores()
+	}
+
+	touched := make(map[int32]bool)
+	for si := range ph.Streams {
+		s := &ph.Streams[si]
+		if s.Bytes < 0 {
+			return sweepShape{}, fmt.Errorf("memsim: phase %d (%s): stream %d has negative bytes", pi, ph.Name, si)
+		}
+		if s.Bytes == 0 {
+			continue
+		}
+		var readB, writeB float64
+		switch s.Kind {
+		case trace.Read:
+			readB = float64(s.Bytes)
+		case trace.Write:
+			writeB = float64(s.Bytes)
+		case trace.Update:
+			readB = float64(s.Bytes)
+			writeB = float64(s.Bytes)
+		default:
+			return sweepShape{}, fmt.Errorf("memsim: phase %d (%s): stream %d has unknown kind %v", pi, ph.Name, si, s.Kind)
+		}
+		gi := int32(-1)
+		if g, ok := groupOf[s.Alloc]; ok {
+			gi = g
+			touched[g] = true
+		}
+		mlp := m.mlpFor(s)
+		cached := s.Pattern == trace.Random || s.Pattern == trace.Chase
+		sp.group = append(sp.group, gi)
+		for pid := 0; pid < nPools; pid++ {
+			prof := AccessProfile{AvgLatency: m.P.Pools[pid].Latency, MemFrac: 1}
+			if cached {
+				prof = m.P.AccessProfileFor(PoolID(pid), s.WorkingSet)
+			}
+			lineSec := prof.AvgLatency.Seconds() / (float64(threads) * 64)
+			concR := readB * lineSec / mlp
+			concW := writeB * lineSec / (mlp * writeMLPFactor)
+			memR := readB * prof.MemFrac
+			memW := writeB * prof.MemFrac
+			bus := memR + m.P.Pools[pid].WriteCost*memW
+			if !finite(concR) || !finite(concW) || !finite(bus) {
+				return sweepShape{}, fmt.Errorf("memsim: phase %d (%s): stream %d cost is not finite in pool %s",
+					pi, ph.Name, si, m.P.Pools[pid].Name)
+			}
+			sp.concR = append(sp.concR, concR)
+			sp.concW = append(sp.concW, concW)
+			sp.bus = append(sp.bus, bus)
+		}
+	}
+	for g := range touched {
+		sp.touched = append(sp.touched, g)
+	}
+	sort.Slice(sp.touched, func(i, j int) bool { return sp.touched[i] < sp.touched[j] })
+
+	if ph.Flops > 0 {
+		vf := ph.VectorFrac
+		if vf < 0 {
+			vf = 0
+		} else if vf > 1 {
+			vf = 1
+		}
+		eff := ph.FlopEff
+		if eff <= 0 {
+			eff = m.P.FlopEff
+		}
+		peakG := float64(threads) * m.P.ClockGHz * (vf*m.P.VecFlopsPerCycle + (1-vf)*m.P.ScalarFlopsPerCycle)
+		sp.cpuTime = units.FlopRate(peakG * 1e9 * eff).Time(ph.Flops)
+		if !finite(float64(sp.cpuTime)) {
+			return sweepShape{}, fmt.Errorf("memsim: phase %d (%s): compute ceiling is not finite", pi, ph.Name)
+		}
+	}
+	return sp, nil
 }
 
 func finite(f float64) bool { return !math.IsInf(f, 0) && !math.IsNaN(f) }
@@ -210,21 +263,31 @@ func finite(f float64) bool { return !math.IsInf(f, 0) && !math.IsNaN(f) }
 // NumGroups returns the number of groups in the compiled partition.
 func (e *SweepEvaluator) NumGroups() int { return len(e.pools) }
 
+// NumShapes returns the number of distinct phase shapes the trace
+// compiled to — the unit of evaluation work per mask.
+func (e *SweepEvaluator) NumShapes() int { return len(e.shapes) }
+
+// NumPositions returns the number of trace positions (phases of the
+// source trace). On a canonical deduplicated trace it equals NumShapes.
+func (e *SweepEvaluator) NumPositions() int { return len(e.pos) }
+
 // Clone returns an evaluator sharing the compiled read-only tables but
 // carrying private evaluation state (initialised to e's current
 // assignment), for use by a concurrent sweep worker.
 func (e *SweepEvaluator) Clone() *SweepEvaluator {
 	c := *e
 	c.pools = append([]PoolID(nil), e.pools...)
+	c.shapeTime = append([]units.Duration(nil), e.shapeTime...)
 	c.contrib = append([]units.Duration(nil), e.contrib...)
 	c.effBus = make([]float64, e.nPools)
 	return &c
 }
 
-// evalPhase recomputes one phase under the current assignment: the
-// stream-order walk of costPhase with precompiled addends.
-func (e *SweepEvaluator) evalPhase(pi int) units.Duration {
-	sp := &e.phases[pi]
+// evalShape recomputes one distinct shape under the current assignment:
+// the stream-order walk of costPhase with precompiled addends, single
+// repeat.
+func (e *SweepEvaluator) evalShape(si int) units.Duration {
+	sp := &e.shapes[si]
 	np := e.nPools
 	eb := e.effBus
 	for p := range eb {
@@ -254,11 +317,11 @@ func (e *SweepEvaluator) evalPhase(pi int) units.Duration {
 	if sp.cpuTime > total {
 		total = sp.cpuTime
 	}
-	return total * sp.reps
+	return total
 }
 
-// total accumulates the cached per-phase contributions in phase order —
-// the same addition sequence Cost uses for RunResult.Time.
+// total accumulates the cached per-position contributions in trace order
+// — the same addition sequence Cost uses for RunResult.Time.
 func (e *SweepEvaluator) total() units.Duration {
 	var t units.Duration
 	for i := range e.contrib {
@@ -267,10 +330,14 @@ func (e *SweepEvaluator) total() units.Duration {
 	return t
 }
 
-// evalAll recomputes every phase under the current assignment.
+// evalAll recomputes every shape once under the current assignment and
+// rescales every position from its shape.
 func (e *SweepEvaluator) evalAll() units.Duration {
-	for pi := range e.phases {
-		e.contrib[pi] = e.evalPhase(pi)
+	for si := range e.shapes {
+		e.shapeTime[si] = e.evalShape(si)
+	}
+	for pi := range e.pos {
+		e.contrib[pi] = e.shapeTime[e.pos[pi].shape] * e.pos[pi].reps
 	}
 	return e.total()
 }
@@ -304,12 +371,16 @@ func (e *SweepEvaluator) EvalGroups(on []int, offPool, onPool PoolID) units.Dura
 }
 
 // Flip moves group g to pool `to` and incrementally re-evaluates only
-// the phases that group touches — the Gray-code step of the sweep. The
-// result is bit-identical to a full evaluation of the new assignment.
+// the distinct shapes that group touches — the Gray-code step of the
+// sweep — then rescales the touched positions. The result is
+// bit-identical to a full evaluation of the new assignment.
 func (e *SweepEvaluator) Flip(g int, to PoolID) units.Duration {
 	e.pools[g] = to
-	for _, pi := range e.byGroup[g] {
-		e.contrib[pi] = e.evalPhase(int(pi))
+	for _, si := range e.byGroupShape[g] {
+		e.shapeTime[si] = e.evalShape(int(si))
+	}
+	for _, pi := range e.byGroupPos[g] {
+		e.contrib[pi] = e.shapeTime[e.pos[pi].shape] * e.pos[pi].reps
 	}
 	return e.total()
 }

@@ -267,3 +267,64 @@ func TestSweepEvalAllocFree(t *testing.T) {
 	}
 	_ = sink
 }
+
+// TestSweepShapeSharing: a raw iterative trace (the same loop body
+// emitted many times, never adjacent) compiles each distinct shape once
+// — NumShapes stays at the body size while NumPositions grows with the
+// iteration count — and evaluation stays bit-exact against Machine.Cost
+// on the full per-position sum, for full evaluations and Gray-code
+// flips alike.
+func TestSweepShapeSharing(t *testing.T) {
+	base := sweepTrace()
+	const iters = 17
+	tr := &trace.Trace{}
+	for it := 0; it < iters; it++ {
+		tr.Phases = append(tr.Phases, base.Phases...)
+	}
+	m := NewMachine(XeonMax9468())
+	groups := sweepGroups()
+	ddr := m.P.MustPool(DDR)
+	hbm := m.P.MustPool(HBM)
+
+	ev, err := m.CompileSweep(tr, 0, groups, ddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := ev.NumShapes(), len(base.Phases); got != want {
+		t.Errorf("NumShapes = %d, want %d (one per distinct loop-body phase)", got, want)
+	}
+	if got, want := ev.NumPositions(), iters*len(base.Phases); got != want {
+		t.Errorf("NumPositions = %d, want %d", got, want)
+	}
+
+	for mask := uint32(0); mask < 1<<uint(len(groups)); mask++ {
+		res, err := m.Cost(tr, placementForMask(m.P, groups, mask), 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := ev.EvalMask(mask, ddr, hbm); got != res.Time {
+			t.Errorf("mask %03b: EvalMask %.17g, Cost %.17g", mask, float64(got), float64(res.Time))
+		}
+	}
+	// Gray-code walk over the same masks: flips must re-derive exactly
+	// the shapes and positions the flipped group touches.
+	det := ev.EvalMask(0, ddr, hbm)
+	for g := uint32(1); g < 1<<uint(len(groups)); g++ {
+		bit := 0
+		for ; g&(1<<uint(bit)) == 0; bit++ {
+		}
+		mask := g ^ (g >> 1)
+		to := ddr
+		if mask&(1<<uint(bit)) != 0 {
+			to = hbm
+		}
+		det = ev.Flip(bit, to)
+		res, err := m.Cost(tr, placementForMask(m.P, groups, mask), 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if det != res.Time {
+			t.Errorf("gray mask %03b: Flip %.17g, Cost %.17g", mask, float64(det), float64(res.Time))
+		}
+	}
+}

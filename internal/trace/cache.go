@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"runtime/debug"
 
+	"hmpt/internal/fsatomic"
 	"hmpt/internal/wire"
 )
 
@@ -58,6 +59,10 @@ type SnapshotKey struct {
 	SamplePeriod   int64
 	SampleBudget   int64
 	SamplerVersion uint32
+	// Iterations is the iteration-count override the kernel ran under
+	// (0 = workload default) — a capture input like Seed: a different
+	// timestep count records a different trace.
+	Iterations int
 }
 
 // ID returns the content address of the key: a SHA-256 over the
@@ -78,6 +83,7 @@ func (k SnapshotKey) ID() string {
 	w.I64(k.SamplePeriod)
 	w.I64(k.SampleBudget)
 	w.U64(uint64(k.SamplerVersion))
+	w.I64(int64(k.Iterations))
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -88,7 +94,8 @@ func (k SnapshotKey) ID() string {
 func (k SnapshotKey) Matches(m Meta) bool {
 	return m.Workload == k.Workload && m.Config == k.Config &&
 		m.Threads == k.Threads && m.Scale == k.Scale && m.Seed == k.Seed &&
-		m.SamplePeriod == k.SamplePeriod && int64(m.SampleBudget) == k.SampleBudget
+		m.SamplePeriod == k.SamplePeriod && int64(m.SampleBudget) == k.SampleBudget &&
+		m.Iterations == k.Iterations
 }
 
 // SnapshotCache is a content-addressed snapshot store on disk: one file
@@ -145,7 +152,10 @@ func (c *SnapshotCache) Load(k SnapshotKey) (snap *Snapshot, ok bool, err error)
 }
 
 // Store writes the snapshot under the key, atomically replacing any
-// existing entry.
+// existing entry. The publish is safe against concurrent writers in
+// other processes: every writer stages under a unique temp name and the
+// final rename is atomic, so readers only ever observe complete entries
+// (never a torn interleaving of two campaigns' stores).
 func (c *SnapshotCache) Store(k SnapshotKey, s *Snapshot) error {
 	if !k.Matches(s.Meta) {
 		return fmt.Errorf("trace: snapshot meta %+v does not match cache key %+v", s.Meta, k)
@@ -154,19 +164,7 @@ func (c *SnapshotCache) Store(k SnapshotKey, s *Snapshot) error {
 	if err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(c.dir, "."+k.ID()[:12]+".tmp*")
-	if err != nil {
-		return fmt.Errorf("trace: staging snapshot: %w", err)
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.Write(b); err != nil {
-		tmp.Close()
-		return fmt.Errorf("trace: writing snapshot: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("trace: writing snapshot: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), c.Path(k)); err != nil {
+	if err := fsatomic.Publish(c.Path(k), b); err != nil {
 		return fmt.Errorf("trace: publishing snapshot: %w", err)
 	}
 	return nil

@@ -1,0 +1,181 @@
+package trace
+
+import (
+	"hash/fnv"
+
+	"hmpt/internal/wire"
+)
+
+// This file implements the run-length/loop-structure deduplication layer
+// of the trace pipeline. Iterative kernels (the NPB solvers, k-Wave)
+// emit the same handful of phase shapes once per timestep: the recorder
+// collapses *adjacent* identical phases, but a multi-phase loop body
+// (compute_aux, compute_rhs, x_solve, ... per iteration) never repeats
+// back to back, so the recorded trace grows linearly with the iteration
+// count even though it contains only a few distinct shapes.
+//
+// Dedup recovers that loop structure: phases are content-hashed into a
+// table of distinct shapes, and the original sequence becomes a list of
+// Block{Phase, Count} runs. Canonical folds the blocks further into the
+// canonical compact trace — each distinct shape exactly once, in first-
+// appearance order, with Repeat carrying its total multiplicity. Every
+// downstream pass (sweep compilation and costing, IBS sampling, snapshot
+// encoding, analysis caching) is linear in the phases of the trace it
+// consumes and already scales each phase by Times(), so a pipeline fed
+// canonical traces is O(unique phases) end to end.
+//
+// Canonicalisation reorders repeats of a shape next to each other, which
+// is sound because every consumer treats phases as an unordered bag of
+// (shape, multiplicity): costing is additive over phases, sampling
+// derives counts per stream scaled by multiplicity, and liveness is a
+// property of allocations, not phase positions. It does change the
+// floating-point summation order (and the sampler's fractional-carry
+// chain) relative to the raw trace, so canonicalisation happens exactly
+// once, at capture (core.executeReference) — everything downstream,
+// including the retained bit-exactness oracles, consumes the one
+// canonical trace and stays byte-identical across paths.
+
+// PhaseHash returns the content hash of a phase's shape: every field
+// that affects costing and sampling except the repeat count. Two phases
+// with equal hashes are almost certainly the same shape; SameShape is
+// the collision-proof equality the dedup table confirms with.
+func PhaseHash(p *Phase) uint64 {
+	h := fnv.New64a()
+	w := wire.NewHashWriter(h)
+	w.Str(p.Name)
+	w.I64(int64(p.Threads))
+	w.F64(float64(p.Flops))
+	w.F64(p.VectorFrac)
+	w.F64(p.FlopEff)
+	w.U64(uint64(len(p.Streams)))
+	for i := range p.Streams {
+		s := &p.Streams[i]
+		w.U64(uint64(s.Alloc))
+		w.I64(int64(s.Bytes))
+		w.U64(uint64(s.Kind))
+		w.U64(uint64(s.Pattern))
+		w.I64(int64(s.WorkingSet))
+		w.F64(s.MLP)
+	}
+	return h.Sum64()
+}
+
+// SameShape reports whether two phases are the same shape: equal in
+// every field that affects costing and sampling, ignoring only the
+// repeat count.
+func SameShape(a, b *Phase) bool {
+	if a.Name != b.Name || a.Threads != b.Threads || a.Flops != b.Flops ||
+		a.VectorFrac != b.VectorFrac || a.FlopEff != b.FlopEff ||
+		len(a.Streams) != len(b.Streams) {
+		return false
+	}
+	for i := range a.Streams {
+		if a.Streams[i] != b.Streams[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ShapeIndexer assigns dense indices to distinct phase shapes as they
+// are presented, in first-appearance order. Lookups go through the
+// content hash and are confirmed by SameShape, so a hash collision can
+// never alias two different shapes.
+type ShapeIndexer struct {
+	byHash map[uint64][]int32
+	shapes []*Phase
+}
+
+// Index returns the shape index of p, registering it if unseen. The
+// returned phase pointer must stay valid for the indexer's lifetime.
+func (x *ShapeIndexer) Index(p *Phase) int32 {
+	if x.byHash == nil {
+		x.byHash = make(map[uint64][]int32)
+	}
+	h := PhaseHash(p)
+	for _, i := range x.byHash[h] {
+		if SameShape(x.shapes[i], p) {
+			return i
+		}
+	}
+	i := int32(len(x.shapes))
+	x.shapes = append(x.shapes, p)
+	x.byHash[h] = append(x.byHash[h], i)
+	return i
+}
+
+// Shapes returns the registered shapes in first-appearance order.
+func (x *ShapeIndexer) Shapes() []*Phase { return x.shapes }
+
+// Block is one run of the deduplicated sequence: the referenced distinct
+// phase repeats Count times back to back at this point of the trace.
+type Block struct {
+	Phase int32 // index into Dedup.Phases
+	Count int64 // total repeats of the run (the merged phases' Times sum)
+}
+
+// Dedup is the deduplicated form of a trace: the distinct phase shapes
+// in first-appearance order and the original sequence as (phase, count)
+// block runs. The shape phases carry Repeat == 0; multiplicity lives in
+// the blocks.
+type Dedup struct {
+	Phases []Phase
+	Blocks []Block
+	// Positions is the phase count of the source trace — what the block
+	// structure compressed.
+	Positions int
+}
+
+// Dedup builds the deduplicated form of the trace. Shape phases own
+// fresh stream slices and never alias the source trace.
+func (t *Trace) Dedup() *Dedup {
+	d := &Dedup{Positions: len(t.Phases)}
+	var x ShapeIndexer
+	for i := range t.Phases {
+		p := &t.Phases[i]
+		idx := x.Index(p)
+		if int(idx) == len(d.Phases) {
+			shape := *p
+			shape.Repeat = 0
+			shape.Streams = append([]Stream(nil), p.Streams...)
+			d.Phases = append(d.Phases, shape)
+		}
+		if n := len(d.Blocks); n > 0 && d.Blocks[n-1].Phase == idx {
+			d.Blocks[n-1].Count += p.Times()
+			continue
+		}
+		d.Blocks = append(d.Blocks, Block{Phase: idx, Count: p.Times()})
+	}
+	return d
+}
+
+// Counts returns the total multiplicity of every distinct shape, indexed
+// like Phases.
+func (d *Dedup) Counts() []int64 {
+	counts := make([]int64, len(d.Phases))
+	for _, b := range d.Blocks {
+		counts[b.Phase] += b.Count
+	}
+	return counts
+}
+
+// Canonical folds the blocks into the canonical compact trace: each
+// distinct shape exactly once, in first-appearance order, with Repeat
+// carrying its total multiplicity. The result owns all of its slices.
+func (d *Dedup) Canonical() *Trace {
+	counts := d.Counts()
+	tr := &Trace{Phases: make([]Phase, len(d.Phases))}
+	for i := range d.Phases {
+		p := d.Phases[i]
+		p.Repeat = counts[i]
+		p.Streams = append([]Stream(nil), p.Streams...)
+		tr.Phases[i] = p
+	}
+	return tr
+}
+
+// Canonical returns the canonical compact form of the trace:
+// t.Dedup().Canonical(). It is idempotent — the canonical form of a
+// canonical trace is itself — and exactly preserves TotalBytes (integer
+// arithmetic) and the multiset of (shape, multiplicity) pairs.
+func (t *Trace) Canonical() *Trace { return t.Dedup().Canonical() }

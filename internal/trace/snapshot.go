@@ -78,6 +78,11 @@ type Meta struct {
 	// sampler controls must address a different snapshot.
 	SamplePeriod int64
 	SampleBudget int
+	// Iterations is the iteration-count override the kernel executed
+	// under (core.Options.Iterations; 0 = the workload's default). It is
+	// a capture input: a different timestep count executes a different
+	// kernel and must address a different snapshot.
+	Iterations int
 }
 
 // SnapshotVersion is the codec version written by Encode and required by
@@ -86,7 +91,14 @@ type Meta struct {
 //
 // v2 added the sampler controls to Meta and the optional embedded
 // sample-counts section.
-const SnapshotVersion = 2
+//
+// v3 added the iteration-count override to Meta, and captures began
+// storing the canonical deduplicated trace (each distinct phase shape
+// once, multiplicity in Repeat — see Dedup): the embedded sample counts
+// of a v2 capture were derived over the raw phase sequence and would not
+// validate against a canonicalised replay, so the bump retires them
+// wholesale.
+const SnapshotVersion = 3
 
 // snapshotMagic leads every encoded snapshot.
 const snapshotMagic = "HMPTSNAP"
@@ -119,6 +131,7 @@ func (s *Snapshot) EncodeBytes() ([]byte, error) {
 	e.I64(int64(s.Meta.SimBytes))
 	e.I64(s.Meta.SamplePeriod)
 	e.I64(int64(s.Meta.SampleBudget))
+	e.I64(int64(s.Meta.Iterations))
 
 	reg := s.Registry
 	e.U32(uint32(len(reg.Allocs)))
@@ -216,6 +229,7 @@ func DecodeSnapshotBytes(raw []byte) (*Snapshot, error) {
 	s.Meta.SimBytes = units.Bytes(d.I64())
 	s.Meta.SamplePeriod = d.I64()
 	s.Meta.SampleBudget = int(d.I64())
+	s.Meta.Iterations = int(d.I64())
 
 	nAllocs := d.U32()
 	if err := d.Fits(uint64(nAllocs), 60); err != nil {
@@ -255,6 +269,9 @@ func DecodeSnapshotBytes(raw []byte) (*Snapshot, error) {
 		nStreams := d.U32()
 		if err := d.Fits(uint64(nStreams), 34); err != nil {
 			return nil, err
+		}
+		if nStreams == 0 {
+			continue // keep a streamless phase's nil slice
 		}
 		p.Streams = make([]Stream, nStreams)
 		for j := range p.Streams {

@@ -29,6 +29,7 @@ func sampleSnapshot() *Snapshot {
 			SimBytes:     24 * units.GiB,
 			SamplePeriod: 1 << 16,
 			SampleBudget: 200_000,
+			Iterations:   40,
 		},
 		Registry: &shim.Registry{
 			Allocs: []shim.Allocation{
@@ -132,7 +133,7 @@ func TestSnapshotRoundTripNoSamples(t *testing.T) {
 // must decode to exactly the sample snapshot. Any codec change breaks
 // this test and must bump SnapshotVersion with a new golden file.
 func TestSnapshotGolden(t *testing.T) {
-	path := filepath.Join("testdata", "snapshot_v2.snap")
+	path := filepath.Join("testdata", "snapshot_v3.snap")
 	s := sampleSnapshot()
 	enc, err := s.EncodeBytes()
 	if err != nil {
@@ -252,7 +253,7 @@ func TestSnapshotCache(t *testing.T) {
 	}
 	s := sampleSnapshot()
 	key := SnapshotKey{Workload: s.Meta.Workload, Config: s.Meta.Config, Threads: s.Meta.Threads, Scale: s.Meta.Scale, Seed: s.Meta.Seed,
-		SamplePeriod: s.Meta.SamplePeriod, SampleBudget: int64(s.Meta.SampleBudget)}
+		SamplePeriod: s.Meta.SamplePeriod, SampleBudget: int64(s.Meta.SampleBudget), Iterations: s.Meta.Iterations}
 
 	if _, ok, err := cache.Load(key); err != nil || ok {
 		t.Fatalf("empty cache: ok=%v err=%v, want miss", ok, err)
@@ -303,6 +304,7 @@ func TestSnapshotKeyID(t *testing.T) {
 		{Workload: "w", Threads: 2, Scale: 1, Seed: 3, SamplePeriod: 1 << 14},
 		{Workload: "w", Threads: 2, Scale: 1, Seed: 3, SampleBudget: 50_000},
 		{Workload: "w", Threads: 2, Scale: 1, Seed: 3, SamplerVersion: 3},
+		{Workload: "w", Threads: 2, Scale: 1, Seed: 3, Iterations: 40},
 	}
 	for _, v := range variants {
 		if v.ID() == k.ID() {

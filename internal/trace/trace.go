@@ -192,25 +192,11 @@ func NewRecorder() *Recorder { return &Recorder{} }
 func (r *Recorder) Emit(p Phase) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if n := len(r.phases); n > 0 && samePhaseShape(&r.phases[n-1], &p) {
+	if n := len(r.phases); n > 0 && SameShape(&r.phases[n-1], &p) {
 		r.phases[n-1].Repeat = r.phases[n-1].Times() + p.Times()
 		return
 	}
 	r.phases = append(r.phases, p)
-}
-
-func samePhaseShape(a, b *Phase) bool {
-	if a.Name != b.Name || a.Threads != b.Threads || a.Flops != b.Flops ||
-		a.VectorFrac != b.VectorFrac || a.FlopEff != b.FlopEff ||
-		len(a.Streams) != len(b.Streams) {
-		return false
-	}
-	for i := range a.Streams {
-		if a.Streams[i] != b.Streams[i] {
-			return false
-		}
-	}
-	return true
 }
 
 // Trace returns the recorded trace. The recorder may be reused; the

@@ -327,7 +327,7 @@ func (w *KWave) Run(env *workloads.Env) error {
 	w.energy = append(w.energy, w.totalEnergy())
 	fb := w.fieldBytes()
 
-	for step := 0; step < w.Cfg.Steps; step++ {
+	for step, steps := 0, env.Iters(w.Cfg.Steps); step < steps; step++ {
 		// 1. u update: u -= dt/ρ0 ∇p.
 		if err := w.gradP(); err != nil {
 			return err

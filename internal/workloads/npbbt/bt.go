@@ -391,7 +391,7 @@ func (b *BT) Run(env *workloads.Env) error {
 	}
 	b.env = env
 	b.errNorms = append(b.errNorms, npbcommon.ErrNorm(b.g, b.u.Data))
-	for it := 0; it < b.Cfg.Iters; it++ {
+	for it, iters := 0, env.Iters(b.Cfg.Iters); it < iters; it++ {
 		b.computeAuxInto(b.u.Data, true)
 		b.computeRHS()
 		b.solveDim(0)

@@ -125,7 +125,7 @@ func (s *IS) Run(env *workloads.Env) error {
 	// caches: DRAM-visible traffic per update is well below a full line.
 	randHistTraffic := units.Bytes(c.SimKeys) * 16
 
-	for it := 0; it < c.Iters; it++ {
+	for it, iters := 0, env.Iters(c.Iters); it < iters; it++ {
 		// copy_keys: key_buff2 = key_array (streaming).
 		parallel.For(et, c.RealKeys, func(_, lo, hi int) {
 			copy(buff2[lo:hi], keys[lo:hi])

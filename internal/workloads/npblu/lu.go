@@ -399,7 +399,7 @@ func (l *LU) Run(env *workloads.Env) error {
 	}
 	l.env = env
 	l.errNorms = append(l.errNorms, npbcommon.ErrNorm(l.g, l.u.Data))
-	for it := 0; it < l.Cfg.Iters; it++ {
+	for it, iters := 0, env.Iters(l.Cfg.Iters); it < iters; it++ {
 		l.computeResid()
 		l.sweep(true)
 		l.sweep(false)

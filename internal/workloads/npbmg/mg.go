@@ -358,7 +358,7 @@ func (m *MG) Run(env *workloads.Env) error {
 	m.resid(uf, m.v.Data, rf, 0)
 	m.rnm2 = append(m.rnm2, m.norm2())
 
-	for it := 0; it < m.Cfg.Iters; it++ {
+	for it, iters := 0, env.Iters(m.Cfg.Iters); it < iters; it++ {
 		m.vCycle()
 		m.resid(uf, m.v.Data, rf, 0)
 		m.rnm2 = append(m.rnm2, m.norm2())

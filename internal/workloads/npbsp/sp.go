@@ -384,7 +384,7 @@ func (s *SP) Run(env *workloads.Env) error {
 	}
 	s.env = env
 	s.errNorms = append(s.errNorms, npbcommon.ErrNorm(s.g, s.u.Data))
-	for it := 0; it < s.Cfg.Iters; it++ {
+	for it, iters := 0, env.Iters(s.Cfg.Iters); it < iters; it++ {
 		s.computeAuxInto(s.u.Data, true)
 		s.computeRHS()
 		s.solveDim(0)

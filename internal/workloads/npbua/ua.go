@@ -229,7 +229,7 @@ func (w *UA) Run(env *workloads.Env) error {
 		return fmt.Errorf("npbua: Run before Setup")
 	}
 	w.env = env
-	for it := 0; it < w.Cfg.Iters; it++ {
+	for it, iters := 0, env.Iters(w.Cfg.Iters); it < iters; it++ {
 		w.resNorms = append(w.resNorms, w.smooth())
 		if (it+1)%adaptPeriod == 0 {
 			w.adapt()

@@ -79,6 +79,10 @@ type Stream struct {
 	Cfg     Config
 	a, b, c *shim.TrackedSlice[float64]
 	ran     bool
+	// iters is the effective iteration count of the last Run (the
+	// environment override may raise it above Cfg.Iters); Verify's
+	// closed-form recurrence must replay exactly that many iterations.
+	iters int
 }
 
 // New returns a STREAM workload with the default configuration.
@@ -136,6 +140,8 @@ func (s *Stream) Run(env *workloads.Env) error {
 	if iters <= 0 {
 		iters = 1
 	}
+	iters = env.Iters(iters)
+	s.iters = iters
 	n := s.Cfg.N
 	et := env.ExecThreads()
 	simElems := float64(s.Cfg.SimArray) / 8
@@ -216,7 +222,7 @@ func (s *Stream) Verify() error {
 		return s.verifySpot()
 	}
 	aj, bj, cj := 1.0, 2.0, 0.0
-	iters := s.Cfg.Iters
+	iters := s.iters
 	if iters <= 0 {
 		iters = 1
 	}

@@ -113,6 +113,7 @@ func (s *Synth) Run(env *workloads.Env) error {
 	if iters <= 0 {
 		iters = 10
 	}
+	iters = env.Iters(iters)
 	n := len(s.arrs[0].Data)
 	et := env.ExecThreads()
 

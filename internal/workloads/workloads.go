@@ -29,6 +29,10 @@ type Env struct {
 	// Scale multiplies real allocation sizes into simulated sizes, so a
 	// laptop-scale kernel represents the paper's Class C/D footprint.
 	Scale float64
+	// Iterations overrides the workload's configured iteration/timestep
+	// count when positive (0 = the workload's default). Iterative
+	// kernels resolve it through Iters; single-pass workloads ignore it.
+	Iterations int
 	// RNG seeds any stochastic behaviour of the workload (input data).
 	RNG *xrand.Rand
 }
@@ -45,6 +49,16 @@ func NewEnv(threads int, scale float64, seed uint64) *Env {
 		Scale:   scale,
 		RNG:     xrand.New(seed),
 	}
+}
+
+// Iters resolves the effective iteration count for a workload whose
+// configured default is def: the environment's override when positive,
+// def otherwise.
+func (e *Env) Iters(def int) int {
+	if e.Iterations > 0 {
+		return e.Iterations
+	}
+	return def
 }
 
 // ExecThreads returns the worker count for the kernel's real execution:
