@@ -1014,3 +1014,79 @@ func BenchmarkColdTable2(b *testing.B) {
 	}
 	b.ReportMetric(coldNs/1e6, "cold-table2-ms")
 }
+
+// BenchmarkColdTable2Workers measures the cold Table II campaign at
+// pinned worker counts and reports throughput as cells/sec — the
+// measured multi-core scaling curve of the bench trajectory. Every run
+// is fully cold (fresh engine, no memo, no caches), so the workers fan
+// out over real kernel executions and analyses. On the 1-core reference
+// container the curve is honestly flat (GOMAXPROCS=1 serialises the
+// goroutines); the >1.5x-at-4-workers expectation is enforced by the CI
+// multi-core scaling job, which runs this same benchmark on a larger
+// runner.
+func BenchmarkColdTable2Workers(b *testing.B) {
+	p := platform()
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
+			matrix := experiments.CampaignMatrix(p, true)
+			cells := len(matrix.Workloads) * len(matrix.Platforms)
+			run := func() {
+				res, err := (&campaign.Engine{Parallelism: workers}).Run(matrix)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := res.Err(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			coldNs := minSampleNs(b, 3, func(uint64) { run() })
+			once(fmt.Sprintf("cold-table2-w%d", workers),
+				fmt.Sprintf("\n== ColdTable2Workers/w%d: %d cells in %.1fms (%.1f cells/sec) ==\n",
+					workers, cells, coldNs/1e6, float64(cells)/(coldNs/1e9)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				run()
+			}
+			b.ReportMetric(float64(cells)/(coldNs/1e9), "cells/sec")
+		})
+	}
+}
+
+// BenchmarkDeriveSnapshot compares synthesizing a high-iteration BT
+// capture from a family base (trace rewrite + deterministic count pass,
+// zero kernel executions) against really capturing it — the per-member
+// saving the campaign planner banks for every non-base cell of an
+// iteration sweep.
+func BenchmarkDeriveSnapshot(b *testing.B) {
+	spec, err := experiments.SpecFor("npb.bt")
+	if err != nil {
+		b.Fatal(err)
+	}
+	base, err := core.Capture(spec.Fast(), spec.Options)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := spec.Options
+	opts.Iterations = 30 // 10x the fast instance's 3
+
+	deriveNs := minSampleNs(b, 5, func(uint64) {
+		if _, err := core.DeriveSnapshot(base, spec.Fast(), opts); err != nil {
+			b.Fatal(err)
+		}
+	})
+	captureNs := minSampleNs(b, 3, func(uint64) {
+		if _, err := core.Capture(spec.Fast(), opts); err != nil {
+			b.Fatal(err)
+		}
+	})
+	once("derive-snap", fmt.Sprintf("\n== DeriveSnapshot: 10x-iteration BT derive %.3fms vs capture %.3fms: %.0fx ==\n",
+		deriveNs/1e6, captureNs/1e6, captureNs/deriveNs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.DeriveSnapshot(base, spec.Fast(), opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(captureNs/deriveNs, "capture/derive-speedup")
+}

@@ -88,6 +88,7 @@ func campaignCmd(args []string) error {
 	cacheDir := fs.String("cache", "", "snapshot cache directory (empty = no disk cache)")
 	analysisDir := fs.String("analysis-cache", "", "analysis cache directory (empty = <cache>/analyses when -cache is set, else no analysis cache)")
 	par := fs.Int("par", 0, "campaign worker goroutines (0 = GOMAXPROCS)")
+	workers := fs.Int("workers", 0, "alias for -par; takes precedence when both are set")
 	full := fs.Bool("full", false, "full-size workload instances (slower)")
 	csv := fs.Bool("csv", false, "emit CSV instead of a table")
 	ibsPeriod := fs.Int64("ibs-period", 0, "IBS sampling period in cache lines (0 = default 64Ki); part of the snapshot cache key")
@@ -147,6 +148,9 @@ func campaignCmd(args []string) error {
 		}
 	}
 
+	if *workers > 0 {
+		*par = *workers
+	}
 	eng := &campaign.Engine{Parallelism: *par}
 	if *cacheDir != "" {
 		cache, err := trace.NewSnapshotCache(*cacheDir)
@@ -196,8 +200,8 @@ func campaignCmd(args []string) error {
 			return err
 		}
 	}
-	fmt.Fprintf(summary, "\n%d cells, %d reference runs: %d kernels executed, %d snapshots served from cache, %d full analyses served from cache\n",
-		len(res.Cells), res.Snapshots, res.Executions, res.CacheHits, res.AnalysisHits)
+	fmt.Fprintf(summary, "\n%d cells, %d reference runs: %d kernels executed, %d snapshots derived from family bases, %d snapshots served from cache, %d full analyses served from cache\n",
+		len(res.Cells), res.Snapshots, res.Executions, res.Derived, res.CacheHits, res.AnalysisHits)
 	// CacheErrs carries snapshot-cache errors first, then analysis-cache
 	// errors; the entries' own messages name their layer.
 	for _, err := range res.CacheErrs {
@@ -247,6 +251,7 @@ func analyzeWorkload(fs *flag.FlagSet, args []string) (*core.Analysis, error) {
 	ibsPeriod := fs.Int64("ibs-period", 0, "IBS sampling period in cache lines (0 = default 64Ki)")
 	ibsMax := fs.Int("ibs-max-samples", 0, "IBS per-run sample budget (0 = default 200k)")
 	iters := fs.Int("iters", 0, "iteration/timestep count override (0 = workload default)")
+	workers := fs.Int("workers", 0, "placement-sweep worker goroutines (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -267,7 +272,8 @@ func analyzeWorkload(fs *flag.FlagSet, args []string) (*core.Analysis, error) {
 			return nil, werr
 		}
 		return core.New(w, core.Options{Runs: *runs, Threads: *threads, Seed: *seed,
-			SamplePeriod: *ibsPeriod, SampleBudget: *ibsMax, Iterations: *iters}).Analyze()
+			SamplePeriod: *ibsPeriod, SampleBudget: *ibsMax, Iterations: *iters,
+			SweepParallelism: *workers}).Analyze()
 	}
 	opts := spec.Options
 	opts.Runs = *runs
@@ -283,6 +289,9 @@ func analyzeWorkload(fs *flag.FlagSet, args []string) (*core.Analysis, error) {
 	}
 	if *iters > 0 {
 		opts.Iterations = *iters
+	}
+	if *workers > 0 {
+		opts.SweepParallelism = *workers
 	}
 	opts.Platform = memsim.XeonMax9468()
 	f := spec.Fast

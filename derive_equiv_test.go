@@ -1,0 +1,206 @@
+// Derivation equivalence tests: the fourth rung of the cache ladder
+// must be an oracle, not an approximation. For every registered family
+// workload, a snapshot derived from a capture at one iteration count
+// must be byte-identical to a real capture at the target count — same
+// wire encoding, same content address — in both directions, including
+// the Iterations=0 (workload default) spelling of the base key. Scale
+// transposition must likewise match a real capture at the target scale.
+// Workloads that cannot support derivation are opt-outs documented in
+// the skip list below; an undocumented workload fails the test, so new
+// benchmarks must either join a family or explain themselves here.
+package hmpt
+
+import (
+	"bytes"
+	"testing"
+
+	"hmpt/internal/core"
+	"hmpt/internal/workloads"
+)
+
+// deriveSkipList documents every registered workload that opts out of
+// snapshot derivation, and why. A workload appearing here while
+// declaring a family interface — or declaring neither family interface
+// without appearing here — is a test failure, so the list cannot rot.
+var deriveSkipList = map[string]string{
+	"chase": "emits a single pointer-chase phase outside any iteration loop; " +
+		"Options.Iterations never reaches the kernel, so there is no iteration family to transpose across",
+	"randsum": "same single-phase shape as chase (one indirect-sum phase, no iteration loop); " +
+		"no iteration family to transpose across",
+}
+
+// TestDeriveMatchesCapture pins the derivation oracle for iteration
+// changes: for every family workload, Capture(I0) transposed to I1 is
+// byte-identical to Capture(I1), and transposing back — through the
+// Iterations=0 default spelling when the base options use it — is
+// byte-identical to the original capture.
+func TestDeriveMatchesCapture(t *testing.T) {
+	for _, c := range equivCases(t) {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			w := c.factory()
+			fam, ok := w.(workloads.IterationFamily)
+			if !ok {
+				reason, listed := deriveSkipList[c.name]
+				if !listed {
+					t.Fatalf("workload %q declares no iteration schedule and is not on the documented skip list", c.name)
+				}
+				t.Skipf("derivation opt-out: %s", reason)
+			}
+			if _, listed := deriveSkipList[c.name]; listed {
+				t.Fatalf("workload %q is on the derivation skip list but declares an iteration schedule", c.name)
+			}
+
+			base, err := core.Capture(c.factory(), c.opts)
+			if err != nil {
+				t.Fatalf("base capture: %v", err)
+			}
+			baseBytes, err := base.EncodeBytes()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Doubling the effective count exercises every slot of the
+			// schedule (periodic phases like UA's adapt included) while
+			// staying a genuinely different key.
+			eff := c.opts.Iterations
+			if eff <= 0 {
+				eff = fam.DefaultIterations()
+			}
+			target := c.opts
+			target.Iterations = 2 * eff
+
+			before := core.DerivedSnapshots()
+			derived, err := core.DeriveSnapshot(base, c.factory(), target)
+			if err != nil {
+				t.Fatalf("derive %d -> %d: %v", c.opts.Iterations, target.Iterations, err)
+			}
+			if got := core.DerivedSnapshots() - before; got != 1 {
+				t.Errorf("derivation tallied %d DerivedSnapshots ticks, want 1", got)
+			}
+			real, err := core.Capture(c.factory(), target)
+			if err != nil {
+				t.Fatalf("capture at target: %v", err)
+			}
+			realBytes, err := real.EncodeBytes()
+			if err != nil {
+				t.Fatal(err)
+			}
+			derivedBytes, err := derived.EncodeBytes()
+			if err != nil {
+				t.Fatalf("encoding derived snapshot: %v", err)
+			}
+			if !bytes.Equal(derivedBytes, realBytes) {
+				t.Errorf("derived snapshot differs from real capture at iterations=%d (%d vs %d bytes)",
+					target.Iterations, len(derivedBytes), len(realBytes))
+			}
+			if got, want := core.SnapshotKeyFor(c.name, target).ID(), core.SnapshotKeyFor(c.name, c.opts).ID(); got == want {
+				t.Fatalf("target key %s collides with base key — the derivation test is vacuous", got)
+			}
+
+			// Round-trip: the derived capture is as good a base as a real
+			// one, and deriving back to the original options — including
+			// the Iterations=0 default spelling — reproduces the base
+			// capture bit for bit.
+			back, err := core.DeriveSnapshot(derived, c.factory(), c.opts)
+			if err != nil {
+				t.Fatalf("derive back %d -> %d: %v", target.Iterations, c.opts.Iterations, err)
+			}
+			backBytes, err := back.EncodeBytes()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(backBytes, baseBytes) {
+				t.Errorf("round-tripped snapshot differs from the original base capture (%d vs %d bytes)",
+					len(backBytes), len(baseBytes))
+			}
+		})
+	}
+}
+
+// TestDeriveScaleMatchesCapture pins the derivation oracle for scale
+// changes: every family workload draws its simulated footprint from its
+// own Config, never Env.Scale, so a scale transposition is a metadata
+// rewrite that must match a real capture at the target scale exactly.
+func TestDeriveScaleMatchesCapture(t *testing.T) {
+	for _, c := range equivCases(t) {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			w := c.factory()
+			sf, ok := w.(workloads.ScaleFamily)
+			if !ok || !sf.ScaleInvariant() {
+				reason, listed := deriveSkipList[c.name]
+				if !listed {
+					t.Fatalf("workload %q declares no scale family and is not on the documented skip list", c.name)
+				}
+				t.Skipf("derivation opt-out: %s", reason)
+			}
+
+			base, err := core.Capture(c.factory(), c.opts)
+			if err != nil {
+				t.Fatalf("base capture: %v", err)
+			}
+			target := c.opts
+			target.Scale = 2
+			if c.opts.Scale == 2 {
+				target.Scale = 3
+			}
+			derived, err := core.DeriveSnapshot(base, c.factory(), target)
+			if err != nil {
+				t.Fatalf("derive scale %g -> %g: %v", c.opts.Scale, target.Scale, err)
+			}
+			real, err := core.Capture(c.factory(), target)
+			if err != nil {
+				t.Fatalf("capture at target scale: %v", err)
+			}
+			realBytes, err := real.EncodeBytes()
+			if err != nil {
+				t.Fatal(err)
+			}
+			derivedBytes, err := derived.EncodeBytes()
+			if err != nil {
+				t.Fatalf("encoding derived snapshot: %v", err)
+			}
+			if !bytes.Equal(derivedBytes, realBytes) {
+				t.Errorf("scale-derived snapshot differs from real capture at scale=%g (%d vs %d bytes)",
+					target.Scale, len(derivedBytes), len(realBytes))
+			}
+		})
+	}
+}
+
+// TestDeriveRefusals pins the refusal contract: any mismatch between
+// the requested key and the base's derivation family is an error, never
+// a silently divergent snapshot.
+func TestDeriveRefusals(t *testing.T) {
+	w, err := workloads.New("stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.Options{Seed: 1}
+	base, err := core.Capture(w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	refuse := func(name string, mutate func(*core.Options), mw workloads.Workload) {
+		t.Helper()
+		o := opts
+		mutate(&o)
+		if mw == nil {
+			mw, _ = workloads.New("stream")
+		}
+		if _, err := core.DeriveSnapshot(base, mw, o); err == nil {
+			t.Errorf("%s: derivation accepted a key outside the base's family", name)
+		}
+	}
+	refuse("seed change", func(o *core.Options) { o.Seed = 2; o.Iterations = 5 }, nil)
+	refuse("threads change", func(o *core.Options) { o.Threads = 3; o.Iterations = 5 }, nil)
+	refuse("sample-period change", func(o *core.Options) { o.SamplePeriod = 1024; o.Iterations = 5 }, nil)
+	refuse("sample-budget change", func(o *core.Options) { o.SampleBudget = 99; o.Iterations = 5 }, nil)
+	chase, err := workloads.New("chase")
+	if err != nil {
+		t.Fatal(err)
+	}
+	refuse("cross-workload", func(o *core.Options) { o.Iterations = 5 }, chase)
+}

@@ -183,6 +183,22 @@ func SamplePasses() int64 { return core.SamplePasses() }
 // campaign served from the analysis cache performs zero.
 func SweepEvaluations() int64 { return core.SweepEvaluations() }
 
+// DerivedSnapshots returns the number of snapshots the pipeline has
+// synthesized by transposing a cached derivation-family sibling
+// (iteration or scale change) instead of executing the kernel — the
+// fourth pinned counter of the cache ladder. A campaign sweeping N
+// iteration settings of one family workload executes one kernel and
+// derives the other N-1 captures.
+func DerivedSnapshots() int64 { return core.DerivedSnapshots() }
+
+// DeriveSnapshot transposes a captured snapshot to a neighbouring
+// (iterations, scale) key of its derivation family without executing
+// the kernel; the result is byte-identical to a real Capture under
+// opts. w must be a fresh instance of the captured configuration.
+func DeriveSnapshot(base *Snapshot, w Workload, opts Options) (*Snapshot, error) {
+	return core.DeriveSnapshot(base, w, opts)
+}
+
 // NewWorkload instantiates a registered benchmark by name; see
 // WorkloadNames for the registry contents.
 func NewWorkload(name string) (Workload, error) { return workloads.New(name) }

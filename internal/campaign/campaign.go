@@ -11,11 +11,15 @@
 //   - stage zero probes the analysis cache (in-process memo and on-disk
 //     store): cells whose full analysis is already cached are done
 //     without touching a snapshot, a registry, or a placement sweep;
-//   - stage one captures every distinct reference run the remaining
-//     cells need (or loads it from the content-addressed snapshot
-//     cache, so captures are shared across processes and PRs) and
-//     builds one shared core.ReplayContext per capture — the registry
-//     is restored and the trace copied once, not per cell;
+//   - stage one resolves every distinct reference run the remaining
+//     cells need — from the content-addressed snapshot cache (so
+//     captures are shared across processes and PRs), by derivation
+//     from a cached or captured family sibling (an iteration/scale
+//     transposition that never executes the kernel; see
+//     core.DeriveSnapshot), or by executing the kernel once per
+//     derivation family — and builds one shared core.ReplayContext per
+//     capture: the registry is restored and the trace copied once, not
+//     per cell;
 //   - stage two fans the remaining cells over internal/parallel
 //     workers, each replaying its capture's shared context into a tuner
 //     analysis and publishing the result back into the analysis cache.
@@ -90,6 +94,11 @@ type Cell struct {
 	// served from a cache (the in-process memo or the on-disk store)
 	// rather than captured this run.
 	FromCache bool
+	// Derived reports whether the cell's reference snapshot was
+	// synthesized this run by transposing a derivation-family sibling
+	// (core.DeriveSnapshot) instead of executing the kernel or hitting
+	// a cache.
+	Derived bool
 	// AnalysisFromCache reports whether the cell's entire analysis was
 	// served from the analysis cache (memo or disk): the cell ran zero
 	// kernel executions, zero sampling passes and zero placement
@@ -102,12 +111,15 @@ type Result struct {
 	Cells []Cell
 	// Snapshots is the number of distinct reference runs the matrix
 	// needed beyond the analysis cache; Executions how many of those
-	// were actually executed this run, and CacheHits how many were
-	// served from a cache (in-process memo or on-disk store).
-	// Executions + CacheHits == Snapshots on a fully successful run.
+	// were actually executed this run, CacheHits how many were served
+	// from a cache (in-process memo or on-disk store), and Derived how
+	// many were synthesized from a derivation-family sibling without
+	// executing a kernel. Executions + CacheHits + Derived == Snapshots
+	// on a fully successful run.
 	Snapshots  int
 	Executions int
 	CacheHits  int
+	Derived    int
 	// AnalysisHits counts cells whose complete analysis was served from
 	// the analysis cache (memo or disk) — cells that ran zero kernel
 	// executions, zero sampling passes and zero placement costing. A
@@ -242,6 +254,7 @@ type capture struct {
 	snap     *trace.Snapshot
 	ctx      *core.ReplayContext
 	hit      bool
+	derived  bool // synthesized from a family sibling this run
 	err      error
 	cacheErr error // non-fatal: the disk cache failed a load or store
 }
@@ -348,9 +361,13 @@ func (e *Engine) Run(m Matrix) (*Result, error) {
 		})
 	}
 
-	// Stage 1: capture (or load) every distinct reference run some cell
-	// still needs, fanned over workers, and wrap each in one shared
-	// replay context. Keys are ordered for a deterministic work list.
+	// Stage 1: resolve every distinct reference run some cell still
+	// needs, and wrap each in one shared replay context. Keys are
+	// ordered for a deterministic work list, then grouped by derivation
+	// family: within a family, members resolve sequentially so that one
+	// capture (cached, disk-indexed, or executed) becomes the base the
+	// siblings are derived from — the capture stage executes O(families)
+	// kernels, not O(cells). Distinct families fan out over workers.
 	needed := make(map[*capture]bool, len(caps))
 	for i := range work {
 		if !work[i].done {
@@ -362,9 +379,21 @@ func (e *Engine) Run(m Matrix) (*Result, error) {
 		order = append(order, c)
 	}
 	sort.Slice(order, func(i, j int) bool { return order[i].id < order[j].id })
-	parallel.For(e.workers(len(order)), len(order), func(_, lo, hi int) {
+	famIndex := make(map[string]int)
+	var fams [][]*capture
+	for _, c := range order {
+		fid := c.key.Family().ID()
+		fi, ok := famIndex[fid]
+		if !ok {
+			fi = len(fams)
+			famIndex[fid] = fi
+			fams = append(fams, nil)
+		}
+		fams[fi] = append(fams[fi], c)
+	}
+	parallel.For(e.workers(len(fams)), len(fams), func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
-			e.resolve(order[i])
+			e.resolveFamily(fams[i])
 		}
 	})
 	res.Snapshots = len(order)
@@ -375,9 +404,12 @@ func (e *Engine) Run(m Matrix) (*Result, error) {
 		if c.err != nil {
 			continue
 		}
-		if c.hit {
+		switch {
+		case c.hit:
 			res.CacheHits++
-		} else {
+		case c.derived:
+			res.Derived++
+		default:
 			res.Executions++
 		}
 	}
@@ -419,6 +451,7 @@ func (e *Engine) Run(m Matrix) (*Result, error) {
 				continue
 			}
 			cell.FromCache = c.hit
+			cell.Derived = c.derived
 			// GroupBy cells compute their key only now (it needs the
 			// capture's sites); their cache probe is deferred into the
 			// flight below so equal-key cells see one deterministic
@@ -503,19 +536,100 @@ func (e *Engine) storeAnalysis(key core.AnalysisKey, id string, an *core.Analysi
 	}
 }
 
-// resolve fills a capture — and its shared replay context — from the
-// memo, the disk cache, or by executing the kernel. A corrupt cache
-// entry is treated as a miss and overwritten.
-func (e *Engine) resolve(c *capture) {
+// resolveFamily fills one derivation family's captures — and their
+// shared replay contexts. Members are first served from the memo and
+// the exact-key disk cache; the remainder derive from a resolved
+// sibling (or, when the whole family missed, from a family-index
+// neighbour on disk) whenever the workload declares the family
+// transforms, and only the residue executes kernels. Derivation
+// refusals — a workload without the interfaces, or a base that lacks a
+// shape the target needs — fall back to execution per member, so the
+// result set is identical to the pre-derivation engine's; members
+// resolve in deterministic (sorted-key) order for any worker count.
+func (e *Engine) resolveFamily(members []*capture) {
+	var pending []*capture
+	for _, c := range members {
+		if !e.loadCapture(c) {
+			pending = append(pending, c)
+		}
+	}
+	if len(pending) == 0 {
+		return
+	}
+	// Derivation bases, in resolution order: cache-resolved members
+	// first, then (if the whole family missed) the first loadable
+	// neighbour the on-disk family index knows about, then whatever
+	// this run is forced to execute below.
+	var bases []*trace.Snapshot
+	for _, c := range members {
+		if c.snap != nil {
+			bases = append(bases, c.snap)
+		}
+	}
+	if len(bases) == 0 && e.Cache != nil {
+		for _, nk := range e.Cache.FamilyMembers(pending[0].key) {
+			// The index is advisory: an unreadable neighbour is simply
+			// not a base (Load re-validates checksum and metadata).
+			if snap, ok, err := e.Cache.Load(nk); err == nil && ok {
+				bases = append(bases, snap)
+				break
+			}
+		}
+	}
+	for _, c := range pending {
+		if c.err != nil {
+			continue
+		}
+		if e.deriveCapture(c, bases) {
+			continue
+		}
+		e.executeCapture(c)
+		if c.err == nil && c.snap != nil {
+			// A freshly executed member is the preferred base for the
+			// rest of the family: it is in-matrix and maximally fresh.
+			bases = append(bases, c.snap)
+		}
+	}
+}
+
+// deriveCapture tries to synthesize the capture from one of the bases,
+// publishing a success into the memo and the disk cache like any other
+// fresh capture. It reports whether the capture was resolved.
+func (e *Engine) deriveCapture(c *capture, bases []*trace.Snapshot) bool {
+	for _, b := range bases {
+		snap, err := core.DeriveSnapshot(b, c.factory(), c.opts)
+		if err != nil {
+			continue // refusal: try the next base, else execute
+		}
+		c.snap, c.derived = snap, true
+		if e.Memo != nil {
+			e.Memo.put(c.id, snap)
+		}
+		if e.Cache != nil {
+			if err := e.Cache.Store(c.key, snap); err != nil && c.cacheErr == nil {
+				c.cacheErr = err
+			}
+		}
+		e.finishContext(c)
+		return true
+	}
+	return false
+}
+
+// loadCapture serves a capture — and its shared replay context — from
+// the memo or the exact-key disk cache, reporting whether it resolved.
+// A corrupt cache entry is treated as a miss (recorded as degradation)
+// and later overwritten.
+func (e *Engine) loadCapture(c *capture) bool {
 	if e.Memo != nil {
 		if ctx := e.Memo.getContext(c.id); ctx != nil {
 			c.snap, c.ctx, c.hit = ctx.Snapshot(), ctx, true
-			return
+			return true
 		}
 		if snap := e.Memo.get(c.id); snap != nil {
 			c.snap, c.hit = snap, true
 			e.finishContext(c)
-			return
+			return true
 		}
 	}
 	if e.Cache != nil {
@@ -526,12 +640,18 @@ func (e *Engine) resolve(c *capture) {
 				e.Memo.put(c.id, snap)
 			}
 			e.finishContext(c)
-			return
+			return true
 		}
 		// Entry unreadable or mismatched: surface the degradation,
 		// fall through, and recapture over it.
 		c.cacheErr = err
 	}
+	return false
+}
+
+// executeCapture fills a capture by running the kernel — the only place
+// the campaign engine executes one.
+func (e *Engine) executeCapture(c *capture) {
 	w := c.factory()
 	if w.Name() != c.key.Workload {
 		c.err = fmt.Errorf("campaign: factory for %q built workload %q", c.key.Workload, w.Name())

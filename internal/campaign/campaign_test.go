@@ -640,6 +640,26 @@ func TestConcurrentEnginesShareCacheDir(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, e := range entries {
+			if e.IsDir() && e.Name() == "families" {
+				// The snapshot cache's derivation-family index: one
+				// .member record per stored snapshot, nothing else.
+				fams, err := os.ReadDir(filepath.Join(dir, e.Name()))
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, fam := range fams {
+					members, err := os.ReadDir(filepath.Join(dir, e.Name(), fam.Name()))
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, m := range members {
+						if filepath.Ext(m.Name()) != ".member" {
+							t.Errorf("stray file %q left in family index", m.Name())
+						}
+					}
+				}
+				continue
+			}
 			if filepath.Ext(e.Name()) != ".snap" && filepath.Ext(e.Name()) != ".anl" {
 				t.Errorf("stray file %q left in shared cache dir", e.Name())
 			}
@@ -662,5 +682,114 @@ func TestConcurrentEnginesShareCacheDir(t *testing.T) {
 			t.Errorf("warm cell %s/%s differs from the racing engines' result",
 				warm.Cells[i].Workload, warm.Cells[i].Platform)
 		}
+	}
+}
+
+// TestCampaignDerivesIterationFamily is the PR's acceptance criterion:
+// a campaign sweeping 4 iteration settings of one family workload
+// executes exactly one kernel — the family base — and derives the
+// other three captures, each byte-identical to a live analysis of its
+// scenario.
+func TestCampaignDerivesIterationFamily(t *testing.T) {
+	m := testMatrix(t)
+	m.Workloads = m.Workloads[1:2] // stream: an IterationFamily workload
+	m.Platforms = m.Platforms[:1]
+	m.Variants = []Variant{
+		{Name: "i2", Apply: func(o *core.Options) { o.Iterations = 2 }},
+		{Name: "i4", Apply: func(o *core.Options) { o.Iterations = 4 }},
+		{Name: "i6", Apply: func(o *core.Options) { o.Iterations = 6 }},
+		{Name: "i8", Apply: func(o *core.Options) { o.Iterations = 8 }},
+	}
+	beforeK := core.KernelExecutions()
+	beforeD := core.DerivedSnapshots()
+	res, err := (&Engine{}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := core.KernelExecutions() - beforeK; got != 1 {
+		t.Errorf("campaign executed %d kernels, want 1 (one per family)", got)
+	}
+	if got := core.DerivedSnapshots() - beforeD; got != 3 {
+		t.Errorf("campaign derived %d snapshots, want 3", got)
+	}
+	if res.Snapshots != 4 || res.Executions != 1 || res.Derived != 3 || res.CacheHits != 0 {
+		t.Errorf("snapshots=%d executions=%d derived=%d hits=%d, want 4/1/3/0",
+			res.Snapshots, res.Executions, res.Derived, res.CacheHits)
+	}
+	derivedCells := 0
+	for i := range res.Cells {
+		cell := &res.Cells[i]
+		if cell.Derived {
+			derivedCells++
+		}
+		w, err := workloads.New(cell.Workload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := cell.Options
+		opts.Snapshot = nil
+		live, err := core.New(w, opts).Analyze()
+		if err != nil {
+			t.Fatalf("live %s/%s: %v", cell.Workload, cell.Variant, err)
+		}
+		if !reflect.DeepEqual(live, cell.Analysis) {
+			t.Errorf("cell %s/%s differs from live analysis", cell.Workload, cell.Variant)
+		}
+	}
+	if derivedCells != 3 {
+		t.Errorf("%d cells flagged Derived, want 3", derivedCells)
+	}
+}
+
+// TestCampaignDerivesFromDiskFamilyIndex proves derivation works across
+// processes: a fresh engine whose requested key is absent from the
+// snapshot cache finds a family sibling through the on-disk family
+// index and derives from it with zero kernel executions — and the
+// derived snapshot is published, so a third engine gets a plain cache
+// hit.
+func TestCampaignDerivesFromDiskFamilyIndex(t *testing.T) {
+	dir := t.TempDir()
+	matrix := func(iters int) Matrix {
+		m := testMatrix(t)
+		m.Workloads = m.Workloads[1:2] // stream
+		m.Workloads[0].Options.Iterations = iters
+		m.Platforms = m.Platforms[:1]
+		return m
+	}
+	run := func(iters int) *Result {
+		t.Helper()
+		cache, err := trace.NewSnapshotCache(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := (&Engine{Cache: cache}).Run(matrix(iters))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if len(res.CacheErrs) != 0 {
+			t.Fatalf("cache errors: %v", res.CacheErrs)
+		}
+		return res
+	}
+
+	if res := run(5); res.Executions != 1 {
+		t.Fatalf("seed run: executions=%d, want 1", res.Executions)
+	}
+	before := core.KernelExecutions()
+	res := run(7)
+	if got := core.KernelExecutions() - before; got != 0 {
+		t.Errorf("family-index run executed %d kernels, want 0", got)
+	}
+	if res.Executions != 0 || res.Derived != 1 || res.CacheHits != 0 {
+		t.Errorf("executions=%d derived=%d hits=%d, want 0/1/0", res.Executions, res.Derived, res.CacheHits)
+	}
+	if res := run(7); res.CacheHits != 1 || res.Derived != 0 {
+		t.Errorf("derived snapshot was not published: hits=%d derived=%d, want 1/0", res.CacheHits, res.Derived)
 	}
 }

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"hmpt/internal/ibs"
+	"hmpt/internal/shim"
+	"hmpt/internal/trace"
+	"hmpt/internal/workloads"
+	"hmpt/internal/xrand"
+)
+
+// derivedSnaps counts snapshots synthesized by transposing a family
+// neighbour instead of executing the kernel — the fourth pinned
+// counter of the cache ladder, next to KernelExecutions, SamplePasses
+// and SweepEvaluations. Campaign tests use deltas to prove an
+// iteration sweep executes O(families) kernels, not O(cells).
+var derivedSnaps atomic.Int64
+
+// DerivedSnapshots returns the number of snapshots the pipeline has
+// derived (rather than captured) in this process. Tests compare deltas.
+func DerivedSnapshots() int64 { return derivedSnaps.Load() }
+
+// DeriveSnapshot transposes base — a capture from the same derivation
+// family — into the snapshot the options describe, without executing
+// the kernel. w must be a fresh instance of the same workload
+// configuration the base was captured from: its declared phase schedule
+// (workloads.IterationFamily) rewrites the deduplicated trace's
+// multiplicities for an iteration-count change, and its scale
+// declaration (workloads.ScaleFamily) covers a scale change. The
+// allocation registry, environment seed and simulated footprint carry
+// over unchanged — they are established in Setup, before the iteration
+// loop, and never see Env.Scale.
+//
+// The result is byte-identical to a real Capture under the same
+// options (the derivation equivalence tests pin this for every family
+// workload): the trace rewrite is validated slot-by-slot against the
+// base, and the embedded sample counts are recomputed through the same
+// deterministic counting pass Capture runs — which is also why an
+// iteration derivation still tallies one SamplePasses tick. Any
+// mismatch between the declared schedule and the base capture is a
+// refusal (an error), never a silently divergent snapshot; callers
+// fall back to executing the kernel.
+func DeriveSnapshot(base *trace.Snapshot, w workloads.Workload, opts Options) (*trace.Snapshot, error) {
+	o := opts.withDefaults()
+	if base == nil || base.Trace == nil || base.Registry == nil {
+		return nil, fmt.Errorf("core: derive from incomplete snapshot")
+	}
+	m := base.Meta
+	if m.Workload != w.Name() {
+		return nil, fmt.Errorf("core: deriving %q from a snapshot of %q", w.Name(), m.Workload)
+	}
+	if m.Config != o.ConfigTag || m.Threads != o.Threads || m.Seed != o.Seed {
+		return nil, fmt.Errorf("core: snapshot of %q (config=%q threads=%d seed=%d) is outside the derivation family of config=%q threads=%d seed=%d",
+			m.Workload, m.Config, m.Threads, m.Seed, o.ConfigTag, o.Threads, o.Seed)
+	}
+	mPeriod, mBudget := m.SamplePeriod, m.SampleBudget
+	if mPeriod <= 0 {
+		mPeriod = ibs.DefaultPeriod
+	}
+	if mBudget <= 0 {
+		mBudget = ibs.DefaultMaxSamples
+	}
+	if mPeriod != o.SamplePeriod || mBudget != o.SampleBudget {
+		return nil, fmt.Errorf("core: snapshot of %q captured at sample period=%d budget=%d is outside the derivation family of period=%d budget=%d",
+			m.Workload, mPeriod, mBudget, o.SamplePeriod, o.SampleBudget)
+	}
+	envSeed := xrand.New(o.Seed).Split(1).Uint64()
+	if m.EnvSeed != envSeed {
+		return nil, fmt.Errorf("core: snapshot of %q records env seed %#x, expected %#x (corrupted or cross-version snapshot)",
+			m.Workload, m.EnvSeed, envSeed)
+	}
+	if base.Samples == nil {
+		// A real capture at the target key would embed sample counts; a
+		// base without them (hand-built, or a pre-embed artifact) cannot
+		// yield a byte-identical result.
+		return nil, fmt.Errorf("core: snapshot of %q has no embedded sample counts to derive from", m.Workload)
+	}
+
+	if m.Scale != o.Scale {
+		sf, ok := w.(workloads.ScaleFamily)
+		if !ok || !sf.ScaleInvariant() {
+			return nil, fmt.Errorf("core: workload %q does not declare scale invariance (scale %g -> %g)",
+				m.Workload, m.Scale, o.Scale)
+		}
+	}
+
+	tr, samples := base.Trace, base.Samples
+	if m.Iterations != o.Iterations {
+		fam, ok := w.(workloads.IterationFamily)
+		if !ok {
+			return nil, fmt.Errorf("core: workload %q does not declare an iteration schedule (iterations %d -> %d)",
+				m.Workload, m.Iterations, o.Iterations)
+		}
+		from := fam.PhaseSchedule(effectiveIterations(fam, m.Iterations))
+		to := fam.PhaseSchedule(effectiveIterations(fam, o.Iterations))
+		var err error
+		tr, err = trace.DeriveTrace(base.Trace, from, to)
+		if err != nil {
+			return nil, fmt.Errorf("core: deriving %q iterations %d -> %d: %w", m.Workload, m.Iterations, o.Iterations, err)
+		}
+		// Recompute the embedded counts exactly as Capture would: the
+		// counting pass is deterministic in (trace, registry), so the
+		// result matches a real capture's embed bit for bit — and it is
+		// a real counting pass, so it tallies like one.
+		al, err := shim.Restore(base.Registry)
+		if err != nil {
+			return nil, fmt.Errorf("core: restoring %q registry for derivation: %w", m.Workload, err)
+		}
+		samplePasses.Add(1)
+		samples, err = o.sampler().Counts(tr, al)
+		if err != nil {
+			return nil, fmt.Errorf("core: counting samples for derived %q: %w", m.Workload, err)
+		}
+	}
+
+	meta := m
+	meta.Scale = o.Scale
+	meta.Iterations = o.Iterations
+	derivedSnaps.Add(1)
+	return &trace.Snapshot{
+		Meta:     meta,
+		Registry: base.Registry,
+		Trace:    tr,
+		Samples:  samples,
+	}, nil
+}
+
+// effectiveIterations resolves an Options.Iterations value (0 = the
+// workload's default) to the count Run actually executes.
+func effectiveIterations(f workloads.IterationFamily, opt int) int {
+	if opt > 0 {
+		return opt
+	}
+	return f.DefaultIterations()
+}

@@ -152,10 +152,13 @@ func (c *SnapshotCache) Load(k SnapshotKey) (snap *Snapshot, ok bool, err error)
 }
 
 // Store writes the snapshot under the key, atomically replacing any
-// existing entry. The publish is safe against concurrent writers in
-// other processes: every writer stages under a unique temp name and the
-// final rename is atomic, so readers only ever observe complete entries
-// (never a torn interleaving of two campaigns' stores).
+// existing entry, and registers the key in the on-disk family index so
+// later lookups of sibling keys (same family, different iterations or
+// scale) can find this entry as a derivation base. The publish is safe
+// against concurrent writers in other processes: every writer stages
+// under a unique temp name and the final rename is atomic, so readers
+// only ever observe complete entries (never a torn interleaving of two
+// campaigns' stores).
 func (c *SnapshotCache) Store(k SnapshotKey, s *Snapshot) error {
 	if !k.Matches(s.Meta) {
 		return fmt.Errorf("trace: snapshot meta %+v does not match cache key %+v", s.Meta, k)
@@ -167,5 +170,5 @@ func (c *SnapshotCache) Store(k SnapshotKey, s *Snapshot) error {
 	if err := fsatomic.Publish(c.Path(k), b); err != nil {
 		return fmt.Errorf("trace: publishing snapshot: %w", err)
 	}
-	return nil
+	return c.registerFamily(k)
 }

@@ -1,0 +1,163 @@
+package trace
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"hmpt/internal/wire"
+)
+
+// This file implements the trace half of snapshot derivation — the
+// fourth rung of the cache ladder. Phase deduplication (dedup.go) made
+// the iteration count a pure multiplicity attribute of a canonical
+// trace: each distinct phase shape appears exactly once, in
+// first-appearance order, with its total repeat count. A workload that
+// can state that schedule analytically (workloads.IterationFamily)
+// therefore lets a capture at one iteration count be *transposed* to a
+// neighbouring count without executing the kernel: the shapes, the
+// allocation registry and the environment seed are iteration-invariant;
+// only the per-slot multiplicities change.
+//
+// DeriveTrace is deliberately paranoid. The declared source schedule is
+// validated slot-by-slot against the base trace — names and
+// multiplicities must match the canonical trace exactly, in order — so a
+// workload whose declared schedule has drifted from its Run loop causes
+// a refusal (and the caller falls back to executing the kernel), never a
+// silently wrong snapshot. The equivalence-oracle tests then pin the
+// stronger property: a derived snapshot is byte-identical to a real
+// capture at the target key.
+
+// PhaseCount is one slot of a workload's canonical phase schedule: the
+// phase shape that appears at this position of the deduplicated trace
+// (identified by name) and its total multiplicity at a given iteration
+// count. Slots are ordered by first appearance in the emitted trace; a
+// slot whose shape does not appear at some iteration count (for example
+// an adaptivity phase that only fires every other iteration) carries
+// Count zero there rather than vanishing, so slot positions line up
+// across the whole family.
+type PhaseCount struct {
+	Name  string
+	Count int64
+}
+
+// DeriveTrace transposes a canonical trace between two iteration
+// profiles of the same schedule: base must be the canonical trace of a
+// capture whose profile is from, and the result is the canonical trace
+// of a capture whose profile is to. The two profiles must come from the
+// same ordered slot schedule (equal length, pairwise-equal names).
+//
+// Validation is strict and any mismatch is a refusal, not a guess:
+//   - the positive-count slots of from must reproduce base's (name,
+//     repeat) sequence exactly, in order — the proof that the declared
+//     schedule describes the trace in hand;
+//   - a slot with to.Count > 0 but from.Count == 0 is underivable (the
+//     base never recorded that shape).
+//
+// The derived trace owns all of its slices and never aliases base.
+func DeriveTrace(base *Trace, from, to []PhaseCount) (*Trace, error) {
+	if base == nil {
+		return nil, fmt.Errorf("trace: derive from nil trace")
+	}
+	if len(from) != len(to) {
+		return nil, fmt.Errorf("trace: derivation profiles disagree: %d source slots vs %d target slots", len(from), len(to))
+	}
+	for i := range from {
+		if from[i].Name != to[i].Name {
+			return nil, fmt.Errorf("trace: derivation slot %d names disagree: %q vs %q", i, from[i].Name, to[i].Name)
+		}
+		if from[i].Count < 0 || to[i].Count < 0 {
+			return nil, fmt.Errorf("trace: derivation slot %d (%q) has negative count", i, from[i].Name)
+		}
+	}
+
+	// Map slots onto the base trace: the positive-count source slots
+	// must match the canonical phases pairwise, in order.
+	shape := make([]*Phase, len(from)) // slot -> base phase (nil when absent)
+	j := 0
+	for i := range from {
+		if from[i].Count == 0 {
+			continue
+		}
+		if j >= len(base.Phases) {
+			return nil, fmt.Errorf("trace: schedule declares %q at slot %d but the base trace has only %d shapes",
+				from[i].Name, i, len(base.Phases))
+		}
+		p := &base.Phases[j]
+		if p.Name != from[i].Name || p.Times() != from[i].Count {
+			return nil, fmt.Errorf("trace: base trace shape %d is %q×%d, schedule slot %d declares %q×%d",
+				j, p.Name, p.Times(), i, from[i].Name, from[i].Count)
+		}
+		shape[i] = p
+		j++
+	}
+	if j != len(base.Phases) {
+		return nil, fmt.Errorf("trace: base trace has %d shapes, schedule accounts for %d", len(base.Phases), j)
+	}
+
+	out := &Trace{}
+	for i := range to {
+		if to[i].Count == 0 {
+			continue
+		}
+		if shape[i] == nil {
+			return nil, fmt.Errorf("trace: target needs shape %q (slot %d) which the base capture never recorded",
+				to[i].Name, i)
+		}
+		p := *shape[i]
+		p.Repeat = to[i].Count
+		p.Streams = append([]Stream(nil), shape[i].Streams...)
+		out.Phases = append(out.Phases, p)
+	}
+	return out, nil
+}
+
+// FamilyKey identifies a snapshot derivation family: the SnapshotKey
+// fields derivation cannot change. Two snapshot keys with equal families
+// differ only in Iterations and Scale — the two capture inputs a
+// family-declaring workload can transpose analytically.
+type FamilyKey struct {
+	Workload       string
+	Config         string
+	Threads        int
+	Seed           uint64
+	SamplePeriod   int64
+	SampleBudget   int64
+	SamplerVersion uint32
+}
+
+// Family returns the derivation family of the key.
+func (k SnapshotKey) Family() FamilyKey {
+	return FamilyKey{
+		Workload: k.Workload, Config: k.Config, Threads: k.Threads, Seed: k.Seed,
+		SamplePeriod: k.SamplePeriod, SampleBudget: k.SampleBudget, SamplerVersion: k.SamplerVersion,
+	}
+}
+
+// WithFamily returns the full snapshot key of a family member with the
+// given variable fields — the inverse of Family plus (Scale, Iterations).
+func (f FamilyKey) WithFamily(scale float64, iterations int) SnapshotKey {
+	return SnapshotKey{
+		Workload: f.Workload, Config: f.Config, Threads: f.Threads, Seed: f.Seed,
+		SamplePeriod: f.SamplePeriod, SampleBudget: f.SampleBudget, SamplerVersion: f.SamplerVersion,
+		Scale: scale, Iterations: iterations,
+	}
+}
+
+// ID returns the content address of the family: like SnapshotKey.ID it
+// covers the codec version and the kernel epoch, so family indexes built
+// by an older build or codec are simply never addressed again.
+func (f FamilyKey) ID() string {
+	h := sha256.New()
+	w := wire.NewHashWriter(h)
+	w.U64(SnapshotVersion)
+	w.Str(kernelEpoch)
+	w.Str(f.Workload)
+	w.Str(f.Config)
+	w.I64(int64(f.Threads))
+	w.U64(f.Seed)
+	w.I64(f.SamplePeriod)
+	w.I64(f.SampleBudget)
+	w.U64(uint64(f.SamplerVersion))
+	return hex.EncodeToString(h.Sum(nil))
+}

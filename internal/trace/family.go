@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"hmpt/internal/fsatomic"
+	"hmpt/internal/wire"
+)
+
+// The family index is the on-disk side of snapshot derivation: a
+// directory per derivation family under <cache>/families/<familyID>/,
+// holding one small record per cached member. A cache lookup that
+// misses its exact key can list the family, load any member as a
+// derivation base, and synthesize the requested snapshot without
+// executing a kernel.
+//
+// Each member record is its own file (named by the member's snapshot
+// ID) published through internal/fsatomic, so concurrent campaigns in
+// separate processes never contend on a shared index file: registration
+// is idempotent and last-writer-wins per member. The index is advisory
+// only — a missing or unreadable record costs at most one extra kernel
+// execution, and records always re-validate through SnapshotCache.Load
+// (codec checksum plus key-metadata match) before anything trusts them.
+
+// familyMemberMagic leads every family member record.
+const familyMemberMagic = "HMPTFMBR"
+
+func (c *SnapshotCache) familyDir(f FamilyKey) string {
+	return filepath.Join(c.dir, "families", f.ID())
+}
+
+// encodeFamilyMember serialises the member fields derivation can vary.
+func encodeFamilyMember(k SnapshotKey) []byte {
+	var e wire.Encoder
+	e.Raw([]byte(familyMemberMagic))
+	e.F64(k.Scale)
+	e.I64(int64(k.Iterations))
+	return e.Seal()
+}
+
+// decodeFamilyMember reconstructs a member key from its record and the
+// family the record was listed under.
+func decodeFamilyMember(f FamilyKey, raw []byte) (SnapshotKey, error) {
+	if len(raw) < len(familyMemberMagic) || string(raw[:len(familyMemberMagic)]) != familyMemberMagic {
+		return SnapshotKey{}, fmt.Errorf("trace: bad family member magic")
+	}
+	payload, err := wire.CheckSeal(raw)
+	if err != nil {
+		return SnapshotKey{}, fmt.Errorf("trace: family member: %w", err)
+	}
+	d := wire.NewDecoder(payload[len(familyMemberMagic):])
+	scale := d.F64()
+	iters := int(d.I64())
+	if err := d.Err(); err != nil {
+		return SnapshotKey{}, err
+	}
+	return f.WithFamily(scale, iters), nil
+}
+
+// registerFamily publishes the key's member record into its family
+// directory. Failures degrade the index, not the store: the snapshot
+// entry itself is already published and addressable by exact key.
+func (c *SnapshotCache) registerFamily(k SnapshotKey) error {
+	dir := c.familyDir(k.Family())
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("trace: creating family index: %w", err)
+	}
+	path := filepath.Join(dir, k.ID()+".member")
+	if err := fsatomic.Publish(path, encodeFamilyMember(k)); err != nil {
+		return fmt.Errorf("trace: publishing family member: %w", err)
+	}
+	return nil
+}
+
+// FamilyMembers lists the cached members of the key's derivation family,
+// excluding the key itself, in deterministic (member-ID) order.
+// Unreadable records are skipped: the index is advisory and every
+// returned key still goes through Load's full validation before use.
+func (c *SnapshotCache) FamilyMembers(k SnapshotKey) []SnapshotKey {
+	fam := k.Family()
+	entries, err := os.ReadDir(c.familyDir(fam))
+	if err != nil {
+		return nil
+	}
+	self := k.ID()
+	type member struct {
+		key SnapshotKey
+		id  string
+	}
+	var members []member
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || filepath.Ext(name) != ".member" {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(c.familyDir(fam), name))
+		if err != nil {
+			continue
+		}
+		mk, err := decodeFamilyMember(fam, raw)
+		if err != nil {
+			continue
+		}
+		id := mk.ID()
+		if id == self {
+			continue
+		}
+		// The record's file name must agree with the key it decodes to —
+		// a renamed or cross-copied record would otherwise alias a
+		// member that does not exist.
+		if name != id+".member" {
+			continue
+		}
+		members = append(members, member{key: mk, id: id})
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i].id < members[j].id })
+	out := make([]SnapshotKey, len(members))
+	for i, m := range members {
+		out[i] = m.key
+	}
+	return out
+}

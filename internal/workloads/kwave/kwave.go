@@ -404,6 +404,39 @@ func (w *KWave) Run(env *workloads.Env) error {
 	return nil
 }
 
+// DefaultIterations implements workloads.IterationFamily (Env.Iterations
+// overrides the configured step count).
+func (w *KWave) DefaultIterations() int { return w.Cfg.Steps }
+
+// PhaseSchedule implements workloads.IterationFamily: every time step
+// emits the same ten phases — the forward pressure transform, the three
+// staggered gradient inverse transforms, the velocity update, the three
+// divergence transforms, and the density and pressure updates.
+func (w *KWave) PhaseSchedule(iters int) []workloads.PhaseCount {
+	i := int64(iters)
+	return []workloads.PhaseCount{
+		{Name: "fft.p", Count: i},
+		{Name: "ifft.gradx", Count: i},
+		{Name: "ifft.grady", Count: i},
+		{Name: "ifft.gradz", Count: i},
+		{Name: "update_u", Count: i},
+		{Name: "fft.divx", Count: i},
+		{Name: "fft.divy", Count: i},
+		{Name: "fft.divz", Count: i},
+		{Name: "update_rho", Count: i},
+		{Name: "update_p", Count: i},
+	}
+}
+
+// ScaleInvariant implements workloads.ScaleFamily: simulated sizes come
+// from (PaperN/RealN)³, never from Env.Scale.
+func (w *KWave) ScaleInvariant() bool { return true }
+
+var (
+	_ workloads.IterationFamily = (*KWave)(nil)
+	_ workloads.ScaleFamily     = (*KWave)(nil)
+)
+
 // totalEnergy returns the discrete acoustic energy (potential + kinetic).
 func (w *KWave) totalEnergy() float64 {
 	e := 0.0

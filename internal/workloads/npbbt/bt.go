@@ -403,6 +403,32 @@ func (b *BT) Run(env *workloads.Env) error {
 	return nil
 }
 
+// DefaultIterations implements workloads.IterationFamily.
+func (b *BT) DefaultIterations() int { return b.Cfg.Iters }
+
+// PhaseSchedule implements workloads.IterationFamily: the six-phase ADI
+// loop body repeats identically every iteration.
+func (b *BT) PhaseSchedule(iters int) []workloads.PhaseCount {
+	i := int64(iters)
+	return []workloads.PhaseCount{
+		{Name: "compute_aux", Count: i},
+		{Name: "compute_rhs", Count: i},
+		{Name: "x_solve", Count: i},
+		{Name: "y_solve", Count: i},
+		{Name: "z_solve", Count: i},
+		{Name: "add", Count: i},
+	}
+}
+
+// ScaleInvariant implements workloads.ScaleFamily: simulated sizes come
+// from (PaperN/RealN)³, never from Env.Scale.
+func (b *BT) ScaleInvariant() bool { return true }
+
+var (
+	_ workloads.IterationFamily = (*BT)(nil)
+	_ workloads.ScaleFamily     = (*BT)(nil)
+)
+
 // Verify implements workloads.Workload.
 func (b *BT) Verify() error {
 	if len(b.errNorms) < 2 {

@@ -193,6 +193,31 @@ func (s *IS) Run(env *workloads.Env) error {
 	return nil
 }
 
+// DefaultIterations implements workloads.IterationFamily.
+func (s *IS) DefaultIterations() int { return s.Cfg.Iters }
+
+// PhaseSchedule implements workloads.IterationFamily: the three ranking
+// phases repeat per iteration; the verification permutation runs once
+// after the loop regardless of the count.
+func (s *IS) PhaseSchedule(iters int) []workloads.PhaseCount {
+	i := int64(iters)
+	return []workloads.PhaseCount{
+		{Name: "copy_keys", Count: i},
+		{Name: "rank_hist", Count: i},
+		{Name: "prefix_sum", Count: i},
+		{Name: "permute", Count: 1},
+	}
+}
+
+// ScaleInvariant implements workloads.ScaleFamily: simulated sizes come
+// from Cfg.SimKeys/SimMaxKey, never from Env.Scale.
+func (s *IS) ScaleInvariant() bool { return true }
+
+var (
+	_ workloads.IterationFamily = (*IS)(nil)
+	_ workloads.ScaleFamily     = (*IS)(nil)
+)
+
 // Verify implements workloads.Workload: the permutation must be sorted
 // and must preserve the multiset of keys.
 func (s *IS) Verify() error {

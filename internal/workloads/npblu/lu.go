@@ -409,6 +409,30 @@ func (l *LU) Run(env *workloads.Env) error {
 	return nil
 }
 
+// DefaultIterations implements workloads.IterationFamily.
+func (l *LU) DefaultIterations() int { return l.Cfg.Iters }
+
+// PhaseSchedule implements workloads.IterationFamily: the four-phase
+// SSOR loop body repeats identically every iteration.
+func (l *LU) PhaseSchedule(iters int) []workloads.PhaseCount {
+	i := int64(iters)
+	return []workloads.PhaseCount{
+		{Name: "rhs", Count: i},
+		{Name: "blts", Count: i},
+		{Name: "buts", Count: i},
+		{Name: "add", Count: i},
+	}
+}
+
+// ScaleInvariant implements workloads.ScaleFamily: simulated sizes come
+// from (PaperN/RealN)³, never from Env.Scale.
+func (l *LU) ScaleInvariant() bool { return true }
+
+var (
+	_ workloads.IterationFamily = (*LU)(nil)
+	_ workloads.ScaleFamily     = (*LU)(nil)
+)
+
 // Verify implements workloads.Workload.
 func (l *LU) Verify() error {
 	if len(l.errNorms) < 2 {

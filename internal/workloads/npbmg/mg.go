@@ -387,6 +387,47 @@ func (m *MG) vCycle() {
 	}
 }
 
+// DefaultIterations implements workloads.IterationFamily.
+func (m *MG) DefaultIterations() int { return m.Cfg.Iters }
+
+// PhaseSchedule implements workloads.IterationFamily, mirroring Run and
+// vCycle slot by slot. The kernel names repeat across grid levels but
+// the shapes differ (per-level sizes), so the schedule is positional:
+// the finest resid against the right-hand side (once before the loop
+// plus once per V-cycle), then per cycle the down-leg restrictions, the
+// coarsest-level smooth, and the up-leg interp/resid/psinv triples in
+// vCycle order.
+func (m *MG) PhaseSchedule(iters int) []workloads.PhaseCount {
+	levels := 0
+	for n := m.Cfg.RealN; n >= 4; n /= 2 {
+		levels++
+	}
+	i := int64(iters)
+	out := make([]workloads.PhaseCount, 0, 4*levels)
+	out = append(out, workloads.PhaseCount{Name: "resid", Count: i + 1})
+	for l := 0; l < levels-1; l++ {
+		out = append(out, workloads.PhaseCount{Name: "rprj3", Count: i})
+	}
+	out = append(out, workloads.PhaseCount{Name: "psinv", Count: i})
+	for l := levels - 2; l >= 0; l-- {
+		out = append(out, workloads.PhaseCount{Name: "interp", Count: i})
+		if l > 0 {
+			out = append(out, workloads.PhaseCount{Name: "resid", Count: i})
+		}
+		out = append(out, workloads.PhaseCount{Name: "psinv", Count: i})
+	}
+	return out
+}
+
+// ScaleInvariant implements workloads.ScaleFamily: simulated sizes come
+// from (PaperN/RealN)³, never from Env.Scale.
+func (m *MG) ScaleInvariant() bool { return true }
+
+var (
+	_ workloads.IterationFamily = (*MG)(nil)
+	_ workloads.ScaleFamily     = (*MG)(nil)
+)
+
 // Verify implements workloads.Workload: the V-cycles must reduce the
 // finest-grid residual norm monotonically and substantially.
 func (m *MG) Verify() error {

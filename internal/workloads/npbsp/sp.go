@@ -396,6 +396,32 @@ func (s *SP) Run(env *workloads.Env) error {
 	return nil
 }
 
+// DefaultIterations implements workloads.IterationFamily.
+func (s *SP) DefaultIterations() int { return s.Cfg.Iters }
+
+// PhaseSchedule implements workloads.IterationFamily: the six-phase ADI
+// loop body repeats identically every iteration.
+func (s *SP) PhaseSchedule(iters int) []workloads.PhaseCount {
+	i := int64(iters)
+	return []workloads.PhaseCount{
+		{Name: "compute_aux", Count: i},
+		{Name: "compute_rhs", Count: i},
+		{Name: "x_solve", Count: i},
+		{Name: "y_solve", Count: i},
+		{Name: "z_solve", Count: i},
+		{Name: "add", Count: i},
+	}
+}
+
+// ScaleInvariant implements workloads.ScaleFamily: simulated sizes come
+// from (PaperN/RealN)³, never from Env.Scale.
+func (s *SP) ScaleInvariant() bool { return true }
+
+var (
+	_ workloads.IterationFamily = (*SP)(nil)
+	_ workloads.ScaleFamily     = (*SP)(nil)
+)
+
 // Verify implements workloads.Workload: the ADI iteration must contract
 // toward the manufactured solution.
 func (s *SP) Verify() error {

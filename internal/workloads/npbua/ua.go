@@ -238,6 +238,36 @@ func (w *UA) Run(env *workloads.Env) error {
 	return nil
 }
 
+// DefaultIterations implements workloads.IterationFamily.
+func (w *UA) DefaultIterations() int { return w.Cfg.Iters }
+
+// PhaseSchedule implements workloads.IterationFamily: every iteration
+// smooths all regions; adaptivity fires every adaptPeriod-th iteration,
+// so its per-region phases carry iters/adaptPeriod (zero below the
+// period — those slots stay in place so the schedule lines up across
+// the family, and derivation toward a count that needs them refuses
+// when the base never recorded an adapt shape).
+func (w *UA) PhaseSchedule(iters int) []workloads.PhaseCount {
+	out := make([]workloads.PhaseCount, 0, 2*Regions)
+	for r := 0; r < Regions; r++ {
+		out = append(out, workloads.PhaseCount{Name: fmt.Sprintf("smooth.r%d", r), Count: int64(iters)})
+	}
+	adapts := int64(iters / adaptPeriod)
+	for r := 0; r < Regions; r++ {
+		out = append(out, workloads.PhaseCount{Name: fmt.Sprintf("adapt.r%d", r), Count: adapts})
+	}
+	return out
+}
+
+// ScaleInvariant implements workloads.ScaleFamily: simulated sizes come
+// from Cfg.SimBytesTotal, never from Env.Scale.
+func (w *UA) ScaleInvariant() bool { return true }
+
+var (
+	_ workloads.IterationFamily = (*UA)(nil)
+	_ workloads.ScaleFamily     = (*UA)(nil)
+)
+
 // Verify implements workloads.Workload: Jacobi on the diagonally
 // dominant graph system must reduce the update norm.
 func (w *UA) Verify() error {

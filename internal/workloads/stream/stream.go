@@ -246,6 +246,35 @@ func (s *Stream) Verify() error {
 	return nil
 }
 
+// DefaultIterations implements workloads.IterationFamily with the same
+// floor Run applies.
+func (s *Stream) DefaultIterations() int {
+	if s.Cfg.Iters <= 0 {
+		return 1
+	}
+	return s.Cfg.Iters
+}
+
+// PhaseSchedule implements workloads.IterationFamily: one slot per
+// configured kernel, each emitted once per iteration.
+func (s *Stream) PhaseSchedule(iters int) []workloads.PhaseCount {
+	ks := s.kernels()
+	out := make([]workloads.PhaseCount, 0, len(ks))
+	for _, k := range ks {
+		out = append(out, workloads.PhaseCount{Name: k.String(), Count: int64(iters)})
+	}
+	return out
+}
+
+// ScaleInvariant implements workloads.ScaleFamily: the simulated array
+// size comes from Cfg.SimArray, never from Env.Scale.
+func (s *Stream) ScaleInvariant() bool { return true }
+
+var (
+	_ workloads.IterationFamily = (*Stream)(nil)
+	_ workloads.ScaleFamily     = (*Stream)(nil)
+)
+
 // verifySpot checks basic sanity when only a kernel subset ran.
 func (s *Stream) verifySpot() error {
 	for i := 0; i < s.Cfg.N; i += s.Cfg.N/8 + 1 {

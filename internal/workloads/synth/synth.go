@@ -159,6 +159,30 @@ func (s *Synth) Run(env *workloads.Env) error {
 	return nil
 }
 
+// DefaultIterations implements workloads.IterationFamily with the same
+// default Run applies.
+func (s *Synth) DefaultIterations() int {
+	if s.Cfg.Iters <= 0 {
+		return 10
+	}
+	return s.Cfg.Iters
+}
+
+// PhaseSchedule implements workloads.IterationFamily: one identical
+// "iter" phase per iteration.
+func (s *Synth) PhaseSchedule(iters int) []workloads.PhaseCount {
+	return []workloads.PhaseCount{{Name: "iter", Count: int64(iters)}}
+}
+
+// ScaleInvariant implements workloads.ScaleFamily: simulated sizes come
+// from the per-array SimBytes specs, never from Env.Scale.
+func (s *Synth) ScaleInvariant() bool { return true }
+
+var (
+	_ workloads.IterationFamily = (*Synth)(nil)
+	_ workloads.ScaleFamily     = (*Synth)(nil)
+)
+
 // Verify checks the reduction result exactly (all elements are 1).
 func (s *Synth) Verify() error {
 	if !s.ran {

@@ -91,6 +91,58 @@ type Workload interface {
 // Factory builds a fresh workload instance with default configuration.
 type Factory func() Workload
 
+// PhaseCount is one slot of a workload's canonical phase schedule; see
+// trace.PhaseCount. Slots are ordered by first appearance and carry the
+// shape's total multiplicity at a given iteration count.
+type PhaseCount = trace.PhaseCount
+
+// IterationFamily is the optional contract behind iteration-count
+// snapshot derivation. A workload implementing it declares analytically
+// what its canonical deduplicated trace looks like at any iteration
+// count: the same ordered slots (one per distinct phase shape, in
+// first-appearance order), with only the per-slot multiplicities
+// depending on the count. The derivation layer can then transpose a
+// captured snapshot between iteration counts without executing the
+// kernel — the declared schedule is validated against the capture in
+// hand first, so a schedule that has drifted from the Run loop causes a
+// refusal, never a wrong snapshot.
+//
+// The implicit contract beyond PhaseSchedule: the workload's allocation
+// registry, simulated footprint and phase shapes must be independent of
+// the iteration count (allocations happen in Setup; Run only repeats
+// shapes). The derivation equivalence tests enforce all of this
+// byte-for-byte against real captures.
+type IterationFamily interface {
+	Workload
+
+	// DefaultIterations resolves the workload's configured default
+	// iteration count — what Run executes when Env.Iterations is zero.
+	DefaultIterations() int
+
+	// PhaseSchedule returns the canonical phase schedule at the given
+	// effective iteration count: one slot per distinct phase shape in
+	// first-appearance order. A slot whose shape does not occur at this
+	// count carries Count zero (keeping slot positions stable across
+	// the family) rather than being dropped.
+	PhaseSchedule(iters int) []PhaseCount
+}
+
+// ScaleFamily is the optional contract behind scale snapshot
+// derivation. A workload implementing it with ScaleInvariant() == true
+// declares that Env.Scale does not influence its kernel, trace or
+// allocation registry — its simulated footprint is derived entirely
+// from its own configuration — so a capture at one scale serves any
+// other scale unchanged except for the recorded metadata. The
+// derivation equivalence tests validate the declaration against real
+// captures.
+type ScaleFamily interface {
+	Workload
+
+	// ScaleInvariant reports whether the workload's capture content is
+	// independent of Env.Scale.
+	ScaleInvariant() bool
+}
+
 type registryEntry struct {
 	factory Factory
 	desc    string
