@@ -126,14 +126,11 @@ func campaignCmd(args []string) error {
 		m.Workloads = append(m.Workloads, w)
 	}
 	for _, name := range strings.Split(*platformsFlag, ",") {
-		switch strings.TrimSpace(name) {
-		case "xeonmax", "single":
-			m.Platforms = append(m.Platforms, campaign.Platform{Name: "xeonmax", Platform: memsim.XeonMax9468()})
-		case "dual", "dual-xeonmax":
-			m.Platforms = append(m.Platforms, campaign.Platform{Name: "dual", Platform: memsim.DualXeonMax9468()})
-		default:
-			return fmt.Errorf("unknown platform preset %q (have xeonmax, dual)", name)
+		p, err := experiments.PlatformByName(strings.TrimSpace(name))
+		if err != nil {
+			return err
 		}
+		m.Platforms = append(m.Platforms, p)
 	}
 	if *seedsFlag != "" {
 		for _, s := range strings.Split(*seedsFlag, ",") {
@@ -210,31 +207,13 @@ func campaignCmd(args []string) error {
 	return res.Err()
 }
 
-// campaignWorkload resolves a workload name to a matrix row: the
-// evaluated benchmarks come with their paper options, any other
-// registered workload runs with defaults.
+// campaignWorkload resolves a workload name to a matrix row (shared
+// with the hmptd daemon through experiments.WorkloadByName) and applies
+// the CLI's runs override.
 func campaignWorkload(name string, full bool, runs int) (campaign.Workload, error) {
-	var w campaign.Workload
-	if spec, err := experiments.SpecFor(name); err == nil {
-		w = experiments.SpecWorkload(spec, !full)
-	} else {
-		if full {
-			return w, fmt.Errorf("workload %q has no full-size instance (only the Table I benchmarks do)", name)
-		}
-		if _, werr := workloads.New(name); werr != nil {
-			return w, werr
-		}
-		w = campaign.Workload{
-			Name:    name,
-			Options: core.Options{Seed: 1, ConfigTag: "default"},
-			Factory: func() workloads.Workload {
-				wl, err := workloads.New(name)
-				if err != nil {
-					panic(err) // registry membership checked above
-				}
-				return wl
-			},
-		}
+	w, err := experiments.WorkloadByName(name, full)
+	if err != nil {
+		return w, err
 	}
 	if runs > 0 {
 		w.Options.Runs = runs

@@ -101,7 +101,25 @@ type (
 	// CampaignEngine evaluates campaign matrices; configure Cache and
 	// Parallelism directly.
 	CampaignEngine = campaign.Engine
+	// FlightGroup coalesces concurrent identical capture/analysis
+	// computations across engine runs (CampaignEngine.Flights): the
+	// serving layer's exactly-once layer. See NewFlightGroup.
+	FlightGroup = campaign.FlightGroup
+	// CacheStats is a point-in-time traffic snapshot of one cache rung
+	// (SnapshotCache.Stats, AnalysisCache.Stats).
+	CacheStats = trace.CacheStats
 )
+
+// NewFlightGroup returns an empty single-flight group to share across
+// engines: N concurrent runs needing the same capture or analysis
+// execute it once and share the result.
+func NewFlightGroup() *FlightGroup { return campaign.NewFlightGroup() }
+
+// CoalescedFlights returns the number of capture/analysis computations
+// served from an in-flight or retained single-flight entry instead of
+// being executed, process-wide — the serving analogue of the zero-work
+// counters below.
+func CoalescedFlights() int64 { return campaign.CoalescedFlights() }
 
 // XeonMax9468 returns the single-socket Intel Xeon Max 9468 platform
 // model used by all paper experiments.

@@ -104,6 +104,10 @@ type Cell struct {
 	// kernel executions, zero sampling passes and zero placement
 	// costing. Cached analyses are shared read-only.
 	AnalysisFromCache bool
+	// Coalesced reports whether the cell's reference snapshot was served
+	// from another run's in-flight (or retained) capture computation in
+	// a shared FlightGroup instead of being resolved by this run.
+	Coalesced bool
 }
 
 // Result is the outcome of one campaign run.
@@ -116,10 +120,15 @@ type Result struct {
 	// many were synthesized from a derivation-family sibling without
 	// executing a kernel. Executions + CacheHits + Derived == Snapshots
 	// on a fully successful run.
+	// Coalesced counts captures served from another run's in-flight or
+	// retained computation in a shared FlightGroup. On a fully
+	// successful run Executions + CacheHits + Derived + Coalesced ==
+	// Snapshots.
 	Snapshots  int
 	Executions int
 	CacheHits  int
 	Derived    int
+	Coalesced  int
 	// AnalysisHits counts cells whose complete analysis was served from
 	// the analysis cache (memo or disk) — cells that ran zero kernel
 	// executions, zero sampling passes and zero placement costing. A
@@ -175,6 +184,14 @@ type Engine struct {
 	// runs within one process (cheaper than the disk caches, checked
 	// first). Several engines may share one Memo.
 	Memo *Memo
+	// Flights coalesces concurrent identical capture and analysis
+	// computations across engine runs: N runs needing the same capture
+	// or the same analysis at the same moment execute it once and share
+	// the result (see FlightGroup). nil creates a private group per Run,
+	// which reproduces the historical per-run memoisation exactly; the
+	// serving layer shares one group (plus one Memo) across all
+	// requests.
+	Flights *FlightGroup
 	// Parallelism caps the worker goroutines of the capture and
 	// analysis fan-outs (0 = GOMAXPROCS). Results are identical for
 	// any value.
@@ -247,16 +264,27 @@ func (m *Memo) putAnalysis(id string, a *core.Analysis) {
 
 // capture is one distinct reference run the matrix needs.
 type capture struct {
-	key      trace.SnapshotKey
-	id       string // key.ID(), hashed once
-	factory  workloads.Factory
-	opts     core.Options
-	snap     *trace.Snapshot
-	ctx      *core.ReplayContext
-	hit      bool
-	derived  bool // synthesized from a family sibling this run
-	err      error
-	cacheErr error // non-fatal: the disk cache failed a load or store
+	key       trace.SnapshotKey
+	id        string // key.ID(), hashed once
+	factory   workloads.Factory
+	opts      core.Options
+	snap      *trace.Snapshot
+	ctx       *core.ReplayContext
+	hit       bool
+	derived   bool // synthesized from a family sibling this run
+	coalesced bool // served from another run's flight in a shared group
+	err       error
+	cacheErr  error // non-fatal: the disk cache failed a load or store
+}
+
+// capOutcome is the shareable result of one capture flight: everything
+// a coalesced run needs to proceed as if it had resolved the capture
+// itself. The pointers are the same shared, read-only values the Memo
+// hands out.
+type capOutcome struct {
+	snap    *trace.Snapshot
+	ctx     *core.ReplayContext
+	derived bool
 }
 
 // cellWork is the per-cell scheduling state of one Run.
@@ -269,22 +297,6 @@ type cellWork struct {
 	aErr    error // non-fatal: the analysis cache failed a load or store
 }
 
-// analysisFlight resolves one analysis key exactly once per run, no
-// matter how many concurrent cells share the key (e.g. variants
-// differing only in SweepParallelism, which the key deliberately
-// ignores): the first cell to claim it probes the cache (for keys whose
-// probe was deferred to stage 2) and computes on a miss, the rest block
-// on the Once and share the (bit-identical by key contract) result.
-// Probing inside the Once is what keeps fromCache deterministic: it
-// always precedes any same-key store, so it reflects the cache state at
-// the start of the run, not worker timing.
-type analysisFlight struct {
-	once      sync.Once
-	an        *core.Analysis
-	err       error
-	fromCache bool
-}
-
 // Run evaluates the matrix: cells already resolved by the analysis cache
 // are served directly (stage 0), every reference run the remaining
 // cells need is captured (or loaded) exactly once and wrapped in one
@@ -294,6 +306,13 @@ type analysisFlight struct {
 // diverging scenario must not sink a thousand-cell campaign — and
 // surfaced together through Result.Err.
 func (e *Engine) Run(m Matrix) (*Result, error) {
+	flights := e.Flights
+	if flights == nil {
+		// A private group reproduces the historical per-run single
+		// flight: cells sharing one analysis key share one computation
+		// within this run, nothing is shared across runs.
+		flights = NewFlightGroup()
+	}
 	variants := m.Variants
 	if len(variants) == 0 {
 		variants = []Variant{{}}
@@ -393,7 +412,7 @@ func (e *Engine) Run(m Matrix) (*Result, error) {
 	}
 	parallel.For(e.workers(len(fams)), len(fams), func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
-			e.resolveFamily(fams[i])
+			e.resolveFamily(flights, fams[i])
 		}
 	})
 	res.Snapshots = len(order)
@@ -407,6 +426,8 @@ func (e *Engine) Run(m Matrix) (*Result, error) {
 		switch {
 		case c.hit:
 			res.CacheHits++
+		case c.coalesced:
+			res.Coalesced++
 		case c.derived:
 			res.Derived++
 		default:
@@ -417,21 +438,13 @@ func (e *Engine) Run(m Matrix) (*Result, error) {
 	// Stage 2: replay every remaining cell through its capture's shared
 	// context (probing the analysis cache first for GroupBy cells, whose
 	// keys are computable only now) and publish fresh analyses back.
-	// Cells sharing one analysis key share one computation (flights), so
-	// within a caching run each placement space is probed and swept at
-	// most once.
-	var flightMu sync.Mutex
-	flights := make(map[string]*analysisFlight)
-	getFlight := func(id string) *analysisFlight {
-		flightMu.Lock()
-		defer flightMu.Unlock()
-		f, ok := flights[id]
-		if !ok {
-			f = &analysisFlight{}
-			flights[id] = f
-		}
-		return f
-	}
+	// Cells sharing one analysis key share one computation (the flight
+	// group), so within a caching run — and, with a shared group, across
+	// concurrent runs — each placement space is probed and swept at most
+	// once. Probing inside the flight is what keeps fromCache
+	// deterministic: it always precedes any same-key store, so it
+	// reflects the cache state at the start of the run, not worker
+	// timing.
 	// Fan over the not-done cells only: in a partially warm campaign the
 	// cold cells are often contiguous (one new workload's block), and a
 	// static partition over all cells would hand them to one worker.
@@ -452,6 +465,7 @@ func (e *Engine) Run(m Matrix) (*Result, error) {
 			}
 			cell.FromCache = c.hit
 			cell.Derived = c.derived
+			cell.Coalesced = c.coalesced
 			// GroupBy cells compute their key only now (it needs the
 			// capture's sites); their cache probe is deferred into the
 			// flight below so equal-key cells see one deterministic
@@ -470,21 +484,24 @@ func (e *Engine) Run(m Matrix) (*Result, error) {
 				cell.Analysis, cell.Err = core.NewContextReplay(c.ctx, cell.Options).Analyze()
 				continue
 			}
-			f := getFlight(work[i].id)
-			f.once.Do(func() {
+			val, fromCache, _, err := flights.do("an/"+work[i].id, func() (any, bool, error) {
 				if probeInFlight {
 					if an := e.loadAnalysis(work[i].key, work[i].id, &work[i].aErr); an != nil {
-						f.an, f.fromCache = an, true
-						return
+						return an, true, nil
 					}
 				}
-				f.an, f.err = core.NewContextReplay(c.ctx, cell.Options).Analyze()
-				if f.err == nil {
-					e.storeAnalysis(work[i].key, work[i].id, f.an, &work[i].aErr)
+				an, aerr := core.NewContextReplay(c.ctx, cell.Options).Analyze()
+				if aerr != nil {
+					return nil, false, aerr
 				}
+				e.storeAnalysis(work[i].key, work[i].id, an, &work[i].aErr)
+				return an, false, nil
 			})
-			cell.Analysis, cell.Err = f.an, f.err
-			cell.AnalysisFromCache = f.fromCache
+			if an, ok := val.(*core.Analysis); ok {
+				cell.Analysis = an
+			}
+			cell.Err = err
+			cell.AnalysisFromCache = fromCache
 		}
 	})
 	for i := range work {
@@ -546,7 +563,12 @@ func (e *Engine) storeAnalysis(key core.AnalysisKey, id string, an *core.Analysi
 // shape the target needs — fall back to execution per member, so the
 // result set is identical to the pre-derivation engine's; members
 // resolve in deterministic (sorted-key) order for any worker count.
-func (e *Engine) resolveFamily(members []*capture) {
+//
+// Each member's derive-or-execute step runs inside the flight group: in
+// a shared group, a concurrent run needing the same capture blocks on
+// this run's computation and shares its snapshot and replay context
+// instead of executing the kernel again.
+func (e *Engine) resolveFamily(flights *FlightGroup, members []*capture) {
 	var pending []*capture
 	for _, c := range members {
 		if !e.loadCapture(c) {
@@ -580,11 +602,35 @@ func (e *Engine) resolveFamily(members []*capture) {
 		if c.err != nil {
 			continue
 		}
-		if e.deriveCapture(c, bases) {
-			continue
+		c := c
+		val, _, shared, err := flights.do("cap/"+c.id, func() (any, bool, error) {
+			if !e.deriveCapture(c, bases) {
+				e.executeCapture(c)
+			}
+			if c.err != nil {
+				return nil, false, c.err
+			}
+			return capOutcome{snap: c.snap, ctx: c.ctx, derived: c.derived}, false, nil
+		})
+		if shared {
+			// Another run resolved this capture (or is retaining it from
+			// an earlier request): adopt its shared snapshot and context,
+			// and publish them into this engine's memo so the next run
+			// here is a plain memo hit.
+			if err != nil {
+				if c.err == nil {
+					c.err = err
+				}
+				continue
+			}
+			out := val.(capOutcome)
+			c.snap, c.ctx, c.coalesced = out.snap, out.ctx, true
+			if e.Memo != nil {
+				e.Memo.put(c.id, c.snap)
+				e.Memo.putContext(c.id, c.ctx)
+			}
 		}
-		e.executeCapture(c)
-		if c.err == nil && c.snap != nil {
+		if c.err == nil && c.snap != nil && !c.derived && !c.coalesced {
 			// A freshly executed member is the preferred base for the
 			// rest of the family: it is in-matrix and maximally fresh.
 			bases = append(bases, c.snap)

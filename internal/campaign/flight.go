@@ -1,0 +1,131 @@
+package campaign
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// coalescedFlights counts flight executions that were *not* performed
+// because an identical computation was already in flight (or already
+// retained) in the sharing FlightGroup — the serving analogue of the
+// zero-work counters KernelExecutions / SamplePasses / SweepEvaluations
+// / DerivedSnapshots. Tests compare deltas to prove N identical
+// concurrent requests execute at most one capture and one analysis.
+var coalescedFlights atomic.Int64
+
+// CoalescedFlights returns the number of capture/analysis computations
+// served from an in-flight or retained single-flight entry instead of
+// being executed, process-wide. Tests compare deltas.
+func CoalescedFlights() int64 { return coalescedFlights.Load() }
+
+// FlightGroup is a single-flight layer over the campaign engine's two
+// expensive computations: resolving a capture (kernel execution or
+// family derivation) and computing an analysis (probe + sweep). Within
+// one group, each key's computation runs at most once — concurrent
+// callers of an in-flight key block and share the result, and later
+// callers are served from the retained entry without recomputing.
+//
+// An Engine with a nil Flights field creates a private group per Run,
+// which reproduces the historical per-run memoisation exactly. A
+// process-wide group shared across engines (the hmptd serving layer)
+// extends the exactly-once guarantee to concurrent requests: N
+// identical requests arriving together execute one kernel and one
+// placement sweep no matter how they interleave.
+//
+// Successful entries are retained for the life of the group — they hold
+// the same shared pointers the Memo does, so retention adds no second
+// copy; eviction is the cache-lifecycle work of ROADMAP item 5. Failed
+// flights are forgotten on completion: concurrent waiters share the
+// error, but later callers retry rather than being pinned to a
+// transient failure forever.
+type FlightGroup struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+	waiters atomic.Int64
+}
+
+// flight is one keyed computation: done closes when fn returns, after
+// val/flag/err are set.
+type flight struct {
+	done chan struct{}
+	val  any
+	flag bool
+	err  error
+}
+
+// NewFlightGroup returns an empty group, ready to be shared by any
+// number of engines.
+func NewFlightGroup() *FlightGroup {
+	return &FlightGroup{flights: make(map[string]*flight)}
+}
+
+// do runs fn once per key: the first caller executes, everyone else is
+// served from the in-flight or retained entry (shared=true, counted in
+// CoalescedFlights). flag carries a small per-computation fact the
+// callers share (the analysis path uses it for "served from the
+// analysis cache", which keeps the flag deterministic: the executing
+// caller's probe always precedes any same-key store).
+func (g *FlightGroup) do(key string, fn func() (any, bool, error)) (val any, flag bool, shared bool, err error) {
+	g.mu.Lock()
+	if g.flights == nil {
+		g.flights = make(map[string]*flight)
+	}
+	if f, ok := g.flights[key]; ok {
+		g.mu.Unlock()
+		g.waiters.Add(1)
+		<-f.done
+		g.waiters.Add(-1)
+		coalescedFlights.Add(1)
+		return f.val, f.flag, true, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	g.flights[key] = f
+	g.mu.Unlock()
+
+	f.val, f.flag, f.err = fn()
+	if f.err != nil {
+		// Forget failures before releasing the waiters: a caller that
+		// arrives after the delete starts a fresh attempt instead of
+		// being served a stale error.
+		g.mu.Lock()
+		delete(g.flights, key)
+		g.mu.Unlock()
+	}
+	close(f.done)
+	return f.val, f.flag, false, f.err
+}
+
+// InFlight returns the number of computations currently executing in
+// the group — the serving layer's queue-visibility gauge.
+func (g *FlightGroup) InFlight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := 0
+	for _, f := range g.flights {
+		select {
+		case <-f.done:
+		default:
+			n++
+		}
+	}
+	return n
+}
+
+// Waiters returns the number of callers currently blocked on another
+// caller's in-flight computation.
+func (g *FlightGroup) Waiters() int { return int(g.waiters.Load()) }
+
+// Retained returns the number of completed entries the group holds.
+func (g *FlightGroup) Retained() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := 0
+	for _, f := range g.flights {
+		select {
+		case <-f.done:
+			n++
+		default:
+		}
+	}
+	return n
+}

@@ -1,0 +1,268 @@
+package campaign
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"hmpt/internal/core"
+	"hmpt/internal/memsim"
+	"hmpt/internal/workloads"
+)
+
+func TestFlightGroupRunsOnceAndRetains(t *testing.T) {
+	g := NewFlightGroup()
+	calls := 0
+	for i := 0; i < 3; i++ {
+		val, flag, shared, err := g.do("k", func() (any, bool, error) {
+			calls++
+			return 42, true, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if val.(int) != 42 || !flag {
+			t.Errorf("call %d: val=%v flag=%v, want 42/true", i, val, flag)
+		}
+		if shared != (i > 0) {
+			t.Errorf("call %d: shared=%v, want %v", i, shared, i > 0)
+		}
+	}
+	if calls != 1 {
+		t.Errorf("fn ran %d times, want 1 (retention)", calls)
+	}
+	if g.Retained() != 1 || g.InFlight() != 0 {
+		t.Errorf("retained=%d inflight=%d, want 1/0", g.Retained(), g.InFlight())
+	}
+}
+
+func TestFlightGroupForgetsFailures(t *testing.T) {
+	g := NewFlightGroup()
+	boom := errors.New("boom")
+	calls := 0
+	if _, _, _, err := g.do("k", func() (any, bool, error) { calls++; return nil, false, boom }); err != boom {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	val, _, shared, err := g.do("k", func() (any, bool, error) { calls++; return 7, false, nil })
+	if err != nil || val.(int) != 7 || shared {
+		t.Errorf("retry: val=%v shared=%v err=%v, want 7/false/nil", val, shared, err)
+	}
+	if calls != 2 {
+		t.Errorf("fn ran %d times, want 2 (failure forgotten)", calls)
+	}
+	if g.Retained() != 1 {
+		t.Errorf("retained=%d, want 1 (only the success)", g.Retained())
+	}
+}
+
+func TestFlightGroupSharesConcurrently(t *testing.T) {
+	g := NewFlightGroup()
+	const k = 8
+	base := CoalescedFlights()
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	results := make([]int, k)
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			val, _, _, err := g.do("k", func() (any, bool, error) {
+				close(entered)
+				<-release
+				return 99, false, nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = val.(int)
+		}()
+	}
+	<-entered
+	waitFor(t, func() bool { return g.Waiters() == k-1 })
+	if g.InFlight() != 1 {
+		t.Errorf("inflight=%d, want 1", g.InFlight())
+	}
+	close(release)
+	wg.Wait()
+	for i, v := range results {
+		if v != 99 {
+			t.Errorf("caller %d got %d, want 99", i, v)
+		}
+	}
+	if got := CoalescedFlights() - base; got != k-1 {
+		t.Errorf("CoalescedFlights delta = %d, want %d", got, k-1)
+	}
+}
+
+// waitFor polls cond until true or a 10s deadline.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached before deadline")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// gatedWorkload delegates to a registry workload but blocks its kernel
+// in Run until released, so a test can hold a capture in flight while
+// concurrent engine runs pile up on it.
+type gatedWorkload struct {
+	inner   workloads.Workload
+	started chan<- struct{}
+	release <-chan struct{}
+}
+
+func (g *gatedWorkload) Name() string                 { return g.inner.Name() }
+func (g *gatedWorkload) Setup(e *workloads.Env) error { return g.inner.Setup(e) }
+func (g *gatedWorkload) Verify() error                { return g.inner.Verify() }
+func (g *gatedWorkload) Run(e *workloads.Env) error {
+	g.started <- struct{}{}
+	<-g.release
+	return g.inner.Run(e)
+}
+
+// TestConcurrentRunsCoalesceToOneExecution is the serving-layer
+// acceptance criterion at the engine level: K concurrent engine runs
+// needing the same cold scenario — sharing a FlightGroup but nothing
+// else (no disk caches, private memos) — execute exactly one kernel,
+// one sampling pass and one probe+sweep, and the coalescing counter
+// pins the other K-1 capture adoptions and K-1 analysis adoptions.
+func TestConcurrentRunsCoalesceToOneExecution(t *testing.T) {
+	const k = 4
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	flights := NewFlightGroup()
+
+	m := Matrix{
+		Workloads: []Workload{{
+			Name: "synth",
+			Factory: func() workloads.Workload {
+				w, err := workloads.New("synth")
+				if err != nil {
+					panic(err)
+				}
+				return &gatedWorkload{inner: w, started: started, release: release}
+			},
+			Options: core.Options{Seed: 1},
+		}},
+		Platforms: []Platform{{Name: "xeonmax", Platform: memsim.XeonMax9468()}},
+	}
+
+	baseCoalesced := CoalescedFlights()
+	baseKernels := core.KernelExecutions()
+	baseSamples := core.SamplePasses()
+	baseSweeps := core.SweepEvaluations()
+
+	results := make([]*Result, k)
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			eng := &Engine{Memo: NewMemo(), Flights: flights}
+			results[i], errs[i] = eng.Run(m)
+		}()
+	}
+
+	// One run is executing the (gated) kernel; wait until the other
+	// k-1 are blocked on its capture flight, then let it finish.
+	<-started
+	waitFor(t, func() bool { return flights.Waiters() == k-1 })
+	close(release)
+	wg.Wait()
+
+	var execs, coals int
+	for i := 0; i < k; i++ {
+		if errs[i] != nil {
+			t.Fatalf("run %d: %v", i, errs[i])
+		}
+		if err := results[i].Err(); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		execs += results[i].Executions
+		coals += results[i].Coalesced
+		if i > 0 && !reflect.DeepEqual(results[i].Cells[0].Analysis, results[0].Cells[0].Analysis) {
+			t.Errorf("run %d analysis differs from run 0", i)
+		}
+	}
+	if execs != 1 || coals != k-1 {
+		t.Errorf("executions=%d coalesced=%d across runs, want 1/%d", execs, coals, k-1)
+	}
+	if got := core.KernelExecutions() - baseKernels; got != 1 {
+		t.Errorf("kernel executions delta = %d, want 1", got)
+	}
+	if got := core.SamplePasses() - baseSamples; got != 1 {
+		t.Errorf("sample passes delta = %d, want 1", got)
+	}
+	if got := core.SweepEvaluations() - baseSweeps; got != 2 {
+		t.Errorf("sweep evaluations delta = %d, want 2 (one probe + one sweep)", got)
+	}
+	// k-1 runs adopted the capture, and k-1 runs adopted the analysis.
+	if got := CoalescedFlights() - baseCoalesced; got != 2*(k-1) {
+		t.Errorf("CoalescedFlights delta = %d, want %d", got, 2*(k-1))
+	}
+}
+
+// TestSharedFlightsRetainAcrossSequentialRuns proves the retention
+// half: a second run arriving after the first completed is still served
+// without re-executing anything, even with a cold private memo.
+func TestSharedFlightsRetainAcrossSequentialRuns(t *testing.T) {
+	flights := NewFlightGroup()
+	m := Matrix{
+		Workloads: []Workload{{
+			Name: "synth",
+			Factory: func() workloads.Workload {
+				w, err := workloads.New("synth")
+				if err != nil {
+					panic(err)
+				}
+				return w
+			},
+			Options: core.Options{Seed: 2},
+		}},
+		Platforms: []Platform{{Name: "xeonmax", Platform: memsim.XeonMax9468()}},
+	}
+	run := func() *Result {
+		t.Helper()
+		res, err := (&Engine{Memo: NewMemo(), Flights: flights}).Run(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	first := run()
+	if first.Executions != 1 {
+		t.Fatalf("cold run executed %d captures, want 1", first.Executions)
+	}
+	baseKernels := core.KernelExecutions()
+	baseSweeps := core.SweepEvaluations()
+	warm := run()
+	if warm.Coalesced != 1 || warm.Executions != 0 {
+		t.Errorf("warm run: coalesced=%d executions=%d, want 1/0", warm.Coalesced, warm.Executions)
+	}
+	if !warm.Cells[0].Coalesced {
+		t.Error("warm cell not marked Coalesced")
+	}
+	if got := core.KernelExecutions() - baseKernels; got != 0 {
+		t.Errorf("warm run executed %d kernels, want 0", got)
+	}
+	if got := core.SweepEvaluations() - baseSweeps; got != 0 {
+		t.Errorf("warm run ran %d placement passes, want 0", got)
+	}
+	if !reflect.DeepEqual(first.Cells[0].Analysis, warm.Cells[0].Analysis) {
+		t.Error("retained analysis differs from the original")
+	}
+}

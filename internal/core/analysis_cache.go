@@ -7,10 +7,12 @@ import (
 	"hash/fnv"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 
 	"hmpt/internal/fsatomic"
 	"hmpt/internal/memsim"
 	"hmpt/internal/shim"
+	"hmpt/internal/trace"
 	"hmpt/internal/wire"
 )
 
@@ -111,6 +113,25 @@ func AnalysisKeyFor(workload string, opts Options, sites []shim.SiteGroup) (Anal
 // would trust.
 type AnalysisCache struct {
 	dir string
+	cnt cacheCounters
+}
+
+// CacheStats is a point-in-time counter snapshot of a cache rung's
+// traffic; see trace.CacheStats.
+type CacheStats = trace.CacheStats
+
+// cacheCounters mirrors the snapshot cache's atomic stats counters.
+type cacheCounters struct {
+	hits, misses, errors, stores atomic.Int64
+}
+
+func (c *cacheCounters) stats() CacheStats {
+	return CacheStats{
+		Hits:   c.hits.Load(),
+		Misses: c.misses.Load(),
+		Errors: c.errors.Load(),
+		Stores: c.stores.Load(),
+	}
 }
 
 // NewAnalysisCache opens (creating if needed) a cache rooted at dir.
@@ -126,6 +147,9 @@ func NewAnalysisCache(dir string) (*AnalysisCache, error) {
 
 // Dir returns the cache root directory.
 func (c *AnalysisCache) Dir() string { return c.dir }
+
+// Stats returns the cache's traffic counters since it was opened.
+func (c *AnalysisCache) Stats() CacheStats { return c.cnt.stats() }
 
 // Path returns the file path an entry for the key lives at.
 func (c *AnalysisCache) Path(k AnalysisKey) string {
@@ -145,16 +169,20 @@ func (c *AnalysisCache) Load(k AnalysisKey) (an *Analysis, ok bool, err error) {
 	id := k.ID()
 	raw, err := os.ReadFile(c.path(id))
 	if os.IsNotExist(err) {
+		c.cnt.misses.Add(1)
 		return nil, false, nil
 	}
 	if err != nil {
+		c.cnt.errors.Add(1)
 		return nil, false, fmt.Errorf("core: reading cached analysis: %w", err)
 	}
 	an, keyID, err := DecodeAnalysis(raw)
 	if err != nil {
+		c.cnt.errors.Add(1)
 		return nil, false, fmt.Errorf("core: cached analysis %s: %w", id[:12], err)
 	}
 	if keyID != id {
+		c.cnt.errors.Add(1)
 		// Truncate defensively: the embedded ID is attacker/corruption
 		// controlled and may be shorter than a real content address.
 		if len(keyID) > 12 {
@@ -164,9 +192,11 @@ func (c *AnalysisCache) Load(k AnalysisKey) (an *Analysis, ok bool, err error) {
 			id[:12], keyID)
 	}
 	if an.Workload != k.Workload {
+		c.cnt.errors.Add(1)
 		return nil, false, fmt.Errorf("core: cached analysis %s holds workload %q, key wants %q",
 			id[:12], an.Workload, k.Workload)
 	}
+	c.cnt.hits.Add(1)
 	return an, true, nil
 }
 
@@ -178,10 +208,13 @@ func (c *AnalysisCache) Store(k AnalysisKey, an *Analysis) error {
 	id := k.ID()
 	b, err := encodeAnalysis(id, an)
 	if err != nil {
+		c.cnt.errors.Add(1)
 		return err
 	}
 	if err := fsatomic.Publish(c.path(id), b); err != nil {
+		c.cnt.errors.Add(1)
 		return fmt.Errorf("core: publishing analysis: %w", err)
 	}
+	c.cnt.stores.Add(1)
 	return nil
 }

@@ -1,0 +1,207 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hmpt/internal/experiments"
+)
+
+// LoadConfig drives RunLoad: a deterministic closed-loop load test
+// against a running daemon. Clients goroutines each hold one connection
+// and issue requests back-to-back (no think time); the request mix is a
+// fixed round-robin over Workloads by global request index, so two runs
+// with the same config issue exactly the same request sequence — only
+// the interleaving differs.
+type LoadConfig struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Clients is the number of concurrent closed-loop clients
+	// (default 4).
+	Clients int
+	// Requests is the total number of requests across all clients
+	// (default 64).
+	Requests int
+	// Workloads is the request mix (default DefaultLoadWorkloads()).
+	Workloads []string
+	// Platform is the platform preset every request asks for
+	// (default "xeonmax").
+	Platform string
+	// Timeout bounds each request (default 60s — a cold kernel capture
+	// is part of the first burst's job).
+	Timeout time.Duration
+}
+
+// LoadReport is RunLoad's outcome: counts, throughput and the latency
+// distribution of the successful requests, in milliseconds.
+type LoadReport struct {
+	Requests       int     `json:"requests"`
+	Errors         int     `json:"errors"`
+	Clients        int     `json:"clients"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	// Throughput is served requests per second over the whole burst.
+	Throughput float64 `json:"req_per_sec"`
+	P50Ms      float64 `json:"p50_ms"`
+	P95Ms      float64 `json:"p95_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+	MaxMs      float64 `json:"max_ms"`
+	// FirstError carries one representative failure for the report
+	// artifact; Errors counts them all.
+	FirstError string `json:"first_error,omitempty"`
+}
+
+// DefaultLoadWorkloads is the standard load-test mix: the full Table I
+// benchmark set, so a burst exercises every family in the cache ladder
+// (including the GroupBy path via kwave).
+func DefaultLoadWorkloads() []string {
+	var names []string
+	for _, spec := range experiments.Specs() {
+		names = append(names, spec.Name)
+	}
+	return names
+}
+
+// RunLoad executes the closed-loop burst and reports throughput and
+// latency percentiles. It returns an error only for setup problems
+// (bad config); request failures are counted in the report so a smoke
+// gate can decide how strict to be.
+func RunLoad(cfg LoadConfig) (*LoadReport, error) {
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("server: loadgen needs a base URL")
+	}
+	clients := cfg.Clients
+	if clients <= 0 {
+		clients = 4
+	}
+	total := cfg.Requests
+	if total <= 0 {
+		total = 64
+	}
+	if clients > total {
+		clients = total
+	}
+	mix := cfg.Workloads
+	if len(mix) == 0 {
+		mix = DefaultLoadWorkloads()
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("server: loadgen needs at least one workload")
+	}
+	platform := cfg.Platform
+	if platform == "" {
+		platform = "xeonmax"
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = 60 * time.Second
+	}
+
+	// Pre-encode one body per workload: the loop measures the server,
+	// not the client's JSON encoder.
+	bodies := make([][]byte, len(mix))
+	for i, name := range mix {
+		b, err := json.Marshal(AnalyzeRequest{Workload: name, Platform: platform})
+		if err != nil {
+			return nil, fmt.Errorf("server: encoding loadgen request: %w", err)
+		}
+		bodies[i] = b
+	}
+	url := cfg.BaseURL + "/v1/analyze"
+	client := &http.Client{Timeout: timeout}
+
+	var (
+		next      atomic.Int64
+		mu        sync.Mutex
+		latencies = make([]float64, 0, total)
+		errs      int
+		firstErr  string
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total {
+					return
+				}
+				body := bodies[i%len(bodies)]
+				t0 := time.Now()
+				err := doAnalyze(client, url, body)
+				dt := time.Since(t0)
+				mu.Lock()
+				if err != nil {
+					errs++
+					if firstErr == "" {
+						firstErr = err.Error()
+					}
+				} else {
+					latencies = append(latencies, dt.Seconds()*1e3)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &LoadReport{
+		Requests:       total,
+		Errors:         errs,
+		Clients:        clients,
+		ElapsedSeconds: elapsed.Seconds(),
+		FirstError:     firstErr,
+	}
+	if served := total - errs; served > 0 && elapsed > 0 {
+		rep.Throughput = float64(served) / elapsed.Seconds()
+	}
+	sort.Float64s(latencies)
+	rep.P50Ms = percentile(latencies, 0.50)
+	rep.P95Ms = percentile(latencies, 0.95)
+	rep.P99Ms = percentile(latencies, 0.99)
+	if n := len(latencies); n > 0 {
+		rep.MaxMs = latencies[n-1]
+	}
+	return rep, nil
+}
+
+// doAnalyze issues one analyze request and fully drains the response so
+// the connection is reused.
+func doAnalyze(client *http.Client, url string, body []byte) error {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	_, err = io.Copy(io.Discard, resp.Body)
+	return err
+}
+
+// percentile returns the pth percentile (0..1) of sorted samples by the
+// nearest-rank method, 0 for an empty set.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(float64(len(sorted))*p+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}

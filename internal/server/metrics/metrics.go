@@ -1,0 +1,450 @@
+// Package metrics is a dependency-free Prometheus-text-format metrics
+// registry for the hmptd serving layer. It implements the small subset
+// of the exposition format the daemon needs — counters, gauges,
+// histograms, and single-label vectors of each — without pulling in the
+// Prometheus client library (the repo's no-new-dependencies rule).
+//
+// Naming follows the Prometheus conventions the scraping side expects:
+// `<subsystem>_<noun>_<unit>` with `_total` on counters, `_seconds` on
+// latency histograms, and snake_case label names. All collectors are
+// safe for concurrent use; Write serialises a consistent point-in-time
+// snapshot in deterministic (sorted) order so tests can compare output
+// textually.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds a set of named collectors and renders them in the
+// Prometheus text exposition format (version 0.0.4, the format every
+// Prometheus-compatible scraper accepts).
+type Registry struct {
+	mu         sync.Mutex
+	collectors []collector
+	names      map[string]struct{}
+}
+
+// collector is one named metric family: it renders its full exposition
+// block (HELP/TYPE header plus sample lines).
+type collector interface {
+	name() string
+	write(w io.Writer) error
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]struct{})}
+}
+
+func (r *Registry) register(c collector) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.names[c.name()]; dup {
+		panic(fmt.Sprintf("metrics: duplicate metric name %q", c.name()))
+	}
+	r.names[c.name()] = struct{}{}
+	r.collectors = append(r.collectors, c)
+}
+
+// Write renders every registered collector, sorted by metric name, in
+// the Prometheus text format. Collection is lock-free per sample
+// (atomic loads), so a scrape never blocks the serving path.
+func (r *Registry) Write(w io.Writer) error {
+	r.mu.Lock()
+	cs := make([]collector, len(r.collectors))
+	copy(cs, r.collectors)
+	r.mu.Unlock()
+	sort.Slice(cs, func(i, j int) bool { return cs[i].name() < cs[j].name() })
+	for _, c := range cs {
+		if err := c.write(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// header writes the # HELP / # TYPE preamble of one metric family.
+func header(w io.Writer, name, help, typ string) error {
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ)
+	return err
+}
+
+// escapeHelp escapes backslashes and newlines per the text format spec.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value: backslash, double-quote, newline.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// fmtFloat renders a sample value the way Prometheus expects: integral
+// values without an exponent, +Inf for the histogram upper bound.
+func fmtFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// --- Counter -------------------------------------------------------------
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	nm, help string
+	v        atomic.Int64
+}
+
+// NewCounter registers and returns a counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{nm: name, help: help}
+	r.register(c)
+	return c
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative to keep the counter monotone).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) name() string { return c.nm }
+
+func (c *Counter) write(w io.Writer) error {
+	if err := header(w, c.nm, c.help, "counter"); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", c.nm, c.v.Load())
+	return err
+}
+
+// --- CounterVec ----------------------------------------------------------
+
+// CounterVec is a counter family partitioned by one label.
+type CounterVec struct {
+	nm, help, label string
+	mu              sync.Mutex
+	vals            map[string]*atomic.Int64
+}
+
+// NewCounterVec registers and returns a single-label counter family.
+func (r *Registry) NewCounterVec(name, help, label string) *CounterVec {
+	c := &CounterVec{nm: name, help: help, label: label, vals: make(map[string]*atomic.Int64)}
+	r.register(c)
+	return c
+}
+
+func (c *CounterVec) get(value string) *atomic.Int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.vals[value]
+	if !ok {
+		v = new(atomic.Int64)
+		c.vals[value] = v
+	}
+	return v
+}
+
+// Inc adds one to the child for the label value.
+func (c *CounterVec) Inc(value string) { c.get(value).Add(1) }
+
+// Add adds n to the child for the label value.
+func (c *CounterVec) Add(value string, n int64) { c.get(value).Add(n) }
+
+// Value returns the child's current count (zero if never touched).
+func (c *CounterVec) Value(value string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if v, ok := c.vals[value]; ok {
+		return v.Load()
+	}
+	return 0
+}
+
+func (c *CounterVec) name() string { return c.nm }
+
+func (c *CounterVec) write(w io.Writer) error {
+	if err := header(w, c.nm, c.help, "counter"); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	keys := make([]string, 0, len(c.vals))
+	for k := range c.vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	lines := make([]string, len(keys))
+	for i, k := range keys {
+		lines[i] = fmt.Sprintf("%s{%s=\"%s\"} %d\n", c.nm, c.label, escapeLabel(k), c.vals[k].Load())
+	}
+	c.mu.Unlock()
+	for _, l := range lines {
+		if _, err := io.WriteString(w, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- Gauge ---------------------------------------------------------------
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	nm, help string
+	v        atomic.Int64
+}
+
+// NewGauge registers and returns a gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{nm: name, help: help}
+	r.register(g)
+	return g
+}
+
+// Inc adds one. Dec subtracts one. Set stores v. Value reads.
+func (g *Gauge) Inc()         { g.v.Add(1) }
+func (g *Gauge) Dec()         { g.v.Add(-1) }
+func (g *Gauge) Set(v int64)  { g.v.Store(v) }
+func (g *Gauge) Value() int64 { return g.v.Load() }
+func (g *Gauge) name() string { return g.nm }
+func (g *Gauge) write(w io.Writer) error {
+	if err := header(w, g.nm, g.help, "gauge"); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", g.nm, g.v.Load())
+	return err
+}
+
+// --- Func collectors -----------------------------------------------------
+
+// funcCollector samples a callback at scrape time — the bridge from
+// values owned elsewhere (the process-wide zero-work counters, the
+// flight group's gauges, cache Stats()) into the exposition without
+// double bookkeeping.
+type funcCollector struct {
+	nm, help, typ string
+	fn            func() float64
+}
+
+// NewCounterFunc registers a counter whose value is sampled from fn at
+// scrape time. fn must be monotone non-decreasing.
+func (r *Registry) NewCounterFunc(name, help string, fn func() float64) {
+	r.register(&funcCollector{nm: name, help: help, typ: "counter", fn: fn})
+}
+
+// NewGaugeFunc registers a gauge sampled from fn at scrape time.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {
+	r.register(&funcCollector{nm: name, help: help, typ: "gauge", fn: fn})
+}
+
+func (f *funcCollector) name() string { return f.nm }
+
+func (f *funcCollector) write(w io.Writer) error {
+	if err := header(w, f.nm, f.help, f.typ); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %s\n", f.nm, fmtFloat(f.fn()))
+	return err
+}
+
+// labeledFuncCollector samples a map of label value → sample at scrape
+// time (one callback for the whole family, e.g. a cache rung's Stats).
+type labeledFuncCollector struct {
+	nm, help, typ, label string
+	fn                   func() map[string]float64
+}
+
+// NewCounterVecFunc registers a single-label counter family whose
+// children are sampled from fn at scrape time.
+func (r *Registry) NewCounterVecFunc(name, help, label string, fn func() map[string]float64) {
+	r.register(&labeledFuncCollector{nm: name, help: help, typ: "counter", label: label, fn: fn})
+}
+
+func (f *labeledFuncCollector) name() string { return f.nm }
+
+func (f *labeledFuncCollector) write(w io.Writer) error {
+	if err := header(w, f.nm, f.help, f.typ); err != nil {
+		return err
+	}
+	vals := f.fn()
+	keys := make([]string, 0, len(vals))
+	for k := range vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(w, "%s{%s=\"%s\"} %s\n", f.nm, f.label, escapeLabel(k), fmtFloat(vals[k])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- Histogram -----------------------------------------------------------
+
+// DefBuckets are the default latency buckets, in seconds — tuned for a
+// warm serve path whose p50 sits well under a millisecond but whose
+// cold tail (kernel execution) reaches seconds.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a cumulative-bucket histogram in the Prometheus style:
+// each `le` bucket counts observations ≤ its upper bound, plus a +Inf
+// bucket, _sum and _count series.
+type Histogram struct {
+	nm, help string
+	bounds   []float64
+	buckets  []atomic.Int64 // len(bounds)+1; last is +Inf
+	count    atomic.Int64
+	sumBits  atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// NewHistogram registers and returns a histogram over the given bucket
+// upper bounds (nil → DefBuckets). Bounds must be sorted ascending.
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: histogram %q bounds not ascending", name))
+		}
+	}
+	h := &Histogram{nm: name, help: help, bounds: bounds, buckets: make([]atomic.Int64, len(bounds)+1)}
+	r.register(h)
+	return h
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+func (h *Histogram) name() string { return h.nm }
+
+func (h *Histogram) write(w io.Writer) error {
+	if err := header(w, h.nm, h.help, "histogram"); err != nil {
+		return err
+	}
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.buckets[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.nm, fmtFloat(b), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.nm, cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %g\n", h.nm, math.Float64frombits(h.sumBits.Load())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", h.nm, h.count.Load())
+	return err
+}
+
+// --- HistogramVec --------------------------------------------------------
+
+// HistogramVec is a histogram family partitioned by one label.
+type HistogramVec struct {
+	nm, help, label string
+	bounds          []float64
+	mu              sync.Mutex
+	vals            map[string]*Histogram
+}
+
+// NewHistogramVec registers and returns a single-label histogram family
+// (nil bounds → DefBuckets).
+func (r *Registry) NewHistogramVec(name, help, label string, bounds []float64) *HistogramVec {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	h := &HistogramVec{nm: name, help: help, label: label, bounds: bounds, vals: make(map[string]*Histogram)}
+	r.register(h)
+	return h
+}
+
+// Observe records one sample under the label value.
+func (h *HistogramVec) Observe(value string, v float64) {
+	h.mu.Lock()
+	child, ok := h.vals[value]
+	if !ok {
+		child = &Histogram{nm: h.nm, bounds: h.bounds, buckets: make([]atomic.Int64, len(h.bounds)+1)}
+		h.vals[value] = child
+	}
+	h.mu.Unlock()
+	child.Observe(v)
+}
+
+func (h *HistogramVec) name() string { return h.nm }
+
+func (h *HistogramVec) write(w io.Writer) error {
+	if err := header(w, h.nm, h.help, "histogram"); err != nil {
+		return err
+	}
+	h.mu.Lock()
+	keys := make([]string, 0, len(h.vals))
+	for k := range h.vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	children := make([]*Histogram, len(keys))
+	for i, k := range keys {
+		children[i] = h.vals[k]
+	}
+	h.mu.Unlock()
+	for i, k := range keys {
+		c := children[i]
+		lv := escapeLabel(k)
+		var cum int64
+		for j, b := range c.bounds {
+			cum += c.buckets[j].Load()
+			if _, err := fmt.Fprintf(w, "%s_bucket{%s=\"%s\",le=%q} %d\n", h.nm, h.label, lv, fmtFloat(b), cum); err != nil {
+				return err
+			}
+		}
+		cum += c.buckets[len(c.bounds)].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s=\"%s\",le=\"+Inf\"} %d\n", h.nm, h.label, lv, cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum{%s=\"%s\"} %g\n", h.nm, h.label, lv, math.Float64frombits(c.sumBits.Load())); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count{%s=\"%s\"} %d\n", h.nm, h.label, lv, c.count.Load()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,199 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_requests_total", "Requests served.")
+	g := r.NewGauge("test_inflight", "In-flight requests.")
+	c.Add(3)
+	c.Inc()
+	g.Set(7)
+	g.Inc()
+	g.Dec()
+
+	var b strings.Builder
+	if err := r.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP test_requests_total Requests served.\n",
+		"# TYPE test_requests_total counter\n",
+		"test_requests_total 4\n",
+		"# TYPE test_inflight gauge\n",
+		"test_inflight 7\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestCounterVecSortedAndEscaped(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("test_errors_total", "Errors by endpoint.", "endpoint")
+	v.Inc("/v1/campaign")
+	v.Add("/v1/analyze", 2)
+	v.Inc(`weird"label`)
+
+	var b strings.Builder
+	if err := r.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	ia := strings.Index(out, `test_errors_total{endpoint="/v1/analyze"} 2`)
+	ic := strings.Index(out, `test_errors_total{endpoint="/v1/campaign"} 1`)
+	iw := strings.Index(out, `test_errors_total{endpoint="weird\"label"} 1`)
+	if ia < 0 || ic < 0 || iw < 0 {
+		t.Fatalf("missing samples in:\n%s", out)
+	}
+	if !(ia < ic && ic < iw) {
+		t.Errorf("samples not sorted by label value:\n%s", out)
+	}
+	if got := v.Value("/v1/analyze"); got != 2 {
+		t.Errorf("Value(/v1/analyze) = %d, want 2", got)
+	}
+}
+
+func TestFuncCollectors(t *testing.T) {
+	r := NewRegistry()
+	n := 41.0
+	r.NewCounterFunc("test_sampled_total", "Sampled counter.", func() float64 { return n })
+	r.NewGaugeFunc("test_depth", "Sampled gauge.", func() float64 { return 2.5 })
+	r.NewCounterVecFunc("test_cache_ops_total", "Cache ops.", "op", func() map[string]float64 {
+		return map[string]float64{"hit": 5, "miss": 1}
+	})
+	n++
+
+	var b strings.Builder
+	if err := r.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"test_sampled_total 42\n",
+		"test_depth 2.5\n",
+		`test_cache_ops_total{op="hit"} 5`,
+		`test_cache_ops_total{op="miss"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramCumulativeBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("test_latency_seconds", "Latency.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+
+	var b strings.Builder
+	if err := r.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`test_latency_seconds_bucket{le="0.1"} 1`,
+		`test_latency_seconds_bucket{le="1"} 3`,
+		`test_latency_seconds_bucket{le="10"} 4`,
+		`test_latency_seconds_bucket{le="+Inf"} 5`,
+		"test_latency_seconds_count 5\n",
+		"test_latency_seconds_sum 56.05\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count() = %d, want 5", h.Count())
+	}
+}
+
+func TestHistogramBoundaryIsInclusive(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("test_edge_seconds", "Edge.", []float64{1})
+	h.Observe(1) // le="1" means ≤ 1: must land in the first bucket
+	var b strings.Builder
+	if err := r.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `test_edge_seconds_bucket{le="1"} 1`) {
+		t.Errorf("observation at the bound not counted ≤ bound:\n%s", b.String())
+	}
+}
+
+func TestHistogramVec(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogramVec("test_stage_seconds", "Stage latency.", "stage", []float64{1})
+	h.Observe("decode", 0.5)
+	h.Observe("run", 2)
+	h.Observe("run", 0.25)
+
+	var b strings.Builder
+	if err := r.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`test_stage_seconds_bucket{stage="decode",le="1"} 1`,
+		`test_stage_seconds_bucket{stage="decode",le="+Inf"} 1`,
+		`test_stage_seconds_bucket{stage="run",le="1"} 1`,
+		`test_stage_seconds_bucket{stage="run",le="+Inf"} 2`,
+		`test_stage_seconds_count{stage="run"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("dup_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Error("registering a duplicate name did not panic")
+		}
+	}()
+	r.NewCounter("dup_total", "y")
+}
+
+func TestConcurrentObserveAndWrite(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("conc_total", "x")
+	h := r.NewHistogram("conc_seconds", "x", nil)
+	v := r.NewCounterVec("conc_by_label_total", "x", "l")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				c.Inc()
+				h.Observe(float64(j) / 1000)
+				v.Inc(fmt.Sprintf("l%d", i%3))
+				if j%100 == 0 {
+					var b strings.Builder
+					if err := r.Write(&b); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if c.Value() != 4000 {
+		t.Errorf("counter = %d, want 4000", c.Value())
+	}
+	if h.Count() != 4000 {
+		t.Errorf("histogram count = %d, want 4000", h.Count())
+	}
+}

@@ -1,0 +1,522 @@
+// Package server is the hmptd serving layer: a long-running HTTP
+// front-end over the campaign engine that keeps the whole cache ladder
+// hot across requests. One process-wide Memo, snapshot cache, analysis
+// cache and FlightGroup back every request, so the engine's exactly-once
+// guarantees extend across concurrent clients: N identical requests
+// arriving together execute at most one kernel and one placement sweep,
+// and a warm request is served with zero kernels, zero sampling passes,
+// zero placement passes and zero derived snapshots.
+//
+// The API is deliberately small (ROADMAP item 1 keeps gRPC and
+// streaming for later):
+//
+//	POST /v1/analyze    one workload × platform analysis
+//	POST /v1/campaign   a full matrix (workloads × platforms × seeds)
+//	GET  /v1/workloads  the resolvable workload and platform names
+//	GET  /healthz       liveness
+//	GET  /metrics       Prometheus text exposition (see newMetrics)
+//
+// Errors are structured JSON: {"error":{"code":"...","message":"..."}}.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"hmpt/internal/campaign"
+	"hmpt/internal/core"
+	"hmpt/internal/experiments"
+	"hmpt/internal/trace"
+	"hmpt/internal/workloads"
+)
+
+// Config wires a Server to its caches and capacity limits.
+type Config struct {
+	// CacheDir roots the on-disk snapshot cache; empty keeps captures
+	// in the process memo only.
+	CacheDir string
+	// AnalysisCacheDir roots the on-disk analysis cache; empty keeps
+	// analyses in the process memo only.
+	AnalysisCacheDir string
+	// Parallelism caps each campaign run's worker goroutines
+	// (0 = GOMAXPROCS).
+	Parallelism int
+	// MaxConcurrent caps the number of campaign runs executing at once;
+	// excess requests queue (visible as hmptd_queue_depth). 0 means
+	// unlimited — coalescing already bounds duplicated work.
+	MaxConcurrent int
+	// Log receives request and lifecycle lines; nil uses the default
+	// logger.
+	Log *log.Logger
+}
+
+// Server serves tuning analyses over HTTP from shared warm caches.
+type Server struct {
+	cfg      Config
+	log      *log.Logger
+	memo     *campaign.Memo
+	flights  *campaign.FlightGroup
+	cache    *trace.SnapshotCache
+	analyses *core.AnalysisCache
+	met      *serverMetrics
+	sem      chan struct{}
+	queued   atomic.Int64
+}
+
+// New builds a Server over the configured cache tree. Engines created
+// per request share one Memo and one FlightGroup for the life of the
+// process — that sharing is what turns the engine's per-run guarantees
+// into serving-layer guarantees.
+func New(cfg Config) (*Server, error) {
+	s := &Server{
+		cfg:     cfg,
+		log:     cfg.Log,
+		memo:    campaign.NewMemo(),
+		flights: campaign.NewFlightGroup(),
+	}
+	if s.log == nil {
+		s.log = log.Default()
+	}
+	if cfg.CacheDir != "" {
+		c, err := trace.NewSnapshotCache(cfg.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		s.cache = c
+	}
+	if cfg.AnalysisCacheDir != "" {
+		a, err := core.NewAnalysisCache(cfg.AnalysisCacheDir)
+		if err != nil {
+			return nil, err
+		}
+		s.analyses = a
+	}
+	if cfg.MaxConcurrent > 0 {
+		s.sem = make(chan struct{}, cfg.MaxConcurrent)
+	}
+	s.met = newMetrics(s)
+	return s, nil
+}
+
+// engine returns a campaign engine for one request, backed by the
+// server's shared caches, memo and flight group.
+func (s *Server) engine() *campaign.Engine {
+	return &campaign.Engine{
+		Cache:       s.cache,
+		Analyses:    s.analyses,
+		Memo:        s.memo,
+		Flights:     s.flights,
+		Parallelism: s.cfg.Parallelism,
+	}
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/analyze", s.instrument("/v1/analyze", s.handleAnalyze))
+	mux.HandleFunc("POST /v1/campaign", s.instrument("/v1/campaign", s.handleCampaign))
+	mux.HandleFunc("GET /v1/workloads", s.instrument("/v1/workloads", s.handleWorkloads))
+	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// Known paths with the wrong method should say so rather than 404.
+	mux.HandleFunc("/v1/analyze", s.methodNotAllowed(http.MethodPost))
+	mux.HandleFunc("/v1/campaign", s.methodNotAllowed(http.MethodPost))
+	mux.HandleFunc("/v1/workloads", s.methodNotAllowed(http.MethodGet))
+	mux.HandleFunc("/healthz", s.methodNotAllowed(http.MethodGet))
+	return mux
+}
+
+// instrument wraps a handler with the request counters, the in-flight
+// gauge and the whole-request latency histogram.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.met.requests.Inc(endpoint)
+		s.met.inflight.Inc()
+		defer s.met.inflight.Dec()
+		start := time.Now()
+		h(w, r)
+		s.met.requestSec.Observe(endpoint, time.Since(start).Seconds())
+	}
+}
+
+func (s *Server) methodNotAllowed(allow string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Allow", allow)
+		s.writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+			fmt.Sprintf("%s only accepts %s", r.URL.Path, allow))
+	}
+}
+
+// apiError is the structured error envelope of every non-2xx response.
+type apiError struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, code, msg string) {
+	s.met.errors.Inc(code)
+	var e apiError
+	e.Error.Code = code
+	e.Error.Message = msg
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(&e)
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, endpoint string, v any) {
+	start := time.Now()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// Headers are gone; all that is left is to count it.
+		s.met.errors.Inc("encode_failed")
+		s.log.Printf("hmptd: encoding %s response: %v", endpoint, err)
+		return
+	}
+	s.met.stageSec.Observe("encode", time.Since(start).Seconds())
+}
+
+// acquire takes a run slot (when MaxConcurrent caps them), surfacing
+// time spent waiting as queue depth. The request context cancels the
+// wait when the client goes away.
+func (s *Server) acquire(r *http.Request) error {
+	if s.sem == nil {
+		return nil
+	}
+	s.queued.Add(1)
+	defer s.queued.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-r.Context().Done():
+		return r.Context().Err()
+	}
+}
+
+func (s *Server) release() {
+	if s.sem != nil {
+		<-s.sem
+	}
+}
+
+// decode parses a JSON request body, timing the decode stage. Unknown
+// fields are rejected: a typo silently ignored is a wrong analysis
+// served with confidence.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	start := time.Now()
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad_json", err.Error())
+		return false
+	}
+	s.met.stageSec.Observe("decode", time.Since(start).Seconds())
+	return true
+}
+
+// runMatrix executes one campaign run under the concurrency cap,
+// timing the run stage.
+func (s *Server) runMatrix(r *http.Request, m campaign.Matrix) (*campaign.Result, error) {
+	if err := s.acquire(r); err != nil {
+		return nil, err
+	}
+	defer s.release()
+	start := time.Now()
+	res, err := s.engine().Run(m)
+	s.met.stageSec.Observe("run", time.Since(start).Seconds())
+	return res, err
+}
+
+// AnalyzeRequest is the body of POST /v1/analyze: one workload on one
+// platform preset. Zero-valued options inherit the workload's paper
+// defaults, exactly like the CLI.
+type AnalyzeRequest struct {
+	Workload string `json:"workload"`
+	// Platform is a preset name ("xeonmax" default, "dual").
+	Platform string `json:"platform,omitempty"`
+	// Full selects the benchmark-scale instance (Table I benchmarks
+	// only); the default fast instance represents the same footprint.
+	Full bool `json:"full,omitempty"`
+	// Runs overrides measured runs per configuration (0 = default).
+	Runs int `json:"runs,omitempty"`
+	// Seed overrides the workload's paper seed when non-nil.
+	Seed *uint64 `json:"seed,omitempty"`
+	// Iterations overrides the iteration/timestep count (0 = default).
+	Iterations int `json:"iterations,omitempty"`
+}
+
+// CellResult is one evaluated scenario in a response: the Table II
+// metrics plus the cache provenance of how cheaply it was served.
+type CellResult struct {
+	Workload string `json:"workload"`
+	Platform string `json:"platform"`
+	Variant  string `json:"variant,omitempty"`
+	Error    string `json:"error,omitempty"`
+
+	MaxSpeedup     float64 `json:"max_speedup,omitempty"`
+	BestConfig     string  `json:"best_config,omitempty"`
+	HBMOnlySpeedup float64 `json:"hbm_only_speedup,omitempty"`
+	NinetyUsage    float64 `json:"ninety_usage,omitempty"`
+	MemoryBytes    int64   `json:"memory_bytes,omitempty"`
+	FilteredAllocs int     `json:"filtered_allocs,omitempty"`
+	BaselineSec    float64 `json:"baseline_seconds,omitempty"`
+	SampleCount    int     `json:"sample_count,omitempty"`
+
+	// Provenance: how the cell was resolved (see campaign.Cell).
+	AnalysisFromCache bool `json:"analysis_from_cache"`
+	SnapshotFromCache bool `json:"snapshot_from_cache"`
+	Derived           bool `json:"derived"`
+	Coalesced         bool `json:"coalesced"`
+}
+
+func cellResult(c *campaign.Cell) CellResult {
+	out := CellResult{
+		Workload:          c.Workload,
+		Platform:          c.Platform,
+		Variant:           c.Variant,
+		AnalysisFromCache: c.AnalysisFromCache,
+		SnapshotFromCache: c.FromCache,
+		Derived:           c.Derived,
+		Coalesced:         c.Coalesced,
+	}
+	if c.Err != nil {
+		out.Error = c.Err.Error()
+		return out
+	}
+	an := c.Analysis
+	row := an.TableIIRow()
+	out.MaxSpeedup = row.MaxSpeedup
+	out.HBMOnlySpeedup = row.HBMOnlySpeedup
+	out.NinetyUsage = row.NinetyUsage
+	out.MemoryBytes = int64(row.MemoryUsage)
+	out.FilteredAllocs = row.FilteredAllocs
+	out.BaselineSec = an.BaselineTime.Seconds()
+	out.SampleCount = an.SampleCount
+	if _, cfg := an.MaxSpeedup(); cfg != nil {
+		out.BestConfig = cfg.Label
+	}
+	return out
+}
+
+// RunCounters mirrors campaign.Result's work accounting in responses.
+type RunCounters struct {
+	Snapshots    int `json:"snapshots"`
+	Executions   int `json:"executions"`
+	CacheHits    int `json:"cache_hits"`
+	Derived      int `json:"derived"`
+	Coalesced    int `json:"coalesced"`
+	AnalysisHits int `json:"analysis_hits"`
+	CacheErrs    int `json:"cache_errors"`
+}
+
+func runCounters(res *campaign.Result) RunCounters {
+	return RunCounters{
+		Snapshots:    res.Snapshots,
+		Executions:   res.Executions,
+		CacheHits:    res.CacheHits,
+		Derived:      res.Derived,
+		Coalesced:    res.Coalesced,
+		AnalysisHits: res.AnalysisHits,
+		CacheErrs:    len(res.CacheErrs),
+	}
+}
+
+// AnalyzeResponse is the body of a successful POST /v1/analyze.
+type AnalyzeResponse struct {
+	Result   CellResult  `json:"result"`
+	Counters RunCounters `json:"counters"`
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req AnalyzeRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Workload == "" {
+		s.writeError(w, http.StatusBadRequest, "bad_request", "missing workload name")
+		return
+	}
+	if !experiments.KnownWorkload(req.Workload) {
+		s.writeError(w, http.StatusNotFound, "unknown_workload",
+			fmt.Sprintf("unknown workload %q (see GET /v1/workloads)", req.Workload))
+		return
+	}
+	wl, err := experiments.WorkloadByName(req.Workload, req.Full)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	p, err := experiments.PlatformByName(req.Platform)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "unknown_platform", err.Error())
+		return
+	}
+	if req.Runs > 0 {
+		wl.Options.Runs = req.Runs
+	}
+	if req.Seed != nil {
+		wl.Options.Seed = *req.Seed
+	}
+	if req.Iterations > 0 {
+		wl.Options.Iterations = req.Iterations
+	}
+	res, err := s.runMatrix(r, campaign.Matrix{
+		Workloads: []campaign.Workload{wl},
+		Platforms: []campaign.Platform{p},
+	})
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "run_failed", err.Error())
+		return
+	}
+	s.observeResult(res)
+	cell := &res.Cells[0]
+	if cell.Err != nil {
+		s.writeError(w, http.StatusInternalServerError, "analysis_failed", cell.Err.Error())
+		return
+	}
+	s.writeJSON(w, "/v1/analyze", AnalyzeResponse{
+		Result:   cellResult(cell),
+		Counters: runCounters(res),
+	})
+}
+
+// CampaignRequest is the body of POST /v1/campaign: a matrix of
+// workloads × platforms × optional seed variants. Empty Workloads means
+// the full Table I benchmark set; empty Platforms means xeonmax.
+type CampaignRequest struct {
+	Workloads  []string `json:"workloads,omitempty"`
+	Platforms  []string `json:"platforms,omitempty"`
+	Seeds      []uint64 `json:"seeds,omitempty"`
+	Full       bool     `json:"full,omitempty"`
+	Runs       int      `json:"runs,omitempty"`
+	Iterations int      `json:"iterations,omitempty"`
+}
+
+// CampaignResponse is the body of a successful POST /v1/campaign.
+type CampaignResponse struct {
+	Cells    []CellResult `json:"cells"`
+	Counters RunCounters  `json:"counters"`
+}
+
+func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	var req CampaignRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	names := req.Workloads
+	if len(names) == 0 {
+		for _, spec := range experiments.Specs() {
+			names = append(names, spec.Name)
+		}
+	}
+	var m campaign.Matrix
+	for _, name := range names {
+		if !experiments.KnownWorkload(name) {
+			s.writeError(w, http.StatusNotFound, "unknown_workload",
+				fmt.Sprintf("unknown workload %q (see GET /v1/workloads)", name))
+			return
+		}
+		wl, err := experiments.WorkloadByName(name, req.Full)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+			return
+		}
+		if req.Runs > 0 {
+			wl.Options.Runs = req.Runs
+		}
+		if req.Iterations > 0 {
+			wl.Options.Iterations = req.Iterations
+		}
+		m.Workloads = append(m.Workloads, wl)
+	}
+	platforms := req.Platforms
+	if len(platforms) == 0 {
+		platforms = []string{"xeonmax"}
+	}
+	for _, name := range platforms {
+		p, err := experiments.PlatformByName(name)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, "unknown_platform", err.Error())
+			return
+		}
+		m.Platforms = append(m.Platforms, p)
+	}
+	for _, seed := range req.Seeds {
+		seed := seed
+		m.Variants = append(m.Variants, campaign.Variant{
+			Name:  fmt.Sprintf("seed%d", seed),
+			Apply: func(o *core.Options) { o.Seed = seed },
+		})
+	}
+	res, err := s.runMatrix(r, m)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "run_failed", err.Error())
+		return
+	}
+	s.observeResult(res)
+	out := CampaignResponse{
+		Cells:    make([]CellResult, 0, len(res.Cells)),
+		Counters: runCounters(res),
+	}
+	for i := range res.Cells {
+		out.Cells = append(out.Cells, cellResult(&res.Cells[i]))
+	}
+	s.writeJSON(w, "/v1/campaign", out)
+}
+
+// WorkloadInfo describes one resolvable workload in GET /v1/workloads.
+type WorkloadInfo struct {
+	Name string `json:"name"`
+	// Benchmark marks the Table I set: paper options and a full-size
+	// instance are available.
+	Benchmark bool `json:"benchmark"`
+	// Grouped marks workloads analysed under a GroupBy policy.
+	Grouped bool   `json:"grouped"`
+	Seed    uint64 `json:"seed"`
+}
+
+// WorkloadsResponse is the body of GET /v1/workloads.
+type WorkloadsResponse struct {
+	Workloads []WorkloadInfo `json:"workloads"`
+	Platforms []string       `json:"platforms"`
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
+	var out WorkloadsResponse
+	seen := make(map[string]bool)
+	for _, spec := range experiments.Specs() {
+		seen[spec.Name] = true
+		out.Workloads = append(out.Workloads, WorkloadInfo{
+			Name:      spec.Name,
+			Benchmark: true,
+			Grouped:   spec.Options.GroupBy != nil,
+			Seed:      spec.Options.Seed,
+		})
+	}
+	for _, name := range workloads.Names() {
+		if !seen[name] {
+			out.Workloads = append(out.Workloads, WorkloadInfo{Name: name, Seed: 1})
+		}
+	}
+	out.Platforms = experiments.PlatformNames()
+	s.writeJSON(w, "/v1/workloads", out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.met.reg.Write(w); err != nil {
+		s.log.Printf("hmptd: writing metrics: %v", err)
+	}
+}

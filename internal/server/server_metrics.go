@@ -1,0 +1,135 @@
+package server
+
+import (
+	"hmpt/internal/campaign"
+	"hmpt/internal/core"
+	"hmpt/internal/server/metrics"
+	"hmpt/internal/trace"
+)
+
+// serverMetrics is the daemon's metric surface. The naming scheme is
+// documented in DESIGN.md ("Serving layer"): every family is prefixed
+// hmptd_, counters end in _total, latencies are _seconds histograms,
+// and the cache rungs share one family per rung with an `op` label.
+//
+// The four zero-work counters and the coalescing counter are sampled
+// from their process-wide sources at scrape time (no double
+// bookkeeping); the daemon-smoke gate takes deltas between scrapes, so
+// absolute process-lifetime values are exactly what it needs.
+type serverMetrics struct {
+	reg *metrics.Registry
+
+	requests   *metrics.CounterVec   // hmptd_requests_total{endpoint}
+	errors     *metrics.CounterVec   // hmptd_request_errors_total{code}
+	inflight   *metrics.Gauge        // hmptd_requests_inflight
+	requestSec *metrics.HistogramVec // hmptd_request_seconds{endpoint}
+	stageSec   *metrics.HistogramVec // hmptd_stage_seconds{stage}
+	captures   *metrics.CounterVec   // hmptd_captures_total{outcome}
+	cells      *metrics.CounterVec   // hmptd_campaign_cells_total{outcome}
+}
+
+func newMetrics(s *Server) *serverMetrics {
+	reg := metrics.NewRegistry()
+	m := &serverMetrics{reg: reg}
+
+	m.requests = reg.NewCounterVec("hmptd_requests_total",
+		"Requests received, by endpoint.", "endpoint")
+	m.errors = reg.NewCounterVec("hmptd_request_errors_total",
+		"Requests answered with a structured error, by error code.", "code")
+	m.inflight = reg.NewGauge("hmptd_requests_inflight",
+		"Requests currently being handled.")
+	m.requestSec = reg.NewHistogramVec("hmptd_request_seconds",
+		"Whole-request latency, by endpoint.", "endpoint", nil)
+	m.stageSec = reg.NewHistogramVec("hmptd_stage_seconds",
+		"Per-stage latency: decode, run (campaign engine), encode.", "stage", nil)
+	m.captures = reg.NewCounterVec("hmptd_captures_total",
+		"Reference-run resolutions by outcome: executed, cache_hit, derived, coalesced.", "outcome")
+	m.cells = reg.NewCounterVec("hmptd_campaign_cells_total",
+		"Campaign cells served, by outcome: analysis_hit, computed, error.", "outcome")
+
+	reg.NewGaugeFunc("hmptd_queue_depth",
+		"Requests waiting for a campaign run slot.",
+		func() float64 { return float64(s.queued.Load()) })
+
+	// The zero-work ladder, process-wide: a warm daemon's scrapes show
+	// all four flat while requests flow.
+	reg.NewCounterFunc("hmptd_kernel_executions_total",
+		"Workload kernels executed for reference captures (process-wide).",
+		func() float64 { return float64(core.KernelExecutions()) })
+	reg.NewCounterFunc("hmptd_sample_passes_total",
+		"IBS sampling passes over a trace (process-wide).",
+		func() float64 { return float64(core.SamplePasses()) })
+	reg.NewCounterFunc("hmptd_sweep_evaluations_total",
+		"Placement-space probe and sweep passes (process-wide).",
+		func() float64 { return float64(core.SweepEvaluations()) })
+	reg.NewCounterFunc("hmptd_derived_snapshots_total",
+		"Snapshots synthesized from a family sibling (process-wide).",
+		func() float64 { return float64(core.DerivedSnapshots()) })
+
+	// Coalescing: the serving-layer exactly-once surface.
+	reg.NewCounterFunc("hmptd_coalesced_requests_total",
+		"Capture/analysis computations served from an in-flight or retained single-flight entry (process-wide).",
+		func() float64 { return float64(campaign.CoalescedFlights()) })
+	reg.NewGaugeFunc("hmptd_flights_inflight",
+		"Capture/analysis computations currently executing in the shared flight group.",
+		func() float64 { return float64(s.flights.InFlight()) })
+	reg.NewGaugeFunc("hmptd_flight_waiters",
+		"Requests currently blocked on another request's in-flight computation.",
+		func() float64 { return float64(s.flights.Waiters()) })
+	reg.NewGaugeFunc("hmptd_flights_retained",
+		"Completed computations retained in the shared flight group.",
+		func() float64 { return float64(s.flights.Retained()) })
+
+	// Cache traffic per rung. A rung that is not configured reports a
+	// frozen all-zero family rather than disappearing from the scrape.
+	snapStats := func() trace.CacheStats {
+		if s.cache == nil {
+			return trace.CacheStats{}
+		}
+		return s.cache.Stats()
+	}
+	anStats := func() core.CacheStats {
+		if s.analyses == nil {
+			return core.CacheStats{}
+		}
+		return s.analyses.Stats()
+	}
+	reg.NewCounterVecFunc("hmptd_snapshot_cache_ops_total",
+		"On-disk snapshot cache traffic, by op: hit, miss, error, store.", "op",
+		func() map[string]float64 {
+			st := snapStats()
+			return map[string]float64{
+				"hit": float64(st.Hits), "miss": float64(st.Misses),
+				"error": float64(st.Errors), "store": float64(st.Stores),
+			}
+		})
+	reg.NewCounterVecFunc("hmptd_analysis_cache_ops_total",
+		"On-disk analysis cache traffic, by op: hit, miss, error, store.", "op",
+		func() map[string]float64 {
+			st := anStats()
+			return map[string]float64{
+				"hit": float64(st.Hits), "miss": float64(st.Misses),
+				"error": float64(st.Errors), "store": float64(st.Stores),
+			}
+		})
+	return m
+}
+
+// observeResult folds one campaign result into the outcome counters.
+func (s *Server) observeResult(res *campaign.Result) {
+	m := s.met
+	m.captures.Add("executed", int64(res.Executions))
+	m.captures.Add("cache_hit", int64(res.CacheHits))
+	m.captures.Add("derived", int64(res.Derived))
+	m.captures.Add("coalesced", int64(res.Coalesced))
+	for i := range res.Cells {
+		switch {
+		case res.Cells[i].Err != nil:
+			m.cells.Inc("error")
+		case res.Cells[i].AnalysisFromCache:
+			m.cells.Inc("analysis_hit")
+		default:
+			m.cells.Inc("computed")
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime/debug"
+	"sync/atomic"
 
 	"hmpt/internal/fsatomic"
 	"hmpt/internal/wire"
@@ -98,6 +99,33 @@ func (k SnapshotKey) Matches(m Meta) bool {
 		m.Iterations == k.Iterations
 }
 
+// CacheStats is a point-in-time counter snapshot of one cache rung's
+// traffic, surfaced through the serving layer's /metrics endpoint.
+// Hits + Misses + Errors is the total Load count; Errors are
+// present-but-unreadable entries (treated as misses by callers) plus
+// failed Stores.
+type CacheStats struct {
+	Hits   int64
+	Misses int64
+	Errors int64
+	Stores int64
+}
+
+// cacheCounters is the shared atomic implementation behind each cache
+// rung's Stats.
+type cacheCounters struct {
+	hits, misses, errors, stores atomic.Int64
+}
+
+func (c *cacheCounters) stats() CacheStats {
+	return CacheStats{
+		Hits:   c.hits.Load(),
+		Misses: c.misses.Load(),
+		Errors: c.errors.Load(),
+		Stores: c.stores.Load(),
+	}
+}
+
 // SnapshotCache is a content-addressed snapshot store on disk: one file
 // per SnapshotKey under the cache directory, named by the key's ID.
 // Writes are atomic (temp file + rename), so concurrent campaign workers
@@ -106,6 +134,7 @@ func (k SnapshotKey) Matches(m Meta) bool {
 // key metadata anyway.
 type SnapshotCache struct {
 	dir string
+	cnt cacheCounters
 }
 
 // NewSnapshotCache opens (creating if needed) a cache rooted at dir.
@@ -122,6 +151,9 @@ func NewSnapshotCache(dir string) (*SnapshotCache, error) {
 // Dir returns the cache root directory.
 func (c *SnapshotCache) Dir() string { return c.dir }
 
+// Stats returns the cache's traffic counters since it was opened.
+func (c *SnapshotCache) Stats() CacheStats { return c.cnt.stats() }
+
 // Path returns the file path an entry for the key lives at.
 func (c *SnapshotCache) Path(k SnapshotKey) string {
 	return filepath.Join(c.dir, k.ID()+".snap")
@@ -134,20 +166,25 @@ func (c *SnapshotCache) Path(k SnapshotKey) string {
 func (c *SnapshotCache) Load(k SnapshotKey) (snap *Snapshot, ok bool, err error) {
 	raw, err := os.ReadFile(c.Path(k))
 	if os.IsNotExist(err) {
+		c.cnt.misses.Add(1)
 		return nil, false, nil
 	}
 	if err != nil {
+		c.cnt.errors.Add(1)
 		return nil, false, fmt.Errorf("trace: reading cached snapshot: %w", err)
 	}
 	s, err := DecodeSnapshotBytes(raw)
 	if err != nil {
+		c.cnt.errors.Add(1)
 		return nil, false, fmt.Errorf("trace: cached snapshot %s: %w", k.ID()[:12], err)
 	}
 	if !k.Matches(s.Meta) {
+		c.cnt.errors.Add(1)
 		return nil, false, fmt.Errorf("trace: cached snapshot %s holds %q/%q/threads=%d/scale=%g/seed=%d, key wants %q/%q/threads=%d/scale=%g/seed=%d",
 			k.ID()[:12], s.Meta.Workload, s.Meta.Config, s.Meta.Threads, s.Meta.Scale, s.Meta.Seed,
 			k.Workload, k.Config, k.Threads, k.Scale, k.Seed)
 	}
+	c.cnt.hits.Add(1)
 	return s, true, nil
 }
 
@@ -161,14 +198,18 @@ func (c *SnapshotCache) Load(k SnapshotKey) (snap *Snapshot, ok bool, err error)
 // campaigns' stores).
 func (c *SnapshotCache) Store(k SnapshotKey, s *Snapshot) error {
 	if !k.Matches(s.Meta) {
+		c.cnt.errors.Add(1)
 		return fmt.Errorf("trace: snapshot meta %+v does not match cache key %+v", s.Meta, k)
 	}
 	b, err := s.EncodeBytes()
 	if err != nil {
+		c.cnt.errors.Add(1)
 		return err
 	}
 	if err := fsatomic.Publish(c.Path(k), b); err != nil {
+		c.cnt.errors.Add(1)
 		return fmt.Errorf("trace: publishing snapshot: %w", err)
 	}
+	c.cnt.stores.Add(1)
 	return c.registerFamily(k)
 }
