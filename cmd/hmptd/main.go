@@ -23,6 +23,7 @@ import (
 	"syscall"
 	"time"
 
+	"hmpt/internal/faultfs"
 	"hmpt/internal/server"
 
 	// The benchmark set registers through internal/experiments (pulled
@@ -51,6 +52,16 @@ func serve(args []string) error {
 	analysisDir := fs.String("analysis-cache", "", "analysis cache directory (default <cache>/analyses)")
 	par := fs.Int("par", 0, "per-request campaign worker goroutines (0 = GOMAXPROCS)")
 	maxConc := fs.Int("max-concurrent", 0, "max concurrent campaign runs (0 = unlimited)")
+	reqTimeout := fs.Duration("request-timeout", 0, "server-side per-request deadline (0 = none; requests may set timeout_ms)")
+	cacheReprobe := fs.Duration("cache-reprobe", 0, "degraded-cache re-probe interval (0 = publisher default)")
+	faultSeed := fs.Uint64("fault-seed", 1, "chaos: fault-injection RNG seed")
+	faultEIO := fs.Float64("fault-eio", 0, "chaos: probability of injected EIO per cache write")
+	faultENOSPC := fs.Float64("fault-enospc", 0, "chaos: probability of injected ENOSPC per cache write")
+	faultTorn := fs.Float64("fault-torn", 0, "chaos: probability of a silently torn cache write")
+	faultReadEIO := fs.Float64("fault-read-eio", 0, "chaos: probability of injected EIO per cache read")
+	faultLatency := fs.Duration("fault-latency", 0, "chaos: injected latency per faulted op")
+	faultLatencyRate := fs.Float64("fault-latency-rate", 0, "chaos: probability of injected latency per cache op")
+	faultMax := fs.Int64("fault-max", 0, "chaos: total faults to inject before the schedule passes through (0 = unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -62,15 +73,40 @@ func serve(args []string) error {
 	}
 
 	logger := log.New(os.Stderr, "", log.LstdFlags)
+	var inj *faultfs.Injector
+	if *faultEIO > 0 || *faultENOSPC > 0 || *faultTorn > 0 || *faultReadEIO > 0 ||
+		(*faultLatency > 0 && *faultLatencyRate > 0) {
+		inj = faultfs.NewInjector(nil, faultfs.Config{
+			Seed:        *faultSeed,
+			WriteEIO:    *faultEIO,
+			WriteENOSPC: *faultENOSPC,
+			TornWrite:   *faultTorn,
+			ReadEIO:     *faultReadEIO,
+			Latency:     *faultLatency,
+			LatencyRate: *faultLatencyRate,
+			MaxFaults:   *faultMax,
+		})
+		// Cache construction (mkdir) must not consume the deterministic
+		// fault schedule: boot disarmed, arm once serving starts.
+		inj.SetArmed(false)
+		logger.Printf("hmptd: fault injection configured: seed=%d eio=%g enospc=%g torn=%g read-eio=%g max=%d",
+			*faultSeed, *faultEIO, *faultENOSPC, *faultTorn, *faultReadEIO, *faultMax)
+	}
 	s, err := server.New(server.Config{
 		CacheDir:         *cacheDir,
 		AnalysisCacheDir: *analysisDir,
 		Parallelism:      *par,
 		MaxConcurrent:    *maxConc,
+		RequestTimeout:   *reqTimeout,
+		CacheReprobe:     *cacheReprobe,
+		Injector:         inj,
 		Log:              logger,
 	})
 	if err != nil {
 		return err
+	}
+	if inj != nil {
+		inj.SetArmed(true)
 	}
 
 	// Listen before announcing: the printed URL is connectable the
@@ -89,7 +125,10 @@ func serve(args []string) error {
 	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
 	select {
 	case sig := <-sigc:
-		logger.Printf("hmptd: received %s, shutting down", sig)
+		logger.Printf("hmptd: received %s, draining and shutting down", sig)
+		// Fail /readyz first so balancers stop routing here, then let
+		// in-flight requests finish through the graceful shutdown.
+		s.BeginDrain()
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {

@@ -23,8 +23,11 @@
 package hmpt
 
 import (
+	"context"
+
 	"hmpt/internal/campaign"
 	"hmpt/internal/core"
+	"hmpt/internal/fsatomic"
 	"hmpt/internal/memsim"
 	"hmpt/internal/trace"
 	"hmpt/internal/workloads"
@@ -108,7 +111,22 @@ type (
 	// CacheStats is a point-in-time traffic snapshot of one cache rung
 	// (SnapshotCache.Stats, AnalysisCache.Stats).
 	CacheStats = trace.CacheStats
+	// CachePublisher is the resilient write path of a cache rung
+	// (SnapshotCache.Publisher, AnalysisCache.Publisher): transient
+	// publish failures retry with backoff, persistent ones demote the
+	// rung to degraded (read-only / compute-through) mode until a timed
+	// re-probe succeeds.
+	CachePublisher = fsatomic.Publisher
+	// CachePublisherStats counts a publisher's resilience events:
+	// retries, absorbed faults, demotions, re-probes, recoveries and
+	// suppressed writes.
+	CachePublisherStats = fsatomic.PublisherStats
 )
+
+// ErrCacheDegraded is returned by cache stores fast-failed because the
+// rung's publisher is in degraded mode; campaigns absorb it (the
+// computed value is still served) and the rung re-probes on its own.
+var ErrCacheDegraded = fsatomic.ErrDegraded
 
 // NewFlightGroup returns an empty single-flight group to share across
 // engines: N concurrent runs needing the same capture or analysis
@@ -120,6 +138,11 @@ func NewFlightGroup() *FlightGroup { return campaign.NewFlightGroup() }
 // being executed, process-wide — the serving analogue of the zero-work
 // counters below.
 func CoalescedFlights() int64 { return campaign.CoalescedFlights() }
+
+// RecoveredPanics returns the number of panics recovered inside
+// campaign computations in this process; each failed a single cell (or
+// that flight's callers), never the process.
+func RecoveredPanics() int64 { return campaign.RecoveredPanics() }
 
 // XeonMax9468 returns the single-socket Intel Xeon Max 9468 platform
 // model used by all paper experiments.
@@ -133,6 +156,12 @@ func DualXeonMax9468() *Platform { return memsim.DualXeonMax9468() }
 // for the workload and returns the analysis.
 func Analyze(w Workload, opts Options) (*Analysis, error) {
 	return core.New(w, opts).Analyze()
+}
+
+// AnalyzeContext is Analyze under a context: cancellation or deadline
+// expiry stops the pipeline between stages and returns ctx.Err().
+func AnalyzeContext(ctx context.Context, w Workload, opts Options) (*Analysis, error) {
+	return core.New(w, opts).AnalyzeContext(ctx)
 }
 
 // Capture executes the workload's kernel once — the reference stage of
@@ -181,6 +210,14 @@ func ContextReplay(ctx *ReplayContext, opts Options) (*Analysis, error) {
 // CampaignEngine directly for a snapshot cache or a worker cap.
 func RunCampaign(m CampaignMatrix) (*CampaignResult, error) {
 	return (&campaign.Engine{}).Run(m)
+}
+
+// RunCampaignContext is RunCampaign under a context: cancellation or
+// deadline expiry stops the fan-out mid-matrix (no new cells start,
+// in-flight cells wind down) and returns ctx.Err(), leaving any shared
+// cache tree consistent.
+func RunCampaignContext(ctx context.Context, m CampaignMatrix) (*CampaignResult, error) {
+	return (&campaign.Engine{}).RunContext(ctx, m)
 }
 
 // KernelExecutions returns the number of real kernel executions the

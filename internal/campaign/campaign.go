@@ -31,6 +31,7 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -306,6 +307,20 @@ type cellWork struct {
 // diverging scenario must not sink a thousand-cell campaign — and
 // surfaced together through Result.Err.
 func (e *Engine) Run(m Matrix) (*Result, error) {
+	return e.RunContext(context.Background(), m)
+}
+
+// RunContext is Run with cooperative cancellation: workers poll ctx
+// between cells, between family members, and (through core's pipeline)
+// between sweep masks and probes, so a cancelled request stops cold
+// work mid-matrix. When ctx dies the run returns (nil, ctx.Err()) —
+// partial results are discarded, the cache tree stays consistent (every
+// publish is atomic and completed stores remain valid), and a
+// subsequent identical run simply resumes from whatever the cancelled
+// one had already published. Flight computations shared with other
+// concurrent runs are NOT cancelled unless this run was their last
+// interested caller (see FlightGroup).
+func (e *Engine) RunContext(ctx context.Context, m Matrix) (*Result, error) {
 	flights := e.Flights
 	if flights == nil {
 		// A private group reproduces the historical per-run single
@@ -361,8 +376,11 @@ func (e *Engine) Run(m Matrix) (*Result, error) {
 	// their probe happens in stage 2, after contexts exist.
 	caching := e.Analyses != nil || e.Memo != nil
 	if caching {
-		parallel.For(e.workers(len(res.Cells)), len(res.Cells), func(_, lo, hi int) {
+		err := parallel.ForCtx(ctx, e.workers(len(res.Cells)), len(res.Cells), func(ctx context.Context, _, lo, hi int) {
 			for i := lo; i < hi; i++ {
+				if ctx.Err() != nil {
+					return
+				}
 				cell := &res.Cells[i]
 				if cell.Options.GroupBy != nil {
 					continue
@@ -378,6 +396,9 @@ func (e *Engine) Run(m Matrix) (*Result, error) {
 				}
 			}
 		})
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	// Stage 1: resolve every distinct reference run some cell still
@@ -410,11 +431,16 @@ func (e *Engine) Run(m Matrix) (*Result, error) {
 		}
 		fams[fi] = append(fams[fi], c)
 	}
-	parallel.For(e.workers(len(fams)), len(fams), func(_, lo, hi int) {
+	if err := parallel.ForCtx(ctx, e.workers(len(fams)), len(fams), func(ctx context.Context, _, lo, hi int) {
 		for i := lo; i < hi; i++ {
-			e.resolveFamily(flights, fams[i])
+			if ctx.Err() != nil {
+				return
+			}
+			e.resolveFamily(ctx, flights, fams[i])
 		}
-	})
+	}); err != nil {
+		return nil, err
+	}
 	res.Snapshots = len(order)
 	for _, c := range order {
 		if c.cacheErr != nil {
@@ -454,8 +480,11 @@ func (e *Engine) Run(m Matrix) (*Result, error) {
 			todo = append(todo, i)
 		}
 	}
-	parallel.For(e.workers(len(todo)), len(todo), func(_, lo, hi int) {
+	if err := parallel.ForCtx(ctx, e.workers(len(todo)), len(todo), func(ctx context.Context, _, lo, hi int) {
 		for t := lo; t < hi; t++ {
+			if ctx.Err() != nil {
+				return
+			}
 			i := todo[t]
 			cell := &res.Cells[i]
 			c := work[i].cap
@@ -480,17 +509,18 @@ func (e *Engine) Run(m Matrix) (*Result, error) {
 			}
 			if !work[i].haveKey {
 				// Uncacheable cell (caching off, or a GroupBy policy
-				// that could not be fingerprinted): compute privately.
-				cell.Analysis, cell.Err = core.NewContextReplay(c.ctx, cell.Options).Analyze()
+				// that could not be fingerprinted): compute privately,
+				// with the same panic isolation a flight provides.
+				cell.Analysis, cell.Err = safeAnalyze(ctx, c.ctx, cell.Options)
 				continue
 			}
-			val, fromCache, _, err := flights.do("an/"+work[i].id, func() (any, bool, error) {
+			val, fromCache, _, err := flights.do(ctx, "an/"+work[i].id, func(fctx context.Context) (any, bool, error) {
 				if probeInFlight {
 					if an := e.loadAnalysis(work[i].key, work[i].id, &work[i].aErr); an != nil {
 						return an, true, nil
 					}
 				}
-				an, aerr := core.NewContextReplay(c.ctx, cell.Options).Analyze()
+				an, aerr := core.NewContextReplay(c.ctx, cell.Options).AnalyzeContext(fctx)
 				if aerr != nil {
 					return nil, false, aerr
 				}
@@ -503,7 +533,9 @@ func (e *Engine) Run(m Matrix) (*Result, error) {
 			cell.Err = err
 			cell.AnalysisFromCache = fromCache
 		}
-	})
+	}); err != nil {
+		return nil, err
+	}
 	for i := range work {
 		if res.Cells[i].AnalysisFromCache {
 			res.AnalysisHits++
@@ -553,6 +585,20 @@ func (e *Engine) storeAnalysis(key core.AnalysisKey, id string, an *core.Analysi
 	}
 }
 
+// safeAnalyze replays one cell's analysis with panic isolation: a
+// poisoned cell fails that cell with an error (counted in
+// RecoveredPanics), never the process. Flight-managed cells get the
+// identical protection from the flight's own recovery.
+func safeAnalyze(ctx context.Context, rc *core.ReplayContext, opts core.Options) (an *core.Analysis, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			recoveredPanics.Add(1)
+			an, err = nil, fmt.Errorf("campaign: analysis panicked: %v", r)
+		}
+	}()
+	return core.NewContextReplay(rc, opts).AnalyzeContext(ctx)
+}
+
 // resolveFamily fills one derivation family's captures — and their
 // shared replay contexts. Members are first served from the memo and
 // the exact-key disk cache; the remainder derive from a resolved
@@ -568,7 +614,7 @@ func (e *Engine) storeAnalysis(key core.AnalysisKey, id string, an *core.Analysi
 // a shared group, a concurrent run needing the same capture blocks on
 // this run's computation and shares its snapshot and replay context
 // instead of executing the kernel again.
-func (e *Engine) resolveFamily(flights *FlightGroup, members []*capture) {
+func (e *Engine) resolveFamily(ctx context.Context, flights *FlightGroup, members []*capture) {
 	var pending []*capture
 	for _, c := range members {
 		if !e.loadCapture(c) {
@@ -599,30 +645,43 @@ func (e *Engine) resolveFamily(flights *FlightGroup, members []*capture) {
 		}
 	}
 	for _, c := range pending {
+		if ctx.Err() != nil {
+			return
+		}
 		if c.err != nil {
 			continue
 		}
 		c := c
-		val, _, shared, err := flights.do("cap/"+c.id, func() (any, bool, error) {
-			if !e.deriveCapture(c, bases) {
-				e.executeCapture(c)
+		val, _, shared, err := flights.do(ctx, "cap/"+c.id, func(fctx context.Context) (any, bool, error) {
+			if !e.deriveCapture(fctx, c, bases) {
+				e.executeCapture(fctx, c)
 			}
 			if c.err != nil {
 				return nil, false, c.err
 			}
 			return capOutcome{snap: c.snap, ctx: c.ctx, derived: c.derived}, false, nil
 		})
+		if ctx.Err() != nil {
+			// Cancelled: this caller may have detached from a flight that
+			// is still computing on behalf of other runs — and still
+			// writing c — so leave the capture untouched. The run's result
+			// is discarded anyway.
+			return
+		}
+		if err != nil {
+			// Covers errors the fn could not record on c itself, notably
+			// a recovered panic (which unwinds past the closure before
+			// executeCapture's own error handling runs).
+			if c.err == nil {
+				c.err = err
+			}
+			continue
+		}
 		if shared {
 			// Another run resolved this capture (or is retaining it from
 			// an earlier request): adopt its shared snapshot and context,
 			// and publish them into this engine's memo so the next run
 			// here is a plain memo hit.
-			if err != nil {
-				if c.err == nil {
-					c.err = err
-				}
-				continue
-			}
 			out := val.(capOutcome)
 			c.snap, c.ctx, c.coalesced = out.snap, out.ctx, true
 			if e.Memo != nil {
@@ -640,8 +699,13 @@ func (e *Engine) resolveFamily(flights *FlightGroup, members []*capture) {
 
 // deriveCapture tries to synthesize the capture from one of the bases,
 // publishing a success into the memo and the disk cache like any other
-// fresh capture. It reports whether the capture was resolved.
-func (e *Engine) deriveCapture(c *capture, bases []*trace.Snapshot) bool {
+// fresh capture. It reports whether the capture was resolved. A dead
+// ctx refuses derivation (the caller's executeCapture fallback refuses
+// too, so the cancelled flight resolves nothing).
+func (e *Engine) deriveCapture(ctx context.Context, c *capture, bases []*trace.Snapshot) bool {
+	if ctx.Err() != nil {
+		return false
+	}
 	for _, b := range bases {
 		snap, err := core.DeriveSnapshot(b, c.factory(), c.opts)
 		if err != nil {
@@ -696,14 +760,16 @@ func (e *Engine) loadCapture(c *capture) bool {
 }
 
 // executeCapture fills a capture by running the kernel — the only place
-// the campaign engine executes one.
-func (e *Engine) executeCapture(c *capture) {
+// the campaign engine executes one. ctx is polled before the kernel
+// runs and before the count pass (core.CaptureContext); the kernel
+// itself is never interrupted.
+func (e *Engine) executeCapture(ctx context.Context, c *capture) {
 	w := c.factory()
 	if w.Name() != c.key.Workload {
 		c.err = fmt.Errorf("campaign: factory for %q built workload %q", c.key.Workload, w.Name())
 		return
 	}
-	snap, err := core.Capture(w, c.opts)
+	snap, err := core.CaptureContext(ctx, w, c.opts)
 	if err != nil {
 		c.err = err
 		return

@@ -1,6 +1,8 @@
 package campaign
 
 import (
+	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 )
@@ -18,6 +20,15 @@ var coalescedFlights atomic.Int64
 // being executed, process-wide. Tests compare deltas.
 func CoalescedFlights() int64 { return coalescedFlights.Load() }
 
+// recoveredPanics counts panics recovered inside flight computations —
+// a poisoned cell fails its own flight with an error instead of
+// crashing the process. Surfaced through hmptd's /metrics.
+var recoveredPanics atomic.Int64
+
+// RecoveredPanics returns the number of panics recovered inside flight
+// computations, process-wide. Tests compare deltas.
+func RecoveredPanics() int64 { return recoveredPanics.Load() }
+
 // FlightGroup is a single-flight layer over the campaign engine's two
 // expensive computations: resolving a capture (kernel execution or
 // family derivation) and computing an analysis (probe + sweep). Within
@@ -32,25 +43,46 @@ func CoalescedFlights() int64 { return coalescedFlights.Load() }
 // identical requests arriving together execute one kernel and one
 // placement sweep no matter how they interleave.
 //
+// Cancellation: every flight owns its own context, independent of any
+// caller's, and a reference count of interested callers. A caller whose
+// context dies detaches and returns its own ctx.Err() — the computation
+// keeps running for the remaining callers, so a cancelled waiter never
+// cancels the leader, and a cancelled leader implicitly hands the
+// flight off to whichever waiters remain (the computation goroutine
+// does not care who started it). Only when the *last* interested caller
+// detaches is the flight's context cancelled, aborting the computation
+// cooperatively; the flight is then forgotten so later callers retry
+// fresh.
+//
+// Panics inside a flight's computation are recovered into an error
+// (counted in RecoveredPanics): a poisoned computation fails its
+// callers, not the process.
+//
 // Successful entries are retained for the life of the group — they hold
 // the same shared pointers the Memo does, so retention adds no second
-// copy; eviction is the cache-lifecycle work of ROADMAP item 5. Failed
-// flights are forgotten on completion: concurrent waiters share the
-// error, but later callers retry rather than being pinned to a
-// transient failure forever.
+// copy; eviction is the cache-lifecycle work of ROADMAP item 5. Failed,
+// cancelled and panicked flights are forgotten on completion:
+// concurrent waiters share the error, but later callers retry rather
+// than being pinned to a transient failure forever.
 type FlightGroup struct {
 	mu      sync.Mutex
 	flights map[string]*flight
 	waiters atomic.Int64
 }
 
-// flight is one keyed computation: done closes when fn returns, after
-// val/flag/err are set.
+// flight is one keyed computation: done closes when the computation
+// goroutine returns, after val/flag/err are set. refs counts the
+// callers currently interested in the result (guarded by the group
+// mutex); cancel aborts the computation's context when refs drops to
+// zero.
 type flight struct {
 	done chan struct{}
 	val  any
 	flag bool
 	err  error
+
+	cancel context.CancelFunc
+	refs   int
 }
 
 // NewFlightGroup returns an empty group, ready to be shared by any
@@ -59,40 +91,102 @@ func NewFlightGroup() *FlightGroup {
 	return &FlightGroup{flights: make(map[string]*flight)}
 }
 
-// do runs fn once per key: the first caller executes, everyone else is
-// served from the in-flight or retained entry (shared=true, counted in
-// CoalescedFlights). flag carries a small per-computation fact the
-// callers share (the analysis path uses it for "served from the
-// analysis cache", which keeps the flag deterministic: the executing
-// caller's probe always precedes any same-key store).
-func (g *FlightGroup) do(key string, fn func() (any, bool, error)) (val any, flag bool, shared bool, err error) {
+// do runs fn once per key: the first caller starts the computation in
+// its own goroutine, everyone else is served from the in-flight or
+// retained entry (shared=true, counted in CoalescedFlights). fn
+// receives the *flight's* context — alive while any caller remains
+// interested — not any single caller's. flag carries a small
+// per-computation fact the callers share (the analysis path uses it for
+// "served from the analysis cache", which keeps the flag deterministic:
+// the executing flight's probe always precedes any same-key store).
+//
+// When ctx dies before the result is ready the caller detaches with
+// ctx.Err(); see the FlightGroup doc for the detach/handoff/abort
+// semantics.
+func (g *FlightGroup) do(ctx context.Context, key string, fn func(context.Context) (any, bool, error)) (val any, flag bool, shared bool, err error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, false, err
+	}
 	g.mu.Lock()
 	if g.flights == nil {
 		g.flights = make(map[string]*flight)
 	}
 	if f, ok := g.flights[key]; ok {
+		select {
+		case <-f.done:
+			// Retained entry: serve immediately.
+			g.mu.Unlock()
+			coalescedFlights.Add(1)
+			return f.val, f.flag, true, f.err
+		default:
+		}
+		f.refs++
 		g.mu.Unlock()
-		g.waiters.Add(1)
-		<-f.done
-		g.waiters.Add(-1)
-		coalescedFlights.Add(1)
-		return f.val, f.flag, true, f.err
+		return g.wait(ctx, f, true)
 	}
-	f := &flight{done: make(chan struct{})}
+	fctx, cancel := context.WithCancel(context.Background())
+	f := &flight{done: make(chan struct{}), cancel: cancel, refs: 1}
 	g.flights[key] = f
 	g.mu.Unlock()
+	go g.run(key, f, fctx, fn)
+	return g.wait(ctx, f, false)
+}
 
-	f.val, f.flag, f.err = fn()
-	if f.err != nil {
-		// Forget failures before releasing the waiters: a caller that
-		// arrives after the delete starts a fresh attempt instead of
-		// being served a stale error.
-		g.mu.Lock()
-		delete(g.flights, key)
-		g.mu.Unlock()
+// run executes one flight's computation, recovering panics into errors
+// and forgetting failed flights before releasing the waiters — a caller
+// that arrives after the delete starts a fresh attempt instead of being
+// served a stale error.
+func (g *FlightGroup) run(key string, f *flight, fctx context.Context, fn func(context.Context) (any, bool, error)) {
+	defer func() {
+		if r := recover(); r != nil {
+			recoveredPanics.Add(1)
+			f.val, f.flag = nil, false
+			f.err = fmt.Errorf("campaign: computation %q panicked: %v", key, r)
+		}
+		f.cancel() // release the flight context's resources
+		if f.err != nil {
+			g.mu.Lock()
+			if g.flights[key] == f {
+				delete(g.flights, key)
+			}
+			g.mu.Unlock()
+		}
+		close(f.done)
+	}()
+	f.val, f.flag, f.err = fn(fctx)
+}
+
+// wait blocks until the flight completes or the caller's context dies,
+// whichever comes first. joined marks a caller served by someone else's
+// flight (counted as a waiter while blocked and in CoalescedFlights on
+// success).
+func (g *FlightGroup) wait(ctx context.Context, f *flight, joined bool) (any, bool, bool, error) {
+	if joined {
+		g.waiters.Add(1)
+		defer g.waiters.Add(-1)
 	}
-	close(f.done)
-	return f.val, f.flag, false, f.err
+	select {
+	case <-f.done:
+		if joined {
+			coalescedFlights.Add(1)
+		}
+		return f.val, f.flag, joined, f.err
+	case <-ctx.Done():
+		g.detach(f)
+		return nil, false, joined, ctx.Err()
+	}
+}
+
+// detach drops one caller's interest in the flight; the last caller out
+// cancels the computation's context, aborting it cooperatively.
+func (g *FlightGroup) detach(f *flight) {
+	g.mu.Lock()
+	f.refs--
+	last := f.refs == 0
+	g.mu.Unlock()
+	if last {
+		f.cancel()
+	}
 }
 
 // InFlight returns the number of computations currently executing in

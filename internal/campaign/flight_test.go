@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"sync"
@@ -16,7 +17,7 @@ func TestFlightGroupRunsOnceAndRetains(t *testing.T) {
 	g := NewFlightGroup()
 	calls := 0
 	for i := 0; i < 3; i++ {
-		val, flag, shared, err := g.do("k", func() (any, bool, error) {
+		val, flag, shared, err := g.do(context.Background(), "k", func(context.Context) (any, bool, error) {
 			calls++
 			return 42, true, nil
 		})
@@ -42,10 +43,10 @@ func TestFlightGroupForgetsFailures(t *testing.T) {
 	g := NewFlightGroup()
 	boom := errors.New("boom")
 	calls := 0
-	if _, _, _, err := g.do("k", func() (any, bool, error) { calls++; return nil, false, boom }); err != boom {
+	if _, _, _, err := g.do(context.Background(), "k", func(context.Context) (any, bool, error) { calls++; return nil, false, boom }); err != boom {
 		t.Fatalf("err = %v, want boom", err)
 	}
-	val, _, shared, err := g.do("k", func() (any, bool, error) { calls++; return 7, false, nil })
+	val, _, shared, err := g.do(context.Background(), "k", func(context.Context) (any, bool, error) { calls++; return 7, false, nil })
 	if err != nil || val.(int) != 7 || shared {
 		t.Errorf("retry: val=%v shared=%v err=%v, want 7/false/nil", val, shared, err)
 	}
@@ -70,7 +71,7 @@ func TestFlightGroupSharesConcurrently(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			val, _, _, err := g.do("k", func() (any, bool, error) {
+			val, _, _, err := g.do(context.Background(), "k", func(context.Context) (any, bool, error) {
 				close(entered)
 				<-release
 				return 99, false, nil

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sync/atomic"
 
+	"hmpt/internal/faultfs"
 	"hmpt/internal/fsatomic"
 	"hmpt/internal/memsim"
 	"hmpt/internal/shim"
@@ -113,6 +114,8 @@ func AnalysisKeyFor(workload string, opts Options, sites []shim.SiteGroup) (Anal
 // would trust.
 type AnalysisCache struct {
 	dir string
+	fs  faultfs.FS
+	pub fsatomic.Publisher
 	cnt cacheCounters
 }
 
@@ -134,15 +137,29 @@ func (c *cacheCounters) stats() CacheStats {
 	}
 }
 
-// NewAnalysisCache opens (creating if needed) a cache rooted at dir.
+// NewAnalysisCache opens (creating if needed) a cache rooted at dir on
+// the real filesystem.
 func NewAnalysisCache(dir string) (*AnalysisCache, error) {
+	return NewAnalysisCacheFS(dir, nil)
+}
+
+// NewAnalysisCacheFS opens a cache whose filesystem operations all go
+// through fs (nil = the real filesystem) — the fault-injection seam,
+// mirroring trace.NewSnapshotCacheFS. Writes go through an
+// fsatomic.Publisher with retry/degrade semantics; see Degraded.
+func NewAnalysisCacheFS(dir string, fs faultfs.FS) (*AnalysisCache, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("core: empty analysis cache directory")
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if fs == nil {
+		fs = faultfs.OS
+	}
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("core: creating analysis cache: %w", err)
 	}
-	return &AnalysisCache{dir: dir}, nil
+	c := &AnalysisCache{dir: dir, fs: fs}
+	c.pub.FS = fs
+	return c, nil
 }
 
 // Dir returns the cache root directory.
@@ -150,6 +167,14 @@ func (c *AnalysisCache) Dir() string { return c.dir }
 
 // Stats returns the cache's traffic counters since it was opened.
 func (c *AnalysisCache) Stats() CacheStats { return c.cnt.stats() }
+
+// Publisher returns the cache's write-path publisher so callers can
+// tune its resilience policy and read its stats.
+func (c *AnalysisCache) Publisher() *fsatomic.Publisher { return &c.pub }
+
+// Degraded reports whether the rung's write path is in degraded
+// (read-only) mode; reads and warm serving are unaffected.
+func (c *AnalysisCache) Degraded() bool { return c.pub.Degraded() }
 
 // Path returns the file path an entry for the key lives at.
 func (c *AnalysisCache) Path(k AnalysisKey) string {
@@ -167,7 +192,7 @@ func (c *AnalysisCache) path(id string) string {
 // a miss and overwrite it through Store.
 func (c *AnalysisCache) Load(k AnalysisKey) (an *Analysis, ok bool, err error) {
 	id := k.ID()
-	raw, err := os.ReadFile(c.path(id))
+	raw, err := c.fs.ReadFile(c.path(id))
 	if os.IsNotExist(err) {
 		c.cnt.misses.Add(1)
 		return nil, false, nil
@@ -211,7 +236,7 @@ func (c *AnalysisCache) Store(k AnalysisKey, an *Analysis) error {
 		c.cnt.errors.Add(1)
 		return err
 	}
-	if err := fsatomic.Publish(c.path(id), b); err != nil {
+	if err := c.pub.Publish(c.path(id), b); err != nil {
 		c.cnt.errors.Add(1)
 		return fmt.Errorf("core: publishing analysis: %w", err)
 	}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"hmpt/internal/workloads/synth"
+)
+
+// TestAnalyzeContextPreCancelled: a dead context stops the pipeline
+// before any work — no kernel execution, no sampling pass, no sweep.
+func TestAnalyzeContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	kernels, passes, sweeps := KernelExecutions(), SamplePasses(), SweepEvaluations()
+	an, err := New(synth.Default(), Options{Seed: 42}).AnalyzeContext(ctx)
+	if !errors.Is(err, context.Canceled) || an != nil {
+		t.Fatalf("AnalyzeContext = (%v, %v), want (nil, context.Canceled)", an, err)
+	}
+	if KernelExecutions() != kernels || SamplePasses() != passes || SweepEvaluations() != sweeps {
+		t.Errorf("cancelled analysis still did work: kernels %+d, passes %+d, sweeps %+d",
+			KernelExecutions()-kernels, SamplePasses()-passes, SweepEvaluations()-sweeps)
+	}
+}
+
+// TestCaptureContextPreCancelled: a dead context skips the capture
+// entirely — the kernel never runs.
+func TestCaptureContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	kernels := KernelExecutions()
+	snap, err := CaptureContext(ctx, synth.Default(), Options{Seed: 42})
+	if !errors.Is(err, context.Canceled) || snap != nil {
+		t.Fatalf("CaptureContext = (%v, %v), want (nil, context.Canceled)", snap, err)
+	}
+	if got := KernelExecutions(); got != kernels {
+		t.Errorf("cancelled capture executed %d kernels", got-kernels)
+	}
+}
+
+// TestAnalyzeContextBackgroundIdentical: threading a live context
+// through the pipeline changes nothing — the result is byte-identical
+// to the context-free path.
+func TestAnalyzeContextBackgroundIdentical(t *testing.T) {
+	plain, err := New(synth.Default(), Options{Seed: 42}).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCtx, err := New(synth.Default(), Options{Seed: 42}).AnalyzeContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, withCtx) {
+		t.Error("AnalyzeContext(Background()) diverges from Analyze()")
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -58,10 +59,25 @@ func SweepEvaluations() int64 { return sweepEvals.Load() }
 // and the embedded counts are platform-independent — so one snapshot
 // serves every platform preset and tuner-option variant.
 func Capture(w workloads.Workload, opts Options) (*trace.Snapshot, error) {
+	return CaptureContext(context.Background(), w, opts)
+}
+
+// CaptureContext is Capture with cooperative cancellation: ctx is polled
+// before the kernel executes and before the embedded-count pass, so a
+// cancelled campaign skips captures it has not started. The kernel run
+// itself is never interrupted — a capture either completes whole (and is
+// byte-identical to an uncancelled one) or returns ctx.Err().
+func CaptureContext(ctx context.Context, w workloads.Workload, opts Options) (*trace.Snapshot, error) {
 	o := opts.withDefaults()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	envSeed := xrand.New(o.Seed).Split(1).Uint64()
 	env, tr, err := executeReference(w, o.Threads, o.Scale, o.Iterations, envSeed)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	// Embed the sampling counts so replays skip the sampling pass: the

@@ -22,6 +22,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/bits"
@@ -235,15 +236,28 @@ func New(w workloads.Workload, opts Options) *Tuner {
 // Analyze runs the full pipeline and returns the analysis. The probe and
 // configuration-sweep stages run on the compiled sweep engine; the
 // result is bit-identical to AnalyzeReference.
-func (t *Tuner) Analyze() (*Analysis, error) { return t.analyze(true) }
+func (t *Tuner) Analyze() (*Analysis, error) { return t.analyze(context.Background(), true) }
+
+// AnalyzeContext is Analyze with cooperative cancellation: the pipeline
+// polls ctx between stages, between sweep masks, and between probe
+// fan-out items, returning ctx.Err() as soon as it observes the context
+// dead. A completed analysis is byte-identical to Analyze — cancellation
+// either returns an error or has no effect on the result; kernel
+// execution itself (the reference stage's single run) is never
+// interrupted mid-kernel.
+func (t *Tuner) AnalyzeContext(ctx context.Context) (*Analysis, error) {
+	return t.analyze(ctx, true)
+}
 
 // AnalyzeReference runs the identical pipeline through the pre-engine
 // costing path: a fresh Machine.Cost per probe and per configuration
 // run. It is retained as the bit-exactness oracle the equivalence tests
 // and benchmarks compare the sweep engine against.
-func (t *Tuner) AnalyzeReference() (*Analysis, error) { return t.analyze(false) }
+func (t *Tuner) AnalyzeReference() (*Analysis, error) {
+	return t.analyze(context.Background(), false)
+}
 
-func (t *Tuner) analyze(engine bool) (*Analysis, error) {
+func (t *Tuner) analyze(ctx context.Context, engine bool) (*Analysis, error) {
 	o := t.opts
 	p := o.Platform
 	machine := memsim.NewMachine(p)
@@ -256,6 +270,9 @@ func (t *Tuner) analyze(engine bool) (*Analysis, error) {
 	// allocations and the phase trace — or replay an injected snapshot
 	// of exactly that capture. Both paths consume the identical RNG
 	// stream, so everything downstream is byte-identical.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	envSeed := rng.Split(1).Uint64()
 	al, tr, err := t.reference(envSeed)
 	if err != nil {
@@ -270,6 +287,9 @@ func (t *Tuner) analyze(engine bool) (*Analysis, error) {
 	allDDR := memsim.NewSimplePlacement(len(p.Pools), ddr)
 
 	// 2. Baseline measurement (n runs).
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	runRNG := rng.Split(2)
 	baseline, err := t.measure(machine, tr, allDDR, runRNG)
 	if err != nil {
@@ -283,6 +303,9 @@ func (t *Tuner) analyze(engine bool) (*Analysis, error) {
 	// identical count-derived statistics, which is all the pipeline
 	// consumes downstream. The RNG split is consumed either way so the
 	// downstream stream stays byte-identical across paths.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	smpRNG := rng.Split(3)
 	rep, err := t.sampleReport(tr, al, machine, allDDR, smpRNG, engine)
 	if err != nil {
@@ -290,7 +313,7 @@ func (t *Tuner) analyze(engine bool) (*Analysis, error) {
 	}
 
 	// 4. Build allocation groups.
-	groups, filtered, totalSites, err := t.buildGroups(machine, tr, al, rep, baseline.Mean(), ddr, hbm, rng.Split(4), engine)
+	groups, filtered, totalSites, err := t.buildGroups(ctx, machine, tr, al, rep, baseline.Mean(), ddr, hbm, rng.Split(4), engine)
 	if err != nil {
 		return nil, err
 	}
@@ -317,9 +340,15 @@ func (t *Tuner) analyze(engine bool) (*Analysis, error) {
 	hbmCap := p.Pools[hbm].Capacity
 	an.Configs = make([]Config, 1<<uint(k))
 	cfgRNG := rng.Split(5)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	sweepEvals.Add(1)
 	if !engine {
 		for mask := uint32(0); mask < 1<<uint(k); mask++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			cfg, err := t.measureConfig(machine, tr, groups, mask, total,
 				baseline.Mean(), hbmCap, ddr, hbm, cfgRNG.Split(uint64(mask)))
 			if err != nil {
@@ -329,7 +358,7 @@ func (t *Tuner) analyze(engine bool) (*Analysis, error) {
 		}
 		return an, nil
 	}
-	if err := t.sweepConfigs(an, machine, tr, groups, total, baseline.Mean(), hbmCap, ddr, hbm, cfgRNG); err != nil {
+	if err := t.sweepConfigs(ctx, an, machine, tr, groups, total, baseline.Mean(), hbmCap, ddr, hbm, cfgRNG); err != nil {
 		return nil, err
 	}
 	return an, nil
@@ -370,7 +399,10 @@ func (t *Tuner) sampleReport(tr *trace.Trace, al *shim.Allocator, machine *memsi
 // mask space is partitioned over workers, and each worker walks its
 // slice of the Gray-code sequence so that consecutive masks differ by
 // one group flip and only the phases that group touches are re-costed.
-func (t *Tuner) sweepConfigs(an *Analysis, machine *memsim.Machine, tr *trace.Trace,
+// Workers poll ctx between masks: a cancelled sweep abandons its
+// remaining masks and the whole analysis returns ctx.Err() — partial
+// configs are never observable because the caller discards the result.
+func (t *Tuner) sweepConfigs(ctx context.Context, an *Analysis, machine *memsim.Machine, tr *trace.Trace,
 	groups []Group, total units.Bytes, baseMean float64, hbmCap units.Bytes,
 	ddr, hbm memsim.PoolID, cfgRNG *xrand.Rand) error {
 
@@ -396,7 +428,7 @@ func (t *Tuner) sweepConfigs(an *Analysis, machine *memsim.Machine, tr *trace.Tr
 	if workers > n {
 		workers = n
 	}
-	parallel.For(workers, n, func(_, lo, hi int) {
+	return parallel.ForCtx(ctx, workers, n, func(ctx context.Context, _, lo, hi int) {
 		if lo >= hi {
 			return
 		}
@@ -404,6 +436,9 @@ func (t *Tuner) sweepConfigs(an *Analysis, machine *memsim.Machine, tr *trace.Tr
 		mask := grayCode(uint32(lo))
 		det := ev.EvalMask(mask, ddr, hbm)
 		for i := lo; ; {
+			if ctx.Err() != nil {
+				return
+			}
 			cfg := configShell(groups, mask, total, hbmCap)
 			finishConfig(&cfg, replaySample(machine, det, t.opts.Runs, rngs[mask]), baseMean, groups)
 			an.Configs[mask] = cfg
@@ -420,7 +455,6 @@ func (t *Tuner) sweepConfigs(an *Analysis, machine *memsim.Machine, tr *trace.Tr
 			det = ev.Flip(bit, to)
 		}
 	})
-	return nil
 }
 
 // grayCode returns the i-th binary-reflected Gray code; consecutive
@@ -553,8 +587,9 @@ func maskLabel(groups []int) string {
 // and top-k selection (§III-A). With engine set, probes run on a sweep
 // evaluator compiled over the pre-groups: successive solo probes differ
 // by two group flips, so each probe re-costs only the phases its two
-// differing groups touch.
-func (t *Tuner) buildGroups(m *memsim.Machine, tr *trace.Trace, al *shim.Allocator,
+// differing groups touch. Probe workers poll ctx between probes; a
+// cancelled probe stage returns ctx.Err().
+func (t *Tuner) buildGroups(ctx context.Context, m *memsim.Machine, tr *trace.Trace, al *shim.Allocator,
 	rep *ibs.Report, baseMean float64, ddr, hbm memsim.PoolID, rng *xrand.Rand, engine bool) ([]Group, int, int, error) {
 
 	o := t.opts
@@ -683,7 +718,7 @@ func (t *Tuner) buildGroups(m *memsim.Machine, tr *trace.Trace, al *shim.Allocat
 		if workers > len(significant) {
 			workers = len(significant)
 		}
-		parallel.For(workers, len(significant), func(_, lo, hi int) {
+		err := parallel.ForCtx(ctx, workers, len(significant), func(ctx context.Context, _, lo, hi int) {
 			if lo >= hi {
 				return
 			}
@@ -693,6 +728,9 @@ func (t *Tuner) buildGroups(m *memsim.Machine, tr *trace.Trace, al *shim.Allocat
 				ev = eng.Clone()
 			}
 			for i := lo; i < hi; i++ {
+				if ctx.Err() != nil {
+					return
+				}
 				g := significant[i]
 				var sample *stats.Sample
 				if ev != nil {
@@ -717,6 +755,9 @@ func (t *Tuner) buildGroups(m *memsim.Machine, tr *trace.Trace, al *shim.Allocat
 				probes[i] = probed{pre: g, solo: baseMean / sample.Mean()}
 			}
 		})
+		if err != nil {
+			return nil, 0, 0, err
+		}
 		for i, err := range probeErrs {
 			if err != nil {
 				return nil, 0, 0, fmt.Errorf("core: probing group %q: %w", significant[i].label, err)

@@ -1,0 +1,186 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestOSPassthrough pins the passthrough semantics the caches rely on.
+func TestOSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	f, err := OS.CreateTemp(dir, "stage*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dst := filepath.Join(dir, "out")
+	if err := OS.Rename(f.Name(), dst); err != nil {
+		t.Fatal(err)
+	}
+	b, err := OS.ReadFile(dst)
+	if err != nil || string(b) != "hello" {
+		t.Fatalf("read back %q, %v", b, err)
+	}
+	ents, err := OS.ReadDir(dir)
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("readdir: %d entries, %v", len(ents), err)
+	}
+	if err := OS.Remove(dst); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInjectorDeterministic: the same seed replays the same fault
+// sequence over the same operation order.
+func TestInjectorDeterministic(t *testing.T) {
+	run := func() []bool {
+		in := NewInjector(OS, Config{Seed: 42, WriteEIO: 0.5})
+		dir := t.TempDir()
+		var outcome []bool
+		for i := 0; i < 64; i++ {
+			err := in.MkdirAll(filepath.Join(dir, "d"), 0o755)
+			outcome = append(outcome, err != nil)
+		}
+		return outcome
+	}
+	a, b := run(), run()
+	faults := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d: schedules diverge", i)
+		}
+		if a[i] {
+			faults++
+		}
+	}
+	if faults == 0 || faults == len(a) {
+		t.Fatalf("degenerate schedule: %d/%d faults at rate 0.5", faults, len(a))
+	}
+}
+
+// TestInjectedErrorsCarryErrno: resilience policies classify faults with
+// errors.Is against the real errno.
+func TestInjectedErrorsCarryErrno(t *testing.T) {
+	dir := t.TempDir()
+	eio := NewInjector(OS, Config{Seed: 1, WriteEIO: 1})
+	if err := eio.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "b")); !errors.Is(err, syscall.EIO) {
+		t.Errorf("EIO injector returned %v, want EIO", err)
+	}
+	full := NewInjector(OS, Config{Seed: 1, WriteENOSPC: 1})
+	if err := full.MkdirAll(filepath.Join(dir, "c"), 0o755); !errors.Is(err, syscall.ENOSPC) {
+		t.Errorf("ENOSPC injector returned %v, want ENOSPC", err)
+	}
+	read := NewInjector(OS, Config{Seed: 1, ReadEIO: 1})
+	if _, err := read.ReadFile(filepath.Join(dir, "nope")); !errors.Is(err, syscall.EIO) {
+		t.Errorf("read injector returned %v, want EIO", err)
+	}
+	st := eio.Stats()
+	if st.EIO != 1 {
+		t.Errorf("EIO injector stats = %+v, want 1 EIO", st)
+	}
+}
+
+// TestTornWriteCorruptsSilently: a torn write reports success but the
+// published bytes differ — the shape checksum validation must catch.
+func TestTornWriteCorruptsSilently(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS, Config{Seed: 7, TornWrite: 1})
+	f, err := in.CreateTemp(dir, "stage*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("a complete, checksummed cache entry payload")
+	n, err := f.Write(payload)
+	if err != nil || n != len(payload) {
+		t.Fatalf("torn write reported (%d, %v), want silent success", n, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) == string(payload) {
+		t.Error("torn write left the payload intact")
+	}
+	if len(got) >= len(payload) {
+		t.Errorf("torn write kept %d of %d bytes, want a truncation", len(got), len(payload))
+	}
+	if in.Stats().Torn != 1 {
+		t.Errorf("stats = %+v, want 1 torn", in.Stats())
+	}
+}
+
+// TestMaxFaultsBudget: after the budget is spent the filesystem heals —
+// the storm-then-recover shape the chaos job drives.
+func TestMaxFaultsBudget(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS, Config{Seed: 3, WriteEIO: 1, MaxFaults: 4})
+	faults := 0
+	for i := 0; i < 20; i++ {
+		if err := in.MkdirAll(filepath.Join(dir, "d"), 0o755); err != nil {
+			faults++
+		}
+	}
+	if faults != 4 {
+		t.Errorf("injected %d faults, want exactly the budget of 4", faults)
+	}
+	if err := in.MkdirAll(filepath.Join(dir, "d"), 0o755); err != nil {
+		t.Errorf("post-budget operation still faulted: %v", err)
+	}
+}
+
+// TestDisarmedInjectorPassesThrough: a disarmed injector is transparent
+// and consumes no RNG draws, so a setup phase does not perturb the
+// armed schedule.
+func TestDisarmedInjectorPassesThrough(t *testing.T) {
+	dir := t.TempDir()
+	schedule := func(setupOps int) []bool {
+		in := NewInjector(OS, Config{Seed: 21, WriteEIO: 0.5})
+		in.SetArmed(false)
+		for i := 0; i < setupOps; i++ {
+			if err := in.MkdirAll(filepath.Join(dir, "setup"), 0o755); err != nil {
+				t.Fatalf("disarmed op faulted: %v", err)
+			}
+		}
+		in.SetArmed(true)
+		var out []bool
+		for i := 0; i < 32; i++ {
+			out = append(out, in.MkdirAll(filepath.Join(dir, "d"), 0o755) != nil)
+		}
+		return out
+	}
+	a, b := schedule(0), schedule(17)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d: setup length changed the armed schedule", i)
+		}
+	}
+}
+
+// TestLatencyInjection: latency is counted and the operation still
+// succeeds.
+func TestLatencyInjection(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS, Config{Seed: 5, Latency: time.Millisecond, LatencyRate: 1, MaxFaults: 2})
+	start := time.Now()
+	if err := in.MkdirAll(filepath.Join(dir, "d"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < time.Millisecond {
+		t.Errorf("operation took %v, want >= 1ms of injected latency", elapsed)
+	}
+	if in.Stats().Latency != 1 {
+		t.Errorf("stats = %+v, want 1 latency fault", in.Stats())
+	}
+}

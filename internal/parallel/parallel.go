@@ -5,6 +5,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -63,6 +64,23 @@ func For(threads, n int, body func(tid, lo, hi int)) {
 		}(tid)
 	}
 	wg.Wait()
+}
+
+// ForCtx is For with cooperative cancellation: if ctx is already done no
+// worker runs at all, otherwise workers receive ctx and are expected to
+// poll it between items of their range (the fan-out itself never
+// interrupts a running body — cancellation is cooperative, so results
+// stay deterministic: a body either completed fully or its output is
+// discarded with the returned error). ForCtx returns ctx.Err() when the
+// context died before or during the fan-out, nil otherwise.
+func ForCtx(ctx context.Context, threads, n int, body func(ctx context.Context, tid, lo, hi int)) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	For(threads, n, func(tid, lo, hi int) {
+		body(ctx, tid, lo, hi)
+	})
+	return ctx.Err()
 }
 
 // ReduceFloat64 runs body over the static partition of [0, n); each

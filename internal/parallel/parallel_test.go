@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -103,5 +104,51 @@ func TestForMoreThreadsThanWork(t *testing.T) {
 	})
 	if visited.Load() != 3 {
 		t.Errorf("visited %d of 3", visited.Load())
+	}
+}
+
+func TestForCtxPreCancelledRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := ForCtx(ctx, 4, 100, func(ctx context.Context, tid, lo, hi int) { ran = true })
+	if err != context.Canceled {
+		t.Fatalf("ForCtx = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Error("body ran under a dead context")
+	}
+}
+
+func TestForCtxCooperativeCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var visited atomic.Int64
+	err := ForCtx(ctx, 2, 1000, func(ctx context.Context, tid, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if ctx.Err() != nil {
+				return
+			}
+			if visited.Add(1) == 10 {
+				cancel()
+			}
+		}
+	})
+	if err != context.Canceled {
+		t.Fatalf("ForCtx = %v, want context.Canceled", err)
+	}
+	if n := visited.Load(); n >= 1000 {
+		t.Errorf("all %d items visited despite mid-run cancellation", n)
+	}
+}
+
+func TestForCtxNilErrorOnCompletion(t *testing.T) {
+	var visited atomic.Int64
+	if err := ForCtx(context.Background(), 3, 50, func(ctx context.Context, tid, lo, hi int) {
+		visited.Add(int64(hi - lo))
+	}); err != nil {
+		t.Fatalf("ForCtx = %v, want nil", err)
+	}
+	if visited.Load() != 50 {
+		t.Errorf("visited %d items, want 50", visited.Load())
 	}
 }

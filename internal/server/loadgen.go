@@ -3,8 +3,10 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"sort"
 	"sync"
@@ -40,10 +42,19 @@ type LoadConfig struct {
 }
 
 // LoadReport is RunLoad's outcome: counts, throughput and the latency
-// distribution of the successful requests, in milliseconds.
+// distribution of the successful requests, in milliseconds. Failures
+// are broken out by class — Non2xx (the daemon answered with an error
+// status) and Timeouts (the per-request deadline expired) — so a smoke
+// gate can hold warm traffic to zero non-2xx while tolerating, say, a
+// bounded timeout rate; Errors remains the total of every failure
+// (non-2xx + timeouts + transport errors).
 type LoadReport struct {
 	Requests       int     `json:"requests"`
 	Errors         int     `json:"errors"`
+	Non2xx         int     `json:"non_2xx"`
+	Timeouts       int     `json:"timeouts"`
+	ErrorRate      float64 `json:"error_rate"`
+	TimeoutRate    float64 `json:"timeout_rate"`
 	Clients        int     `json:"clients"`
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
 	// Throughput is served requests per second over the whole burst.
@@ -121,6 +132,8 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		mu        sync.Mutex
 		latencies = make([]float64, 0, total)
 		errs      int
+		non2xx    int
+		timeouts  int
 		firstErr  string
 	)
 	start := time.Now()
@@ -136,16 +149,22 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 				}
 				body := bodies[i%len(bodies)]
 				t0 := time.Now()
-				err := doAnalyze(client, url, body)
+				outcome, err := doAnalyze(client, url, body)
 				dt := time.Since(t0)
 				mu.Lock()
+				switch outcome {
+				case outcomeOK:
+					latencies = append(latencies, dt.Seconds()*1e3)
+				case outcomeNon2xx:
+					non2xx++
+				case outcomeTimeout:
+					timeouts++
+				}
 				if err != nil {
 					errs++
 					if firstErr == "" {
 						firstErr = err.Error()
 					}
-				} else {
-					latencies = append(latencies, dt.Seconds()*1e3)
 				}
 				mu.Unlock()
 			}
@@ -157,6 +176,10 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	rep := &LoadReport{
 		Requests:       total,
 		Errors:         errs,
+		Non2xx:         non2xx,
+		Timeouts:       timeouts,
+		ErrorRate:      float64(errs) / float64(total),
+		TimeoutRate:    float64(timeouts) / float64(total),
 		Clients:        clients,
 		ElapsedSeconds: elapsed.Seconds(),
 		FirstError:     firstErr,
@@ -174,20 +197,36 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	return rep, nil
 }
 
-// doAnalyze issues one analyze request and fully drains the response so
-// the connection is reused.
-func doAnalyze(client *http.Client, url string, body []byte) error {
+// outcome classifies one request for the report's failure breakdown.
+type outcome int
+
+const (
+	outcomeOK        outcome = iota
+	outcomeNon2xx            // the daemon answered with an error status
+	outcomeTimeout           // the per-request deadline expired
+	outcomeTransport         // connection refused/reset and other I/O failures
+)
+
+// doAnalyze issues one analyze request, classifies the result, and
+// fully drains the response so the connection is reused.
+func doAnalyze(client *http.Client, url string, body []byte) (outcome, error) {
 	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
 	if err != nil {
-		return err
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			return outcomeTimeout, err
+		}
+		return outcomeTransport, err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+		return outcomeNon2xx, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
 	}
-	_, err = io.Copy(io.Discard, resp.Body)
-	return err
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return outcomeTransport, err
+	}
+	return outcomeOK, nil
 }
 
 // percentile returns the pth percentile (0..1) of sorted samples by the

@@ -277,6 +277,13 @@ func (r *Registry) NewCounterVecFunc(name, help, label string, fn func() map[str
 	r.register(&labeledFuncCollector{nm: name, help: help, typ: "counter", label: label, fn: fn})
 }
 
+// NewGaugeVecFunc registers a single-label gauge family whose children
+// are sampled from fn at scrape time (e.g. per-cache degraded-mode
+// flags).
+func (r *Registry) NewGaugeVecFunc(name, help, label string, fn func() map[string]float64) {
+	r.register(&labeledFuncCollector{nm: name, help: help, typ: "gauge", label: label, fn: fn})
+}
+
 func (f *labeledFuncCollector) name() string { return f.nm }
 
 func (f *labeledFuncCollector) write(w io.Writer) error {

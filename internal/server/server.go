@@ -13,14 +13,22 @@
 //	POST /v1/analyze    one workload × platform analysis
 //	POST /v1/campaign   a full matrix (workloads × platforms × seeds)
 //	GET  /v1/workloads  the resolvable workload and platform names
-//	GET  /healthz       liveness
+//	GET  /healthz       liveness (the process is up)
+//	GET  /readyz        readiness (503 while draining or cache-degraded)
 //	GET  /metrics       Prometheus text exposition (see newMetrics)
 //
 // Errors are structured JSON: {"error":{"code":"...","message":"..."}}.
+// A request whose client disconnects is answered 499 request_cancelled;
+// one that outlives its deadline (the request's timeout_ms field or the
+// server's -request-timeout) is answered 504 deadline_exceeded. Either
+// way the run stops cold work cooperatively and the cache tree stays
+// consistent. Handler panics are recovered into 500 internal_panic.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"net/http"
@@ -30,9 +38,14 @@ import (
 	"hmpt/internal/campaign"
 	"hmpt/internal/core"
 	"hmpt/internal/experiments"
+	"hmpt/internal/faultfs"
 	"hmpt/internal/trace"
 	"hmpt/internal/workloads"
 )
+
+// StatusClientClosedRequest is the non-standard (nginx-convention)
+// status for a request whose client went away before the response.
+const StatusClientClosedRequest = 499
 
 // Config wires a Server to its caches and capacity limits.
 type Config struct {
@@ -49,6 +62,17 @@ type Config struct {
 	// excess requests queue (visible as hmptd_queue_depth). 0 means
 	// unlimited — coalescing already bounds duplicated work.
 	MaxConcurrent int
+	// RequestTimeout bounds every run-serving request that does not
+	// carry its own timeout_ms; 0 means no server-side deadline.
+	RequestTimeout time.Duration
+	// Injector, when non-nil, interposes deterministic fault injection
+	// between the on-disk caches and the real filesystem, and surfaces
+	// its injected-fault counts in /metrics. The chaos harness arms it;
+	// production leaves it nil.
+	Injector *faultfs.Injector
+	// CacheReprobe overrides how long a degraded cache publisher waits
+	// before re-probing the disk (0 = the publisher default).
+	CacheReprobe time.Duration
 	// Log receives request and lifecycle lines; nil uses the default
 	// logger.
 	Log *log.Logger
@@ -65,6 +89,7 @@ type Server struct {
 	met      *serverMetrics
 	sem      chan struct{}
 	queued   atomic.Int64
+	draining atomic.Bool
 }
 
 // New builds a Server over the configured cache tree. Engines created
@@ -81,17 +106,27 @@ func New(cfg Config) (*Server, error) {
 	if s.log == nil {
 		s.log = log.Default()
 	}
+	var fs faultfs.FS
+	if cfg.Injector != nil {
+		fs = cfg.Injector
+	}
 	if cfg.CacheDir != "" {
-		c, err := trace.NewSnapshotCache(cfg.CacheDir)
+		c, err := trace.NewSnapshotCacheFS(cfg.CacheDir, fs)
 		if err != nil {
 			return nil, err
+		}
+		if cfg.CacheReprobe > 0 {
+			c.Publisher().ReprobeAfter = cfg.CacheReprobe
 		}
 		s.cache = c
 	}
 	if cfg.AnalysisCacheDir != "" {
-		a, err := core.NewAnalysisCache(cfg.AnalysisCacheDir)
+		a, err := core.NewAnalysisCacheFS(cfg.AnalysisCacheDir, fs)
 		if err != nil {
 			return nil, err
+		}
+		if cfg.CacheReprobe > 0 {
+			a.Publisher().ReprobeAfter = cfg.CacheReprobe
 		}
 		s.analyses = a
 	}
@@ -121,14 +156,42 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/campaign", s.instrument("/v1/campaign", s.handleCampaign))
 	mux.HandleFunc("GET /v1/workloads", s.instrument("/v1/workloads", s.handleWorkloads))
 	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.HandleFunc("GET /readyz", s.instrument("/readyz", s.handleReadyz))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	// Known paths with the wrong method should say so rather than 404.
 	mux.HandleFunc("/v1/analyze", s.methodNotAllowed(http.MethodPost))
 	mux.HandleFunc("/v1/campaign", s.methodNotAllowed(http.MethodPost))
 	mux.HandleFunc("/v1/workloads", s.methodNotAllowed(http.MethodGet))
 	mux.HandleFunc("/healthz", s.methodNotAllowed(http.MethodGet))
-	return mux
+	mux.HandleFunc("/readyz", s.methodNotAllowed(http.MethodGet))
+	mux.HandleFunc("/metrics", s.methodNotAllowed(http.MethodGet))
+	return s.recoverPanics(mux)
 }
+
+// recoverPanics is the outermost middleware: a panicking handler is
+// recovered into a structured 500 (best-effort if headers are already
+// out) instead of killing the connection — and never the process.
+func (s *Server) recoverPanics(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.met.httpPanics.Inc()
+				s.log.Printf("hmptd: panic serving %s %s: %v", r.Method, r.URL.Path, rec)
+				s.writeError(w, http.StatusInternalServerError, "internal_panic",
+					fmt.Sprintf("handler panicked: %v", rec))
+			}
+		}()
+		h.ServeHTTP(w, r)
+	})
+}
+
+// BeginDrain marks the server as draining: /readyz answers 503 so load
+// balancers stop sending new work, while in-flight requests complete
+// through the usual http.Server.Shutdown. Draining is one-way.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // instrument wraps a handler with the request counters, the in-flight
 // gauge and the whole-request latency histogram.
@@ -184,9 +247,10 @@ func (s *Server) writeJSON(w http.ResponseWriter, endpoint string, v any) {
 }
 
 // acquire takes a run slot (when MaxConcurrent caps them), surfacing
-// time spent waiting as queue depth. The request context cancels the
-// wait when the client goes away.
-func (s *Server) acquire(r *http.Request) error {
+// time spent waiting as queue depth. The request context — deadline
+// included — cancels the wait when the client goes away or the
+// deadline passes.
+func (s *Server) acquire(ctx context.Context) error {
 	if s.sem == nil {
 		return nil
 	}
@@ -195,8 +259,8 @@ func (s *Server) acquire(r *http.Request) error {
 	select {
 	case s.sem <- struct{}{}:
 		return nil
-	case <-r.Context().Done():
-		return r.Context().Err()
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
@@ -208,12 +272,19 @@ func (s *Server) release() {
 
 // decode parses a JSON request body, timing the decode stage. Unknown
 // fields are rejected: a typo silently ignored is a wrong analysis
-// served with confidence.
+// served with confidence. A body over the cap is a structured 413, not
+// a generic JSON error.
 func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	start := time.Now()
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.writeError(w, http.StatusRequestEntityTooLarge, "request_too_large",
+				fmt.Sprintf("request body exceeds %d bytes", mbe.Limit))
+			return false
+		}
 		s.writeError(w, http.StatusBadRequest, "bad_json", err.Error())
 		return false
 	}
@@ -221,15 +292,51 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
+// requestContext derives one request's run context: the http.Request
+// context (cancelled when the client disconnects) bounded by the
+// request's own timeout_ms when set, else the server-wide
+// RequestTimeout when configured.
+func (s *Server) requestContext(r *http.Request, timeoutMs int) (context.Context, context.CancelFunc) {
+	timeout := s.cfg.RequestTimeout
+	if timeoutMs > 0 {
+		timeout = time.Duration(timeoutMs) * time.Millisecond
+	}
+	if timeout > 0 {
+		return context.WithTimeout(r.Context(), timeout)
+	}
+	return context.WithCancel(r.Context())
+}
+
+// writeRunError maps a failed run to its structured response:
+// cancellation (the client went away) is 499, a blown deadline is 504,
+// anything else a 500. The cancellation and timeout counters feed the
+// hmptd_* metric families.
+func (s *Server) writeRunError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.Canceled):
+		s.met.cancellations.Inc()
+		s.writeError(w, StatusClientClosedRequest, "request_cancelled",
+			"request cancelled before the run completed")
+	case errors.Is(err, context.DeadlineExceeded):
+		s.met.timeouts.Inc()
+		s.writeError(w, http.StatusGatewayTimeout, "deadline_exceeded",
+			"request deadline exceeded before the run completed")
+	default:
+		s.writeError(w, http.StatusInternalServerError, "run_failed", err.Error())
+	}
+}
+
 // runMatrix executes one campaign run under the concurrency cap,
-// timing the run stage.
-func (s *Server) runMatrix(r *http.Request, m campaign.Matrix) (*campaign.Result, error) {
-	if err := s.acquire(r); err != nil {
+// timing the run stage. ctx cancellation propagates through the engine
+// down to the parallel workers and the core pipeline (see
+// campaign.RunContext).
+func (s *Server) runMatrix(ctx context.Context, m campaign.Matrix) (*campaign.Result, error) {
+	if err := s.acquire(ctx); err != nil {
 		return nil, err
 	}
 	defer s.release()
 	start := time.Now()
-	res, err := s.engine().Run(m)
+	res, err := s.engine().RunContext(ctx, m)
 	s.met.stageSec.Observe("run", time.Since(start).Seconds())
 	return res, err
 }
@@ -250,6 +357,10 @@ type AnalyzeRequest struct {
 	Seed *uint64 `json:"seed,omitempty"`
 	// Iterations overrides the iteration/timestep count (0 = default).
 	Iterations int `json:"iterations,omitempty"`
+	// TimeoutMs bounds this request: past the deadline the run stops
+	// cold work cooperatively and the response is 504
+	// deadline_exceeded. 0 inherits the server's -request-timeout.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
 }
 
 // CellResult is one evaluated scenario in a response: the Table II
@@ -367,12 +478,14 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if req.Iterations > 0 {
 		wl.Options.Iterations = req.Iterations
 	}
-	res, err := s.runMatrix(r, campaign.Matrix{
+	ctx, cancel := s.requestContext(r, req.TimeoutMs)
+	defer cancel()
+	res, err := s.runMatrix(ctx, campaign.Matrix{
 		Workloads: []campaign.Workload{wl},
 		Platforms: []campaign.Platform{p},
 	})
 	if err != nil {
-		s.writeError(w, http.StatusInternalServerError, "run_failed", err.Error())
+		s.writeRunError(w, err)
 		return
 	}
 	s.observeResult(res)
@@ -397,6 +510,8 @@ type CampaignRequest struct {
 	Full       bool     `json:"full,omitempty"`
 	Runs       int      `json:"runs,omitempty"`
 	Iterations int      `json:"iterations,omitempty"`
+	// TimeoutMs bounds this request; see AnalyzeRequest.TimeoutMs.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
 }
 
 // CampaignResponse is the body of a successful POST /v1/campaign.
@@ -455,9 +570,11 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 			Apply: func(o *core.Options) { o.Seed = seed },
 		})
 	}
-	res, err := s.runMatrix(r, m)
+	ctx, cancel := s.requestContext(r, req.TimeoutMs)
+	defer cancel()
+	res, err := s.runMatrix(ctx, m)
 	if err != nil {
-		s.writeError(w, http.StatusInternalServerError, "run_failed", err.Error())
+		s.writeRunError(w, err)
 		return
 	}
 	s.observeResult(res)
@@ -512,6 +629,50 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+// ReadyStatus is the body of GET /readyz: liveness is /healthz's job,
+// readiness folds in drain state and cache health so a balancer stops
+// routing to a daemon that is shutting down or persistently failing
+// disk writes (degraded daemons still serve — compute-through — but a
+// healthy peer is preferable).
+type ReadyStatus struct {
+	// Status is "ok", "degraded" or "draining" (draining wins).
+	Status   string `json:"status"`
+	Draining bool   `json:"draining"`
+	// SnapshotCacheDegraded / AnalysisCacheDegraded report a cache rung
+	// whose publisher demoted to read-only after persistent write
+	// failure (false when the rung is not configured).
+	SnapshotCacheDegraded bool `json:"snapshot_cache_degraded"`
+	AnalysisCacheDegraded bool `json:"analysis_cache_degraded"`
+}
+
+// readyStatus assembles the readiness report and whether it is a 200.
+func (s *Server) readyStatus() (ReadyStatus, bool) {
+	st := ReadyStatus{
+		Status:                "ok",
+		Draining:              s.draining.Load(),
+		SnapshotCacheDegraded: s.cache != nil && s.cache.Degraded(),
+		AnalysisCacheDegraded: s.analyses != nil && s.analyses.Degraded(),
+	}
+	if st.SnapshotCacheDegraded || st.AnalysisCacheDegraded {
+		st.Status = "degraded"
+	}
+	if st.Draining {
+		st.Status = "draining"
+	}
+	return st, st.Status == "ok"
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	st, ready := s.readyStatus()
+	w.Header().Set("Content-Type", "application/json")
+	if !ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(&st)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

@@ -3,6 +3,8 @@ package server
 import (
 	"hmpt/internal/campaign"
 	"hmpt/internal/core"
+	"hmpt/internal/faultfs"
+	"hmpt/internal/fsatomic"
 	"hmpt/internal/server/metrics"
 	"hmpt/internal/trace"
 )
@@ -19,13 +21,16 @@ import (
 type serverMetrics struct {
 	reg *metrics.Registry
 
-	requests   *metrics.CounterVec   // hmptd_requests_total{endpoint}
-	errors     *metrics.CounterVec   // hmptd_request_errors_total{code}
-	inflight   *metrics.Gauge        // hmptd_requests_inflight
-	requestSec *metrics.HistogramVec // hmptd_request_seconds{endpoint}
-	stageSec   *metrics.HistogramVec // hmptd_stage_seconds{stage}
-	captures   *metrics.CounterVec   // hmptd_captures_total{outcome}
-	cells      *metrics.CounterVec   // hmptd_campaign_cells_total{outcome}
+	requests      *metrics.CounterVec   // hmptd_requests_total{endpoint}
+	errors        *metrics.CounterVec   // hmptd_request_errors_total{code}
+	inflight      *metrics.Gauge        // hmptd_requests_inflight
+	requestSec    *metrics.HistogramVec // hmptd_request_seconds{endpoint}
+	stageSec      *metrics.HistogramVec // hmptd_stage_seconds{stage}
+	captures      *metrics.CounterVec   // hmptd_captures_total{outcome}
+	cells         *metrics.CounterVec   // hmptd_campaign_cells_total{outcome}
+	cancellations *metrics.Counter      // hmptd_request_cancellations_total
+	timeouts      *metrics.Counter      // hmptd_request_timeouts_total
+	httpPanics    *metrics.Counter      // hmptd_http_panics_total
 }
 
 func newMetrics(s *Server) *serverMetrics {
@@ -46,6 +51,12 @@ func newMetrics(s *Server) *serverMetrics {
 		"Reference-run resolutions by outcome: executed, cache_hit, derived, coalesced.", "outcome")
 	m.cells = reg.NewCounterVec("hmptd_campaign_cells_total",
 		"Campaign cells served, by outcome: analysis_hit, computed, error.", "outcome")
+	m.cancellations = reg.NewCounter("hmptd_request_cancellations_total",
+		"Requests answered 499 because the client disconnected mid-run.")
+	m.timeouts = reg.NewCounter("hmptd_request_timeouts_total",
+		"Requests answered 504 because their deadline passed mid-run.")
+	m.httpPanics = reg.NewCounter("hmptd_http_panics_total",
+		"Handler panics recovered into a 500 by the serving middleware.")
 
 	reg.NewGaugeFunc("hmptd_queue_depth",
 		"Requests waiting for a campaign run slot.",
@@ -111,6 +122,70 @@ func newMetrics(s *Server) *serverMetrics {
 				"hit": float64(st.Hits), "miss": float64(st.Misses),
 				"error": float64(st.Errors), "store": float64(st.Stores),
 			}
+		})
+
+	// Fault tolerance: recovered panics, injected faults (zero family
+	// without an armed injector), per-rung publisher resilience events
+	// and the degraded-mode gauges the chaos smoke watches flip 0→1→0.
+	reg.NewCounterFunc("hmptd_recovered_panics_total",
+		"Panics recovered inside campaign computations (process-wide); each failed one cell, not the process.",
+		func() float64 { return float64(campaign.RecoveredPanics()) })
+	reg.NewCounterVecFunc("hmptd_faults_injected_total",
+		"Faults injected by the chaos filesystem layer, by kind: eio, enospc, torn, latency.", "kind",
+		func() map[string]float64 {
+			var st faultfs.Stats
+			if s.cfg.Injector != nil {
+				st = s.cfg.Injector.Stats()
+			}
+			return map[string]float64{
+				"eio": float64(st.EIO), "enospc": float64(st.ENOSPC),
+				"torn": float64(st.Torn), "latency": float64(st.Latency),
+			}
+		})
+	snapPub := func() fsatomic.PublisherStats {
+		if s.cache == nil {
+			return fsatomic.PublisherStats{}
+		}
+		return s.cache.Publisher().Stats()
+	}
+	anPub := func() fsatomic.PublisherStats {
+		if s.analyses == nil {
+			return fsatomic.PublisherStats{}
+		}
+		return s.analyses.Publisher().Stats()
+	}
+	pubVals := func(st fsatomic.PublisherStats) map[string]float64 {
+		return map[string]float64{
+			"retry": float64(st.Retries), "absorbed": float64(st.Absorbed),
+			"demotion": float64(st.Demotions), "reprobe": float64(st.Reprobes),
+			"recovery": float64(st.Recoveries), "suppressed": float64(st.Suppressed),
+		}
+	}
+	reg.NewCounterVecFunc("hmptd_snapshot_publish_total",
+		"Snapshot-cache publish resilience events: retry, absorbed, demotion, reprobe, recovery, suppressed.", "event",
+		func() map[string]float64 { return pubVals(snapPub()) })
+	reg.NewCounterVecFunc("hmptd_analysis_publish_total",
+		"Analysis-cache publish resilience events: retry, absorbed, demotion, reprobe, recovery, suppressed.", "event",
+		func() map[string]float64 { return pubVals(anPub()) })
+	reg.NewGaugeVecFunc("hmptd_cache_degraded",
+		"1 while the rung's publisher is demoted to read-only/compute-through, by cache: snapshot, analysis.", "cache",
+		func() map[string]float64 {
+			vals := map[string]float64{"snapshot": 0, "analysis": 0}
+			if s.cache != nil && s.cache.Degraded() {
+				vals["snapshot"] = 1
+			}
+			if s.analyses != nil && s.analyses.Degraded() {
+				vals["analysis"] = 1
+			}
+			return vals
+		})
+	reg.NewGaugeFunc("hmptd_draining",
+		"1 after BeginDrain: the daemon answers /readyz 503 and is winding down.",
+		func() float64 {
+			if s.draining.Load() {
+				return 1
+			}
+			return 0
 		})
 	return m
 }

@@ -365,6 +365,15 @@ func TestMetricsParsesAsPrometheusText(t *testing.T) {
 		"hmptd_analysis_cache_ops_total",
 		"hmptd_campaign_cells_total",
 		"hmptd_captures_total",
+		"hmptd_request_cancellations_total",
+		"hmptd_request_timeouts_total",
+		"hmptd_http_panics_total",
+		"hmptd_recovered_panics_total",
+		"hmptd_faults_injected_total",
+		"hmptd_snapshot_publish_total",
+		"hmptd_analysis_publish_total",
+		"hmptd_cache_degraded",
+		"hmptd_draining",
 	} {
 		if samples[want] == 0 {
 			t.Errorf("metric %s missing from exposition", want)

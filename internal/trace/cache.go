@@ -9,6 +9,7 @@ import (
 	"runtime/debug"
 	"sync/atomic"
 
+	"hmpt/internal/faultfs"
 	"hmpt/internal/fsatomic"
 	"hmpt/internal/wire"
 )
@@ -134,18 +135,35 @@ func (c *cacheCounters) stats() CacheStats {
 // key metadata anyway.
 type SnapshotCache struct {
 	dir string
+	fs  faultfs.FS
+	pub fsatomic.Publisher
 	cnt cacheCounters
 }
 
-// NewSnapshotCache opens (creating if needed) a cache rooted at dir.
+// NewSnapshotCache opens (creating if needed) a cache rooted at dir on
+// the real filesystem.
 func NewSnapshotCache(dir string) (*SnapshotCache, error) {
+	return NewSnapshotCacheFS(dir, nil)
+}
+
+// NewSnapshotCacheFS opens a cache whose filesystem operations all go
+// through fs (nil = the real filesystem) — the seam the fault-injection
+// layer plugs into. Writes go through an fsatomic.Publisher, so
+// transient publish faults are retried and persistent ones demote the
+// rung to degraded (read-only / compute-through) mode; see Degraded.
+func NewSnapshotCacheFS(dir string, fs faultfs.FS) (*SnapshotCache, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("trace: empty snapshot cache directory")
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if fs == nil {
+		fs = faultfs.OS
+	}
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("trace: creating snapshot cache: %w", err)
 	}
-	return &SnapshotCache{dir: dir}, nil
+	c := &SnapshotCache{dir: dir, fs: fs}
+	c.pub.FS = fs
+	return c, nil
 }
 
 // Dir returns the cache root directory.
@@ -153,6 +171,16 @@ func (c *SnapshotCache) Dir() string { return c.dir }
 
 // Stats returns the cache's traffic counters since it was opened.
 func (c *SnapshotCache) Stats() CacheStats { return c.cnt.stats() }
+
+// Publisher returns the cache's write-path publisher so callers can
+// tune its resilience policy (retry budget, re-probe interval) and read
+// its stats.
+func (c *SnapshotCache) Publisher() *fsatomic.Publisher { return &c.pub }
+
+// Degraded reports whether the rung's write path is in degraded
+// (read-only) mode after persistent publish failures. Reads — and
+// therefore warm serving — are unaffected.
+func (c *SnapshotCache) Degraded() bool { return c.pub.Degraded() }
 
 // Path returns the file path an entry for the key lives at.
 func (c *SnapshotCache) Path(k SnapshotKey) string {
@@ -164,7 +192,7 @@ func (c *SnapshotCache) Path(k SnapshotKey) string {
 // metadata) is reported as an error; callers typically treat it as a
 // miss and overwrite it through Store.
 func (c *SnapshotCache) Load(k SnapshotKey) (snap *Snapshot, ok bool, err error) {
-	raw, err := os.ReadFile(c.Path(k))
+	raw, err := c.fs.ReadFile(c.Path(k))
 	if os.IsNotExist(err) {
 		c.cnt.misses.Add(1)
 		return nil, false, nil
@@ -206,7 +234,7 @@ func (c *SnapshotCache) Store(k SnapshotKey, s *Snapshot) error {
 		c.cnt.errors.Add(1)
 		return err
 	}
-	if err := fsatomic.Publish(c.Path(k), b); err != nil {
+	if err := c.pub.Publish(c.Path(k), b); err != nil {
 		c.cnt.errors.Add(1)
 		return fmt.Errorf("trace: publishing snapshot: %w", err)
 	}

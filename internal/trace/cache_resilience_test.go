@@ -1,0 +1,226 @@
+package trace
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"syscall"
+	"testing"
+	"time"
+
+	"hmpt/internal/faultfs"
+	"hmpt/internal/fsatomic"
+)
+
+func snapKeyFor(s *Snapshot) SnapshotKey {
+	return SnapshotKey{
+		Workload: s.Meta.Workload, Config: s.Meta.Config,
+		Threads: s.Meta.Threads, Scale: s.Meta.Scale, Seed: s.Meta.Seed,
+		SamplePeriod: s.Meta.SamplePeriod, SampleBudget: int64(s.Meta.SampleBudget),
+		Iterations: s.Meta.Iterations,
+	}
+}
+
+// TestSnapshotCacheCorruptEntryHeals mirrors the analysis-cache healing
+// contract on the snapshot rung: a corrupt on-disk entry is a non-fatal
+// error (campaign treats it as a miss), bumps Stats().Errors, and the
+// next Store overwrites it so the following Load round-trips.
+func TestSnapshotCacheCorruptEntryHeals(t *testing.T) {
+	cache, err := NewSnapshotCache(filepath.Join(t.TempDir(), "snapshots"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sampleSnapshot()
+	key := snapKeyFor(s)
+	if err := cache.Store(key, s); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(cache.Path(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corruptions := map[string]func() []byte{
+		"truncated": func() []byte { return good[:len(good)/2] },
+		"bit flip": func() []byte {
+			b := append([]byte(nil), good...)
+			b[len(b)/3] ^= 0x40
+			return b
+		},
+		"garbage": func() []byte { return []byte("not a snapshot") },
+	}
+	var wantErrs int64
+	for name, corrupt := range corruptions {
+		if err := os.WriteFile(cache.Path(key), corrupt(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, err := cache.Load(key); err == nil {
+			t.Errorf("%s: Load ok=%v err=nil, want a non-fatal error", name, ok)
+		}
+		wantErrs++
+		if got := cache.Stats().Errors; got != wantErrs {
+			t.Errorf("%s: Stats().Errors = %d, want %d", name, got, wantErrs)
+		}
+	}
+
+	// Healing: Store overwrites the corruption, Load round-trips.
+	if err := cache.Store(key, s); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := cache.Load(key)
+	if err != nil || !ok {
+		t.Fatalf("healed entry: ok=%v err=%v", ok, err)
+	}
+	if !reflect.DeepEqual(s, got) {
+		t.Error("healed entry does not round-trip")
+	}
+}
+
+// TestFamilyIndexCorruptRecordsHeal: corrupt or renamed family-index
+// records are skipped as non-fatal misses, bump Stats().Errors, and the
+// next Store of the member re-publishes the record, healing the index.
+func TestFamilyIndexCorruptRecordsHeal(t *testing.T) {
+	cache, err := NewSnapshotCache(filepath.Join(t.TempDir(), "snapshots"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := sampleSnapshot()
+	sibling := sampleSnapshot()
+	sibling.Meta.Iterations = base.Meta.Iterations + 1
+	baseKey, sibKey := snapKeyFor(base), snapKeyFor(sibling)
+	if err := cache.Store(baseKey, base); err != nil {
+		t.Fatal(err)
+	}
+	if err := cache.Store(sibKey, sibling); err != nil {
+		t.Fatal(err)
+	}
+	if members := cache.FamilyMembers(baseKey); len(members) != 1 || members[0] != sibKey {
+		t.Fatalf("family members = %v, want exactly the sibling", members)
+	}
+
+	record := filepath.Join(cache.familyDir(baseKey.Family()), sibKey.ID()+".member")
+	errsBefore := cache.Stats().Errors
+
+	// Corrupt the sibling's record: it must drop out of the listing
+	// without failing it, and the skip must be observable in Stats.
+	if err := os.WriteFile(record, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if members := cache.FamilyMembers(baseKey); len(members) != 0 {
+		t.Errorf("corrupt record still listed: %v", members)
+	}
+	if got := cache.Stats().Errors; got != errsBefore+1 {
+		t.Errorf("Stats().Errors = %d, want %d after a corrupt record", got, errsBefore+1)
+	}
+
+	// A renamed (aliased) record is equally non-fatal and counted.
+	if err := cache.Store(sibKey, sibling); err != nil {
+		t.Fatal(err)
+	}
+	alias := filepath.Join(cache.familyDir(baseKey.Family()), "0000deadbeef.member")
+	if err := os.Rename(record, alias); err != nil {
+		t.Fatal(err)
+	}
+	if members := cache.FamilyMembers(baseKey); len(members) != 0 {
+		t.Errorf("aliased record still listed: %v", members)
+	}
+	if got := cache.Stats().Errors; got != errsBefore+2 {
+		t.Errorf("Stats().Errors = %d, want %d after an aliased record", got, errsBefore+2)
+	}
+	if err := os.Remove(alias); err != nil {
+		t.Fatal(err)
+	}
+
+	// Healing: re-storing the sibling re-publishes its record.
+	if err := cache.Store(sibKey, sibling); err != nil {
+		t.Fatal(err)
+	}
+	if members := cache.FamilyMembers(baseKey); len(members) != 1 || members[0] != sibKey {
+		t.Errorf("healed index lists %v, want the sibling", members)
+	}
+}
+
+// TestSnapshotCacheComputeThroughUnderENOSPC: persistent write failure
+// demotes the rung's publisher to degraded mode — stores fail fast as
+// cache errors — while the read path keeps serving hits untouched:
+// read-only / compute-through degradation.
+func TestSnapshotCacheComputeThroughUnderENOSPC(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "snapshots")
+	s := sampleSnapshot()
+	key := snapKeyFor(s)
+
+	// Warm the entry through a healthy cache sharing the directory.
+	healthy, err := NewSnapshotCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := healthy.Store(key, s); err != nil {
+		t.Fatal(err)
+	}
+
+	inj := faultfs.NewInjector(faultfs.OS, faultfs.Config{Seed: 11, WriteENOSPC: 1})
+	inj.SetArmed(false) // open the cache clean, then let the storm begin
+	cache, err := NewSnapshotCacheFS(dir, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.Publisher().ReprobeAfter = time.Hour
+	inj.SetArmed(true)
+
+	sibling := sampleSnapshot()
+	sibling.Meta.Iterations = s.Meta.Iterations + 1
+	if err := cache.Store(snapKeyFor(sibling), sibling); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("store on a full disk = %v, want ENOSPC", err)
+	}
+	if !cache.Degraded() {
+		t.Fatal("cache not degraded after ENOSPC")
+	}
+	if err := cache.Store(snapKeyFor(sibling), sibling); !errors.Is(err, fsatomic.ErrDegraded) {
+		t.Errorf("degraded store = %v, want ErrDegraded", err)
+	}
+	// Reads are unaffected: warm serving continues.
+	got, ok, err := cache.Load(key)
+	if err != nil || !ok {
+		t.Fatalf("degraded-mode load: ok=%v err=%v", ok, err)
+	}
+	if !reflect.DeepEqual(s, got) {
+		t.Error("degraded-mode load does not round-trip")
+	}
+	if st := cache.Stats(); st.Errors < 2 {
+		t.Errorf("Stats().Errors = %d, want both failed stores counted", st.Errors)
+	}
+}
+
+// TestSnapshotCacheTornWriteHeals: a torn publish (the injector lies
+// about a successful write) is caught by the codec checksum on Load —
+// an error, never silent garbage — and the next Store heals it.
+func TestSnapshotCacheTornWriteHeals(t *testing.T) {
+	inj := faultfs.NewInjector(faultfs.OS, faultfs.Config{Seed: 13, TornWrite: 1, MaxFaults: 1})
+	cache, err := NewSnapshotCacheFS(filepath.Join(t.TempDir(), "snapshots"), inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sampleSnapshot()
+	key := snapKeyFor(s)
+	if err := cache.Store(key, s); err != nil {
+		t.Fatalf("torn store reported %v, want silent success", err)
+	}
+	if inj.Stats().Torn != 1 {
+		t.Fatalf("injector stats = %+v, want 1 torn write", inj.Stats())
+	}
+	if _, ok, err := cache.Load(key); err == nil {
+		t.Fatalf("loading a torn entry: ok=%v err=nil, want checksum failure", ok)
+	}
+	// Budget spent: the next Store publishes whole and heals the entry.
+	if err := cache.Store(key, s); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := cache.Load(key)
+	if err != nil || !ok {
+		t.Fatalf("healed entry: ok=%v err=%v", ok, err)
+	}
+	if !reflect.DeepEqual(s, got) {
+		t.Error("healed entry does not round-trip")
+	}
+}

@@ -6,7 +6,6 @@ import (
 	"path/filepath"
 	"sort"
 
-	"hmpt/internal/fsatomic"
 	"hmpt/internal/wire"
 )
 
@@ -65,11 +64,11 @@ func decodeFamilyMember(f FamilyKey, raw []byte) (SnapshotKey, error) {
 // entry itself is already published and addressable by exact key.
 func (c *SnapshotCache) registerFamily(k SnapshotKey) error {
 	dir := c.familyDir(k.Family())
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := c.fs.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("trace: creating family index: %w", err)
 	}
 	path := filepath.Join(dir, k.ID()+".member")
-	if err := fsatomic.Publish(path, encodeFamilyMember(k)); err != nil {
+	if err := c.pub.Publish(path, encodeFamilyMember(k)); err != nil {
 		return fmt.Errorf("trace: publishing family member: %w", err)
 	}
 	return nil
@@ -77,12 +76,18 @@ func (c *SnapshotCache) registerFamily(k SnapshotKey) error {
 
 // FamilyMembers lists the cached members of the key's derivation family,
 // excluding the key itself, in deterministic (member-ID) order.
-// Unreadable records are skipped: the index is advisory and every
-// returned key still goes through Load's full validation before use.
+// Unreadable or corrupt records are skipped as non-fatal (the index is
+// advisory and every returned key still goes through Load's full
+// validation before use) but counted in Stats().Errors so degraded
+// index health is observable; the next Store of the member re-publishes
+// its record, healing the entry.
 func (c *SnapshotCache) FamilyMembers(k SnapshotKey) []SnapshotKey {
 	fam := k.Family()
-	entries, err := os.ReadDir(c.familyDir(fam))
+	entries, err := c.fs.ReadDir(c.familyDir(fam))
 	if err != nil {
+		if !os.IsNotExist(err) {
+			c.cnt.errors.Add(1)
+		}
 		return nil
 	}
 	self := k.ID()
@@ -96,12 +101,14 @@ func (c *SnapshotCache) FamilyMembers(k SnapshotKey) []SnapshotKey {
 		if ent.IsDir() || filepath.Ext(name) != ".member" {
 			continue
 		}
-		raw, err := os.ReadFile(filepath.Join(c.familyDir(fam), name))
+		raw, err := c.fs.ReadFile(filepath.Join(c.familyDir(fam), name))
 		if err != nil {
+			c.cnt.errors.Add(1)
 			continue
 		}
 		mk, err := decodeFamilyMember(fam, raw)
 		if err != nil {
+			c.cnt.errors.Add(1)
 			continue
 		}
 		id := mk.ID()
@@ -112,6 +119,7 @@ func (c *SnapshotCache) FamilyMembers(k SnapshotKey) []SnapshotKey {
 		// a renamed or cross-copied record would otherwise alias a
 		// member that does not exist.
 		if name != id+".member" {
+			c.cnt.errors.Add(1)
 			continue
 		}
 		members = append(members, member{key: mk, id: id})
