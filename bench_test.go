@@ -9,6 +9,7 @@ package hmpt
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -25,6 +26,7 @@ import (
 	"hmpt/internal/ibs"
 	"hmpt/internal/memsim"
 	"hmpt/internal/server"
+	"hmpt/internal/shard"
 	"hmpt/internal/shim"
 	"hmpt/internal/trace"
 	"hmpt/internal/units"
@@ -1179,4 +1181,68 @@ func BenchmarkDaemonWarmServe(b *testing.B) {
 	b.ReportMetric(rep.P50Ms, "p50-ms")
 	b.ReportMetric(rep.P95Ms, "p95-ms")
 	b.ReportMetric(rep.P99Ms, "p99-ms")
+}
+
+// BenchmarkShardedCampaign prices the crash-safe shard coordinator:
+// plan a cold campaign into a shard directory, race three in-process
+// workers over the lease/journal protocol, and merge. The cells/sec
+// metric is directly comparable to BenchmarkColdTable2Workers — the
+// gap between the two is the cost of durable leases, sealed journal
+// records and the merge fold.
+func BenchmarkShardedCampaign(b *testing.B) {
+	spec := experiments.CampaignSpec{Workloads: []string{"all"}, Platforms: []string{"xeonmax"}}
+	m, err := spec.Matrix()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cells := len(m.Workloads) * len(m.Platforms)
+	const workers = 3
+	run := func() {
+		dir := b.TempDir()
+		if _, err := shard.Plan(dir, spec); err != nil {
+			b.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		errs := make([]error, workers)
+		for i := 0; i < workers; i++ {
+			w, err := shard.NewWorker(dir, shard.WorkerOptions{
+				ID:   fmt.Sprintf("bench%d", i),
+				TTL:  5 * time.Second,
+				Poll: 2 * time.Millisecond,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				_, errs[i] = w.Run(context.Background())
+			}(i)
+		}
+		wg.Wait()
+		for i := range errs {
+			if errs[i] != nil {
+				b.Fatal(errs[i])
+			}
+		}
+		merged, err := shard.Merge(dir, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !merged.Complete {
+			b.Fatal("sharded campaign did not complete")
+		}
+		if err := merged.Result.Err(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	coldNs := minSampleNs(b, 3, func(uint64) { run() })
+	once("sharded-campaign",
+		fmt.Sprintf("\n== ShardedCampaign: %d cells across %d workers in %.1fms (%.1f cells/sec) ==\n",
+			cells, workers, coldNs/1e6, float64(cells)/(coldNs/1e9)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+	b.ReportMetric(float64(cells)/(coldNs/1e9), "cells/sec")
 }

@@ -12,12 +12,25 @@
 //	hmpt campaign [-workloads a,b|all] [-platforms xeonmax,dual] [-seeds 1,2]
 //	              [-runs N] [-cache DIR] [-analysis-cache DIR] [-par N]
 //	              [-full] [-csv] [-ibs-period N] [-ibs-max-samples N] [-iters N]
+//	              [-shard-dir DIR [-shard-merge|-shard-plan] [-shard-id S]
+//	               [-shard-ttl D] [-shard-heartbeat D] [-shard-poll D]
+//	               [-shard-max-attempts N] [-shard-backoff D]]
+//	hmpt cache stats -cache DIR [-analysis-cache DIR] [-json]
+//	hmpt cache gc -cache DIR [-analysis-cache DIR] [-max-bytes N]
+//	              [-staging-age D] [-dry-run] [-json]
 //	hmpt bench-report [-in FILE] [-out FILE] [-label S] [-expect a,b]
 //	                  [-prior 'BENCH_pr*.json']
+//
+// A campaign given -shard-dir runs as one worker of a crash-safe
+// sharded campaign: N such processes share the work through durable
+// leases and a resumable completion journal, a SIGKILLed worker's cells
+// are reclaimed by the survivors, and -shard-merge folds the journal
+// into the exact table (and CSV bytes) a single-process run prints.
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -28,12 +41,14 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"hmpt/internal/campaign"
 	"hmpt/internal/core"
 	"hmpt/internal/experiments"
 	"hmpt/internal/memsim"
 	"hmpt/internal/report"
+	"hmpt/internal/shard"
 	"hmpt/internal/trace"
 	"hmpt/internal/units"
 	"hmpt/internal/workloads"
@@ -52,7 +67,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: hmpt <list|analyze|plan|campaign|bench-report> [args]")
+		return fmt.Errorf("usage: hmpt <list|analyze|plan|campaign|cache|bench-report> [args]")
 	}
 	switch args[0] {
 	case "list":
@@ -66,6 +81,8 @@ func run(args []string) error {
 		return plan(args[1:])
 	case "campaign":
 		return campaignCmd(args[1:])
+	case "cache":
+		return cacheCmd(args[1:])
 	case "bench-report":
 		return benchReport(args[1:])
 	default:
@@ -94,43 +111,27 @@ func campaignCmd(args []string) error {
 	ibsPeriod := fs.Int64("ibs-period", 0, "IBS sampling period in cache lines (0 = default 64Ki); part of the snapshot cache key")
 	ibsMax := fs.Int("ibs-max-samples", 0, "IBS per-run sample budget (0 = default 200k); part of the snapshot cache key")
 	iters := fs.Int("iters", 0, "iteration/timestep count override (0 = workload default); part of the snapshot cache key")
+	shardDir := fs.String("shard-dir", "", "shard coordination directory: join the campaign as a crash-safe worker (first arrival plans the manifest)")
+	shardMerge := fs.Bool("shard-merge", false, "with -shard-dir: fold the completion journal into the campaign result instead of working")
+	shardPlan := fs.Bool("shard-plan", false, "with -shard-dir: write the manifest and exit without executing cells")
+	shardID := fs.String("shard-id", "", "shard worker identity (default: host-pid-nonce)")
+	shardTTL := fs.Duration("shard-ttl", 30*time.Second, "shard lease TTL: a worker silent this long forfeits its cells to the survivors")
+	shardHB := fs.Duration("shard-heartbeat", 0, "shard lease renewal period (0 = TTL/3)")
+	shardPoll := fs.Duration("shard-poll", 200*time.Millisecond, "shard idle re-scan period while all remaining cells are claimed elsewhere")
+	shardAttempts := fs.Int("shard-max-attempts", 3, "fleet-wide execution attempts per cell before quarantine")
+	shardBackoff := fs.Duration("shard-backoff", time.Second, "retry delay after a cell's first failure, doubling per failure")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	var m campaign.Matrix
-	names := strings.Split(*workloadsFlag, ",")
-	if *workloadsFlag == "all" {
-		names = nil
-		for _, spec := range experiments.Specs() {
-			names = append(names, spec.Name)
-		}
-	}
-	for _, name := range names {
-		w, err := campaignWorkload(strings.TrimSpace(name), *full, *runs)
-		if err != nil {
-			return err
-		}
-		// Only explicit flags override the workload's own sampler
-		// options (0 would clobber a spec-provided value with the
-		// defaults, like the seed flag's != 1 guard avoids).
-		if *ibsPeriod > 0 {
-			w.Options.SamplePeriod = *ibsPeriod
-		}
-		if *ibsMax > 0 {
-			w.Options.SampleBudget = *ibsMax
-		}
-		if *iters > 0 {
-			w.Options.Iterations = *iters
-		}
-		m.Workloads = append(m.Workloads, w)
-	}
-	for _, name := range strings.Split(*platformsFlag, ",") {
-		p, err := experiments.PlatformByName(strings.TrimSpace(name))
-		if err != nil {
-			return err
-		}
-		m.Platforms = append(m.Platforms, p)
+	spec := experiments.CampaignSpec{
+		Workloads:    strings.Split(*workloadsFlag, ","),
+		Platforms:    strings.Split(*platformsFlag, ","),
+		Runs:         *runs,
+		Full:         *full,
+		SamplePeriod: *ibsPeriod,
+		SampleBudget: int64(*ibsMax),
+		Iterations:   *iters,
 	}
 	if *seedsFlag != "" {
 		for _, s := range strings.Split(*seedsFlag, ",") {
@@ -138,39 +139,94 @@ func campaignCmd(args []string) error {
 			if err != nil {
 				return fmt.Errorf("bad seed %q: %w", s, err)
 			}
-			m.Variants = append(m.Variants, campaign.Variant{
-				Name:  fmt.Sprintf("seed%d", seed),
-				Apply: func(o *core.Options) { o.Seed = seed },
+			spec.Seeds = append(spec.Seeds, seed)
+		}
+	}
+	if *workers > 0 {
+		*par = *workers
+	}
+
+	if *shardDir != "" {
+		switch {
+		case *shardMerge:
+			return shardMergeCmd(*shardDir, *csv)
+		case *shardPlan:
+			man, err := shard.Plan(*shardDir, spec)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("shard plan: %d cells, manifest %.12s at %s\n", man.Cells, man.ID, *shardDir)
+			return nil
+		default:
+			eng, err := buildCampaignEngine(*cacheDir, *analysisDir, *par)
+			if err != nil {
+				return err
+			}
+			return shardWorkerCmd(*shardDir, spec, shard.WorkerOptions{
+				ID: *shardID, TTL: *shardTTL, Heartbeat: *shardHB, Poll: *shardPoll,
+				MaxAttempts: *shardAttempts, Backoff: *shardBackoff, Engine: eng,
 			})
 		}
 	}
 
-	if *workers > 0 {
-		*par = *workers
+	m, err := spec.Matrix()
+	if err != nil {
+		return err
 	}
-	eng := &campaign.Engine{Parallelism: *par}
-	if *cacheDir != "" {
-		cache, err := trace.NewSnapshotCache(*cacheDir)
-		if err != nil {
-			return err
-		}
-		eng.Cache = cache
-	}
-	if *analysisDir == "" && *cacheDir != "" {
-		*analysisDir = filepath.Join(*cacheDir, "analyses")
-	}
-	if *analysisDir != "" {
-		analyses, err := core.NewAnalysisCache(*analysisDir)
-		if err != nil {
-			return err
-		}
-		eng.Analyses = analyses
+	eng, err := buildCampaignEngine(*cacheDir, *analysisDir, *par)
+	if err != nil {
+		return err
 	}
 	res, err := eng.Run(m)
 	if err != nil {
 		return err
 	}
 
+	summary, err := emitCampaignResult(res, *csv)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(summary, "\n%d cells, %d reference runs: %d kernels executed, %d snapshots derived from family bases, %d snapshots served from cache, %d full analyses served from cache\n",
+		len(res.Cells), res.Snapshots, res.Executions, res.Derived, res.CacheHits, res.AnalysisHits)
+	// CacheErrs carries snapshot-cache errors first, then analysis-cache
+	// errors; the entries' own messages name their layer.
+	for _, err := range res.CacheErrs {
+		fmt.Fprintf(os.Stderr, "hmpt: campaign cache warning: %v\n", err)
+	}
+	return res.Err()
+}
+
+// buildCampaignEngine wires the campaign engine the way every campaign
+// front-end (single-process, shard worker) shares: optional snapshot
+// cache, analysis cache defaulting to <cache>/analyses, worker cap.
+func buildCampaignEngine(cacheDir, analysisDir string, par int) (*campaign.Engine, error) {
+	eng := &campaign.Engine{Parallelism: par}
+	if cacheDir != "" {
+		cache, err := trace.NewSnapshotCache(cacheDir)
+		if err != nil {
+			return nil, err
+		}
+		eng.Cache = cache
+	}
+	if analysisDir == "" && cacheDir != "" {
+		analysisDir = filepath.Join(cacheDir, "analyses")
+	}
+	if analysisDir != "" {
+		analyses, err := core.NewAnalysisCache(analysisDir)
+		if err != nil {
+			return nil, err
+		}
+		eng.Analyses = analyses
+	}
+	return eng, nil
+}
+
+// emitCampaignResult renders the campaign table and returns the stream
+// trailing summaries should use. In CSV mode only the CSV reaches
+// stdout; summaries and warnings go to stderr so piped output stays
+// parseable — and so a merged sharded campaign's stdout is
+// byte-comparable against a single-process run's.
+func emitCampaignResult(res *campaign.Result, csv bool) (io.Writer, error) {
 	t := report.NewTable("workload", "platform", "variant", "baseline", "max-speedup", "best-config", "hbm-only", "90%-usage", "error")
 	for i := range res.Cells {
 		cell := &res.Cells[i]
@@ -184,41 +240,68 @@ func campaignCmd(args []string) error {
 		t.AddRow(cell.Workload, cell.Platform, cell.Variant, an.BaselineTime.String(),
 			row.MaxSpeedup, best.Label, row.HBMOnlySpeedup, row.NinetyUsage, "")
 	}
-	// In CSV mode only the CSV reaches stdout; the summary and cache
-	// warnings go to stderr so piped output stays parseable.
-	summary := os.Stdout
-	if *csv {
+	if csv {
 		if err := t.WriteCSV(os.Stdout); err != nil {
-			return err
+			return nil, err
 		}
-		summary = os.Stderr
-	} else {
-		if err := t.Write(os.Stdout); err != nil {
-			return err
-		}
+		return os.Stderr, nil
 	}
-	fmt.Fprintf(summary, "\n%d cells, %d reference runs: %d kernels executed, %d snapshots derived from family bases, %d snapshots served from cache, %d full analyses served from cache\n",
-		len(res.Cells), res.Snapshots, res.Executions, res.Derived, res.CacheHits, res.AnalysisHits)
-	// CacheErrs carries snapshot-cache errors first, then analysis-cache
-	// errors; the entries' own messages name their layer.
-	for _, err := range res.CacheErrs {
-		fmt.Fprintf(os.Stderr, "hmpt: campaign cache warning: %v\n", err)
+	if err := t.Write(os.Stdout); err != nil {
+		return nil, err
 	}
-	return res.Err()
+	return os.Stdout, nil
 }
 
-// campaignWorkload resolves a workload name to a matrix row (shared
-// with the hmptd daemon through experiments.WorkloadByName) and applies
-// the CLI's runs override.
-func campaignWorkload(name string, full bool, runs int) (campaign.Workload, error) {
-	w, err := experiments.WorkloadByName(name, full)
+// shardWorkerCmd joins (planning if first) a sharded campaign as one
+// worker and reports its shard summary.
+func shardWorkerCmd(dir string, spec experiments.CampaignSpec, opts shard.WorkerOptions) error {
+	if _, err := shard.Plan(dir, spec); err != nil {
+		return err
+	}
+	w, err := shard.NewWorker(dir, opts)
 	if err != nil {
-		return w, err
+		return err
 	}
-	if runs > 0 {
-		w.Options.Runs = runs
+	sum, err := w.Run(context.Background())
+	if err != nil {
+		return err
 	}
-	return w, nil
+	fmt.Printf("shard %s: campaign complete: %d/%d cells executed here, %d journal-complete, %d lease reclaims, %d failures, %d quarantined in %s (%.1f cells/s)\n",
+		sum.Owner, sum.Executed, sum.Cells, sum.JournalHits, sum.Reclaimed, sum.Failures, sum.Quarantined,
+		sum.Duration.Round(time.Millisecond), sum.CellsPerSec)
+	return nil
+}
+
+// shardMergeCmd folds a sharded campaign's journal into the same table
+// a single-process run prints, plus the shard fleet summary and the
+// structured quarantine report.
+func shardMergeCmd(dir string, csv bool) error {
+	merged, err := shard.Merge(dir, nil)
+	if err != nil {
+		return err
+	}
+	summary, err := emitCampaignResult(merged.Result, csv)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(summary, "\nsharded campaign: %d cells, %d quarantined, %d pending; swept %d stale leases, %d staging files\n",
+		len(merged.Result.Cells), len(merged.Quarantined), merged.Pending, merged.StaleLeases, merged.StaleStaging)
+	for _, r := range merged.Reports {
+		fmt.Fprintf(summary, "  shard %s: %d executed, %d journal-complete, %d reclaims, %d failures in %s (%.1f cells/s)\n",
+			r.Owner, r.Executed, r.JournalHits, r.Reclaimed, r.Failures, r.Duration.Round(time.Millisecond), r.CellsPerSec)
+	}
+	for _, q := range merged.Quarantined {
+		last := ""
+		if len(q.Errors) > 0 {
+			last = q.Errors[len(q.Errors)-1]
+		}
+		fmt.Fprintf(summary, "  quarantined %s/%s/%s after %d attempts: %s\n",
+			q.Workload, q.Platform, q.Variant, q.Attempts, last)
+	}
+	if !merged.Complete {
+		return fmt.Errorf("campaign incomplete: %d cells pending", merged.Pending)
+	}
+	return merged.Result.Err()
 }
 
 // analyzeWorkload runs the tuner for a named workload with flags applied.

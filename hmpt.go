@@ -25,10 +25,12 @@ package hmpt
 import (
 	"context"
 
+	"hmpt/internal/cachegc"
 	"hmpt/internal/campaign"
 	"hmpt/internal/core"
 	"hmpt/internal/fsatomic"
 	"hmpt/internal/memsim"
+	"hmpt/internal/shard"
 	"hmpt/internal/trace"
 	"hmpt/internal/workloads"
 
@@ -123,10 +125,68 @@ type (
 	CachePublisherStats = fsatomic.PublisherStats
 )
 
+// Cache lifecycle types: on-disk usage accounting and garbage
+// collection across the snapshot, analysis and family-index rungs.
+type (
+	// CacheUsage is a full usage scan of the cache tree, by rung.
+	CacheUsage = cachegc.Usage
+	// CacheRungUsage is one rung's entry/byte accounting, including the
+	// dead subset no current build can read.
+	CacheRungUsage = cachegc.RungUsage
+	// CacheGCOptions configures a scan or collection pass.
+	CacheGCOptions = cachegc.Options
+	// CacheGCReport is the outcome of one collection pass.
+	CacheGCReport = cachegc.Report
+)
+
+// CacheRungStats bundles one *live* cache rung's observable state: the
+// traffic counters, the publisher's resilience counters, and whether
+// the rung is currently degraded to read-only/compute-through mode —
+// the per-rung surface `hmpt cache stats` reports for the on-disk side
+// and a serving daemon exports per scrape.
+type CacheRungStats struct {
+	Stats     CacheStats
+	Publisher CachePublisherStats
+	Degraded  bool
+}
+
+// SnapshotCacheStats captures the snapshot rung's live stats.
+func SnapshotCacheStats(c *SnapshotCache) CacheRungStats {
+	return CacheRungStats{Stats: c.Stats(), Publisher: c.Publisher().Stats(), Degraded: c.Degraded()}
+}
+
+// AnalysisCacheStats captures the analysis rung's live stats.
+func AnalysisCacheStats(c *AnalysisCache) CacheRungStats {
+	return CacheRungStats{Stats: CacheStats(c.Stats()), Publisher: c.Publisher().Stats(), Degraded: c.Degraded()}
+}
+
+// ScanCacheUsage scans the cache tree without collecting anything.
+func ScanCacheUsage(opts CacheGCOptions) (*CacheUsage, error) { return cachegc.Scan(opts) }
+
+// CollectCaches runs one garbage-collection pass: dead entries (torn or
+// version-orphaned — unreadable by any current build) and aged staging
+// files go unconditionally, then live entries are evicted
+// least-recently-accessed-first down to Options.MaxBytes. Safe to run
+// concurrently with serving daemons and campaigns: only whole published
+// entries are removed, and readers treat a vanished entry as a miss.
+func CollectCaches(opts CacheGCOptions) (*CacheGCReport, error) { return cachegc.Run(opts) }
+
 // ErrCacheDegraded is returned by cache stores fast-failed because the
 // rung's publisher is in degraded mode; campaigns absorb it (the
 // computed value is still served) and the rung re-probes on its own.
 var ErrCacheDegraded = fsatomic.ErrDegraded
+
+// ShardLeaseReclaims returns the number of expired shard work leases
+// this process has torn down and taken over from dead or stalled
+// peers — each one a crash the sharded-campaign fleet absorbed. See
+// internal/shard and `hmpt campaign -shard-dir`.
+func ShardLeaseReclaims() int64 { return shard.LeasesReclaimed() }
+
+// ShardJournalSkips returns the number of campaign cells this process
+// found already journaled-complete by another shard worker (or a
+// previous run) and therefore never recomputed — the resumability
+// counter of sharded execution.
+func ShardJournalSkips() int64 { return shard.JournalSkips() }
 
 // NewFlightGroup returns an empty single-flight group to share across
 // engines: N concurrent runs needing the same capture or analysis

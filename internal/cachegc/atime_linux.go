@@ -1,0 +1,20 @@
+//go:build linux
+
+package cachegc
+
+import (
+	"os"
+	"syscall"
+	"time"
+)
+
+// atime returns the file's last-access time — the LRU clock. On
+// relatime mounts the kernel still advances atime when it lags mtime or
+// is older than a day, which is exactly the granularity eviction needs:
+// recently *used* entries sort after cold ones.
+func atime(fi os.FileInfo) time.Time {
+	if st, ok := fi.Sys().(*syscall.Stat_t); ok {
+		return time.Unix(st.Atim.Sec, st.Atim.Nsec)
+	}
+	return fi.ModTime()
+}

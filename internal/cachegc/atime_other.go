@@ -1,0 +1,14 @@
+//go:build !linux
+
+package cachegc
+
+import (
+	"os"
+	"time"
+)
+
+// atime falls back to the modification time where the platform stat
+// does not expose an access time in a portable shape: eviction then
+// approximates least-recently-*stored*, which is still a valid (if
+// coarser) cold-entry heuristic.
+func atime(fi os.FileInfo) time.Time { return fi.ModTime() }

@@ -1,0 +1,363 @@
+// Package cachegc implements lifecycle management for the on-disk cache
+// ladder: usage accounting and garbage collection across the snapshot,
+// analysis and family-index rungs.
+//
+// Two collection regimes compose:
+//
+//   - Dead-entry collection. An entry is dead when no current build can
+//     ever read it: its codec seal fails (torn write that slipped past a
+//     crash), its magic or version is wrong (written by a codec this
+//     build no longer speaks), or — for family-index member records —
+//     the snapshot it points at no longer exists. Dead entries are
+//     removed unconditionally; they are pure waste.
+//   - LRU-by-atime eviction. Live entries are evicted oldest-access-first
+//     until the cache fits a size bound. Entries from old kernel epochs
+//     are never addressed by a current build (the epoch is part of the
+//     key hash), so they simply stop being accessed and age to the front
+//     of the eviction queue — no epoch bookkeeping needed. Evicting a
+//     snapshot also retires its family-index member records, so the
+//     index never advertises a base the store no longer holds.
+//
+// Orphaned fsatomic staging files (".<name>.tmp*" left by a process
+// killed between stage and rename) are swept once they are older than a
+// threshold comfortably beyond any in-flight publish.
+//
+// Everything here is safe to run concurrently with serving daemons and
+// campaigns: the GC only ever deletes whole published entries, and every
+// reader treats a vanished entry as a cache miss. A freshly stored entry
+// has a fresh access time, so a bounded eviction pass prefers genuinely
+// cold entries. One caveat: classification reads every entry, which on a
+// relatime mount promotes the atime of entries colder than 24h — so a
+// scan flattens ordering among the very coldest entries. Within a single
+// pass this is harmless (atimes are captured before the reads), and
+// across passes LRU only needs cold-vs-hot, not exact cold ranks.
+package cachegc
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"hmpt/internal/core"
+	"hmpt/internal/trace"
+)
+
+// RungUsage is the usage accounting of one cache rung.
+type RungUsage struct {
+	// Entries and Bytes cover every entry of the rung, live and dead;
+	// Dead and DeadBytes the subset no current build can read.
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	Dead      int   `json:"dead"`
+	DeadBytes int64 `json:"dead_bytes"`
+}
+
+func (u *RungUsage) add(bytes int64, dead bool) {
+	u.Entries++
+	u.Bytes += bytes
+	if dead {
+		u.Dead++
+		u.DeadBytes += bytes
+	}
+}
+
+// Usage is a full scan of the cache tree.
+type Usage struct {
+	Snapshots RungUsage `json:"snapshots"`
+	Analyses  RungUsage `json:"analyses"`
+	Members   RungUsage `json:"members"`
+	// Staging counts fsatomic temp files; Dead counts those older than
+	// the orphan threshold.
+	Staging RungUsage `json:"staging"`
+	// TotalBytes sums every rung.
+	TotalBytes int64 `json:"total_bytes"`
+}
+
+// Options configures a scan or collection pass.
+type Options struct {
+	// CacheDir is the snapshot cache root (holding *.snap and
+	// families/); empty skips the snapshot and member rungs.
+	CacheDir string
+	// AnalysisDir is the analysis cache directory; empty skips that
+	// rung. A directory nested under CacheDir (the CLI default
+	// <cache>/analyses) is handled naturally: the snapshot scan only
+	// reads its own level.
+	AnalysisDir string
+	// MaxBytes bounds the live snapshot+analysis bytes; 0 means no
+	// size-based eviction (dead-entry and staging collection still run).
+	MaxBytes int64
+	// StagingAge is the minimum age before a staging file counts as
+	// orphaned; 0 means 1h. In-flight publishes live milliseconds.
+	StagingAge time.Duration
+	// DryRun reports what would be collected without removing anything.
+	DryRun bool
+}
+
+func (o Options) stagingAge() time.Duration {
+	if o.StagingAge <= 0 {
+		return time.Hour
+	}
+	return o.StagingAge
+}
+
+// Report is the outcome of one GC pass.
+type Report struct {
+	// Before is the usage at the start of the pass.
+	Before Usage `json:"before"`
+	// DeadEntries/DeadBytes count removed unreadable entries across all
+	// rungs; OrphanMembers the member records whose snapshot is gone
+	// (included in DeadEntries).
+	DeadEntries   int   `json:"dead_entries"`
+	DeadBytes     int64 `json:"dead_bytes"`
+	OrphanMembers int   `json:"orphan_members"`
+	// EvictedEntries/EvictedBytes count live entries evicted by the size
+	// bound, member records included.
+	EvictedEntries int   `json:"evicted_entries"`
+	EvictedBytes   int64 `json:"evicted_bytes"`
+	// StagingRemoved counts swept orphan staging files.
+	StagingRemoved int `json:"staging_removed"`
+	// LiveBytes is the surviving snapshot+analysis footprint.
+	LiveBytes int64 `json:"live_bytes"`
+}
+
+// entry is one scanned cache file.
+type entry struct {
+	path  string
+	bytes int64
+	atime time.Time
+	dead  bool
+	// id is the content-address stem ("<id>.snap" → id); member entries
+	// use the id of the snapshot they point at.
+	id   string
+	kind string // "snap", "anl", "member"
+}
+
+// scan walks the configured cache tree.
+func scan(opts Options) (entries []entry, staging []entry, usage Usage, err error) {
+	age := opts.stagingAge()
+	now := time.Now()
+
+	addStaging := func(dir string, ent os.DirEntry) {
+		fi, err := ent.Info()
+		if err != nil {
+			return
+		}
+		e := entry{path: filepath.Join(dir, ent.Name()), bytes: fi.Size()}
+		e.dead = now.Sub(fi.ModTime()) >= age
+		staging = append(staging, e)
+		usage.Staging.add(e.bytes, e.dead)
+	}
+	isStaging := func(name string) bool {
+		return strings.HasPrefix(name, ".") && strings.Contains(name, ".tmp")
+	}
+
+	if opts.CacheDir != "" {
+		ents, err := os.ReadDir(opts.CacheDir)
+		if err != nil && !os.IsNotExist(err) {
+			return nil, nil, usage, err
+		}
+		snapIDs := map[string]bool{}
+		for _, ent := range ents {
+			name := ent.Name()
+			switch {
+			case ent.IsDir():
+				continue
+			case isStaging(name):
+				addStaging(opts.CacheDir, ent)
+			case filepath.Ext(name) == ".snap":
+				fi, err := ent.Info()
+				if err != nil {
+					continue
+				}
+				e := entry{
+					path: filepath.Join(opts.CacheDir, name), bytes: fi.Size(),
+					atime: atime(fi), id: strings.TrimSuffix(name, ".snap"), kind: "snap",
+				}
+				raw, err := os.ReadFile(e.path)
+				if err != nil {
+					continue // vanished mid-scan: someone else's cleanup
+				}
+				if _, derr := trace.DecodeSnapshotBytes(raw); derr != nil {
+					e.dead = true
+				} else {
+					snapIDs[e.id] = true
+				}
+				entries = append(entries, e)
+				usage.Snapshots.add(e.bytes, e.dead)
+			}
+		}
+
+		famRoot := filepath.Join(opts.CacheDir, "families")
+		famDirs, _ := os.ReadDir(famRoot)
+		for _, fd := range famDirs {
+			if !fd.IsDir() {
+				continue
+			}
+			dir := filepath.Join(famRoot, fd.Name())
+			members, _ := os.ReadDir(dir)
+			for _, ent := range members {
+				name := ent.Name()
+				switch {
+				case ent.IsDir():
+					continue
+				case isStaging(name):
+					addStaging(dir, ent)
+				case filepath.Ext(name) == ".member":
+					fi, err := ent.Info()
+					if err != nil {
+						continue
+					}
+					e := entry{
+						path: filepath.Join(dir, name), bytes: fi.Size(),
+						atime: atime(fi), id: strings.TrimSuffix(name, ".member"), kind: "member",
+					}
+					raw, err := os.ReadFile(e.path)
+					if err != nil {
+						continue
+					}
+					if trace.ValidFamilyMember(raw) != nil || !snapIDs[e.id] {
+						e.dead = true // torn record, or orphan of an evicted/lost snapshot
+					}
+					entries = append(entries, e)
+					usage.Members.add(e.bytes, e.dead)
+				}
+			}
+		}
+	}
+
+	if opts.AnalysisDir != "" {
+		ents, err := os.ReadDir(opts.AnalysisDir)
+		if err != nil && !os.IsNotExist(err) {
+			return nil, nil, usage, err
+		}
+		for _, ent := range ents {
+			name := ent.Name()
+			switch {
+			case ent.IsDir():
+				continue
+			case isStaging(name):
+				addStaging(opts.AnalysisDir, ent)
+			case filepath.Ext(name) == ".anl":
+				fi, err := ent.Info()
+				if err != nil {
+					continue
+				}
+				e := entry{
+					path: filepath.Join(opts.AnalysisDir, name), bytes: fi.Size(),
+					atime: atime(fi), id: strings.TrimSuffix(name, ".anl"), kind: "anl",
+				}
+				raw, err := os.ReadFile(e.path)
+				if err != nil {
+					continue
+				}
+				// Dead when undecodable or filed under a name no lookup
+				// will ever form: Load validates the embedded key ID
+				// against the file name, so a mismatch can never hit.
+				if an, id, derr := core.DecodeAnalysis(raw); derr != nil || an == nil || id != e.id {
+					e.dead = true
+				}
+				entries = append(entries, e)
+				usage.Analyses.add(e.bytes, e.dead)
+			}
+		}
+	}
+
+	usage.TotalBytes = usage.Snapshots.Bytes + usage.Analyses.Bytes + usage.Members.Bytes + usage.Staging.Bytes
+	return entries, staging, usage, nil
+}
+
+// Scan reports cache usage without collecting anything.
+func Scan(opts Options) (*Usage, error) {
+	_, _, usage, err := scan(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &usage, nil
+}
+
+// Run executes one collection pass: dead entries and aged staging files
+// go unconditionally, then live entries are evicted oldest-access-first
+// until the snapshot+analysis footprint fits Options.MaxBytes.
+func Run(opts Options) (*Report, error) {
+	entries, staging, usage, err := scan(opts)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Before: usage}
+	remove := func(e entry) bool {
+		if opts.DryRun {
+			return true
+		}
+		err := os.Remove(e.path)
+		return err == nil || os.IsNotExist(err)
+	}
+
+	live := entries[:0:0]
+	memberOf := map[string][]entry{} // snapshot id → live member records
+	for _, e := range entries {
+		if e.dead {
+			if remove(e) {
+				rep.DeadEntries++
+				rep.DeadBytes += e.bytes
+				if e.kind == "member" {
+					rep.OrphanMembers++
+				}
+			}
+			continue
+		}
+		if e.kind == "member" {
+			memberOf[e.id] = append(memberOf[e.id], e)
+			continue // members ride with their snapshot, not the budget
+		}
+		live = append(live, e)
+	}
+
+	for _, e := range staging {
+		if e.dead && remove(e) {
+			rep.StagingRemoved++
+		}
+	}
+
+	var liveBytes int64
+	for _, e := range live {
+		liveBytes += e.bytes
+	}
+	if opts.MaxBytes > 0 && liveBytes > opts.MaxBytes {
+		sort.Slice(live, func(i, j int) bool { return live[i].atime.Before(live[j].atime) })
+		for _, e := range live {
+			if liveBytes <= opts.MaxBytes {
+				break
+			}
+			if !remove(e) {
+				continue
+			}
+			liveBytes -= e.bytes
+			rep.EvictedEntries++
+			rep.EvictedBytes += e.bytes
+			if e.kind == "snap" {
+				for _, m := range memberOf[e.id] {
+					if remove(m) {
+						rep.EvictedEntries++
+						rep.EvictedBytes += m.bytes
+					}
+				}
+			}
+		}
+	}
+	rep.LiveBytes = liveBytes
+
+	// Retire family directories the collection emptied.
+	if opts.CacheDir != "" && !opts.DryRun {
+		famRoot := filepath.Join(opts.CacheDir, "families")
+		if famDirs, err := os.ReadDir(famRoot); err == nil {
+			for _, fd := range famDirs {
+				if fd.IsDir() {
+					os.Remove(filepath.Join(famRoot, fd.Name())) // fails unless empty
+				}
+			}
+		}
+	}
+	return rep, nil
+}

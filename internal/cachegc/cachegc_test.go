@@ -1,0 +1,306 @@
+package cachegc
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hmpt/internal/campaign"
+	"hmpt/internal/core"
+	"hmpt/internal/experiments"
+	"hmpt/internal/trace"
+)
+
+// populate runs a small real campaign through disk caches, filling the
+// snapshot, family-index and analysis rungs exactly the way production
+// traffic does.
+func populate(t *testing.T) (cacheDir, anDir string) {
+	t.Helper()
+	cacheDir = t.TempDir()
+	anDir = filepath.Join(cacheDir, "analyses")
+	runCampaign(t, cacheDir, anDir)
+	return cacheDir, anDir
+}
+
+func runCampaign(t *testing.T, cacheDir, anDir string) *campaign.Result {
+	t.Helper()
+	spec := experiments.CampaignSpec{
+		Workloads: []string{"npb.is", "npb.mg"},
+		Platforms: []string{"xeonmax"},
+	}
+	m, err := spec.Matrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := trace.NewSnapshotCache(cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyses, err := core.NewAnalysisCache(anDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := (&campaign.Engine{Cache: cache, Analyses: analyses}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.CacheErrs) != 0 {
+		t.Fatalf("campaign degraded its caches: %v", res.CacheErrs)
+	}
+	return res
+}
+
+func gcOpts(cacheDir, anDir string) Options {
+	return Options{CacheDir: cacheDir, AnalysisDir: anDir}
+}
+
+// listExt returns the rung's entry paths.
+func listExt(t *testing.T, dir, ext string) []string {
+	t.Helper()
+	var out []string
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ext {
+			out = append(out, filepath.Join(dir, e.Name()))
+		}
+	}
+	return out
+}
+
+func listMembers(t *testing.T, cacheDir string) []string {
+	t.Helper()
+	var out []string
+	famRoot := filepath.Join(cacheDir, "families")
+	fams, err := os.ReadDir(famRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fd := range fams {
+		if !fd.IsDir() {
+			continue
+		}
+		out = append(out, listExt(t, filepath.Join(famRoot, fd.Name()), ".member")...)
+	}
+	return out
+}
+
+func TestScanCountsPopulatedCache(t *testing.T) {
+	cacheDir, anDir := populate(t)
+	usage, err := Scan(gcOpts(cacheDir, anDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if usage.Snapshots.Entries != 2 || usage.Snapshots.Dead != 0 {
+		t.Fatalf("snapshots: %+v, want 2 live", usage.Snapshots)
+	}
+	if usage.Members.Entries != usage.Snapshots.Entries || usage.Members.Dead != 0 {
+		t.Fatalf("members: %+v, want one live record per snapshot", usage.Members)
+	}
+	if usage.Analyses.Entries != 2 || usage.Analyses.Dead != 0 {
+		t.Fatalf("analyses: %+v, want 2 live", usage.Analyses)
+	}
+	if usage.Staging.Entries != 0 {
+		t.Fatalf("staging: %+v, want none", usage.Staging)
+	}
+	if usage.TotalBytes <= 0 {
+		t.Fatalf("total bytes %d", usage.TotalBytes)
+	}
+}
+
+// TestDeadEntryCollection corrupts a snapshot in place and requires the
+// GC to classify it dead, retire its now-orphaned member record, and
+// leave a cache the engine still serves correctly.
+func TestDeadEntryCollection(t *testing.T) {
+	cacheDir, anDir := populate(t)
+	snaps := listExt(t, cacheDir, ".snap")
+	if len(snaps) != 2 {
+		t.Fatalf("%d snapshots, want 2", len(snaps))
+	}
+	if err := os.WriteFile(snaps[0], []byte("torn write residue, unreadable by any build"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	usage, err := Scan(gcOpts(cacheDir, anDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if usage.Snapshots.Dead != 1 {
+		t.Fatalf("snapshots: %+v, want 1 dead", usage.Snapshots)
+	}
+	if usage.Members.Dead != 1 {
+		t.Fatalf("members: %+v, want the corrupted snapshot's record orphaned", usage.Members)
+	}
+
+	rep, err := Run(gcOpts(cacheDir, anDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DeadEntries != 2 || rep.OrphanMembers != 1 {
+		t.Fatalf("report: %+v, want 2 dead entries of which 1 orphan member", rep)
+	}
+	if _, err := os.Stat(snaps[0]); !os.IsNotExist(err) {
+		t.Fatal("dead snapshot survived collection")
+	}
+	if got := len(listMembers(t, cacheDir)); got != 1 {
+		t.Fatalf("%d member records survive, want 1", got)
+	}
+	after, err := Scan(gcOpts(cacheDir, anDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Snapshots.Dead != 0 || after.Members.Dead != 0 || after.Analyses.Dead != 0 {
+		t.Fatalf("dead entries survive collection: %+v", after)
+	}
+
+	// The cache must still serve: analyses are intact, so the re-run is
+	// all analysis hits and executes nothing.
+	before := core.KernelExecutions()
+	res := runCampaign(t, cacheDir, anDir)
+	if d := core.KernelExecutions() - before; d != 0 {
+		t.Fatalf("post-GC campaign executed %d kernels; analyses were intact", d)
+	}
+	if res.AnalysisHits != len(res.Cells) {
+		t.Fatalf("post-GC campaign: %d/%d analysis hits", res.AnalysisHits, len(res.Cells))
+	}
+}
+
+// TestLRUEvictionFollowsAtime ages one snapshot and requires the size
+// bound to evict it (and its member record) while fresher entries
+// survive.
+func TestLRUEvictionFollowsAtime(t *testing.T) {
+	cacheDir, anDir := populate(t)
+	snaps := listExt(t, cacheDir, ".snap")
+	members := listMembers(t, cacheDir)
+	if len(snaps) != 2 || len(members) != 2 {
+		t.Fatalf("%d snapshots, %d members; want 2 each", len(snaps), len(members))
+	}
+	old, fresh := snaps[0], snaps[1]
+
+	// Budget from plain stat sizes: a Scan here would *read* every entry
+	// to classify it, and on a relatime mount that read would promote the
+	// aged snapshot's atime and erase the ordering this test sets up.
+	var budget int64 = -1
+	for _, p := range append(listExt(t, cacheDir, ".snap"), listExt(t, anDir, ".anl")...) {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		budget += fi.Size()
+	}
+	past := time.Now().Add(-24 * time.Hour)
+	if err := os.Chtimes(old, past, past); err != nil {
+		t.Fatal(err)
+	}
+
+	opts := gcOpts(cacheDir, anDir)
+	opts.MaxBytes = budget
+	rep, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EvictedEntries == 0 {
+		t.Fatal("over-budget cache evicted nothing")
+	}
+	if rep.LiveBytes > budget {
+		t.Fatalf("live %d bytes exceeds the %d byte bound", rep.LiveBytes, budget)
+	}
+	if _, err := os.Stat(old); !os.IsNotExist(err) {
+		t.Fatal("the oldest-atime snapshot survived eviction")
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Fatalf("the fresh snapshot did not survive: %v", err)
+	}
+	// The evicted snapshot's member record must go with it: the family
+	// index must never advertise a base the store no longer holds.
+	oldID := filepath.Base(old)
+	oldID = oldID[:len(oldID)-len(".snap")]
+	for _, m := range listMembers(t, cacheDir) {
+		base := filepath.Base(m)
+		if base[:len(base)-len(".member")] == oldID {
+			t.Fatalf("member record %s outlived its evicted snapshot", m)
+		}
+	}
+}
+
+// TestStagingSweepRespectsAge plants fsatomic staging residue of mixed
+// ages and requires only the aged files to be swept.
+func TestStagingSweepRespectsAge(t *testing.T) {
+	cacheDir, anDir := populate(t)
+	famRoot := filepath.Join(cacheDir, "families")
+	fams, err := os.ReadDir(famRoot)
+	if err != nil || len(fams) == 0 {
+		t.Fatalf("no family dirs: %v", err)
+	}
+	famDir := filepath.Join(famRoot, fams[0].Name())
+
+	oldFiles := []string{
+		filepath.Join(cacheDir, ".dead.snap.tmp123"),
+		filepath.Join(anDir, ".dead.anl.tmp456"),
+		filepath.Join(famDir, ".dead.member.tmp789"),
+	}
+	freshFile := filepath.Join(cacheDir, ".inflight.snap.tmp42")
+	past := time.Now().Add(-2 * time.Hour)
+	for _, p := range oldFiles {
+		if err := os.WriteFile(p, []byte("staging"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Chtimes(p, past, past); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(freshFile, []byte("staging"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	opts := gcOpts(cacheDir, anDir)
+	opts.StagingAge = time.Hour
+	rep, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.StagingRemoved != len(oldFiles) {
+		t.Fatalf("swept %d staging files, want %d", rep.StagingRemoved, len(oldFiles))
+	}
+	for _, p := range oldFiles {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Fatalf("aged staging file %s survived", p)
+		}
+	}
+	if _, err := os.Stat(freshFile); err != nil {
+		t.Fatalf("in-flight staging file was swept: %v", err)
+	}
+}
+
+// TestDryRunRemovesNothing requires a dry-run pass to report the full
+// collection while leaving every file in place.
+func TestDryRunRemovesNothing(t *testing.T) {
+	cacheDir, anDir := populate(t)
+	snaps := listExt(t, cacheDir, ".snap")
+	if err := os.WriteFile(snaps[0], []byte("corrupt"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	opts := gcOpts(cacheDir, anDir)
+	opts.MaxBytes = 1 // would evict everything live
+	opts.DryRun = true
+	rep, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DeadEntries == 0 || rep.EvictedEntries == 0 {
+		t.Fatalf("dry run reported no work: %+v", rep)
+	}
+	usage, err := Scan(gcOpts(cacheDir, anDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if usage.Snapshots.Entries != 2 || usage.Analyses.Entries != 2 || usage.Members.Entries != 2 {
+		t.Fatalf("dry run removed files: %+v", usage)
+	}
+}

@@ -23,6 +23,17 @@ func EncodeAnalysis(k AnalysisKey, an *Analysis) ([]byte, error) {
 	return encodeAnalysis(k.ID(), an)
 }
 
+// EncodeAnalysisRaw encodes the analysis under a caller-chosen
+// identifier instead of an AnalysisKey. The shard completion journal
+// uses it with its own per-cell record ID: the journal needs the sealed,
+// deterministic wire form (so a torn record fails its checksum and reads
+// as incomplete) but addresses records by campaign cell, not by cache
+// key — a GroupBy cell has no sites-free AnalysisKey to offer. Decoding
+// returns the same identifier for the caller to validate.
+func EncodeAnalysisRaw(id string, an *Analysis) ([]byte, error) {
+	return encodeAnalysis(id, an)
+}
+
 // encodeAnalysis is EncodeAnalysis over an already-computed key ID.
 func encodeAnalysis(keyID string, an *Analysis) ([]byte, error) {
 	if an == nil {

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"hmpt/internal/campaign"
+	"hmpt/internal/core"
+)
+
+// CampaignSpec is a declarative, serialisable description of a campaign
+// matrix: exactly the knobs the CLI exposes, and nothing that cannot be
+// written to disk. It exists so that a matrix can be *reconstructed* in
+// another process — the shard coordinator persists a CampaignSpec in its
+// manifest, and every worker process rebuilds the identical matrix (same
+// cells, same enumeration order, same cache keys) from it. The CLI's
+// single-process campaign path resolves through the same type, so a
+// sharded campaign and its single-process reference run address the same
+// cells by construction.
+type CampaignSpec struct {
+	// Workloads names the matrix rows; the single entry "all" expands to
+	// the Table I benchmark set in paper order.
+	Workloads []string `json:"workloads"`
+	// Platforms names the platform-preset columns (see PlatformByName).
+	Platforms []string `json:"platforms"`
+	// Seeds declares one seed-override variant per entry; empty keeps
+	// each workload's spec seed as the single pass-through variant.
+	Seeds []uint64 `json:"seeds,omitempty"`
+	// Runs overrides the measured runs per configuration (0 = spec
+	// default), Full selects benchmark-scale instances, and the sampler
+	// and iteration overrides mirror the CLI flags (0 = workload
+	// default; all three participate in the snapshot cache key).
+	Runs         int   `json:"runs,omitempty"`
+	Full         bool  `json:"full,omitempty"`
+	SamplePeriod int64 `json:"sample_period,omitempty"`
+	SampleBudget int64 `json:"sample_budget,omitempty"`
+	Iterations   int   `json:"iterations,omitempty"`
+}
+
+// Normalize expands the "all" workload shorthand and defaults an empty
+// platform list to the paper's Xeon Max, returning a spec whose JSON
+// form is canonical for manifest hashing: two specs that build the same
+// matrix normalise to the same bytes.
+func (s CampaignSpec) Normalize() CampaignSpec {
+	out := s
+	if len(s.Workloads) == 1 && s.Workloads[0] == "all" || len(s.Workloads) == 0 {
+		out.Workloads = nil
+		for _, spec := range Specs() {
+			out.Workloads = append(out.Workloads, spec.Name)
+		}
+	} else {
+		out.Workloads = make([]string, 0, len(s.Workloads))
+		for _, name := range s.Workloads {
+			out.Workloads = append(out.Workloads, strings.TrimSpace(name))
+		}
+	}
+	if len(s.Platforms) == 0 {
+		out.Platforms = []string{"xeonmax"}
+	}
+	return out
+}
+
+// Matrix builds the campaign matrix the spec describes. Workloads
+// resolve through WorkloadByName (so every front-end — CLI, daemon,
+// shard worker — addresses the same snapshot and analysis cache entries
+// for a given name), overrides apply only when explicitly set (a zero
+// must never clobber a spec-provided sampler option with the default),
+// and cells enumerate workload-major, then platform, then variant —
+// the engine's documented order, which shard cell indices depend on.
+func (s CampaignSpec) Matrix() (campaign.Matrix, error) {
+	s = s.Normalize()
+	var m campaign.Matrix
+	for _, name := range s.Workloads {
+		w, err := WorkloadByName(name, s.Full)
+		if err != nil {
+			return campaign.Matrix{}, err
+		}
+		if s.Runs > 0 {
+			w.Options.Runs = s.Runs
+		}
+		if s.SamplePeriod > 0 {
+			w.Options.SamplePeriod = s.SamplePeriod
+		}
+		if s.SampleBudget > 0 {
+			w.Options.SampleBudget = int(s.SampleBudget)
+		}
+		if s.Iterations > 0 {
+			w.Options.Iterations = s.Iterations
+		}
+		m.Workloads = append(m.Workloads, w)
+	}
+	for _, name := range s.Platforms {
+		p, err := PlatformByName(strings.TrimSpace(name))
+		if err != nil {
+			return campaign.Matrix{}, err
+		}
+		m.Platforms = append(m.Platforms, p)
+	}
+	for _, seed := range s.Seeds {
+		seed := seed
+		m.Variants = append(m.Variants, campaign.Variant{
+			Name:  fmt.Sprintf("seed%d", seed),
+			Apply: func(o *core.Options) { o.Seed = seed },
+		})
+	}
+	return m, nil
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+
+	"hmpt/internal/core"
+)
+
+func TestNormalizeExpandsShorthandCanonically(t *testing.T) {
+	var names []string
+	for _, s := range Specs() {
+		names = append(names, s.Name)
+	}
+	shorthand := CampaignSpec{Workloads: []string{"all"}}.Normalize()
+	explicit := CampaignSpec{Workloads: names, Platforms: []string{"xeonmax"}}.Normalize()
+	a, _ := json.Marshal(shorthand)
+	b, _ := json.Marshal(explicit)
+	if string(a) != string(b) {
+		t.Fatalf("shorthand normalises to %s, explicit to %s", a, b)
+	}
+	empty := CampaignSpec{}.Normalize()
+	c, _ := json.Marshal(empty)
+	if string(c) != string(a) {
+		t.Fatalf("empty spec normalises to %s, want %s", c, a)
+	}
+}
+
+func TestMatrixAppliesOverridesOnlyWhenSet(t *testing.T) {
+	base, err := WorkloadByName("npb.is", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := CampaignSpec{Workloads: []string{"npb.is"}}.Matrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Workloads[0].Options; got.Runs != base.Options.Runs ||
+		got.SamplePeriod != base.Options.SamplePeriod ||
+		got.SampleBudget != base.Options.SampleBudget ||
+		got.Iterations != base.Options.Iterations {
+		t.Fatalf("zero overrides clobbered workload defaults: %+v vs %+v", got, base.Options)
+	}
+
+	m, err = CampaignSpec{
+		Workloads: []string{"npb.is"}, Runs: base.Options.Runs + 3, Iterations: 7,
+	}.Matrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Workloads[0].Options; got.Runs != base.Options.Runs+3 || got.Iterations != 7 {
+		t.Fatalf("explicit overrides not applied: %+v", got)
+	}
+}
+
+func TestMatrixSeedVariants(t *testing.T) {
+	m, err := CampaignSpec{Workloads: []string{"npb.is"}, Seeds: []uint64{7, 8}}.Matrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Variants) != 2 || m.Variants[0].Name != "seed7" || m.Variants[1].Name != "seed8" {
+		t.Fatalf("variants: %+v", m.Variants)
+	}
+	var o core.Options
+	m.Variants[1].Apply(&o)
+	if o.Seed != 8 {
+		t.Fatalf("seed variant applied %d, want 8", o.Seed)
+	}
+}

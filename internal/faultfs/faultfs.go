@@ -28,9 +28,10 @@ import (
 )
 
 // FS is the filesystem surface of the cache tree: exactly the operations
-// the snapshot cache, the analysis cache, the family index and the
-// atomic-publish layer perform, and nothing more — a deliberately small
-// interface so the injector covers every path that can fail.
+// the snapshot cache, the analysis cache, the family index, the shard
+// lease/journal tree and the atomic-publish layer perform, and nothing
+// more — a deliberately small interface so the injector covers every
+// path that can fail.
 type FS interface {
 	ReadFile(path string) ([]byte, error)
 	ReadDir(path string) ([]os.DirEntry, error)
@@ -39,6 +40,14 @@ type FS interface {
 	CreateTemp(dir, pattern string) (File, error)
 	Rename(oldpath, newpath string) error
 	Remove(path string) error
+	// Link mirrors os.Link: it fails with an os.IsExist error when
+	// newpath already exists, which is the one POSIX primitive that
+	// makes create-if-absent atomic across processes — the shard lease
+	// claim protocol is built on it.
+	Link(oldpath, newpath string) error
+	// Stat mirrors os.Stat; the GC and stale-file sweeps age-check
+	// entries through it.
+	Stat(path string) (os.FileInfo, error)
 }
 
 // File is the staging-file surface Publish needs.
@@ -58,6 +67,8 @@ func (osFS) ReadDir(path string) ([]os.DirEntry, error)   { return os.ReadDir(pa
 func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
 func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
 func (osFS) Remove(path string) error                     { return os.Remove(path) }
+func (osFS) Link(oldpath, newpath string) error           { return os.Link(oldpath, newpath) }
+func (osFS) Stat(path string) (os.FileInfo, error)        { return os.Stat(path) }
 func (osFS) CreateTemp(dir, pattern string) (File, error) {
 	f, err := os.CreateTemp(dir, pattern)
 	if err != nil {
@@ -247,6 +258,23 @@ func (in *Injector) Remove(path string) error {
 	// Removal is the cleanup path; faulting it would only leak staging
 	// files the tests then misattribute, so it passes through.
 	return in.inner.Remove(path)
+}
+
+func (in *Injector) Link(oldpath, newpath string) error {
+	// A faulted Link must stay distinguishable from the EEXIST that
+	// means "someone else holds the lease", so only EIO/ENOSPC are
+	// injected; an injected error never aliases a lost claim race.
+	if err := in.writeFault("link", newpath); err != nil {
+		return err
+	}
+	return in.inner.Link(oldpath, newpath)
+}
+
+func (in *Injector) Stat(path string) (os.FileInfo, error) {
+	if err := in.readFault("stat", path); err != nil {
+		return nil, err
+	}
+	return in.inner.Stat(path)
 }
 
 func (in *Injector) CreateTemp(dir, pattern string) (File, error) {

@@ -3,6 +3,7 @@ package fsatomic
 import (
 	"errors"
 	"fmt"
+	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
@@ -45,6 +46,45 @@ func PublishFS(fs faultfs.FS, path string, data []byte) error {
 	}
 	if err := fs.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("fsatomic: publishing %s: %w", base, err)
+	}
+	return nil
+}
+
+// PublishExclusiveFS atomically creates path with the given content,
+// failing with an os.IsExist error when path already exists — the
+// claim half of the shard lease protocol. The content is staged like
+// PublishFS, but the final step is a hard link instead of a rename:
+// link(2) is atomic and refuses to replace an existing name, so of any
+// number of concurrent claimants (goroutines or separate processes)
+// exactly one wins and every loser observes the EEXIST. The staging
+// file is always removed.
+func PublishExclusiveFS(fs faultfs.FS, path string, data []byte) error {
+	if fs == nil {
+		fs = faultfs.OS
+	}
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := fs.CreateTemp(dir, "."+base+".tmp*")
+	if err != nil {
+		return fmt.Errorf("fsatomic: staging %s: %w", base, err)
+	}
+	defer fs.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("fsatomic: writing %s: %w", base, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("fsatomic: writing %s: %w", base, err)
+	}
+	if err := fs.Link(tmp.Name(), path); err != nil {
+		if os.IsExist(err) || errors.Is(err, os.ErrExist) {
+			// Not wrapped in a message: callers branch on IsExist to
+			// tell "lost the claim race" from a real failure.
+			return err
+		}
+		return fmt.Errorf("fsatomic: claiming %s: %w", base, err)
 	}
 	return nil
 }

@@ -1,0 +1,184 @@
+package shard
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"hmpt/internal/campaign"
+	"hmpt/internal/core"
+	"hmpt/internal/faultfs"
+	"hmpt/internal/fsatomic"
+	"hmpt/internal/wire"
+)
+
+// journalMagic leads every completion record; journalVersion gates the
+// layout.
+const (
+	journalMagic   = "HMPTJNL1"
+	journalVersion = 1
+)
+
+// cellRecord is one journaled cell completion: the cell coordinates and
+// provenance flags, plus the full encoded analysis. Embedding the
+// analysis (rather than a cache key) is what makes merge kernel-free
+// and byte-exact: the record *is* the result, GroupBy cells included,
+// and no cache eviction between completion and merge can force a
+// recompute.
+type cellRecord struct {
+	Cell     int
+	Workload string
+	Platform string
+	Variant  string
+	Owner    string
+
+	FromCache         bool
+	Derived           bool
+	AnalysisFromCache bool
+	Coalesced         bool
+
+	Analysis *core.Analysis
+}
+
+// journal reads and writes the per-cell completion records of one shard
+// directory.
+type journal struct {
+	fs       faultfs.FS
+	dir      string // <shard-dir>/journal
+	manifest string
+}
+
+func (j *journal) path(cell int) string {
+	return filepath.Join(j.dir, cellName(cell)+".done")
+}
+
+// encode seals a record with the analysis wire codec: deterministic
+// little-endian fields under an FNV-64a seal, the analysis embedded in
+// its own sealed encoding. Any torn prefix fails CheckSeal on read.
+func (j *journal) encode(rec *cellRecord) ([]byte, error) {
+	an, err := core.EncodeAnalysisRaw(cellRecordID(j.manifest, rec.Cell), rec.Analysis)
+	if err != nil {
+		return nil, err
+	}
+	var e wire.Encoder
+	e.Raw([]byte(journalMagic))
+	e.U32(journalVersion)
+	e.Str(j.manifest)
+	e.I64(int64(rec.Cell))
+	e.Str(rec.Workload)
+	e.Str(rec.Platform)
+	e.Str(rec.Variant)
+	e.Str(rec.Owner)
+	e.Bool(rec.FromCache)
+	e.Bool(rec.Derived)
+	e.Bool(rec.AnalysisFromCache)
+	e.Bool(rec.Coalesced)
+	e.Str(string(an))
+	return e.Seal(), nil
+}
+
+// complete publishes the cell's completion record. The publish is a
+// plain atomic rename — last write wins — because duplicate completions
+// are byte-identical by construction; there is nothing to arbitrate.
+// The record is read back and validated after publishing: a publish the
+// disk silently corrupted must surface as a failure here (so the cell
+// retries) rather than as a settled cell whose record nobody can read.
+func (j *journal) complete(rec *cellRecord) error {
+	raw, err := j.encode(rec)
+	if err != nil {
+		return fmt.Errorf("shard: journaling %s: %w", cellName(rec.Cell), err)
+	}
+	if err := fsatomic.PublishFS(j.fs, j.path(rec.Cell), raw); err != nil {
+		return fmt.Errorf("shard: journaling %s: %w", cellName(rec.Cell), err)
+	}
+	if _, ok := j.load(rec.Cell); !ok {
+		return fmt.Errorf("shard: journaling %s: record unreadable after publish", cellName(rec.Cell))
+	}
+	cellsJournaled.Add(1)
+	return nil
+}
+
+// load returns the cell's completion record, or ok=false when the cell
+// is not (validly) journaled. Every failure mode — missing file, torn
+// record, wrong campaign, wrong cell, analysis checksum mismatch —
+// reads as *incomplete*: the cell re-executes rather than trusting a
+// damaged record. Damage beyond simple absence is counted.
+func (j *journal) load(cell int) (*cellRecord, bool) {
+	raw, err := j.fs.ReadFile(j.path(cell))
+	if err != nil {
+		if !os.IsNotExist(err) {
+			journalInvalid.Add(1)
+		}
+		return nil, false
+	}
+	rec, err := j.decode(cell, raw)
+	if err != nil {
+		journalInvalid.Add(1)
+		return nil, false
+	}
+	return rec, true
+}
+
+// decode validates and decodes one record for the given cell.
+func (j *journal) decode(cell int, raw []byte) (*cellRecord, error) {
+	if len(raw) < len(journalMagic)+4+8 {
+		return nil, fmt.Errorf("shard: journal record truncated (%d bytes)", len(raw))
+	}
+	if string(raw[:len(journalMagic)]) != journalMagic {
+		return nil, fmt.Errorf("shard: bad journal magic %q", raw[:len(journalMagic)])
+	}
+	payload, err := wire.CheckSeal(raw)
+	if err != nil {
+		return nil, fmt.Errorf("shard: journal: %w", err)
+	}
+	d := wire.NewDecoder(payload[len(journalMagic):])
+	if v := d.U32(); v != journalVersion {
+		return nil, fmt.Errorf("shard: journal version %d, this build reads %d", v, journalVersion)
+	}
+	rec := &cellRecord{}
+	if m := d.Str(); m != j.manifest {
+		return nil, fmt.Errorf("shard: journal record belongs to campaign %.12s, not %.12s", m, j.manifest)
+	}
+	rec.Cell = int(d.I64())
+	if rec.Cell != cell {
+		return nil, fmt.Errorf("shard: journal record for cell %d found under %s", rec.Cell, cellName(cell))
+	}
+	rec.Workload = d.Str()
+	rec.Platform = d.Str()
+	rec.Variant = d.Str()
+	rec.Owner = d.Str()
+	rec.FromCache = d.Bool()
+	rec.Derived = d.Bool()
+	rec.AnalysisFromCache = d.Bool()
+	rec.Coalesced = d.Bool()
+	anRaw := d.Str()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if d.Len() != 0 {
+		return nil, fmt.Errorf("shard: %d trailing bytes after journal record", d.Len())
+	}
+	an, id, err := core.DecodeAnalysis([]byte(anRaw))
+	if err != nil {
+		return nil, err
+	}
+	if want := cellRecordID(j.manifest, cell); id != want {
+		return nil, fmt.Errorf("shard: journal analysis identity mismatch for %s", cellName(cell))
+	}
+	rec.Analysis = an
+	return rec, nil
+}
+
+// cell converts a journal record to a campaign cell.
+func (rec *cellRecord) campaignCell() campaign.Cell {
+	return campaign.Cell{
+		Workload:          rec.Workload,
+		Platform:          rec.Platform,
+		Variant:           rec.Variant,
+		Analysis:          rec.Analysis,
+		FromCache:         rec.FromCache,
+		Derived:           rec.Derived,
+		AnalysisFromCache: rec.AnalysisFromCache,
+		Coalesced:         rec.Coalesced,
+	}
+}

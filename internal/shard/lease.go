@@ -1,0 +1,213 @@
+package shard
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"hmpt/internal/faultfs"
+	"hmpt/internal/fsatomic"
+)
+
+// leaseSchema names the lease wire format.
+const leaseSchema = "hmpt-lease/v1"
+
+// errLeaseLost reports that a lease was reclaimed out from under its
+// holder. The holder's response is defined by the package contract:
+// stop renewing, finish the cell anyway (idempotent), let the journal's
+// last-write-wins publish reconcile.
+var errLeaseLost = errors.New("shard: lease lost")
+
+// leaseRecord is the JSON body of a lease file. Human-readable on
+// purpose: a stuck campaign is debugged by reading the leases.
+type leaseRecord struct {
+	Schema   string `json:"schema"`
+	Manifest string `json:"manifest"`
+	Cell     int    `json:"cell"`
+	// Owner and Seq together identify one *acquisition*: Seq is unique
+	// per claim within an owner, so a holder can distinguish "my current
+	// claim" from "my own earlier claim of this cell" after a reclaim
+	// cycle.
+	Owner    string `json:"owner"`
+	Seq      uint64 `json:"seq"`
+	Acquired int64  `json:"acquired_unix_nano"`
+	Expires  int64  `json:"expires_unix_nano"`
+}
+
+// leaseManager claims, renews and releases the leases of one shard
+// directory on behalf of one owner.
+type leaseManager struct {
+	fs       faultfs.FS
+	dir      string // <shard-dir>/leases
+	manifest string
+	owner    string
+	ttl      time.Duration
+	seq      atomic.Uint64
+	// reclaimed counts this manager's expired-lease takeovers, for the
+	// worker's shard report (the package counter aggregates the
+	// process).
+	reclaimed atomic.Int64
+}
+
+func (lm *leaseManager) path(cell int) string {
+	return filepath.Join(lm.dir, cellName(cell)+".lease")
+}
+
+// lease is one held acquisition.
+type lease struct {
+	lm   *leaseManager
+	cell int
+	seq  uint64
+	lost atomic.Bool
+}
+
+// tryAcquire attempts to claim the cell. It returns (nil, nil) when the
+// cell is leased by a live holder — not an error, just not ours — and a
+// lease on success. A dead holder's expired lease is torn down first
+// (rename to a unique tomb: atomic, exactly one of any number of racing
+// reclaimers wins the rename) and then claimed fresh; losing either
+// race reports the cell as unavailable this round.
+//
+// Filesystem errors surface to the caller, which treats them as skips:
+// leases partition work, they do not gate correctness.
+func (lm *leaseManager) tryAcquire(cell int) (*lease, error) {
+	path := lm.path(cell)
+	raw, err := lm.fs.ReadFile(path)
+	switch {
+	case err == nil:
+		var rec leaseRecord
+		// An unparseable lease (torn write by a dying holder) has no
+		// expiry to honour — treat it as expired and reclaim it.
+		if json.Unmarshal(raw, &rec) == nil && rec.Schema == leaseSchema && rec.Manifest == lm.manifest {
+			if time.Now().UnixNano() < rec.Expires {
+				return nil, nil // live holder
+			}
+		}
+		// Expired (or garbage): tear it down via rename-to-tomb. The
+		// rename is the race arbiter — if a peer reclaimed first, or the
+		// holder renewed between our read and the rename, the rename
+		// moves *their* fresh record or fails with ENOENT; either way the
+		// claim below settles ownership, and a holder whose renewal lost
+		// discovers it at the next heartbeat and stops (the cell at worst
+		// computes twice, to identical bytes).
+		tomb := fmt.Sprintf("%s.reap-%s-%d", path, lm.owner, lm.seq.Add(1))
+		switch err := lm.fs.Rename(path, tomb); {
+		case err == nil:
+			lm.fs.Remove(tomb)
+			leasesReclaimed.Add(1)
+			lm.reclaimed.Add(1)
+		case os.IsNotExist(err):
+			// A peer's reclaim or the holder's release got there first.
+		default:
+			return nil, err
+		}
+	case os.IsNotExist(err):
+		// Unclaimed.
+	default:
+		return nil, err
+	}
+	return lm.claim(cell)
+}
+
+// claim publishes a fresh lease record with create-if-absent semantics;
+// (nil, nil) means another claimant won.
+func (lm *leaseManager) claim(cell int) (*lease, error) {
+	now := time.Now()
+	rec := leaseRecord{
+		Schema:   leaseSchema,
+		Manifest: lm.manifest,
+		Cell:     cell,
+		Owner:    lm.owner,
+		Seq:      lm.seq.Add(1),
+		Acquired: now.UnixNano(),
+		Expires:  now.Add(lm.ttl).UnixNano(),
+	}
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	switch err := fsatomic.PublishExclusiveFS(lm.fs, lm.path(cell), raw); {
+	case err == nil:
+		leasesAcquired.Add(1)
+		activeLeases.Add(1)
+		return &lease{lm: lm, cell: cell, seq: rec.Seq}, nil
+	case os.IsExist(err):
+		return nil, nil
+	default:
+		return nil, err
+	}
+}
+
+// owned re-reads the lease file and reports whether it still carries
+// this acquisition.
+func (l *lease) owned() bool {
+	raw, err := l.lm.fs.ReadFile(l.lm.path(l.cell))
+	if err != nil {
+		return false
+	}
+	var rec leaseRecord
+	if json.Unmarshal(raw, &rec) != nil {
+		return false
+	}
+	return rec.Owner == l.lm.owner && rec.Seq == l.seq
+}
+
+// renew extends the lease by one TTL. A lease found reclaimed reports
+// errLeaseLost and marks itself lost — every later renew and the
+// release become no-ops. The verify-then-publish window is a benign
+// TOCTOU: it is small against the TTL, and the package contract already
+// tolerates the worst case (one duplicated, byte-identical cell).
+func (l *lease) renew() error {
+	if l.lost.Load() {
+		return errLeaseLost
+	}
+	if !l.owned() {
+		if !l.lost.Swap(true) {
+			activeLeases.Add(-1)
+			leasesLost.Add(1)
+		}
+		return errLeaseLost
+	}
+	now := time.Now()
+	rec := leaseRecord{
+		Schema:   leaseSchema,
+		Manifest: l.lm.manifest,
+		Cell:     l.cell,
+		Owner:    l.lm.owner,
+		Seq:      l.seq,
+		Acquired: now.UnixNano(),
+		Expires:  now.Add(l.lm.ttl).UnixNano(),
+	}
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if err := fsatomic.PublishFS(l.lm.fs, l.lm.path(l.cell), raw); err != nil {
+		// A failed renewal is not a lost lease — the record on disk is
+		// still ours, just aging toward expiry. The next heartbeat
+		// retries.
+		return err
+	}
+	leaseRenewals.Add(1)
+	return nil
+}
+
+// release removes the lease if this acquisition still holds it.
+func (l *lease) release() {
+	if l.lost.Load() {
+		return
+	}
+	if l.owned() {
+		l.lm.fs.Remove(l.lm.path(l.cell))
+		leasesReleased.Add(1)
+	}
+	// The handle is dead either way; only a reclaim detected at renewal
+	// counts as "lost".
+	if !l.lost.Swap(true) {
+		activeLeases.Add(-1)
+	}
+}

@@ -1,0 +1,157 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"strings"
+
+	"hmpt/internal/campaign"
+	"hmpt/internal/faultfs"
+)
+
+// QuarantinedCell is one entry of a merge's structured partial-failure
+// report.
+type QuarantinedCell struct {
+	Cell     int
+	Workload string
+	Platform string
+	Variant  string
+	Attempts int
+	Errors   []string
+}
+
+// Merged is the folded outcome of a sharded campaign.
+type Merged struct {
+	// Result holds the cells in matrix enumeration order — the same
+	// order, coordinates and analyses a single-process run of the
+	// manifest's spec produces. Quarantined cells carry an Err
+	// summarising their failure history; incomplete cells (only when
+	// Complete is false) carry an Err saying so.
+	Result *campaign.Result
+	// Complete reports every cell settled: journaled or quarantined.
+	Complete bool
+	// Pending counts unsettled cells (0 when Complete).
+	Pending int
+	// Quarantined is the structured partial-failure report.
+	Quarantined []QuarantinedCell
+	// StaleLeases and StaleStaging count the coordination-tree files the
+	// merge swept: leftover lease/tomb files and fsatomic staging
+	// residue from killed workers.
+	StaleLeases  int
+	StaleStaging int
+	// Reports are the per-worker shard reports found in the directory.
+	Reports []Summary
+}
+
+// Merge folds a sharded campaign's journal back into one
+// campaign.Result and sweeps stale coordination files. It is kernel-free:
+// every analysis comes out of the journal records, so merging a
+// completed campaign never recomputes a cell. Merging an in-progress
+// campaign is safe (it reports Complete=false and sweeps nothing that
+// is still live — only settled campaigns shed their leases).
+func Merge(dir string, fs faultfs.FS) (*Merged, error) {
+	if fs == nil {
+		fs = faultfs.OS
+	}
+	man, err := LoadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	m, err := man.Matrix()
+	if err != nil {
+		return nil, err
+	}
+	cells := enumerate(m)
+	j := &journal{fs: fs, dir: filepath.Join(dir, journalDir), manifest: man.ID}
+	at := &attempts{
+		fs: fs, failDir: filepath.Join(dir, failDir), quarDir: filepath.Join(dir, quarantineDir),
+		manifest: man.ID,
+	}
+
+	out := &Merged{Result: &campaign.Result{}, Complete: true}
+	for _, ref := range cells {
+		if rec, ok := j.load(ref.Index); ok {
+			cell := rec.campaignCell()
+			// Provenance counters at cell granularity: a journaled
+			// campaign records where each cell's inputs came from, and
+			// the merge folds them the way Result's invariant reads —
+			// hits + derivations + executions account for every resolved
+			// snapshot.
+			switch {
+			case cell.AnalysisFromCache:
+				out.Result.AnalysisHits++
+			case cell.Coalesced:
+				out.Result.Snapshots++
+				out.Result.Coalesced++
+			case cell.Derived:
+				out.Result.Snapshots++
+				out.Result.Derived++
+			case cell.FromCache:
+				out.Result.Snapshots++
+				out.Result.CacheHits++
+			default:
+				out.Result.Snapshots++
+				out.Result.Executions++
+			}
+			out.Result.Cells = append(out.Result.Cells, cell)
+			continue
+		}
+		if rec, ok := at.quarantined(ref.Index); ok {
+			q := QuarantinedCell{
+				Cell: ref.Index, Workload: rec.Workload, Platform: rec.Platform, Variant: rec.Variant,
+				Attempts: rec.Attempts, Errors: rec.Errors,
+			}
+			out.Quarantined = append(out.Quarantined, q)
+			last := "unknown error"
+			if len(q.Errors) > 0 {
+				last = q.Errors[len(q.Errors)-1]
+			}
+			out.Result.Cells = append(out.Result.Cells, campaign.Cell{
+				Workload: ref.Workload.Name, Platform: ref.Platform.Name, Variant: ref.Variant.Name,
+				Err: fmt.Errorf("shard: quarantined after %d attempts: %s", q.Attempts, last),
+			})
+			continue
+		}
+		out.Complete = false
+		out.Pending++
+		out.Result.Cells = append(out.Result.Cells, campaign.Cell{
+			Workload: ref.Workload.Name, Platform: ref.Platform.Name, Variant: ref.Variant.Name,
+			Err: fmt.Errorf("shard: cell not yet complete"),
+		})
+	}
+
+	if out.Complete {
+		leaseTree := filepath.Join(dir, leaseDir)
+		if entries, err := fs.ReadDir(leaseTree); err == nil {
+			for _, ent := range entries {
+				if ent.IsDir() {
+					continue
+				}
+				if fs.Remove(filepath.Join(leaseTree, ent.Name())) == nil {
+					out.StaleLeases++
+				}
+			}
+		}
+		out.StaleStaging += sweepStaging(fs, filepath.Join(dir, journalDir))
+		out.StaleStaging += sweepStaging(fs, filepath.Join(dir, reportDir))
+		out.StaleStaging += sweepStaging(fs, dir)
+	}
+
+	if entries, err := fs.ReadDir(filepath.Join(dir, reportDir)); err == nil {
+		for _, ent := range entries {
+			if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".json") {
+				continue
+			}
+			raw, err := fs.ReadFile(filepath.Join(dir, reportDir, ent.Name()))
+			if err != nil {
+				continue
+			}
+			var s Summary
+			if json.Unmarshal(raw, &s) == nil {
+				out.Reports = append(out.Reports, s)
+			}
+		}
+	}
+	return out, nil
+}

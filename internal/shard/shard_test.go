@@ -1,0 +1,603 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hmpt/internal/campaign"
+	"hmpt/internal/core"
+	"hmpt/internal/experiments"
+	"hmpt/internal/faultfs"
+)
+
+// testSpec is a small real campaign: two workloads (kwave included so
+// the GroupBy journal path is exercised) across two seed variants.
+func testSpec() experiments.CampaignSpec {
+	return experiments.CampaignSpec{
+		Workloads: []string{"npb.is", "kwave"},
+		Platforms: []string{"xeonmax"},
+		Seeds:     []uint64{7, 8},
+	}
+}
+
+// tinySpec is the cheapest real campaign: one workload, two seeds.
+func tinySpec() experiments.CampaignSpec {
+	return experiments.CampaignSpec{
+		Workloads: []string{"npb.is"},
+		Platforms: []string{"xeonmax"},
+		Seeds:     []uint64{7, 8},
+	}
+}
+
+// encodeCell canonicalises a cell analysis for byte comparison.
+func encodeCell(t *testing.T, an *core.Analysis) []byte {
+	t.Helper()
+	raw, err := core.EncodeAnalysisRaw("equivalence", an)
+	if err != nil {
+		t.Fatalf("encoding analysis: %v", err)
+	}
+	return raw
+}
+
+// singleProcessRun executes the spec on one ordinary engine.
+func singleProcessRun(t *testing.T, spec experiments.CampaignSpec) *campaign.Result {
+	t.Helper()
+	m, err := spec.Matrix()
+	if err != nil {
+		t.Fatalf("building matrix: %v", err)
+	}
+	res, err := (&campaign.Engine{}).Run(m)
+	if err != nil {
+		t.Fatalf("single-process run: %v", err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatalf("single-process cell error: %v", err)
+	}
+	return res
+}
+
+// requireByteIdentical asserts the merged result equals the
+// single-process reference cell by cell.
+func requireByteIdentical(t *testing.T, single, merged *campaign.Result) {
+	t.Helper()
+	if len(single.Cells) != len(merged.Cells) {
+		t.Fatalf("cell count: single %d, merged %d", len(single.Cells), len(merged.Cells))
+	}
+	for i := range single.Cells {
+		s, m := &single.Cells[i], &merged.Cells[i]
+		if s.Workload != m.Workload || s.Platform != m.Platform || s.Variant != m.Variant {
+			t.Fatalf("cell %d coordinates: single %s/%s/%s, merged %s/%s/%s",
+				i, s.Workload, s.Platform, s.Variant, m.Workload, m.Platform, m.Variant)
+		}
+		if m.Err != nil {
+			t.Fatalf("cell %d merged error: %v", i, m.Err)
+		}
+		if !bytes.Equal(encodeCell(t, s.Analysis), encodeCell(t, m.Analysis)) {
+			t.Fatalf("cell %d (%s/%s/%s): merged analysis differs from single-process run",
+				i, s.Workload, s.Platform, s.Variant)
+		}
+	}
+}
+
+// requireNoCoordinationLitter asserts the shard dir holds no lease
+// files, reclaim tombs or fsatomic staging residue.
+func requireNoCoordinationLitter(t *testing.T, dir string) {
+	t.Helper()
+	leases, err := os.ReadDir(filepath.Join(dir, leaseDir))
+	if err != nil {
+		t.Fatalf("reading lease dir: %v", err)
+	}
+	if len(leases) != 0 {
+		t.Fatalf("%d stale lease files remain (first: %s)", len(leases), leases[0].Name())
+	}
+	err = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if !d.IsDir() && strings.HasPrefix(name, ".") && strings.Contains(name, ".tmp") {
+			t.Errorf("staging residue: %s", path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking shard dir: %v", err)
+	}
+}
+
+func workerOpts(id string) WorkerOptions {
+	return WorkerOptions{
+		ID: id, TTL: 2 * time.Second, Heartbeat: 100 * time.Millisecond,
+		Poll: 10 * time.Millisecond, Backoff: 10 * time.Millisecond,
+	}
+}
+
+func TestPlanIdempotentAndRejectsDifferentCampaign(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Plan(dir, tinySpec())
+	if err != nil {
+		t.Fatalf("first plan: %v", err)
+	}
+	b, err := Plan(dir, tinySpec())
+	if err != nil {
+		t.Fatalf("re-plan: %v", err)
+	}
+	if a.ID != b.ID {
+		t.Fatalf("re-plan changed identity: %s vs %s", a.ID, b.ID)
+	}
+	if _, err := Plan(dir, testSpec()); err == nil {
+		t.Fatal("planning a different campaign into the same dir succeeded")
+	}
+}
+
+func TestManifestNormalisesShorthand(t *testing.T) {
+	all := experiments.CampaignSpec{Workloads: []string{"all"}}
+	var names []string
+	for _, s := range experiments.Specs() {
+		names = append(names, s.Name)
+	}
+	explicit := experiments.CampaignSpec{Workloads: names, Platforms: []string{"xeonmax"}}
+	aCells := len(enumerateSpec(t, all))
+	idA, err := manifestID(all, aCells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idB, err := manifestID(explicit, aCells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idA != idB {
+		t.Fatalf("shorthand and explicit specs hash differently: %s vs %s", idA, idB)
+	}
+}
+
+func enumerateSpec(t *testing.T, spec experiments.CampaignSpec) []cellRef {
+	t.Helper()
+	m, err := spec.Matrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enumerate(m)
+}
+
+// TestShardedCampaignMatchesSingleProcess is the equivalence oracle:
+// three cold workers sharing nothing but the shard directory must merge
+// to the byte-identical result of one single-process run.
+func TestShardedCampaignMatchesSingleProcess(t *testing.T) {
+	spec := testSpec()
+	dir := t.TempDir()
+	if _, err := Plan(dir, spec); err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+
+	const n = 3
+	sums := make([]*Summary, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		w, err := NewWorker(dir, workerOpts(fmt.Sprintf("w%d", i)))
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sums[i], errs[i] = w.Run(context.Background())
+		}(i)
+	}
+	wg.Wait()
+
+	cells := len(enumerateSpec(t, spec))
+	executed := 0
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("worker %d: %v", i, errs[i])
+		}
+		if sums[i].Executed+sums[i].JournalHits != cells {
+			t.Fatalf("worker %d: executed %d + journal hits %d != %d cells",
+				i, sums[i].Executed, sums[i].JournalHits, cells)
+		}
+		executed += sums[i].Executed
+	}
+	if executed != cells {
+		t.Fatalf("fleet executed %d cells, campaign has %d (leases failed to partition)", executed, cells)
+	}
+
+	merged, err := Merge(dir, nil)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if !merged.Complete || merged.Pending != 0 || len(merged.Quarantined) != 0 {
+		t.Fatalf("merge state: complete=%v pending=%d quarantined=%d",
+			merged.Complete, merged.Pending, len(merged.Quarantined))
+	}
+	if len(merged.Reports) != n {
+		t.Fatalf("%d shard reports, want %d", len(merged.Reports), n)
+	}
+	requireByteIdentical(t, singleProcessRun(t, spec), merged.Result)
+	requireNoCoordinationLitter(t, dir)
+}
+
+// TestKilledShardIsReclaimedAndCampaignCompletes kills (via the
+// deterministic abandon hook — observationally a SIGKILL between
+// compute and journal) a worker holding a lease, and requires the
+// survivors to reclaim the cell and finish the campaign byte-identical
+// to a single-process run.
+func TestKilledShardIsReclaimedAndCampaignCompletes(t *testing.T) {
+	spec := testSpec()
+	dir := t.TempDir()
+	if _, err := Plan(dir, spec); err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+
+	vopts := workerOpts("victim")
+	vopts.TTL = 400 * time.Millisecond
+	vopts.Heartbeat = 50 * time.Millisecond
+	vopts.abandonBeforeJournal = func(int) bool { return true }
+	victim, err := NewWorker(dir, vopts)
+	if err != nil {
+		t.Fatalf("victim: %v", err)
+	}
+	if _, err := victim.Run(context.Background()); !errors.Is(err, errAbandoned) {
+		t.Fatalf("victim run: %v, want abandon", err)
+	}
+	// The victim is now "dead" holding an unreleased lease over a
+	// computed-but-unjournaled cell.
+
+	const n = 2
+	sums := make([]*Summary, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		opts := workerOpts(fmt.Sprintf("survivor%d", i))
+		opts.TTL = 400 * time.Millisecond
+		opts.Heartbeat = 50 * time.Millisecond
+		w, err := NewWorker(dir, opts)
+		if err != nil {
+			t.Fatalf("survivor %d: %v", i, err)
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sums[i], errs[i] = w.Run(context.Background())
+		}(i)
+	}
+	wg.Wait()
+
+	reclaims := int64(0)
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("survivor %d: %v", i, errs[i])
+		}
+		reclaims += sums[i].Reclaimed
+	}
+	if reclaims < 1 {
+		t.Fatalf("no lease reclaims recorded; the victim's expired lease was never taken over")
+	}
+
+	merged, err := Merge(dir, nil)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if !merged.Complete || len(merged.Quarantined) != 0 {
+		t.Fatalf("merge state after kill: complete=%v quarantined=%d", merged.Complete, len(merged.Quarantined))
+	}
+	requireByteIdentical(t, singleProcessRun(t, spec), merged.Result)
+	requireNoCoordinationLitter(t, dir)
+}
+
+// TestResumeRecomputesNothing pins the resumability contract: a fresh
+// worker joining a completed campaign journals nothing, executes
+// nothing, and runs zero kernels.
+func TestResumeRecomputesNothing(t *testing.T) {
+	spec := tinySpec()
+	dir := t.TempDir()
+	if _, err := Plan(dir, spec); err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	w1, err := NewWorker(dir, workerOpts("first"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w1.Run(context.Background()); err != nil {
+		t.Fatalf("first worker: %v", err)
+	}
+
+	kernelsBefore := core.KernelExecutions()
+	w2, err := NewWorker(dir, workerOpts("resume"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := w2.Run(context.Background())
+	if err != nil {
+		t.Fatalf("resume worker: %v", err)
+	}
+	cells := len(enumerateSpec(t, spec))
+	if sum.Executed != 0 || sum.JournalHits != cells {
+		t.Fatalf("resume executed %d, journal hits %d; want 0 and %d", sum.Executed, sum.JournalHits, cells)
+	}
+	if d := core.KernelExecutions() - kernelsBefore; d != 0 {
+		t.Fatalf("resume ran %d kernels; journaled-complete cells must recompute nothing", d)
+	}
+}
+
+// TestTornJournalRecordReadsIncomplete pins the journal's failure
+// direction: any damage reads as incomplete, never as falsely done.
+func TestTornJournalRecordReadsIncomplete(t *testing.T) {
+	dir := t.TempDir()
+	j := &journal{fs: faultfs.OS, dir: dir, manifest: "manifest-a"}
+	rec := &cellRecord{
+		Cell: 0, Workload: "w", Platform: "p", Variant: "v", Owner: "o",
+		Analysis: &core.Analysis{Workload: "w", Platform: "p", Runs: 3},
+	}
+	if err := j.complete(rec); err != nil {
+		t.Fatalf("complete: %v", err)
+	}
+	if _, ok := j.load(0); !ok {
+		t.Fatal("intact record failed to load")
+	}
+	raw, err := os.ReadFile(j.path(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	damage := map[string][]byte{
+		"empty":      {},
+		"truncated":  raw[:len(raw)/2],
+		"one short":  raw[:len(raw)-1],
+		"bit flip":   flipByte(raw, len(raw)/3),
+		"seal flip":  flipByte(raw, len(raw)-1),
+		"magic flip": flipByte(raw, 0),
+		"garbage":    []byte("not a journal record at all"),
+	}
+	for name, body := range damage {
+		if err := os.WriteFile(j.path(0), body, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		before := JournalInvalid()
+		if _, ok := j.load(0); ok {
+			t.Fatalf("%s: damaged record read as complete", name)
+		}
+		if name != "empty" && JournalInvalid() == before {
+			// an empty file is the one case indistinguishable from a
+			// fresh torn publish; everything else must be counted
+			t.Fatalf("%s: damage not counted in JournalInvalid", name)
+		}
+	}
+
+	// A record from a different campaign must not satisfy this one.
+	if err := os.WriteFile(j.path(0), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	other := &journal{fs: faultfs.OS, dir: dir, manifest: "manifest-b"}
+	if _, ok := other.load(0); ok {
+		t.Fatal("record of campaign A read as complete for campaign B")
+	}
+	// A record renamed to another cell's slot must not satisfy it.
+	if err := os.WriteFile(j.path(1), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := j.load(1); ok {
+		t.Fatal("cell 0's record read as completion of cell 1")
+	}
+}
+
+func flipByte(raw []byte, i int) []byte {
+	out := append([]byte(nil), raw...)
+	out[i] ^= 0xFF
+	return out
+}
+
+// TestLeaseClaimRaceExactlyOneWinner races two workers on one
+// unclaimed lease, repeatedly, under -race.
+func TestLeaseClaimRaceExactlyOneWinner(t *testing.T) {
+	dir := t.TempDir()
+	a := &leaseManager{fs: faultfs.OS, dir: dir, manifest: "m", owner: "a", ttl: time.Minute}
+	b := &leaseManager{fs: faultfs.OS, dir: dir, manifest: "m", owner: "b", ttl: time.Minute}
+	for round := 0; round < 60; round++ {
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		leases := make([]*lease, 2)
+		errs := make([]error, 2)
+		for i, lm := range []*leaseManager{a, b} {
+			wg.Add(1)
+			go func(i int, lm *leaseManager) {
+				defer wg.Done()
+				<-start
+				leases[i], errs[i] = lm.tryAcquire(0)
+			}(i, lm)
+		}
+		close(start)
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("round %d claimant %d: %v", round, i, err)
+			}
+		}
+		switch {
+		case leases[0] != nil && leases[1] != nil:
+			t.Fatalf("round %d: both claimants won the lease", round)
+		case leases[0] == nil && leases[1] == nil:
+			t.Fatalf("round %d: nobody won an uncontended lease", round)
+		case leases[0] != nil:
+			leases[0].release()
+		default:
+			leases[1].release()
+		}
+	}
+}
+
+// TestExpiredLeaseReclaimRaceOneWinner races two workers on reclaiming
+// a dead holder's expired lease.
+func TestExpiredLeaseReclaimRaceOneWinner(t *testing.T) {
+	dir := t.TempDir()
+	dead := &leaseManager{fs: faultfs.OS, dir: dir, manifest: "m", owner: "dead", ttl: time.Millisecond}
+	a := &leaseManager{fs: faultfs.OS, dir: dir, manifest: "m", owner: "a", ttl: time.Minute}
+	b := &leaseManager{fs: faultfs.OS, dir: dir, manifest: "m", owner: "b", ttl: time.Minute}
+	for round := 0; round < 40; round++ {
+		l, err := dead.tryAcquire(0)
+		if err != nil || l == nil {
+			t.Fatalf("round %d: dead holder failed to claim: %v", round, err)
+		}
+		time.Sleep(3 * time.Millisecond) // let the TTL lapse
+
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		leases := make([]*lease, 2)
+		errs := make([]error, 2)
+		for i, lm := range []*leaseManager{a, b} {
+			wg.Add(1)
+			go func(i int, lm *leaseManager) {
+				defer wg.Done()
+				<-start
+				leases[i], errs[i] = lm.tryAcquire(0)
+			}(i, lm)
+		}
+		close(start)
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("round %d reclaimer %d: %v", round, i, err)
+			}
+		}
+		winner := -1
+		for i := range leases {
+			if leases[i] != nil {
+				if winner >= 0 {
+					t.Fatalf("round %d: both reclaimers won", round)
+				}
+				winner = i
+			}
+		}
+		// Exactly one may win; zero is also legal in principle (rename
+		// raced such that both lost) but must not happen when only two
+		// contend over a definitely-expired lease: the rename winner's
+		// claim faces no competition for the fresh slot. Pin the
+		// stronger property.
+		if winner < 0 {
+			t.Fatalf("round %d: nobody reclaimed the expired lease", round)
+		}
+		leases[winner].release()
+	}
+}
+
+// TestPoisonedCellQuarantines pre-loads a cell with a full failure
+// history and requires the campaign to complete around it with a
+// structured partial-failure report instead of hanging.
+func TestPoisonedCellQuarantines(t *testing.T) {
+	spec := tinySpec()
+	dir := t.TempDir()
+	man, err := Plan(dir, spec)
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	at := &attempts{
+		fs: faultfs.OS, failDir: filepath.Join(dir, failDir), quarDir: filepath.Join(dir, quarantineDir),
+		manifest: man.ID, owner: "poisoner", backoff: time.Millisecond, max: 3,
+	}
+	for i := 1; i <= 3; i++ {
+		if err := at.recordFailure(0, i, fmt.Errorf("induced failure %d", i), uint64(i)); err != nil {
+			t.Fatalf("recording failure %d: %v", i, err)
+		}
+	}
+
+	opts := workerOpts("w")
+	opts.MaxAttempts = 3
+	w, err := NewWorker(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := w.Run(context.Background())
+	if err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+	if sum.Quarantined != 1 {
+		t.Fatalf("worker saw %d quarantined cells, want 1", sum.Quarantined)
+	}
+
+	merged, err := Merge(dir, nil)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if !merged.Complete {
+		t.Fatal("campaign with a quarantined cell did not complete")
+	}
+	if len(merged.Quarantined) != 1 || merged.Quarantined[0].Attempts != 3 {
+		t.Fatalf("quarantine report: %+v", merged.Quarantined)
+	}
+	if merged.Result.Cells[0].Err == nil {
+		t.Fatal("quarantined cell carries no error in the merged result")
+	}
+	if merged.Result.Cells[1].Err != nil || merged.Result.Cells[1].Analysis == nil {
+		t.Fatal("healthy cell did not complete alongside the quarantined one")
+	}
+	if merged.Result.Err() == nil {
+		t.Fatal("merged result of a partial failure reports no error")
+	}
+}
+
+// TestWorkerCompletesOnFaultyCoordinationFS drives a worker whose
+// *coordination* filesystem (leases, journal, fail records) injects a
+// deterministic storm of EIO and torn writes, and requires the campaign
+// to complete correctly once the fault budget is spent.
+func TestWorkerCompletesOnFaultyCoordinationFS(t *testing.T) {
+	spec := tinySpec()
+	dir := t.TempDir()
+	if _, err := Plan(dir, spec); err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	inj := faultfs.NewInjector(nil, faultfs.Config{
+		Seed: 42, WriteEIO: 0.2, ReadEIO: 0.1, TornWrite: 0.15, MaxFaults: 25,
+	})
+	opts := workerOpts("chaos")
+	opts.FS = inj
+	opts.MaxAttempts = 50 // journal-publish failures record attempts; keep far from quarantine
+	opts.Backoff = time.Millisecond
+	w, err := NewWorker(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Run(context.Background()); err != nil {
+		t.Fatalf("worker under fault injection: %v", err)
+	}
+	if inj.Stats().Total() == 0 {
+		t.Fatal("injector delivered no faults; the test exercised nothing")
+	}
+	merged, err := Merge(dir, nil)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if !merged.Complete || len(merged.Quarantined) != 0 {
+		t.Fatalf("merge state: complete=%v quarantined=%d", merged.Complete, len(merged.Quarantined))
+	}
+	requireByteIdentical(t, singleProcessRun(t, spec), merged.Result)
+}
+
+// TestMergeReportsPendingOnInProgressCampaign pins that merging early
+// is safe and explicit about incompleteness.
+func TestMergeReportsPendingOnInProgressCampaign(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Plan(dir, tinySpec()); err != nil {
+		t.Fatal(err)
+	}
+	merged, err := Merge(dir, nil)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if merged.Complete || merged.Pending != len(merged.Result.Cells) {
+		t.Fatalf("unworked campaign merged as complete=%v pending=%d", merged.Complete, merged.Pending)
+	}
+	for i := range merged.Result.Cells {
+		if merged.Result.Cells[i].Err == nil {
+			t.Fatalf("pending cell %d carries no error", i)
+		}
+	}
+}

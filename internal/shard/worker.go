@@ -1,0 +1,440 @@
+package shard
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"hmpt/internal/campaign"
+	"hmpt/internal/faultfs"
+	"hmpt/internal/fsatomic"
+)
+
+// WorkerOptions configures one shard worker.
+type WorkerOptions struct {
+	// ID names this worker in leases, journal records and its shard
+	// report. Empty generates a process-unique ID. IDs must be unique
+	// across the fleet (and across workers sharing a process).
+	ID string
+	// TTL is the lease lifetime; a worker that misses renewals for a
+	// full TTL (killed, stalled, partitioned) forfeits its cells to the
+	// survivors. 0 means 30s.
+	TTL time.Duration
+	// Heartbeat is the renewal period; 0 means TTL/3.
+	Heartbeat time.Duration
+	// Poll is the idle re-scan period while every remaining cell is
+	// leased elsewhere or backing off; 0 means 200ms.
+	Poll time.Duration
+	// MaxAttempts bounds fleet-wide execution attempts per cell before
+	// quarantine; 0 means 3.
+	MaxAttempts int
+	// Backoff is the retry delay after a cell's first failure, doubling
+	// per subsequent failure; 0 means 1s.
+	Backoff time.Duration
+	// FS is the filesystem seam for the shard directory (leases,
+	// journal, fail and quarantine records); nil means the real one.
+	// Wiring a faultfs.Injector here chaos-tests the coordination layer
+	// without touching the engine's caches.
+	FS faultfs.FS
+	// Engine executes claimed cells; nil means a bare engine (no disk
+	// caches). Callers normally wire the same snapshot and analysis
+	// caches a single-process campaign would use — workers then share
+	// captures through the cache tree exactly like concurrent
+	// single-process runs do.
+	Engine *campaign.Engine
+
+	// abandonBeforeJournal, when set (tests only), is consulted after a
+	// cell computes but before its journal record publishes; returning
+	// true makes the worker stop dead — lease held, journal absent —
+	// which is observationally a SIGKILL at the worst possible instant.
+	abandonBeforeJournal func(cell int) bool
+}
+
+// errAbandoned reports a worker stopped by the test-only abandon hook.
+var errAbandoned = errors.New("shard: worker abandoned (test hook)")
+
+// Summary is what one worker's Run contributed and observed.
+type Summary struct {
+	Owner string `json:"owner"`
+	// Cells is the campaign's total cell count; Executed how many this
+	// worker computed and journaled; JournalHits how many it found
+	// already journaled by someone else (zero-recompute skips);
+	// Quarantined how many ended quarantined fleet-wide.
+	Cells       int `json:"cells"`
+	Executed    int `json:"executed"`
+	JournalHits int `json:"journal_hits"`
+	Failures    int `json:"failures"`
+	Quarantined int `json:"quarantined"`
+	// Reclaimed counts expired leases this worker tore down — each one
+	// absorbed a peer's crash or stall.
+	Reclaimed   int64         `json:"reclaimed"`
+	Duration    time.Duration `json:"duration_ns"`
+	CellsPerSec float64       `json:"cells_per_sec"`
+}
+
+// Worker executes one shard of a campaign: a claim loop over the
+// manifest's cells against the shared shard directory.
+type Worker struct {
+	dir   string
+	man   *Manifest
+	cells []cellRef
+	opts  WorkerOptions
+
+	eng      *campaign.Engine
+	leases   *leaseManager
+	journal  *journal
+	attempts *attempts
+
+	settled []bool // journaled or quarantined, by cell
+	mine    []bool // journaled by this worker
+
+	executed    int
+	journalHits int
+	failures    int
+}
+
+// NewWorker opens the shard directory, validates its manifest and
+// rebuilds the matrix.
+func NewWorker(dir string, opts WorkerOptions) (*Worker, error) {
+	man, err := LoadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	m, err := man.Matrix()
+	if err != nil {
+		return nil, err
+	}
+	if opts.ID == "" {
+		opts.ID = defaultOwnerID()
+	}
+	if opts.TTL <= 0 {
+		opts.TTL = 30 * time.Second
+	}
+	if opts.Heartbeat <= 0 {
+		opts.Heartbeat = opts.TTL / 3
+	}
+	if opts.Poll <= 0 {
+		opts.Poll = 200 * time.Millisecond
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 3
+	}
+	if opts.Backoff <= 0 {
+		opts.Backoff = time.Second
+	}
+	fs := opts.FS
+	if fs == nil {
+		fs = faultfs.OS
+	}
+	eng := opts.Engine
+	if eng == nil {
+		eng = &campaign.Engine{}
+	}
+	cells := enumerate(m)
+	return &Worker{
+		dir:   dir,
+		man:   man,
+		cells: cells,
+		opts:  opts,
+		eng:   eng,
+		leases: &leaseManager{
+			fs: fs, dir: filepath.Join(dir, leaseDir),
+			manifest: man.ID, owner: opts.ID, ttl: opts.TTL,
+		},
+		journal: &journal{fs: fs, dir: filepath.Join(dir, journalDir), manifest: man.ID},
+		attempts: &attempts{
+			fs: fs, failDir: filepath.Join(dir, failDir), quarDir: filepath.Join(dir, quarantineDir),
+			manifest: man.ID, owner: opts.ID, backoff: opts.Backoff, max: opts.MaxAttempts,
+		},
+		settled: make([]bool, len(cells)),
+		mine:    make([]bool, len(cells)),
+	}, nil
+}
+
+// defaultOwnerID builds a fleet-unique worker identity.
+func defaultOwnerID() string {
+	host, _ := os.Hostname()
+	if host == "" {
+		host = "host"
+	}
+	var nonce [4]byte
+	rand.Read(nonce[:])
+	// Sanitise: the ID becomes part of file names.
+	host = strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-':
+			return r
+		default:
+			return '_'
+		}
+	}, host)
+	return fmt.Sprintf("%s-%d-%s", host, os.Getpid(), hex.EncodeToString(nonce[:]))
+}
+
+// claimOrder returns the cell visit order: a rotation of matrix order
+// keyed on the worker ID, so a fleet's workers start claiming in
+// different regions and mostly stay out of each other's way. Pure
+// de-contention — any order is correct.
+func (w *Worker) claimOrder() []int {
+	n := len(w.cells)
+	h := fnv.New32a()
+	h.Write([]byte(w.opts.ID))
+	start := int(h.Sum32()) % n
+	if start < 0 {
+		start += n
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = (start + i) % n
+	}
+	return order
+}
+
+// Run executes the claim loop until every cell is settled (journaled
+// complete or quarantined), then sweeps stale coordination files and
+// publishes this worker's shard report. It blocks across peers' work:
+// a worker with nothing claimable polls until the fleet finishes, so
+// every worker observes campaign completion.
+func (w *Worker) Run(ctx context.Context) (*Summary, error) {
+	start := time.Now()
+	order := w.claimOrder()
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		progress := false
+		settled := 0
+		for _, i := range order {
+			if w.settled[i] {
+				settled++
+				continue
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if _, ok := w.journal.load(i); ok {
+				w.settled[i] = true
+				settled++
+				if !w.mine[i] {
+					w.journalHits++
+					journalSkips.Add(1)
+				}
+				continue
+			}
+			if _, ok := w.attempts.quarantined(i); ok {
+				w.settled[i] = true
+				settled++
+				continue
+			}
+			hist := w.attempts.history(i)
+			if len(hist) >= w.opts.MaxAttempts {
+				if w.attempts.quarantine(w.cells[i], hist) == nil {
+					w.settled[i] = true
+					settled++
+				}
+				continue
+			}
+			if ok, _ := w.attempts.eligible(hist, time.Now()); !ok {
+				continue // backing off; revisit next round
+			}
+			l, err := w.leases.tryAcquire(i)
+			if err != nil {
+				leaseErrors.Add(1)
+				continue // advisory layer: an unreadable lease costs a round
+			}
+			if l == nil {
+				continue // live holder elsewhere
+			}
+			abandoned, executed := w.runCell(ctx, i, l, len(hist)+1)
+			if abandoned {
+				return nil, errAbandoned
+			}
+			progress = progress || executed
+		}
+		if settled == len(w.cells) {
+			w.sweep()
+			sum := w.summary(time.Since(start))
+			if err := w.publishReport(sum); err != nil {
+				return sum, fmt.Errorf("shard: publishing report: %w", err)
+			}
+			return sum, nil
+		}
+		if !progress {
+			if err := sleepCtx(ctx, w.opts.Poll); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+// runCell executes one claimed cell: heartbeat goroutine renewing the
+// lease, engine run, then journal-or-fail bookkeeping. Reports whether
+// the test abandon hook fired and whether any state was advanced.
+func (w *Worker) runCell(ctx context.Context, i int, l *lease, attempt int) (abandoned, progress bool) {
+	hbStop := make(chan struct{})
+	var hb sync.WaitGroup
+	hb.Add(1)
+	go func() {
+		defer hb.Done()
+		t := time.NewTicker(w.opts.Heartbeat)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbStop:
+				return
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				if err := l.renew(); errors.Is(err, errLeaseLost) {
+					// Reclaimed out from under us: keep computing (the
+					// result is byte-identical wherever it lands) but
+					// stop touching the lease.
+					return
+				}
+			}
+		}
+	}()
+	stopHeartbeat := func() { close(hbStop); hb.Wait() }
+
+	res, err := w.eng.RunContext(ctx, singleCell(w.cells[i]))
+	stopHeartbeat()
+	if err != nil {
+		if ctx.Err() == nil {
+			w.failCell(i, attempt, err)
+		}
+		l.release()
+		return false, true
+	}
+	cell := &res.Cells[0]
+	if cell.Err != nil {
+		w.failCell(i, attempt, cell.Err)
+		l.release()
+		return false, true
+	}
+	if w.opts.abandonBeforeJournal != nil && w.opts.abandonBeforeJournal(i) {
+		return true, false // SIGKILL equivalent: lease held, no journal
+	}
+	rec := &cellRecord{
+		Cell:     i,
+		Workload: cell.Workload, Platform: cell.Platform, Variant: cell.Variant,
+		Owner:     w.opts.ID,
+		FromCache: cell.FromCache, Derived: cell.Derived,
+		AnalysisFromCache: cell.AnalysisFromCache, Coalesced: cell.Coalesced,
+		Analysis: cell.Analysis,
+	}
+	if err := w.journal.complete(rec); err != nil {
+		// Computed but unpersistable (disk trouble): record as a failure
+		// so the retry/backoff machinery governs the re-attempt — maybe
+		// on a worker whose disk works.
+		w.failCell(i, attempt, err)
+		l.release()
+		return false, true
+	}
+	w.settled[i] = true
+	w.mine[i] = true
+	w.executed++
+	l.release()
+	return false, true
+}
+
+// failCell records one failed attempt, absorbing bookkeeping errors
+// (the fail record is advisory; losing one means one extra retry).
+func (w *Worker) failCell(i, attempt int, cellErr error) {
+	w.failures++
+	if err := w.attempts.recordFailure(i, attempt, cellErr, w.leases.seq.Add(1)); err != nil {
+		leaseErrors.Add(1)
+	}
+}
+
+// sweep removes stale coordination files once the campaign is settled:
+// every lease (all cells are done — any remaining lease file is a dead
+// holder's), leaked reclaim tombs, and orphaned fsatomic staging files.
+// Races with peers running the same sweep are benign; removal errors
+// are ignored (merge sweeps again).
+func (w *Worker) sweep() {
+	dir := filepath.Join(w.dir, leaseDir)
+	entries, err := w.leases.fs.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, ent := range entries {
+		if !ent.IsDir() {
+			w.leases.fs.Remove(filepath.Join(dir, ent.Name()))
+		}
+	}
+	sweepStaging(w.leases.fs, filepath.Join(w.dir, journalDir))
+}
+
+// sweepStaging removes fsatomic staging files (".<name>.tmp*") from
+// dir — the residue of publishes killed between stage and rename.
+func sweepStaging(fs faultfs.FS, dir string) int {
+	entries, err := fs.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, ent := range entries {
+		name := ent.Name()
+		if !ent.IsDir() && strings.HasPrefix(name, ".") && strings.Contains(name, ".tmp") {
+			if fs.Remove(filepath.Join(dir, name)) == nil {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// summary assembles this worker's Summary.
+func (w *Worker) summary(dur time.Duration) *Summary {
+	quar := 0
+	for i := range w.cells {
+		if _, ok := w.attempts.quarantined(i); ok {
+			quar++
+		}
+	}
+	s := &Summary{
+		Owner:       w.opts.ID,
+		Cells:       len(w.cells),
+		Executed:    w.executed,
+		JournalHits: w.journalHits,
+		Failures:    w.failures,
+		Quarantined: quar,
+		Reclaimed:   w.leases.reclaimed.Load(),
+		Duration:    dur,
+	}
+	if dur > 0 {
+		s.CellsPerSec = float64(s.Executed) / dur.Seconds()
+	}
+	return s
+}
+
+// publishReport persists the worker's summary for the merge step.
+func (w *Worker) publishReport(s *Summary) error {
+	raw, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(w.dir, reportDir, w.opts.ID+".json")
+	return fsatomic.PublishFS(w.leases.fs, path, append(raw, '\n'))
+}
+
+// sleepCtx sleeps for d or until the context ends.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

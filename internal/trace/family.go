@@ -59,6 +59,21 @@ func decodeFamilyMember(f FamilyKey, raw []byte) (SnapshotKey, error) {
 	return f.WithFamily(scale, iters), nil
 }
 
+// ValidFamilyMember reports whether raw is a structurally valid family
+// member record (magic plus seal). The cache GC classifies member
+// records with it: full decoding needs the family key, which a GC
+// walking the directory tree does not have, but a record that fails
+// this check can never be read by any key — dead by construction.
+func ValidFamilyMember(raw []byte) error {
+	if len(raw) < len(familyMemberMagic) || string(raw[:len(familyMemberMagic)]) != familyMemberMagic {
+		return fmt.Errorf("trace: bad family member magic")
+	}
+	if _, err := wire.CheckSeal(raw); err != nil {
+		return fmt.Errorf("trace: family member: %w", err)
+	}
+	return nil
+}
+
 // registerFamily publishes the key's member record into its family
 // directory. Failures degrade the index, not the store: the snapshot
 // entry itself is already published and addressable by exact key.
