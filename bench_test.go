@@ -1098,6 +1098,83 @@ func BenchmarkDeriveSnapshot(b *testing.B) {
 	b.ReportMetric(captureNs/deriveNs, "capture/derive-speedup")
 }
 
+// BenchmarkSeedSweep measures the seed axis of derivation end to end: a
+// cold 8-seed BT campaign on a fresh engine resolves one real kernel
+// and synthesizes the other seven seeds' snapshots, versus the pre-seed-
+// derivation shape of the same sweep — eight single-seed engines that
+// each execute their own kernel. Counter-gated: the engine sweep must
+// run exactly one kernel (seven seed derivations), and must beat the
+// per-seed-kernel baseline by the CI floor below.
+func BenchmarkSeedSweep(b *testing.B) {
+	spec, err := experiments.SpecFor("npb.bt")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const seeds = 8
+	matrix := campaign.Matrix{
+		Workloads: []campaign.Workload{{Name: spec.Name, Factory: spec.Fast, Options: spec.Options}},
+		Platforms: []campaign.Platform{{Name: "xeonmax", Platform: platform()}},
+	}
+	for seed := uint64(1); seed <= seeds; seed++ {
+		seed := seed
+		matrix.Variants = append(matrix.Variants, campaign.Variant{
+			Name:  fmt.Sprintf("seed%d", seed),
+			Apply: func(o *core.Options) { o.Seed = seed },
+		})
+	}
+	sweep := func() {
+		res, err := (&campaign.Engine{}).Run(matrix)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Err(); err != nil {
+			b.Fatal(err)
+		}
+		if res.Executions != 1 || res.Derived != seeds-1 || res.SeedDerived != seeds-1 {
+			b.Errorf("sweep ran %d kernels / %d derived / %d across seeds, want 1/%d/%d",
+				res.Executions, res.Derived, res.SeedDerived, seeds-1, seeds-1)
+		}
+	}
+
+	const reps = 3
+	kernels := core.KernelExecutions()
+	sweepNs := minSampleNs(b, reps, func(uint64) { sweep() })
+	if got := core.KernelExecutions() - kernels; got != reps {
+		b.Errorf("%d cold sweeps executed %d kernels, want exactly one each", reps, got)
+	}
+	perSeedNs := minSampleNs(b, reps, func(uint64) {
+		// The baseline sweeps seed-by-seed on fresh single-cell engines:
+		// identical analysis work, but no family sibling to derive from,
+		// so every seed pays its own kernel.
+		for seed := uint64(1); seed <= seeds; seed++ {
+			single := matrix
+			single.Variants = []campaign.Variant{matrix.Variants[seed-1]}
+			res, err := (&campaign.Engine{}).Run(single)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := res.Err(); err != nil {
+				b.Fatal(err)
+			}
+			if res.Executions != 1 {
+				b.Errorf("per-seed baseline ran %d kernels for seed %d, want 1", res.Executions, seed)
+			}
+		}
+	})
+	speedup := perSeedNs / sweepNs
+	const gate = 4.0
+	if speedup < gate {
+		b.Errorf("8-seed sweep is %.1fx the per-seed baseline, gate is %.0fx", speedup, gate)
+	}
+	once("seed-sweep", fmt.Sprintf("\n== SeedSweep: 8-seed cold BT campaign %.1fms (1 kernel, 7 seed derivations) vs per-seed kernels %.1fms: %.1fx ==\n",
+		sweepNs/1e6, perSeedNs/1e6, speedup))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sweep()
+	}
+	b.ReportMetric(speedup, "per-seed/sweep-speedup")
+}
+
 // ---------------------------------------------------------------------
 // Serving-layer benchmark: the hmptd warm path end to end.
 // ---------------------------------------------------------------------

@@ -9,7 +9,7 @@
 //	hmpt analyze <workload> [-runs N] [-threads N] [-seed N] [-full] [-csv]
 //	             [-ibs-period N] [-ibs-max-samples N] [-iters N]
 //	hmpt plan <workload> -budget <bytes, e.g. 16GB> [-full]
-//	hmpt campaign [-workloads a,b|all] [-platforms xeonmax,dual] [-seeds 1,2]
+//	hmpt campaign [-workloads a,b|all] [-platforms xeonmax,dual] [-seeds N|1,2]
 //	              [-runs N] [-cache DIR] [-analysis-cache DIR] [-par N]
 //	              [-full] [-csv] [-ibs-period N] [-ibs-max-samples N] [-iters N]
 //	              [-shard-dir DIR [-shard-merge|-shard-plan] [-shard-id S]
@@ -100,7 +100,7 @@ func campaignCmd(args []string) error {
 	fs := flag.NewFlagSet("campaign", flag.ContinueOnError)
 	workloadsFlag := fs.String("workloads", "all", "comma-separated workloads (all = the Table I set)")
 	platformsFlag := fs.String("platforms", "xeonmax", "comma-separated platform presets: xeonmax, dual")
-	seedsFlag := fs.String("seeds", "", "comma-separated seed variants (empty = spec seeds)")
+	seedsFlag := fs.String("seeds", "", "seed sweep: a bare count N expands to seeds 1..N, a comma-separated list selects exact seeds (empty = spec seeds)")
 	runs := fs.Int("runs", 0, "measured runs per configuration (0 = spec default)")
 	cacheDir := fs.String("cache", "", "snapshot cache directory (empty = no disk cache)")
 	analysisDir := fs.String("analysis-cache", "", "analysis cache directory (empty = <cache>/analyses when -cache is set, else no analysis cache)")
@@ -134,12 +134,23 @@ func campaignCmd(args []string) error {
 		Iterations:   *iters,
 	}
 	if *seedsFlag != "" {
-		for _, s := range strings.Split(*seedsFlag, ",") {
-			seed, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
-			if err != nil {
-				return fmt.Errorf("bad seed %q: %w", s, err)
+		if !strings.Contains(*seedsFlag, ",") {
+			// A bare integer is a range: -seeds 8 sweeps seeds 1..8. The
+			// spec normalises it into the explicit list, so the shard
+			// manifest hash is the same however the sweep was spelled.
+			n, err := strconv.Atoi(strings.TrimSpace(*seedsFlag))
+			if err != nil || n <= 0 {
+				return fmt.Errorf("bad seed count %q: want a positive count or a comma-separated seed list", *seedsFlag)
 			}
-			spec.Seeds = append(spec.Seeds, seed)
+			spec.SeedCount = n
+		} else {
+			for _, s := range strings.Split(*seedsFlag, ",") {
+				seed, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
+				if err != nil {
+					return fmt.Errorf("bad seed %q: %w", s, err)
+				}
+				spec.Seeds = append(spec.Seeds, seed)
+			}
 		}
 	}
 	if *workers > 0 {
@@ -186,8 +197,8 @@ func campaignCmd(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(summary, "\n%d cells, %d reference runs: %d kernels executed, %d snapshots derived from family bases, %d snapshots served from cache, %d full analyses served from cache\n",
-		len(res.Cells), res.Snapshots, res.Executions, res.Derived, res.CacheHits, res.AnalysisHits)
+	fmt.Fprintf(summary, "\n%d cells, %d reference runs: %d kernels executed, %d snapshots derived from family bases (%d across seeds), %d snapshots served from cache, %d full analyses served from cache\n",
+		len(res.Cells), res.Snapshots, res.Executions, res.Derived, res.SeedDerived, res.CacheHits, res.AnalysisHits)
 	// CacheErrs carries snapshot-cache errors first, then analysis-cache
 	// errors; the entries' own messages name their layer.
 	for _, err := range res.CacheErrs {

@@ -300,16 +300,23 @@ func SweepEvaluations() int64 { return core.SweepEvaluations() }
 
 // DerivedSnapshots returns the number of snapshots the pipeline has
 // synthesized by transposing a cached derivation-family sibling
-// (iteration or scale change) instead of executing the kernel — the
-// fourth pinned counter of the cache ladder. A campaign sweeping N
+// (iteration, scale or seed change) instead of executing the kernel —
+// the fourth pinned counter of the cache ladder. A campaign sweeping N
 // iteration settings of one family workload executes one kernel and
 // derives the other N-1 captures.
 func DerivedSnapshots() int64 { return core.DerivedSnapshots() }
 
+// SeedDerivations returns the number of derived snapshots whose seed
+// was transposed from the base capture's (a workloads.SeedFamily
+// derivation rewriting Meta.Seed/Meta.EnvSeed). An 8-seed sweep of one
+// seed-invariant workload executes one kernel and derives the other 7
+// captures, all of them counted here.
+func SeedDerivations() int64 { return core.SeedDerivations() }
+
 // DeriveSnapshot transposes a captured snapshot to a neighbouring
-// (iterations, scale) key of its derivation family without executing
-// the kernel; the result is byte-identical to a real Capture under
-// opts. w must be a fresh instance of the captured configuration.
+// (iterations, scale, seed) key of its derivation family without
+// executing the kernel; the result is byte-identical to a real Capture
+// under opts. w must be a fresh instance of the captured configuration.
 func DeriveSnapshot(base *Snapshot, w Workload, opts Options) (*Snapshot, error) {
 	return core.DeriveSnapshot(base, w, opts)
 }

@@ -100,6 +100,11 @@ type Cell struct {
 	// (core.DeriveSnapshot) instead of executing the kernel or hitting
 	// a cache.
 	Derived bool
+	// SeedDerived reports whether that derivation transposed the
+	// snapshot across seeds (the base capture was recorded under a
+	// different seed and Meta.Seed/Meta.EnvSeed were rewritten). Always
+	// implies Derived.
+	SeedDerived bool
 	// AnalysisFromCache reports whether the cell's entire analysis was
 	// served from the analysis cache (memo or disk): the cell ran zero
 	// kernel executions, zero sampling passes and zero placement
@@ -130,6 +135,11 @@ type Result struct {
 	CacheHits  int
 	Derived    int
 	Coalesced  int
+	// SeedDerived counts the subset of Derived whose base capture was
+	// recorded under a different seed — it is not a fifth disjoint
+	// provenance class, so it does not enter the Snapshots identity
+	// above.
+	SeedDerived int
 	// AnalysisHits counts cells whose complete analysis was served from
 	// the analysis cache (memo or disk) — cells that ran zero kernel
 	// executions, zero sampling passes and zero placement costing. A
@@ -265,17 +275,18 @@ func (m *Memo) putAnalysis(id string, a *core.Analysis) {
 
 // capture is one distinct reference run the matrix needs.
 type capture struct {
-	key       trace.SnapshotKey
-	id        string // key.ID(), hashed once
-	factory   workloads.Factory
-	opts      core.Options
-	snap      *trace.Snapshot
-	ctx       *core.ReplayContext
-	hit       bool
-	derived   bool // synthesized from a family sibling this run
-	coalesced bool // served from another run's flight in a shared group
-	err       error
-	cacheErr  error // non-fatal: the disk cache failed a load or store
+	key         trace.SnapshotKey
+	id          string // key.ID(), hashed once
+	factory     workloads.Factory
+	opts        core.Options
+	snap        *trace.Snapshot
+	ctx         *core.ReplayContext
+	hit         bool
+	derived     bool // synthesized from a family sibling this run
+	seedDerived bool // ...and the sibling was captured under another seed
+	coalesced   bool // served from another run's flight in a shared group
+	err         error
+	cacheErr    error // non-fatal: the disk cache failed a load or store
 }
 
 // capOutcome is the shareable result of one capture flight: everything
@@ -283,9 +294,10 @@ type capture struct {
 // itself. The pointers are the same shared, read-only values the Memo
 // hands out.
 type capOutcome struct {
-	snap    *trace.Snapshot
-	ctx     *core.ReplayContext
-	derived bool
+	snap        *trace.Snapshot
+	ctx         *core.ReplayContext
+	derived     bool
+	seedDerived bool
 }
 
 // cellWork is the per-cell scheduling state of one Run.
@@ -456,6 +468,9 @@ func (e *Engine) RunContext(ctx context.Context, m Matrix) (*Result, error) {
 			res.Coalesced++
 		case c.derived:
 			res.Derived++
+			if c.seedDerived {
+				res.SeedDerived++
+			}
 		default:
 			res.Executions++
 		}
@@ -494,6 +509,7 @@ func (e *Engine) RunContext(ctx context.Context, m Matrix) (*Result, error) {
 			}
 			cell.FromCache = c.hit
 			cell.Derived = c.derived
+			cell.SeedDerived = c.seedDerived
 			cell.Coalesced = c.coalesced
 			// GroupBy cells compute their key only now (it needs the
 			// capture's sites); their cache probe is deferred into the
@@ -659,7 +675,7 @@ func (e *Engine) resolveFamily(ctx context.Context, flights *FlightGroup, member
 			if c.err != nil {
 				return nil, false, c.err
 			}
-			return capOutcome{snap: c.snap, ctx: c.ctx, derived: c.derived}, false, nil
+			return capOutcome{snap: c.snap, ctx: c.ctx, derived: c.derived, seedDerived: c.seedDerived}, false, nil
 		})
 		if ctx.Err() != nil {
 			// Cancelled: this caller may have detached from a flight that
@@ -712,6 +728,7 @@ func (e *Engine) deriveCapture(ctx context.Context, c *capture, bases []*trace.S
 			continue // refusal: try the next base, else execute
 		}
 		c.snap, c.derived = snap, true
+		c.seedDerived = snap.Meta.Seed != b.Meta.Seed
 		if e.Memo != nil {
 			e.Memo.put(c.id, snap)
 		}

@@ -28,6 +28,9 @@ func synthFactory(t *testing.T) workloads.Factory {
 // the full matrix (pinned by the kernel and sweep counters), returns
 // the context's error with no partial result, and leaves the shared
 // state consistent enough that an identical retry completes in full.
+// The matrix uses chase — the seed-dependent derivation opt-out — so
+// its three seeds really are three distinct kernel executions rather
+// than one capture plus two seed derivations.
 func TestRunContextCancelledMidMatrixStopsColdWork(t *testing.T) {
 	started := make(chan struct{}, 3)
 	release := make(chan struct{})
@@ -36,9 +39,9 @@ func TestRunContextCancelledMidMatrixStopsColdWork(t *testing.T) {
 
 	gated := func(seed uint64) Workload {
 		return Workload{
-			Name: "synth",
+			Name: "chase",
 			Factory: func() workloads.Workload {
-				w, err := workloads.New("synth")
+				w, err := workloads.New("chase")
 				if err != nil {
 					panic(err)
 				}
@@ -93,11 +96,18 @@ func TestRunContextCancelledMidMatrixStopsColdWork(t *testing.T) {
 	// completes in full: nothing the cancelled run left behind poisons it.
 	retryBaseKernels := core.KernelExecutions()
 	retryBaseSweeps := core.SweepEvaluations()
+	chaseFactory := func() workloads.Workload {
+		w, err := workloads.New("chase")
+		if err != nil {
+			panic(err)
+		}
+		return w
+	}
 	plain := Matrix{
 		Workloads: []Workload{
-			{Name: "synth", Factory: synthFactory(t), Options: core.Options{Seed: 11}},
-			{Name: "synth", Factory: synthFactory(t), Options: core.Options{Seed: 12}},
-			{Name: "synth", Factory: synthFactory(t), Options: core.Options{Seed: 13}},
+			{Name: "chase", Factory: chaseFactory, Options: core.Options{Seed: 11}},
+			{Name: "chase", Factory: chaseFactory, Options: core.Options{Seed: 12}},
+			{Name: "chase", Factory: chaseFactory, Options: core.Options{Seed: 13}},
 		},
 		Platforms: m.Platforms,
 	}

@@ -18,28 +18,43 @@ import (
 // iteration sweep executes O(families) kernels, not O(cells).
 var derivedSnaps atomic.Int64
 
+// seedDerivations counts the subset of derivations that transposed the
+// snapshot across seeds (rewriting Meta.Seed/Meta.EnvSeed under a
+// workloads.SeedFamily declaration). Campaign tests pin it alongside
+// DerivedSnapshots to prove a seed sweep executes one kernel per
+// family, not one per seed.
+var seedDerivations atomic.Int64
+
 // DerivedSnapshots returns the number of snapshots the pipeline has
 // derived (rather than captured) in this process. Tests compare deltas.
 func DerivedSnapshots() int64 { return derivedSnaps.Load() }
+
+// SeedDerivations returns the number of derived snapshots whose seed
+// was transposed from the base capture's. Tests compare deltas.
+func SeedDerivations() int64 { return seedDerivations.Load() }
 
 // DeriveSnapshot transposes base — a capture from the same derivation
 // family — into the snapshot the options describe, without executing
 // the kernel. w must be a fresh instance of the same workload
 // configuration the base was captured from: its declared phase schedule
 // (workloads.IterationFamily) rewrites the deduplicated trace's
-// multiplicities for an iteration-count change, and its scale
-// declaration (workloads.ScaleFamily) covers a scale change. The
-// allocation registry, environment seed and simulated footprint carry
-// over unchanged — they are established in Setup, before the iteration
-// loop, and never see Env.Scale.
+// multiplicities for an iteration-count change, its scale declaration
+// (workloads.ScaleFamily) covers a scale change, and its seed
+// declaration (workloads.SeedFamily) covers a seed change — the
+// recorded Meta.Seed/Meta.EnvSeed are rewritten for the target seed
+// and everything else carries over, because for a seed-invariant
+// workload the RNG only ever filled data values. The allocation
+// registry and simulated footprint always carry over unchanged — they
+// are established in Setup, before the iteration loop, and never see
+// Env.Scale.
 //
 // The result is byte-identical to a real Capture under the same
 // options (the derivation equivalence tests pin this for every family
 // workload): the trace rewrite is validated slot-by-slot against the
 // base, and the embedded sample counts are recomputed through the same
 // deterministic counting pass Capture runs — which is also why an
-// iteration derivation still tallies one SamplePasses tick. Any
-// mismatch between the declared schedule and the base capture is a
+// iteration or seed derivation still tallies one SamplePasses tick.
+// Any mismatch between the declared schedule and the base capture is a
 // refusal (an error), never a silently divergent snapshot; callers
 // fall back to executing the kernel.
 func DeriveSnapshot(base *trace.Snapshot, w workloads.Workload, opts Options) (*trace.Snapshot, error) {
@@ -51,9 +66,9 @@ func DeriveSnapshot(base *trace.Snapshot, w workloads.Workload, opts Options) (*
 	if m.Workload != w.Name() {
 		return nil, fmt.Errorf("core: deriving %q from a snapshot of %q", w.Name(), m.Workload)
 	}
-	if m.Config != o.ConfigTag || m.Threads != o.Threads || m.Seed != o.Seed {
-		return nil, fmt.Errorf("core: snapshot of %q (config=%q threads=%d seed=%d) is outside the derivation family of config=%q threads=%d seed=%d",
-			m.Workload, m.Config, m.Threads, m.Seed, o.ConfigTag, o.Threads, o.Seed)
+	if m.Config != o.ConfigTag || m.Threads != o.Threads {
+		return nil, fmt.Errorf("core: snapshot of %q (config=%q threads=%d) is outside the derivation family of config=%q threads=%d",
+			m.Workload, m.Config, m.Threads, o.ConfigTag, o.Threads)
 	}
 	mPeriod, mBudget := m.SamplePeriod, m.SampleBudget
 	if mPeriod <= 0 {
@@ -66,10 +81,12 @@ func DeriveSnapshot(base *trace.Snapshot, w workloads.Workload, opts Options) (*
 		return nil, fmt.Errorf("core: snapshot of %q captured at sample period=%d budget=%d is outside the derivation family of period=%d budget=%d",
 			m.Workload, mPeriod, mBudget, o.SamplePeriod, o.SampleBudget)
 	}
-	envSeed := xrand.New(o.Seed).Split(1).Uint64()
-	if m.EnvSeed != envSeed {
+	// The base must be internally consistent before anything is
+	// transposed from it: its recorded env seed must be the one its own
+	// top-level seed derives.
+	if baseEnvSeed := xrand.New(m.Seed).Split(1).Uint64(); m.EnvSeed != baseEnvSeed {
 		return nil, fmt.Errorf("core: snapshot of %q records env seed %#x, expected %#x (corrupted or cross-version snapshot)",
-			m.Workload, m.EnvSeed, envSeed)
+			m.Workload, m.EnvSeed, baseEnvSeed)
 	}
 	if base.Samples == nil {
 		// A real capture at the target key would embed sample counts; a
@@ -85,8 +102,15 @@ func DeriveSnapshot(base *trace.Snapshot, w workloads.Workload, opts Options) (*
 				m.Workload, m.Scale, o.Scale)
 		}
 	}
+	if m.Seed != o.Seed {
+		sf, ok := w.(workloads.SeedFamily)
+		if !ok || !sf.SeedInvariant() {
+			return nil, fmt.Errorf("core: workload %q does not declare seed invariance (seed %d -> %d)",
+				m.Workload, m.Seed, o.Seed)
+		}
+	}
 
-	tr, samples := base.Trace, base.Samples
+	tr := base.Trace
 	if m.Iterations != o.Iterations {
 		fam, ok := w.(workloads.IterationFamily)
 		if !ok {
@@ -100,10 +124,17 @@ func DeriveSnapshot(base *trace.Snapshot, w workloads.Workload, opts Options) (*
 		if err != nil {
 			return nil, fmt.Errorf("core: deriving %q iterations %d -> %d: %w", m.Workload, m.Iterations, o.Iterations, err)
 		}
+	}
+
+	samples := base.Samples
+	if m.Iterations != o.Iterations || m.Seed != o.Seed {
 		// Recompute the embedded counts exactly as Capture would: the
 		// counting pass is deterministic in (trace, registry), so the
 		// result matches a real capture's embed bit for bit — and it is
-		// a real counting pass, so it tallies like one.
+		// a real counting pass, so it tallies like one. A seed
+		// transposition runs it too: the target capture would have, and
+		// determinism in (trace, registry) is precisely why the counts
+		// survive the seed change.
 		al, err := shim.Restore(base.Registry)
 		if err != nil {
 			return nil, fmt.Errorf("core: restoring %q registry for derivation: %w", m.Workload, err)
@@ -118,6 +149,11 @@ func DeriveSnapshot(base *trace.Snapshot, w workloads.Workload, opts Options) (*
 	meta := m
 	meta.Scale = o.Scale
 	meta.Iterations = o.Iterations
+	if m.Seed != o.Seed {
+		meta.Seed = o.Seed
+		meta.EnvSeed = xrand.New(o.Seed).Split(1).Uint64()
+		seedDerivations.Add(1)
+	}
 	derivedSnaps.Add(1)
 	return &trace.Snapshot{
 		Meta:     meta,

@@ -26,6 +26,12 @@ type CampaignSpec struct {
 	// Seeds declares one seed-override variant per entry; empty keeps
 	// each workload's spec seed as the single pass-through variant.
 	Seeds []uint64 `json:"seeds,omitempty"`
+	// SeedCount is shorthand for Seeds = [1..SeedCount]: a seed *range*
+	// expanded into matrix cells. It only applies when Seeds is empty,
+	// and Normalize resolves it into the explicit list (clearing the
+	// field) so the canonical form — and hence the shard manifest hash —
+	// is identical however the sweep was spelled.
+	SeedCount int `json:"seed_count,omitempty"`
 	// Runs overrides the measured runs per configuration (0 = spec
 	// default), Full selects benchmark-scale instances, and the sampler
 	// and iteration overrides mirror the CLI flags (0 = workload
@@ -57,6 +63,13 @@ func (s CampaignSpec) Normalize() CampaignSpec {
 	if len(s.Platforms) == 0 {
 		out.Platforms = []string{"xeonmax"}
 	}
+	if len(s.Seeds) == 0 && s.SeedCount > 0 {
+		out.Seeds = make([]uint64, s.SeedCount)
+		for i := range out.Seeds {
+			out.Seeds[i] = uint64(i + 1)
+		}
+	}
+	out.SeedCount = 0
 	return out
 }
 

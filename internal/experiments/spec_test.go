@@ -67,3 +67,54 @@ func TestMatrixSeedVariants(t *testing.T) {
 		t.Fatalf("seed variant applied %d, want 8", o.Seed)
 	}
 }
+
+// TestNormalizeSeedCountExpandsToRange: SeedCount is pure shorthand for
+// Seeds=[1..N] — the normalized (and hence manifest-hashed) form is
+// identical to the explicit list, and the shorthand field itself is
+// cleared so it can never make two equivalent specs hash differently.
+func TestNormalizeSeedCountExpandsToRange(t *testing.T) {
+	short := CampaignSpec{Workloads: []string{"npb.is"}, SeedCount: 8}.Normalize()
+	explicit := CampaignSpec{
+		Workloads: []string{"npb.is"},
+		Seeds:     []uint64{1, 2, 3, 4, 5, 6, 7, 8},
+	}.Normalize()
+	a, _ := json.Marshal(short)
+	b, _ := json.Marshal(explicit)
+	if string(a) != string(b) {
+		t.Fatalf("SeedCount normalises to %s, explicit range to %s", a, b)
+	}
+	if short.SeedCount != 0 {
+		t.Fatalf("normalized spec kept SeedCount=%d, want 0", short.SeedCount)
+	}
+}
+
+// TestNormalizeSeedCountIgnoredWhenSeedsSet: an explicit seed list wins
+// over the shorthand — SeedCount must not append to or replace it.
+func TestNormalizeSeedCountIgnoredWhenSeedsSet(t *testing.T) {
+	s := CampaignSpec{
+		Workloads: []string{"npb.is"}, Seeds: []uint64{42}, SeedCount: 8,
+	}.Normalize()
+	if len(s.Seeds) != 1 || s.Seeds[0] != 42 {
+		t.Fatalf("SeedCount overrode the explicit seed list: %v", s.Seeds)
+	}
+	if s.SeedCount != 0 {
+		t.Fatalf("normalized spec kept SeedCount=%d, want 0", s.SeedCount)
+	}
+}
+
+func TestMatrixSeedCountVariants(t *testing.T) {
+	m, err := CampaignSpec{Workloads: []string{"npb.is"}, SeedCount: 8}.Matrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Variants) != 8 {
+		t.Fatalf("SeedCount=8 produced %d variants, want 8", len(m.Variants))
+	}
+	for i, v := range m.Variants {
+		var o core.Options
+		v.Apply(&o)
+		if want := uint64(i + 1); o.Seed != want {
+			t.Fatalf("variant %d applied seed %d, want %d", i, o.Seed, want)
+		}
+	}
+}

@@ -384,6 +384,7 @@ type CellResult struct {
 	AnalysisFromCache bool `json:"analysis_from_cache"`
 	SnapshotFromCache bool `json:"snapshot_from_cache"`
 	Derived           bool `json:"derived"`
+	SeedDerived       bool `json:"seed_derived"`
 	Coalesced         bool `json:"coalesced"`
 }
 
@@ -395,6 +396,7 @@ func cellResult(c *campaign.Cell) CellResult {
 		AnalysisFromCache: c.AnalysisFromCache,
 		SnapshotFromCache: c.FromCache,
 		Derived:           c.Derived,
+		SeedDerived:       c.SeedDerived,
 		Coalesced:         c.Coalesced,
 	}
 	if c.Err != nil {
@@ -418,10 +420,13 @@ func cellResult(c *campaign.Cell) CellResult {
 
 // RunCounters mirrors campaign.Result's work accounting in responses.
 type RunCounters struct {
-	Snapshots    int `json:"snapshots"`
-	Executions   int `json:"executions"`
-	CacheHits    int `json:"cache_hits"`
-	Derived      int `json:"derived"`
+	Snapshots  int `json:"snapshots"`
+	Executions int `json:"executions"`
+	CacheHits  int `json:"cache_hits"`
+	Derived    int `json:"derived"`
+	// SeedDerived is the subset of Derived transposed across seeds; it
+	// is not a separate provenance class.
+	SeedDerived  int `json:"seed_derived"`
 	Coalesced    int `json:"coalesced"`
 	AnalysisHits int `json:"analysis_hits"`
 	CacheErrs    int `json:"cache_errors"`
@@ -433,6 +438,7 @@ func runCounters(res *campaign.Result) RunCounters {
 		Executions:   res.Executions,
 		CacheHits:    res.CacheHits,
 		Derived:      res.Derived,
+		SeedDerived:  res.SeedDerived,
 		Coalesced:    res.Coalesced,
 		AnalysisHits: res.AnalysisHits,
 		CacheErrs:    len(res.CacheErrs),
@@ -504,12 +510,15 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 // workloads × platforms × optional seed variants. Empty Workloads means
 // the full Table I benchmark set; empty Platforms means xeonmax.
 type CampaignRequest struct {
-	Workloads  []string `json:"workloads,omitempty"`
-	Platforms  []string `json:"platforms,omitempty"`
-	Seeds      []uint64 `json:"seeds,omitempty"`
-	Full       bool     `json:"full,omitempty"`
-	Runs       int      `json:"runs,omitempty"`
-	Iterations int      `json:"iterations,omitempty"`
+	Workloads []string `json:"workloads,omitempty"`
+	Platforms []string `json:"platforms,omitempty"`
+	Seeds     []uint64 `json:"seeds,omitempty"`
+	// SeedCount is shorthand for Seeds = [1..N]; ignored when Seeds is
+	// set explicitly (same semantics as CampaignSpec.SeedCount).
+	SeedCount  int  `json:"seed_count,omitempty"`
+	Full       bool `json:"full,omitempty"`
+	Runs       int  `json:"runs,omitempty"`
+	Iterations int  `json:"iterations,omitempty"`
 	// TimeoutMs bounds this request; see AnalyzeRequest.TimeoutMs.
 	TimeoutMs int `json:"timeout_ms,omitempty"`
 }
@@ -563,7 +572,14 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 		}
 		m.Platforms = append(m.Platforms, p)
 	}
-	for _, seed := range req.Seeds {
+	seeds := req.Seeds
+	if len(seeds) == 0 && req.SeedCount > 0 {
+		seeds = make([]uint64, req.SeedCount)
+		for i := range seeds {
+			seeds[i] = uint64(i + 1)
+		}
+	}
+	for _, seed := range seeds {
 		seed := seed
 		m.Variants = append(m.Variants, campaign.Variant{
 			Name:  fmt.Sprintf("seed%d", seed),

@@ -194,7 +194,11 @@ func TestCancelledCampaignStopsColdWork(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	body := `{"workloads":["synth"],"seeds":[9001,9002,9003,9004,9005,9006,9007,9008],"timeout_ms":0}`
+	// chase is the seed-dependent derivation opt-out, so its eight seeds
+	// really are eight distinct kernel executions — a seed-invariant
+	// workload would execute one kernel and derive the rest, leaving the
+	// cancellation nothing to save.
+	body := `{"workloads":["chase"],"seeds":[9001,9002,9003,9004,9005,9006,9007,9008],"timeout_ms":0}`
 
 	baseKernels := core.KernelExecutions()
 	baseSweeps := core.SweepEvaluations()

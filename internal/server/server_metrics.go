@@ -77,6 +77,9 @@ func newMetrics(s *Server) *serverMetrics {
 	reg.NewCounterFunc("hmptd_derived_snapshots_total",
 		"Snapshots synthesized from a family sibling (process-wide).",
 		func() float64 { return float64(core.DerivedSnapshots()) })
+	reg.NewCounterFunc("hmptd_seed_derivations_total",
+		"Derived snapshots transposed across seeds from their base capture (process-wide).",
+		func() float64 { return float64(core.SeedDerivations()) })
 
 	// Coalescing: the serving-layer exactly-once surface.
 	reg.NewCounterFunc("hmptd_coalesced_requests_total",

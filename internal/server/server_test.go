@@ -250,6 +250,41 @@ func TestCampaignEndpoint(t *testing.T) {
 	}
 }
 
+// TestCampaignEndpointSeedCount: the seed_count shorthand expands to
+// seeds 1..N, the sweep resolves with one kernel (a seed-invariant
+// workload derives the other seeds), and the response carries the
+// cross-seed provenance in both the counters and the cells.
+func TestCampaignEndpointSeedCount(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, b := postJSON(t, ts.URL+"/v1/campaign",
+		`{"workloads":["synth"],"seed_count":4}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+	var out CampaignResponse
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Cells) != 4 {
+		t.Fatalf("got %d cells, want 4 (seed_count=4)", len(out.Cells))
+	}
+	for i, c := range out.Cells {
+		if want := fmt.Sprintf("seed%d", i+1); c.Variant != want {
+			t.Errorf("cell %d variant %q, want %q", i, c.Variant, want)
+		}
+		if c.Error != "" {
+			t.Errorf("cell %s failed: %s", c.Variant, c.Error)
+		}
+		if c.SeedDerived && !c.Derived {
+			t.Errorf("cell %s: seed_derived without derived", c.Variant)
+		}
+	}
+	if out.Counters.Executions != 1 || out.Counters.Derived != 3 || out.Counters.SeedDerived != 3 {
+		t.Errorf("counters executions=%d derived=%d seed_derived=%d, want 1/3/3",
+			out.Counters.Executions, out.Counters.Derived, out.Counters.SeedDerived)
+	}
+}
+
 func TestWorkloadsEndpoint(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	resp, err := http.Get(ts.URL + "/v1/workloads")

@@ -13,10 +13,12 @@ import (
 )
 
 // journalMagic leads every completion record; journalVersion gates the
-// layout.
+// layout. Version 2 added the SeedDerived provenance flag; version-1
+// records read as incomplete, which is the designed retirement path
+// (the cell re-executes and re-journals).
 const (
 	journalMagic   = "HMPTJNL1"
-	journalVersion = 1
+	journalVersion = 2
 )
 
 // cellRecord is one journaled cell completion: the cell coordinates and
@@ -34,6 +36,7 @@ type cellRecord struct {
 
 	FromCache         bool
 	Derived           bool
+	SeedDerived       bool
 	AnalysisFromCache bool
 	Coalesced         bool
 
@@ -71,6 +74,7 @@ func (j *journal) encode(rec *cellRecord) ([]byte, error) {
 	e.Str(rec.Owner)
 	e.Bool(rec.FromCache)
 	e.Bool(rec.Derived)
+	e.Bool(rec.SeedDerived)
 	e.Bool(rec.AnalysisFromCache)
 	e.Bool(rec.Coalesced)
 	e.Str(string(an))
@@ -149,6 +153,7 @@ func (j *journal) decode(cell int, raw []byte) (*cellRecord, error) {
 	rec.Owner = d.Str()
 	rec.FromCache = d.Bool()
 	rec.Derived = d.Bool()
+	rec.SeedDerived = d.Bool()
 	rec.AnalysisFromCache = d.Bool()
 	rec.Coalesced = d.Bool()
 	anRaw := d.Str()
@@ -178,6 +183,7 @@ func (rec *cellRecord) campaignCell() campaign.Cell {
 		Analysis:          rec.Analysis,
 		FromCache:         rec.FromCache,
 		Derived:           rec.Derived,
+		SeedDerived:       rec.SeedDerived,
 		AnalysisFromCache: rec.AnalysisFromCache,
 		Coalesced:         rec.Coalesced,
 	}

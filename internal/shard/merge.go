@@ -87,6 +87,9 @@ func Merge(dir string, fs faultfs.FS) (*Merged, error) {
 			case cell.Derived:
 				out.Result.Snapshots++
 				out.Result.Derived++
+				if cell.SeedDerived {
+					out.Result.SeedDerived++
+				}
 			case cell.FromCache:
 				out.Result.Snapshots++
 				out.Result.CacheHits++

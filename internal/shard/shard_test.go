@@ -601,3 +601,77 @@ func TestMergeReportsPendingOnInProgressCampaign(t *testing.T) {
 		}
 	}
 }
+
+// claimFamilies resolves each cell's derivation-family ID exactly as
+// claimOrder does, returning the family ID per cell index.
+func claimFamilies(w *Worker) []string {
+	fids := make([]string, len(w.cells))
+	for i, ref := range w.cells {
+		opts := ref.Workload.Options
+		opts.Platform = ref.Platform.Platform
+		opts.Snapshot = nil
+		if ref.Variant.Apply != nil {
+			ref.Variant.Apply(&opts)
+		}
+		fids[i] = core.SnapshotKeyFor(ref.Workload.Name, opts).Family().ID()
+	}
+	return fids
+}
+
+// TestClaimOrderFamilyAffine: a worker's claim order is a permutation
+// that keeps derivation-family siblings adjacent (ascending within the
+// family, so the journaled cell indices are untouched), and distinct
+// worker IDs rotate which family they start claiming so a fleet spreads
+// across families instead of piling onto one base capture.
+func TestClaimOrderFamilyAffine(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Plan(dir, testSpec()); err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+
+	orders := make(map[string]bool)
+	for _, id := range []string{"w0", "w1", "w2", "w3"} {
+		w, err := NewWorker(dir, workerOpts(id))
+		if err != nil {
+			t.Fatalf("worker %s: %v", id, err)
+		}
+		order := w.claimOrder()
+		if len(order) != len(w.cells) {
+			t.Fatalf("worker %s: order covers %d cells, want %d", id, len(order), len(w.cells))
+		}
+		seen := make(map[int]bool, len(order))
+		for _, i := range order {
+			if i < 0 || i >= len(w.cells) || seen[i] {
+				t.Fatalf("worker %s: order %v is not a permutation", id, order)
+			}
+			seen[i] = true
+		}
+
+		fids := claimFamilies(w)
+		if len(fids) < 4 {
+			t.Fatalf("test campaign enumerated only %d cells", len(fids))
+		}
+		closed := make(map[string]bool)
+		prevFam, prevIdx := "", -1
+		for _, i := range order {
+			f := fids[i]
+			if f != prevFam {
+				if closed[f] {
+					t.Fatalf("worker %s: family %s revisited after leaving it (order %v)", id, f, order)
+				}
+				if prevFam != "" {
+					closed[prevFam] = true
+				}
+				prevFam, prevIdx = f, -1
+			}
+			if i < prevIdx {
+				t.Fatalf("worker %s: family %s visited out of ascending index order (order %v)", id, f, order)
+			}
+			prevIdx = i
+		}
+		orders[fmt.Sprint(order)] = true
+	}
+	if len(orders) < 2 {
+		t.Fatalf("all worker IDs produced the same claim order — rotation is not keyed by worker ID")
+	}
+}

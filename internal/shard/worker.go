@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"hmpt/internal/campaign"
+	"hmpt/internal/core"
 	"hmpt/internal/faultfs"
 	"hmpt/internal/fsatomic"
 )
@@ -180,21 +181,44 @@ func defaultOwnerID() string {
 	return fmt.Sprintf("%s-%d-%s", host, os.Getpid(), hex.EncodeToString(nonce[:]))
 }
 
-// claimOrder returns the cell visit order: a rotation of matrix order
-// keyed on the worker ID, so a fleet's workers start claiming in
-// different regions and mostly stay out of each other's way. Pure
-// de-contention — any order is correct.
+// claimOrder returns the cell visit order: cells grouped by snapshot
+// derivation family (siblings adjacent, ascending index within a
+// family), with the family sequence rotated by a hash of the worker ID
+// so a fleet's workers start claiming in different families and mostly
+// stay out of each other's way. Family affinity keeps derivation local:
+// the worker that resolves a family's base capture claims that family's
+// remaining cells next, so an iteration × scale × seed sweep derives
+// its siblings on the worker already holding the base instead of
+// executing redundant kernels across the fleet, while the rotation
+// interleaves distinct families across workers. Pure de-contention plus
+// cache affinity — any order is correct.
 func (w *Worker) claimOrder() []int {
-	n := len(w.cells)
+	famIdx := make(map[string]int)
+	var families [][]int
+	for i, ref := range w.cells {
+		// Resolve the cell's options exactly as the engine will, so the
+		// family computed here is the family the capture stage groups by.
+		opts := ref.Workload.Options
+		opts.Platform = ref.Platform.Platform
+		opts.Snapshot = nil
+		if ref.Variant.Apply != nil {
+			ref.Variant.Apply(&opts)
+		}
+		fid := core.SnapshotKeyFor(ref.Workload.Name, opts).Family().ID()
+		gi, ok := famIdx[fid]
+		if !ok {
+			gi = len(families)
+			famIdx[fid] = gi
+			families = append(families, nil)
+		}
+		families[gi] = append(families[gi], i)
+	}
 	h := fnv.New32a()
 	h.Write([]byte(w.opts.ID))
-	start := int(h.Sum32()) % n
-	if start < 0 {
-		start += n
-	}
-	order := make([]int, n)
-	for i := range order {
-		order[i] = (start + i) % n
+	start := int(h.Sum32() % uint32(len(families)))
+	order := make([]int, 0, len(w.cells))
+	for g := range families {
+		order = append(order, families[(start+g)%len(families)]...)
 	}
 	return order
 }
@@ -327,7 +351,7 @@ func (w *Worker) runCell(ctx context.Context, i int, l *lease, attempt int) (aba
 		Cell:     i,
 		Workload: cell.Workload, Platform: cell.Platform, Variant: cell.Variant,
 		Owner:     w.opts.ID,
-		FromCache: cell.FromCache, Derived: cell.Derived,
+		FromCache: cell.FromCache, Derived: cell.Derived, SeedDerived: cell.SeedDerived,
 		AnalysisFromCache: cell.AnalysisFromCache, Coalesced: cell.Coalesced,
 		Analysis: cell.Analysis,
 	}

@@ -114,13 +114,12 @@ func DeriveTrace(base *Trace, from, to []PhaseCount) (*Trace, error) {
 
 // FamilyKey identifies a snapshot derivation family: the SnapshotKey
 // fields derivation cannot change. Two snapshot keys with equal families
-// differ only in Iterations and Scale — the two capture inputs a
+// differ only in Iterations, Scale and Seed — the three capture inputs a
 // family-declaring workload can transpose analytically.
 type FamilyKey struct {
 	Workload       string
 	Config         string
 	Threads        int
-	Seed           uint64
 	SamplePeriod   int64
 	SampleBudget   int64
 	SamplerVersion uint32
@@ -129,16 +128,17 @@ type FamilyKey struct {
 // Family returns the derivation family of the key.
 func (k SnapshotKey) Family() FamilyKey {
 	return FamilyKey{
-		Workload: k.Workload, Config: k.Config, Threads: k.Threads, Seed: k.Seed,
+		Workload: k.Workload, Config: k.Config, Threads: k.Threads,
 		SamplePeriod: k.SamplePeriod, SampleBudget: k.SampleBudget, SamplerVersion: k.SamplerVersion,
 	}
 }
 
 // WithFamily returns the full snapshot key of a family member with the
-// given variable fields — the inverse of Family plus (Scale, Iterations).
-func (f FamilyKey) WithFamily(scale float64, iterations int) SnapshotKey {
+// given variable fields — the inverse of Family plus
+// (Scale, Iterations, Seed).
+func (f FamilyKey) WithFamily(scale float64, iterations int, seed uint64) SnapshotKey {
 	return SnapshotKey{
-		Workload: f.Workload, Config: f.Config, Threads: f.Threads, Seed: f.Seed,
+		Workload: f.Workload, Config: f.Config, Threads: f.Threads, Seed: seed,
 		SamplePeriod: f.SamplePeriod, SampleBudget: f.SampleBudget, SamplerVersion: f.SamplerVersion,
 		Scale: scale, Iterations: iterations,
 	}
@@ -155,7 +155,6 @@ func (f FamilyKey) ID() string {
 	w.Str(f.Workload)
 	w.Str(f.Config)
 	w.I64(int64(f.Threads))
-	w.U64(f.Seed)
 	w.I64(f.SamplePeriod)
 	w.I64(f.SampleBudget)
 	w.U64(uint64(f.SamplerVersion))

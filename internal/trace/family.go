@@ -37,6 +37,7 @@ func encodeFamilyMember(k SnapshotKey) []byte {
 	e.Raw([]byte(familyMemberMagic))
 	e.F64(k.Scale)
 	e.I64(int64(k.Iterations))
+	e.U64(k.Seed)
 	return e.Seal()
 }
 
@@ -53,10 +54,11 @@ func decodeFamilyMember(f FamilyKey, raw []byte) (SnapshotKey, error) {
 	d := wire.NewDecoder(payload[len(familyMemberMagic):])
 	scale := d.F64()
 	iters := int(d.I64())
+	seed := d.U64()
 	if err := d.Err(); err != nil {
 		return SnapshotKey{}, err
 	}
-	return f.WithFamily(scale, iters), nil
+	return f.WithFamily(scale, iters, seed), nil
 }
 
 // ValidFamilyMember reports whether raw is a structurally valid family

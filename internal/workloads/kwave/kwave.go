@@ -432,9 +432,15 @@ func (w *KWave) PhaseSchedule(iters int) []workloads.PhaseCount {
 // from (PaperN/RealN)³, never from Env.Scale.
 func (w *KWave) ScaleInvariant() bool { return true }
 
+// SeedInvariant implements workloads.SeedFamily: Env.RNG only shapes
+// the initial pressure field values; the stencil schedule and
+// allocation registry never depend on the seed.
+func (w *KWave) SeedInvariant() bool { return true }
+
 var (
 	_ workloads.IterationFamily = (*KWave)(nil)
 	_ workloads.ScaleFamily     = (*KWave)(nil)
+	_ workloads.SeedFamily      = (*KWave)(nil)
 )
 
 // totalEnergy returns the discrete acoustic energy (potential + kinetic).

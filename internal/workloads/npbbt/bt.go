@@ -424,9 +424,15 @@ func (b *BT) PhaseSchedule(iters int) []workloads.PhaseCount {
 // from (PaperN/RealN)³, never from Env.Scale.
 func (b *BT) ScaleInvariant() bool { return true }
 
+// SeedInvariant implements workloads.SeedFamily: Env.RNG only perturbs
+// the initial field values; the ADI sweep structure and allocation
+// registry never depend on the seed.
+func (b *BT) SeedInvariant() bool { return true }
+
 var (
 	_ workloads.IterationFamily = (*BT)(nil)
 	_ workloads.ScaleFamily     = (*BT)(nil)
+	_ workloads.SeedFamily      = (*BT)(nil)
 )
 
 // Verify implements workloads.Workload.

@@ -213,9 +213,16 @@ func (s *IS) PhaseSchedule(iters int) []workloads.PhaseCount {
 // from Cfg.SimKeys/SimMaxKey, never from Env.Scale.
 func (s *IS) ScaleInvariant() bool { return true }
 
+// SeedInvariant implements workloads.SeedFamily: Env.RNG only draws the
+// key *values*; the bucket-sort pass structure reads whole arrays
+// through fixed stream descriptors, so trace shape and allocation
+// registry never depend on the seed.
+func (s *IS) SeedInvariant() bool { return true }
+
 var (
 	_ workloads.IterationFamily = (*IS)(nil)
 	_ workloads.ScaleFamily     = (*IS)(nil)
+	_ workloads.SeedFamily      = (*IS)(nil)
 )
 
 // Verify implements workloads.Workload: the permutation must be sorted

@@ -428,9 +428,15 @@ func (l *LU) PhaseSchedule(iters int) []workloads.PhaseCount {
 // from (PaperN/RealN)³, never from Env.Scale.
 func (l *LU) ScaleInvariant() bool { return true }
 
+// SeedInvariant implements workloads.SeedFamily: Env.RNG only perturbs
+// the initial field values; the SSOR sweep structure and allocation
+// registry never depend on the seed.
+func (l *LU) SeedInvariant() bool { return true }
+
 var (
 	_ workloads.IterationFamily = (*LU)(nil)
 	_ workloads.ScaleFamily     = (*LU)(nil)
+	_ workloads.SeedFamily      = (*LU)(nil)
 )
 
 // Verify implements workloads.Workload.

@@ -423,9 +423,15 @@ func (m *MG) PhaseSchedule(iters int) []workloads.PhaseCount {
 // from (PaperN/RealN)³, never from Env.Scale.
 func (m *MG) ScaleInvariant() bool { return true }
 
+// SeedInvariant implements workloads.SeedFamily: Env.RNG only places
+// the right-hand-side charge values; the V-cycle grid hierarchy and
+// allocation registry never depend on the seed.
+func (m *MG) SeedInvariant() bool { return true }
+
 var (
 	_ workloads.IterationFamily = (*MG)(nil)
 	_ workloads.ScaleFamily     = (*MG)(nil)
+	_ workloads.SeedFamily      = (*MG)(nil)
 )
 
 // Verify implements workloads.Workload: the V-cycles must reduce the

@@ -417,9 +417,15 @@ func (s *SP) PhaseSchedule(iters int) []workloads.PhaseCount {
 // from (PaperN/RealN)³, never from Env.Scale.
 func (s *SP) ScaleInvariant() bool { return true }
 
+// SeedInvariant implements workloads.SeedFamily: Env.RNG only perturbs
+// the manufactured field values; the sweep structure and allocation
+// registry never depend on the seed.
+func (s *SP) SeedInvariant() bool { return true }
+
 var (
 	_ workloads.IterationFamily = (*SP)(nil)
 	_ workloads.ScaleFamily     = (*SP)(nil)
+	_ workloads.SeedFamily      = (*SP)(nil)
 )
 
 // Verify implements workloads.Workload: the ADI iteration must contract

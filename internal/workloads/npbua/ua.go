@@ -263,9 +263,16 @@ func (w *UA) PhaseSchedule(iters int) []workloads.PhaseCount {
 // from Cfg.SimBytesTotal, never from Env.Scale.
 func (w *UA) ScaleInvariant() bool { return true }
 
+// SeedInvariant implements workloads.SeedFamily: Env.RNG only fills
+// matrix and vector values; the unstructured-mesh adjacency is built
+// deterministically in Setup, so trace shape and allocation registry
+// never depend on the seed.
+func (w *UA) SeedInvariant() bool { return true }
+
 var (
 	_ workloads.IterationFamily = (*UA)(nil)
 	_ workloads.ScaleFamily     = (*UA)(nil)
+	_ workloads.SeedFamily      = (*UA)(nil)
 )
 
 // Verify implements workloads.Workload: Jacobi on the diagonally

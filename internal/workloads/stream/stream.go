@@ -270,9 +270,15 @@ func (s *Stream) PhaseSchedule(iters int) []workloads.PhaseCount {
 // size comes from Cfg.SimArray, never from Env.Scale.
 func (s *Stream) ScaleInvariant() bool { return true }
 
+// SeedInvariant implements workloads.SeedFamily: Env.RNG only fills the
+// array values; kernel order, stream descriptors and the allocation
+// registry never depend on the seed.
+func (s *Stream) SeedInvariant() bool { return true }
+
 var (
 	_ workloads.IterationFamily = (*Stream)(nil)
 	_ workloads.ScaleFamily     = (*Stream)(nil)
+	_ workloads.SeedFamily      = (*Stream)(nil)
 )
 
 // verifySpot checks basic sanity when only a kernel subset ran.

@@ -178,9 +178,15 @@ func (s *Synth) PhaseSchedule(iters int) []workloads.PhaseCount {
 // from the per-array SimBytes specs, never from Env.Scale.
 func (s *Synth) ScaleInvariant() bool { return true }
 
+// SeedInvariant implements workloads.SeedFamily: Env.RNG only fills the
+// array values; the per-array access specs and allocation registry
+// never depend on the seed.
+func (s *Synth) SeedInvariant() bool { return true }
+
 var (
 	_ workloads.IterationFamily = (*Synth)(nil)
 	_ workloads.ScaleFamily     = (*Synth)(nil)
+	_ workloads.SeedFamily      = (*Synth)(nil)
 )
 
 // Verify checks the reduction result exactly (all elements are 1).

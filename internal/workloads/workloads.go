@@ -143,6 +143,25 @@ type ScaleFamily interface {
 	ScaleInvariant() bool
 }
 
+// SeedFamily is the optional contract behind seed snapshot derivation.
+// A workload implementing it with SeedInvariant() == true declares that
+// Env.RNG only fills data *values* — its trace shape, stream
+// descriptors and allocation registry are independent of the seed — so
+// a capture at one seed serves any other seed once the recorded
+// Meta.Seed/Meta.EnvSeed are transposed and the deterministic
+// sample-count pass is re-run. Workloads whose access *pattern* is
+// drawn from the RNG (pointer-chase permutations, random index streams)
+// must not implement it; the derivation layer then refuses and the
+// campaign engine falls back to a real capture. The derivation
+// equivalence tests validate the declaration against real captures.
+type SeedFamily interface {
+	Workload
+
+	// SeedInvariant reports whether the workload's capture content is
+	// independent of the seed (beyond the recorded metadata).
+	SeedInvariant() bool
+}
+
 type registryEntry struct {
 	factory Factory
 	desc    string
